@@ -1,0 +1,1 @@
+bench/dbworld_bench.ml: Array Best_join Dbworld_sim List Match_list Pj_core Pj_util Pj_workload Printf Runs Scoring

@@ -1,0 +1,1 @@
+bench/figures.ml: Array List Pj_core Pj_util Pj_workload Printf Runs Synthetic

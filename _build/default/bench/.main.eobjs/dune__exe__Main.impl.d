@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Arg Bechamel_suite Cmd Cmdliner Dbworld_bench Figures List Printf Runs String Sys Term Trec_bench Unix

@@ -1,0 +1,1 @@
+bench/runs.ml: Array Char Dedup Filename List Match_list Max_join Med Naive Pj_core Pj_util Printf Scoring String Sys Win

@@ -1,0 +1,1 @@
+bench/trec_bench.ml: Array Format List Match_list Pj_core Pj_util Pj_workload Printf Ranker Runs Scoring String Trec_sim

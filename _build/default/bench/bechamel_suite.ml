@@ -1,0 +1,110 @@
+(* Statistically robust micro-benchmarks: one Bechamel test group per
+   paper table/figure, each benchmarking one representative workload
+   cell (a single synthetic or corpus document), so the per-document
+   costs underlying the wall-clock sweeps can be examined with OLS
+   estimates rather than raw timings. *)
+
+open Bechamel
+open Toolkit
+open Pj_core
+open Pj_workload
+
+let problem_of params seed =
+  Synthetic.generate params (Pj_util.Prng.create seed)
+
+let solve_test name solve problem =
+  Test.make ~name (Staged.stage (fun () -> Sys.opaque_identity (solve problem)))
+
+let synthetic_group ~group_name params =
+  let problem = problem_of params 77 in
+  Test.make_grouped ~name:group_name
+    (List.map
+       (fun alg -> solve_test alg.Runs.name alg.Runs.solve problem)
+       (Runs.all_algorithms ()))
+
+(* Fig 6 cell: |Q| = 6 (deep subset DP vs big cross product). *)
+let fig6_tests =
+  synthetic_group ~group_name:"fig6(|Q|=6)"
+    { Synthetic.default with Synthetic.n_terms = 6 }
+
+(* Fig 7 cell: 40 matches per document. *)
+let fig7_tests =
+  synthetic_group ~group_name:"fig7(total=40)"
+    { Synthetic.default with Synthetic.total_matches = 40 }
+
+(* Fig 8/9 cell: lambda = 1.0 (60% duplicates). *)
+let fig9_tests =
+  synthetic_group ~group_name:"fig9(lambda=1)"
+    { Synthetic.default with Synthetic.lambda = 1.0 }
+
+(* Fig 10 cell: s = 4 (extreme skew; naives catch up). *)
+let fig10_tests =
+  synthetic_group ~group_name:"fig10(s=4)"
+    { Synthetic.default with Synthetic.zipf_s = 4.0 }
+
+(* Fig 11 cell: one Q2 TREC document (4 terms, the hardest query). *)
+let fig11_tests =
+  let case =
+    Trec_sim.generate ~seed:5 ~n_docs:40 ~doc_length:475
+      (Trec_sim.find_spec "Q2")
+  in
+  (* Pick the document with the largest total match count: the most
+     interesting one for the solvers. *)
+  let _, problem =
+    Array.fold_left
+      (fun (best_n, best) (_, p) ->
+        let n = Match_list.total_size p in
+        if n > best_n then (n, p) else (best_n, best))
+      (-1, [||])
+      case.Trec_sim.problems
+  in
+  Test.make_grouped ~name:"fig11(TREC Q2 doc)"
+    (List.map
+       (fun alg -> solve_test alg.Runs.name alg.Runs.solve problem)
+       (Runs.all_algorithms ~win:Scoring.win_linear ~med:Scoring.med_linear
+          ~max:(Scoring.max_sum ~alpha:0.1) ()))
+
+(* DBWorld cell: one CFP message (73-entry place list). *)
+let dbworld_tests =
+  let case = Dbworld_sim.generate ~seed:624 () in
+  let _, problem = case.Dbworld_sim.problems.(8) in
+  Test.make_grouped ~name:"dbworld(CFP doc)"
+    (List.map
+       (fun alg -> solve_test alg.Runs.name alg.Runs.solve problem)
+       (Runs.all_algorithms ~win:Scoring.win_linear ~med:Scoring.med_linear
+          ~max:(Scoring.max_sum ~alpha:0.1) ()))
+
+let all_tests =
+  Test.make_grouped ~name:"proxjoin"
+    [
+      fig6_tests; fig7_tests; fig9_tests; fig10_tests; fig11_tests;
+      dbworld_tests;
+    ]
+
+let run ~quota_s =
+  Printf.printf
+    "\n== Bechamel micro-benchmarks (ns per document, OLS estimate) ==\n%!";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let est =
+          match Analyze.OLS.estimates ols_result with
+          | Some (e :: _) -> e
+          | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "%-40s %14.0f ns/run\n" name est)
+    rows

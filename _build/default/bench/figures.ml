@@ -1,0 +1,126 @@
+(* Figures 6-10: the synthetic experiments of Section VIII.
+
+   Defaults follow the paper: 500 documents, 4 query terms, 30 matches
+   per document, lambda = 2.0, Zipf s = 1.1, 1000-word documents.
+   [scale] shrinks the document count for quick runs. *)
+
+open Pj_workload
+
+type config = {
+  n_docs : int;
+  repetitions : int;
+  seed : int;
+}
+
+let default_config = { n_docs = 500; repetitions = 3; seed = 2009 }
+
+let base_params = Synthetic.default
+
+let batch cfg params =
+  Synthetic.generate_batch ~seed:cfg.seed ~n_docs:cfg.n_docs params
+
+let time_all cfg problems =
+  List.map
+    (fun alg ->
+      let m = Runs.log_cov (Runs.time_batch alg problems ~repetitions:cfg.repetitions) in
+      (alg.Runs.name, m.Pj_util.Timing.mean_s))
+    (Runs.all_algorithms ())
+
+let algorithm_columns =
+  List.map (fun a -> a.Runs.name) (Runs.all_algorithms ())
+
+(* Figure 6: execution time vs number of query terms (2..7). *)
+let fig6 cfg =
+  Runs.print_header
+    "Figure 6: time (s) vs number of query terms (500 docs, 30 matches/doc)"
+    algorithm_columns;
+  List.iter
+    (fun n_terms ->
+      let problems = batch cfg { base_params with Synthetic.n_terms } in
+      let times = time_all cfg problems in
+      Runs.print_row (string_of_int n_terms)
+        (List.map (fun (_, t) -> Runs.seconds t) times))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+(* Figure 7: execution time vs total match-list size per document. *)
+let fig7 cfg =
+  Runs.print_header
+    "Figure 7: time (s) vs total size of match lists per document (|Q| = 4)"
+    algorithm_columns;
+  List.iter
+    (fun total_matches ->
+      let problems = batch cfg { base_params with Synthetic.total_matches } in
+      let times = time_all cfg problems in
+      Runs.print_row (string_of_int total_matches)
+        (List.map (fun (_, t) -> Runs.seconds t) times))
+    [ 10; 20; 30; 40 ]
+
+let lambdas = [ 1.0; 1.5; 2.0; 2.5; 3.0 ]
+
+(* Figure 8: duplicate-unaware solver invocations per document vs
+   lambda (the duplicate-frequency control). *)
+let fig8 cfg =
+  Runs.print_header
+    "Figure 8: duplicate-unaware runs per document vs lambda"
+    ([ "dup freq" ] @ [ "WIN"; "MED"; "MAX" ]);
+  List.iter
+    (fun lambda ->
+      let problems = batch cfg { base_params with Synthetic.lambda } in
+      let dup_freq =
+        let d =
+          Array.fold_left
+            (fun acc p -> acc + Pj_core.Match_list.duplicate_count p)
+            0 problems
+        and t =
+          Array.fold_left
+            (fun acc p -> acc + Pj_core.Match_list.total_size p)
+            0 problems
+        in
+        float_of_int d /. float_of_int t
+      in
+      let invocations solver =
+        let total =
+          Array.fold_left
+            (fun acc p ->
+              let _, stats = Pj_core.Dedup.best_valid solver p in
+              acc + stats.Pj_core.Dedup.invocations)
+            0 problems
+        in
+        float_of_int total /. float_of_int (Array.length problems)
+      in
+      let cells =
+        [
+          Printf.sprintf "%.1f%%" (100. *. dup_freq);
+          Printf.sprintf "%.2f" (invocations (Pj_core.Win.best Runs.win_scoring));
+          Printf.sprintf "%.2f" (invocations (Pj_core.Med.best Runs.med_scoring));
+          Printf.sprintf "%.2f"
+            (invocations (Pj_core.Max_join.best Runs.max_scoring));
+        ]
+      in
+      Runs.print_row (Printf.sprintf "%.1f" lambda) cells)
+    lambdas
+
+(* Figure 9: execution time vs lambda. *)
+let fig9 cfg =
+  Runs.print_header "Figure 9: time (s) vs lambda (duplicate frequency)"
+    algorithm_columns;
+  List.iter
+    (fun lambda ->
+      let problems = batch cfg { base_params with Synthetic.lambda } in
+      let times = time_all cfg problems in
+      Runs.print_row (Printf.sprintf "%.1f" lambda)
+        (List.map (fun (_, t) -> Runs.seconds t) times))
+    lambdas
+
+(* Figure 10: execution time vs Zipf skewness s. *)
+let fig10 cfg =
+  Runs.print_header
+    "Figure 10: time (s) vs skewness s of query-term popularities"
+    algorithm_columns;
+  List.iter
+    (fun zipf_s ->
+      let problems = batch cfg { base_params with Synthetic.zipf_s } in
+      let times = time_all cfg problems in
+      Runs.print_row (Printf.sprintf "%.1f" zipf_s)
+        (List.map (fun (_, t) -> Runs.seconds t) times))
+    [ 1.1; 2.0; 3.0; 4.0 ]

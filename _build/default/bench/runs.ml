@@ -1,0 +1,131 @@
+(* Algorithm registry and timing helpers shared by the figure benches.
+
+   Following Section VIII: the proposed algorithms run with the Section
+   VI duplicate-handling wrapper; the naive baselines enumerate the
+   cross product and keep the best valid matchset. We measure the
+   wall-clock time to process a whole document batch, excluding
+   match-list generation, and repeat runs to report dispersion. *)
+
+open Pj_core
+
+type algorithm = {
+  name : string;
+  solve : Match_list.problem -> Naive.result option;
+}
+
+(* The exponential scoring family used by the synthetic experiments:
+   Eq. (1), Eq. (3) and Eq. (5). The paper does not state its decay
+   rate; alpha = 0.01 is calibrated so that the duplicate-handler rerun
+   counts at lambda = 1.0 reproduce the paper's reported "10 to 12 on
+   average" (see ablation A10 for the alpha sweep). *)
+let alpha = 0.01
+let win_scoring = Scoring.win_exponential ~alpha
+let med_scoring = Scoring.med_exponential ~alpha
+let max_scoring = Scoring.max_sum ~alpha
+
+let with_dedup solver p = fst (Dedup.best_valid solver p)
+
+let fast_algorithms ?(win = win_scoring) ?(med = med_scoring)
+    ?(max = max_scoring) () =
+  [
+    { name = "WIN"; solve = with_dedup (Win.best win) };
+    { name = "MED"; solve = with_dedup (Med.best med) };
+    { name = "MAX"; solve = with_dedup (Max_join.best max) };
+  ]
+
+let naive_algorithms ?(win = win_scoring) ?(med = med_scoring)
+    ?(max = max_scoring) () =
+  [
+    { name = "NWIN"; solve = Naive.best_valid (Scoring.Win win) };
+    { name = "NMED"; solve = Naive.best_valid (Scoring.Med med) };
+    { name = "NMAX"; solve = Naive.best_valid (Scoring.Max max) };
+  ]
+
+let all_algorithms ?win ?med ?max () =
+  fast_algorithms ?win ?med ?max () @ naive_algorithms ?win ?med ?max ()
+
+(* Wall-clock seconds to solve every problem in the batch once. *)
+let time_batch algorithm problems ~repetitions =
+  let run () =
+    Array.iter (fun p -> ignore (Sys.opaque_identity (algorithm.solve p))) problems
+  in
+  Pj_util.Timing.measure ~repetitions run
+
+(* --- table printing --------------------------------------------------- *)
+
+(* Tables go to stdout and, when --csv DIR is given, to one CSV file per
+   table (named from a slug of the title). *)
+let csv_dir : string option ref = ref None
+let csv_channel : out_channel option ref = ref None
+
+let close_csv () =
+  match !csv_channel with
+  | Some oc ->
+      close_out oc;
+      csv_channel := None
+  | None -> ()
+
+let set_csv_dir dir =
+  close_csv ();
+  csv_dir := dir
+
+let slug_of_title title =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c
+      else if c >= 'A' && c <= 'Z' then Char.lowercase_ascii c
+      else '_')
+    (String.concat "" (String.split_on_char ' ' (List.hd (String.split_on_char ':' title))))
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv_line cells =
+  match !csv_channel with
+  | None -> ()
+  | Some oc ->
+      output_string oc (String.concat "," (List.map csv_escape cells));
+      output_char oc '\n'
+
+let print_header title columns =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%-10s" "x";
+  List.iter (fun c -> Printf.printf " %12s" c) columns;
+  print_newline ();
+  Printf.printf "%s\n" (String.make (10 + (13 * List.length columns)) '-');
+  (match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      close_csv ();
+      let path = Filename.concat dir (slug_of_title title ^ ".csv") in
+      csv_channel := Some (open_out path));
+  csv_line ("x" :: columns)
+
+let print_row label cells =
+  Printf.printf "%-10s" label;
+  List.iter (fun c -> Printf.printf " %12s" c) cells;
+  print_newline ();
+  csv_line (label :: cells)
+
+let seconds s = Printf.sprintf "%.4f" s
+
+(* Track the coefficients of variation across all timed points, to
+   report the dispersion figure the paper quotes (5.7% average). *)
+let cov_log : float list ref = ref []
+
+let log_cov (m : Pj_util.Timing.measurement) =
+  cov_log := m.Pj_util.Timing.cov :: !cov_log;
+  m
+
+let report_cov_summary () =
+  match !cov_log with
+  | [] -> ()
+  | covs ->
+      let a = Array.of_list covs in
+      Printf.printf
+        "\n[timing dispersion] mean coefficient of variation over %d points: %.1f%% (max %.1f%%)\n"
+        (Array.length a)
+        (100. *. Pj_util.Stats.mean a)
+        (100. *. snd (Pj_util.Stats.min_max a))

@@ -1,0 +1,88 @@
+(* Figures 11 and 12: the simulated TREC 2006 QA experiment.
+
+   For each query Q1-Q7 we generate 1000 short documents (one holding
+   the planted answer), build match lists with the WordNet/gazetteer
+   matchers, and (a) time every algorithm over the 1000 documents,
+   (b) tabulate match-list sizes, duplicates and answer ranks.
+
+   Scoring functions follow footnote 9: WIN with g(x) = x/0.3 and
+   f(x,y) = x - y; MED with g(x) = x/0.3 and f(x) = x; MAX is Eq. (5)
+   with alpha = 0.1. For queries of three terms or less, WIN and MED
+   are identical scoring functions, so the WIN column is omitted and
+   MED used instead (as in the paper). *)
+
+open Pj_core
+open Pj_workload
+
+let win = Scoring.win_linear
+let med = Scoring.med_linear
+let max_ = Scoring.max_sum ~alpha:0.1
+
+type prepared = {
+  case : Trec_sim.case;
+  problems : Match_list.problem array;
+}
+
+let prepare ?(n_docs = 1000) spec =
+  let case = Trec_sim.generate ~seed:42 ~n_docs spec in
+  { case; problems = Array.map snd case.Trec_sim.problems }
+
+let algorithms_for n_terms =
+  let fast = Runs.fast_algorithms ~win ~med ~max:max_ () in
+  let naive = Runs.naive_algorithms ~win ~med ~max:max_ () in
+  let keep a = n_terms > 3 || a.Runs.name <> "WIN" in
+  List.filter keep (fast @ naive)
+
+let fig11 ~n_docs ~repetitions =
+  Runs.print_header
+    "Figure 11: time (s) over the TREC corpus, per query"
+    [ "WIN"; "MED"; "MAX"; "NWIN"; "NMED"; "NMAX" ];
+  List.iter
+    (fun spec ->
+      let p = prepare ~n_docs spec in
+      let n_terms = List.length spec.Trec_sim.terms in
+      let algs = algorithms_for n_terms in
+      let time name =
+        match List.find_opt (fun a -> a.Runs.name = name) algs with
+        | None -> "-" (* WIN omitted: identical to MED at <= 3 terms *)
+        | Some alg ->
+            let m =
+              Runs.log_cov (Runs.time_batch alg p.problems ~repetitions)
+            in
+            Runs.seconds m.Pj_util.Timing.mean_s
+      in
+      Runs.print_row spec.Trec_sim.id
+        (List.map time [ "WIN"; "MED"; "MAX"; "NWIN"; "NMED"; "NMAX" ]))
+    (Trec_sim.specs ())
+
+let answer_rank_cell scoring case =
+  let ranked = Ranker.rank scoring case.Trec_sim.problems in
+  match Ranker.answer_rank_of ranked ~doc_id:case.Trec_sim.answer_doc with
+  | Some r -> Format.asprintf "%a" Ranker.pp_answer_rank r
+  | None -> "-"
+
+let fig12 ~n_docs =
+  Runs.print_header
+    "Figure 12: match-list sizes, duplicates and answer ranks"
+    [ "sizes"; "#dups"; "MED"; "MAX"; "WIN" ];
+  List.iter
+    (fun spec ->
+      let p = prepare ~n_docs spec in
+      let sizes = Trec_sim.measured_list_sizes p.case in
+      let sizes_str =
+        "("
+        ^ String.concat ","
+            (Array.to_list (Array.map (fun s -> Printf.sprintf "%.1f" s) sizes))
+        ^ ")"
+      in
+      let dups = Printf.sprintf "%.1f" (Trec_sim.measured_duplicates p.case) in
+      let n_terms = List.length spec.Trec_sim.terms in
+      let med_rank = answer_rank_cell (Scoring.Med med) p.case in
+      let max_rank = answer_rank_cell (Scoring.Max max_) p.case in
+      let win_rank =
+        if n_terms <= 3 then med_rank (* identical functions *)
+        else answer_rank_cell (Scoring.Win win) p.case
+      in
+      Runs.print_row spec.Trec_sim.id
+        [ sizes_str; dups; med_rank; max_rank; win_rank ])
+    (Trec_sim.specs ())

@@ -1,0 +1,355 @@
+(* proxjoin: command-line interface to the weighted proximity best-join
+   library.
+
+     proxjoin demo
+     proxjoin search  --term wordnet:pc-maker --term wordnet:sports FILE
+     proxjoin extract --term wordnet:conference --term date --term place FILE
+     proxjoin synth   --terms 4 --matches 30 --lambda 2.0
+
+   FILE holds documents separated by blank lines; term specs follow the
+   grammar of Pj_matching.Query_parser (wordnet:X, stem:X, exact:X,
+   date, place, city, country, year, and |-disjunctions). *)
+
+let read_documents path =
+  let ic = open_in path in
+  let docs = ref [] and current = Buffer.create 256 in
+  let flush () =
+    if Buffer.length current > 0 then begin
+      docs := Buffer.contents current :: !docs;
+      Buffer.clear current
+    end
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line = "" then flush ()
+       else begin
+         Buffer.add_string current line;
+         Buffer.add_char current ' '
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  flush ();
+  List.rev !docs
+
+let scoring_of ~family ~alpha =
+  match family with
+  | "win" -> Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha)
+  | "med" -> Pj_core.Scoring.Med (Pj_core.Scoring.med_exponential ~alpha)
+  | "max" -> Pj_core.Scoring.Max (Pj_core.Scoring.max_sum ~alpha)
+  | other -> failwith (Printf.sprintf "unknown scoring family %S" other)
+
+let build_query graph terms =
+  match Pj_matching.Query_parser.parse graph terms with
+  | Ok q -> q
+  | Error msg -> failwith msg
+
+let pp_matchset vocab (r : Pj_core.Naive.result) =
+  Array.to_list r.Pj_core.Naive.matchset
+  |> List.map (fun m ->
+         Printf.sprintf "%s@%d(%.2f)"
+           (Pj_text.Vocab.word vocab m.Pj_core.Match0.payload)
+           m.Pj_core.Match0.loc m.Pj_core.Match0.score)
+  |> String.concat " "
+
+(* --- search: rank documents by best matchset ------------------------- *)
+
+let run_search file terms family alpha top_k =
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let query = build_query graph terms in
+  let scoring = scoring_of ~family ~alpha in
+  let corpus = Pj_index.Corpus.create () in
+  List.iter
+    (fun text -> ignore (Pj_index.Corpus.add_text corpus text))
+    (read_documents file);
+  let vocab = Pj_index.Corpus.vocab corpus in
+  let problems =
+    Array.map
+      (fun (d, p) -> (d.Pj_text.Document.id, p))
+      (Pj_matching.Match_builder.scan_corpus corpus query)
+  in
+  let ranked = Pj_workload.Ranker.rank scoring problems in
+  Printf.printf "%d documents, scoring %s\n" (Array.length ranked)
+    (Pj_core.Scoring.name scoring);
+  Array.iteri
+    (fun i r ->
+      if i < top_k then begin
+        match r.Pj_workload.Ranker.result with
+        | Some res ->
+            Printf.printf "#%d doc %d  score %.5f  %s\n" (i + 1)
+              r.Pj_workload.Ranker.doc_id res.Pj_core.Naive.score
+              (pp_matchset vocab res)
+        | None -> ()
+      end)
+    ranked
+
+(* --- extract: best matchset by location over each document ----------- *)
+
+let run_extract file terms family alpha threshold =
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let query = build_query graph terms in
+  let scoring = scoring_of ~family ~alpha in
+  let corpus = Pj_index.Corpus.create () in
+  List.iter
+    (fun text -> ignore (Pj_index.Corpus.add_text corpus text))
+    (read_documents file);
+  let vocab = Pj_index.Corpus.vocab corpus in
+  Pj_index.Corpus.iter
+    (fun doc ->
+      let problem = Pj_matching.Match_builder.scan vocab doc query in
+      if not (Pj_core.Match_list.has_empty_list problem) then begin
+        let entries = Pj_core.Best_join.by_location scoring problem in
+        let entries =
+          match threshold with
+          | None -> entries
+          | Some t -> Pj_core.By_location.filter_by_score t entries
+        in
+        List.iter
+          (fun e ->
+            Printf.printf "doc %d  anchor %4d  score %8.4f  {%s}\n"
+              doc.Pj_text.Document.id e.Pj_core.By_location.anchor
+              e.Pj_core.By_location.score
+              (String.concat " "
+                 (Array.to_list
+                    (Array.map
+                       (fun m ->
+                         Printf.sprintf "%s@%d"
+                           (Pj_text.Vocab.word vocab m.Pj_core.Match0.payload)
+                           m.Pj_core.Match0.loc)
+                       e.Pj_core.By_location.matchset))))
+          entries
+      end)
+    corpus
+
+(* --- isearch: index-driven engine search with snippets ---------------- *)
+
+let run_isearch file terms family alpha top_k =
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let query = build_query graph terms in
+  (* The index path matches expansion forms against indexed tokens, so
+     the corpus is indexed over Porter stems and every matcher's
+     expansions are stemmed to the same normalization. *)
+  let query =
+    {
+      query with
+      Pj_matching.Query.matchers =
+        Array.map Pj_matching.Matcher.stem_expansions
+          query.Pj_matching.Query.matchers;
+    }
+  in
+  let scoring = scoring_of ~family ~alpha in
+  let corpus = Pj_index.Corpus.create () in
+  List.iter
+    (fun text ->
+      let stems =
+        Array.map Pj_text.Porter.stem (Pj_text.Tokenizer.tokenize_array text)
+      in
+      ignore (Pj_index.Corpus.add_tokens corpus stems))
+    (read_documents file);
+  let index = Pj_index.Inverted_index.build corpus in
+  let searcher = Pj_engine.Searcher.create index in
+  let vocab = Pj_index.Corpus.vocab corpus in
+  let hits = Pj_engine.Searcher.search ~k:top_k searcher scoring query in
+  Printf.printf "%d candidate documents, %d hits, scoring %s\n"
+    (Array.length (Pj_engine.Searcher.candidates searcher query))
+    (List.length hits)
+    (Pj_core.Scoring.name scoring);
+  List.iteri
+    (fun i hit ->
+      let doc = Pj_index.Corpus.document corpus hit.Pj_engine.Searcher.doc_id in
+      Printf.printf "#%d doc %d  score %.5f\n   %s\n" (i + 1)
+        hit.Pj_engine.Searcher.doc_id hit.Pj_engine.Searcher.score
+        (Pj_engine.Snippet.render vocab doc hit.Pj_engine.Searcher.matchset))
+    hits
+
+(* --- synth: solve one synthetic instance ------------------------------ *)
+
+let run_synth n_terms matches lambda zipf_s seed =
+  let params =
+    {
+      Pj_workload.Synthetic.n_terms;
+      total_matches = matches;
+      lambda;
+      zipf_s;
+      doc_length = 1000;
+    }
+  in
+  let rng = Pj_util.Prng.create seed in
+  let p = Pj_workload.Synthetic.generate params rng in
+  Printf.printf "terms %d, matches %d, duplicate frequency %.1f%%\n" n_terms
+    matches
+    (100. *. Pj_core.Match_list.duplicate_frequency p);
+  Format.printf "%a@." Pj_core.Match_list.pp p;
+  List.iter
+    (fun scoring ->
+      match Pj_core.Best_join.solve ~dedup:true scoring p with
+      | Some r ->
+          Format.printf "%-14s score %10.6f  %a@."
+            (Pj_core.Scoring.name scoring)
+            r.Pj_core.Naive.score Pj_core.Matchset.pp r.Pj_core.Naive.matchset
+      | None -> Printf.printf "%s: no valid matchset\n" (Pj_core.Scoring.name scoring))
+    [
+      Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha:0.1);
+      Pj_core.Scoring.Med (Pj_core.Scoring.med_exponential ~alpha:0.1);
+      Pj_core.Scoring.Max (Pj_core.Scoring.max_sum ~alpha:0.1);
+    ]
+
+(* --- demo: the Figure 1 example --------------------------------------- *)
+
+let run_demo () =
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let query =
+    Pj_matching.Query.make "figure 1"
+      [
+        Pj_matching.Wordnet_matcher.create graph "pc-maker";
+        Pj_matching.Wordnet_matcher.create graph "sports";
+        Pj_matching.Wordnet_matcher.create graph "partnership";
+      ]
+  in
+  let text =
+    "As part of the new deal, Lenovo will become the official PC partner \
+     of the NBA. The laptop-maker has a similar partnership with the \
+     Olympic Games. Lenovo competes against Dell and Hewlett-Packard."
+  in
+  let vocab = Pj_text.Vocab.create () in
+  let doc = Pj_text.Document.of_text vocab ~id:0 text in
+  let problem = Pj_matching.Match_builder.scan vocab doc query in
+  Printf.printf "query: {\"PC maker\", \"sports\", \"partnership\"}\n";
+  List.iter
+    (fun scoring ->
+      match Pj_core.Best_join.solve ~dedup:true scoring problem with
+      | Some r ->
+          Printf.printf "%-14s %s\n"
+            (Pj_core.Scoring.name scoring)
+            (pp_matchset vocab r)
+      | None -> ())
+    [
+      Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha:0.2);
+      Pj_core.Scoring.Med (Pj_core.Scoring.med_exponential ~alpha:0.2);
+      Pj_core.Scoring.Max (Pj_core.Scoring.max_sum ~alpha:0.2);
+    ]
+
+(* --- ask: factoid question answering over a document file ------------- *)
+
+let run_ask file question k =
+  let corpus = Pj_index.Corpus.create () in
+  List.iter
+    (fun text -> ignore (Pj_index.Corpus.add_text corpus text))
+    (read_documents file);
+  let answerer = Pj_qa.Answerer.create corpus in
+  let analysis, query = Pj_qa.Answerer.question_of answerer question in
+  Printf.printf "target type: %s, query terms: %s\n"
+    (Pj_qa.Question.target_name analysis.Pj_qa.Question.target)
+    (String.concat ", " (Array.to_list (Pj_matching.Query.term_names query)));
+  match Pj_qa.Answerer.ask ~k answerer question with
+  | [] -> Printf.printf "no answer found\n"
+  | answers ->
+      List.iteri
+        (fun i a ->
+          Printf.printf "A%d: %-15s (support %.2f, docs %s)\n" (i + 1)
+            a.Pj_qa.Answerer.answer_word a.Pj_qa.Answerer.support
+            (String.concat ","
+               (List.map string_of_int a.Pj_qa.Answerer.documents)))
+        answers
+
+(* --- cmdliner glue ----------------------------------------------------- *)
+
+open Cmdliner
+
+let terms_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "term"; "t" ] ~docv:"SPEC"
+        ~doc:"Query term (repeatable): wordnet:CONCEPT, stem:WORD, \
+              exact:WORD, date, place, city, country, year.")
+
+let family_arg =
+  Arg.(
+    value & opt string "win"
+    & info [ "scoring"; "s" ] ~docv:"FAMILY" ~doc:"win, med or max.")
+
+let alpha_arg =
+  Arg.(value & opt float 0.1 & info [ "alpha" ] ~doc:"Distance decay rate.")
+
+let file_arg =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Documents separated by blank lines.")
+
+let wrap f = try `Ok (f ()) with Failure msg -> `Error (false, msg)
+
+let search_cmd =
+  let top_k = Arg.(value & opt int 5 & info [ "top" ] ~doc:"Results shown.") in
+  let run file terms family alpha k =
+    wrap (fun () -> run_search file terms family alpha k)
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Rank documents by overall best matchset.")
+    Term.(ret (const run $ file_arg $ terms_arg $ family_arg $ alpha_arg $ top_k))
+
+let extract_cmd =
+  let threshold =
+    Arg.(
+      value & opt (some float) None
+      & info [ "min-score" ] ~doc:"Keep matchsets at or above this score.")
+  in
+  let run file terms family alpha t =
+    wrap (fun () -> run_extract file terms family alpha t)
+  in
+  Cmd.v
+    (Cmd.info "extract"
+       ~doc:"All locally best matchsets per document (Section VII).")
+    Term.(
+      ret (const run $ file_arg $ terms_arg $ family_arg $ alpha_arg $ threshold))
+
+let isearch_cmd =
+  let top_k = Arg.(value & opt int 5 & info [ "top" ] ~doc:"Results shown.") in
+  let run file terms family alpha k =
+    wrap (fun () -> run_isearch file terms family alpha k)
+  in
+  Cmd.v
+    (Cmd.info "isearch"
+       ~doc:"Index-driven top-k search with highlighted snippets.")
+    Term.(ret (const run $ file_arg $ terms_arg $ family_arg $ alpha_arg $ top_k))
+
+let ask_cmd =
+  let question =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "question"; "q" ] ~docv:"TEXT" ~doc:"The factoid question.")
+  in
+  let top_k = Arg.(value & opt int 3 & info [ "top" ] ~doc:"Answers shown.") in
+  let run file question k = wrap (fun () -> run_ask file question k) in
+  Cmd.v
+    (Cmd.info "ask" ~doc:"Answer a factoid question over the documents.")
+    Term.(ret (const run $ file_arg $ question $ top_k))
+
+let synth_cmd =
+  let n_terms = Arg.(value & opt int 4 & info [ "terms" ] ~doc:"Query terms.") in
+  let matches =
+    Arg.(value & opt int 30 & info [ "matches" ] ~doc:"Total matches.")
+  in
+  let lambda =
+    Arg.(value & opt float 2.0 & info [ "lambda" ] ~doc:"Duplicate control.")
+  in
+  let zipf = Arg.(value & opt float 1.1 & info [ "zipf" ] ~doc:"Skew s.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run a b c d e = wrap (fun () -> run_synth a b c d e) in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Generate and solve one synthetic instance.")
+    Term.(ret (const run $ n_terms $ matches $ lambda $ zipf $ seed))
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"The paper's Figure 1 example.")
+    Term.(ret (const (fun () -> wrap run_demo) $ const ()))
+
+let main =
+  Cmd.group
+    (Cmd.info "proxjoin" ~version:"1.0.0"
+       ~doc:"Weighted proximity best-joins for information retrieval.")
+    [ demo_cmd; search_cmd; isearch_cmd; extract_cmd; ask_cmd; synth_cmd ]
+
+let () = exit (Cmd.eval main)

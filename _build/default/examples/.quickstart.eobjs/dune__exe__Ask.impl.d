@@ -1,0 +1,1 @@
+examples/ask.ml: Array List Pj_index Pj_matching Pj_qa Printf String

@@ -1,0 +1,1 @@
+examples/cfp_extraction.ml: Array Dbworld_sim List Pj_core Pj_index Pj_text Pj_workload Printf

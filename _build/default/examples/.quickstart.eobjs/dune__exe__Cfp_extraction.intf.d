@@ -1,0 +1,1 @@
+examples/cfp_extraction.mli:

@@ -1,0 +1,1 @@
+examples/entity_search.ml: Array List Pj_core Pj_index Pj_matching Pj_ontology Pj_text Printf String

@@ -1,0 +1,1 @@
+examples/news_search.ml: Filename List Pj_core Pj_engine Pj_index Pj_matching Printf Storage_cleanup String

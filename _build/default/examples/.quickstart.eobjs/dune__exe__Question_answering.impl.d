@@ -1,0 +1,1 @@
+examples/question_answering.ml: Array Format List Pj_core Pj_index Pj_matching Pj_text Pj_workload Printf Ranker String Trec_sim

@@ -1,0 +1,1 @@
+examples/question_answering.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Pj_core Pj_matching Pj_ontology Pj_text Printf String

@@ -1,0 +1,54 @@
+(* Question answering end to end: the paper's motivating scenario.
+   Natural-language factoid questions are analyzed into typed proximity
+   queries, the weighted proximity best-join extracts answer candidates
+   per document, and votes are aggregated across the corpus.
+
+     dune exec examples/ask.exe *)
+
+let articles =
+  [
+    "the lebanese parliament sits in beirut close to the harbour and has \
+     one hundred and twenty eight members elected for four years";
+    "beirut is the largest city of lebanon and its cultural capital";
+    "alfred hitchcock the celebrated director was born in london in the \
+     summer of 1899 and moved to america decades later";
+    "a festival of hitchcock films opened in paris last week drawing \
+     large crowds";
+    "prince edward married in june 1999 at windsor after a long \
+     engagement announced earlier that year";
+    "the winter games began in turin with a ceremony watched worldwide";
+    "lenovo announced a partnership with the nba making the pc maker its \
+     official technology sponsor";
+  ]
+
+let questions =
+  [
+    "In what city is the lebanese parliament located?";
+    "Where was Alfred Hitchcock born?";
+    "When did Prince Edward marry?";
+    "What partnership did Lenovo announce?";
+  ]
+
+let () =
+  let corpus = Pj_index.Corpus.create () in
+  List.iter (fun a -> ignore (Pj_index.Corpus.add_text corpus a)) articles;
+  let answerer = Pj_qa.Answerer.create corpus in
+  List.iter
+    (fun question ->
+      let analysis, query = Pj_qa.Answerer.question_of answerer question in
+      Printf.printf "Q: %s\n   target type: %s, query terms: %s\n" question
+        (Pj_qa.Question.target_name analysis.Pj_qa.Question.target)
+        (String.concat ", "
+           (Array.to_list (Pj_matching.Query.term_names query)));
+      (match Pj_qa.Answerer.ask answerer question with
+      | [] -> Printf.printf "   no answer found\n"
+      | answers ->
+          List.iteri
+            (fun i a ->
+              Printf.printf "   A%d: %-12s (support %.2f, docs %s)\n" (i + 1)
+                a.Pj_qa.Answerer.answer_word a.Pj_qa.Answerer.support
+                (String.concat ","
+                   (List.map string_of_int a.Pj_qa.Answerer.documents)))
+            answers);
+      print_newline ())
+    questions

@@ -1,0 +1,73 @@
+(* Quickstart: the paper's running example (Figure 1).
+
+   We ask for partnerships between PC makers and sports organizations
+   with the three-term query {"PC maker", "sports", "partnership"},
+   build weighted match lists from a document with WordNet-style fuzzy
+   matchers, and find the best matchset under all three scoring-function
+   families.
+
+     dune exec examples/quickstart.exe *)
+
+let document_text =
+  "As part of the new deal, Lenovo will become the official PC partner \
+   of the NBA, and it will be marketing its NBA affiliation in the US \
+   and in China. The laptop-maker has a similar marketing and technology \
+   partnership with the Olympic Games. It provided all the computers for \
+   the winter olympics in Turin, Italy, and will also provide equipment \
+   for the summer olympics in Beijing in 2008. Lenovo competes in a \
+   tough market against players such as Dell and Hewlett-Packard."
+
+let () =
+  (* 1. A lemma graph provides the fuzzy-match vocabulary: "Lenovo" is a
+     PC maker, "NBA" is a sports organization, "deal" is (weaker)
+     partnership language. *)
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let query =
+    Pj_matching.Query.make "pc-maker sports partnership"
+      [
+        Pj_matching.Wordnet_matcher.create graph "pc-maker";
+        Pj_matching.Wordnet_matcher.create graph "sports";
+        Pj_matching.Wordnet_matcher.create graph "partnership";
+      ]
+  in
+  (* 2. Scan the document into one match list per query term. *)
+  let vocab = Pj_text.Vocab.create () in
+  let doc = Pj_text.Document.of_text vocab ~id:0 document_text in
+  let problem = Pj_matching.Match_builder.scan vocab doc query in
+  Array.iteri
+    (fun j list ->
+      Printf.printf "match list %-12s: %d matches\n"
+        (Pj_matching.Query.term_names query).(j)
+        (Array.length list))
+    problem;
+  (* 3. Solve the weighted proximity best-join under each scoring
+     family, with duplicate handling. *)
+  let scorings =
+    [
+      Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha:0.2);
+      Pj_core.Scoring.Med (Pj_core.Scoring.med_exponential ~alpha:0.2);
+      Pj_core.Scoring.Max (Pj_core.Scoring.max_sum ~alpha:0.2);
+    ]
+  in
+  List.iter
+    (fun scoring ->
+      match Pj_core.Best_join.solve ~dedup:true scoring problem with
+      | None -> Printf.printf "%s: no matchset\n" (Pj_core.Scoring.name scoring)
+      | Some r ->
+          let words =
+            Array.to_list r.Pj_core.Naive.matchset
+            |> List.map (fun m ->
+                   Printf.sprintf "%s@%d"
+                     (Pj_text.Vocab.word vocab m.Pj_core.Match0.payload)
+                     m.Pj_core.Match0.loc)
+          in
+          Printf.printf "%-14s score %8.5f  answer: {%s}\n"
+            (Pj_core.Scoring.name scoring)
+            r.Pj_core.Naive.score
+            (String.concat ", " words);
+          (* Show the answer in context. *)
+          let lo = Pj_core.Matchset.min_loc r.Pj_core.Naive.matchset in
+          let hi = Pj_core.Matchset.max_loc r.Pj_core.Naive.matchset in
+          Printf.printf "               context: \"... %s ...\"\n"
+            (Pj_text.Document.slice vocab doc ~lo:(lo - 2) ~hi:(hi + 2)))
+    scorings

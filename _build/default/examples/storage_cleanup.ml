@@ -1,0 +1,4 @@
+(* Tiny helper shared by examples that write temporary files. *)
+
+let with_file path f =
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) f

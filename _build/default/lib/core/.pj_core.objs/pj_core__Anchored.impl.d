@@ -1,0 +1,1 @@
+lib/core/anchored.ml: List Matchset

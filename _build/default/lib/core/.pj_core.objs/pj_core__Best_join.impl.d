@@ -1,0 +1,1 @@
+lib/core/best_join.ml: Array By_location Dedup List Match_list Max_join Med Naive Scoring Win

@@ -1,0 +1,1 @@
+lib/core/best_join.mli: By_location Dedup Match_list Naive Scoring

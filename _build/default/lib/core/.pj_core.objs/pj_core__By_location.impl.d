@@ -1,0 +1,1 @@
+lib/core/by_location.ml: Anchored Array Envelope List Match0 Match_list Matchset Med_selection Scoring Win_stream

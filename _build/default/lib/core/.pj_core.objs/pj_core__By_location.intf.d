@@ -1,0 +1,1 @@
+lib/core/by_location.mli: Anchored Match_list Matchset Scoring

@@ -1,0 +1,1 @@
+lib/core/dedup.ml: Array Hashtbl Int List Map Match0 Match_list Matchset Naive Option Pj_util Seq Set

@@ -1,0 +1,1 @@
+lib/core/envelope.ml: Array Float List Match0 Match_list Pj_util

@@ -1,0 +1,1 @@
+lib/core/envelope.mli: Match0 Match_list

@@ -1,0 +1,1 @@
+lib/core/match0.mli: Format

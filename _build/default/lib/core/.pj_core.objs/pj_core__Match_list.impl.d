@@ -1,0 +1,1 @@
+lib/core/match_list.ml: Array Format Int List Match0 Printf Seq Set

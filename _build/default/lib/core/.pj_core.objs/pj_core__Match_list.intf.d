@@ -1,0 +1,1 @@
+lib/core/match_list.mli: Format Match0

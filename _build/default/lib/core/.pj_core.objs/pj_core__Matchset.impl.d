@@ -1,0 +1,1 @@
+lib/core/matchset.ml: Array Format Match0 Stdlib

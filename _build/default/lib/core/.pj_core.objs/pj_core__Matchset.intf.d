@@ -1,0 +1,1 @@
+lib/core/matchset.mli: Format Match0

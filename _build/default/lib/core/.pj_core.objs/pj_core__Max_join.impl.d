@@ -1,0 +1,1 @@
+lib/core/max_join.ml: Array Envelope List Match0 Match_list Naive Scoring

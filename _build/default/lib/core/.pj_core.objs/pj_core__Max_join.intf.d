@@ -1,0 +1,1 @@
+lib/core/max_join.mli: Match0 Match_list Naive Scoring

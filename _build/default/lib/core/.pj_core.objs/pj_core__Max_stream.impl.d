@@ -1,0 +1,1 @@
+lib/core/max_stream.ml: Anchored Array Float List Match0 Match_list Option Pj_util Queue Scoring

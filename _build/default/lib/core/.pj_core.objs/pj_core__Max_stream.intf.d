@@ -1,0 +1,1 @@
+lib/core/max_stream.mli: Anchored Match0 Match_list Scoring

@@ -1,0 +1,1 @@
+lib/core/med.ml: Array Envelope Match0 Match_list Naive Scoring

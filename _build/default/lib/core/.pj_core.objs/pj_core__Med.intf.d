@@ -1,0 +1,1 @@
+lib/core/med.mli: Match0 Match_list Naive Scoring

@@ -1,0 +1,1 @@
+lib/core/med_selection.ml: Array Match0

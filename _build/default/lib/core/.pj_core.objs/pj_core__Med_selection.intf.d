@@ -1,0 +1,1 @@
+lib/core/med_selection.mli: Match0

@@ -1,0 +1,1 @@
+lib/core/med_stream.ml: Anchored Array Float List Match0 Match_list Med_selection Queue Scoring

@@ -1,0 +1,1 @@
+lib/core/naive.ml: Array Match_list Matchset Scoring Stdlib

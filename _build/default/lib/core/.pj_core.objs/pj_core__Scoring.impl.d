@@ -1,0 +1,1 @@
+lib/core/scoring.ml: Array Match0 Matchset Printf

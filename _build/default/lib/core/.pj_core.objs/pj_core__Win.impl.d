@@ -1,0 +1,1 @@
+lib/core/win.ml: Array List Match0 Match_list Naive Pj_util Scoring

@@ -1,0 +1,1 @@
+lib/core/win.mli: Match_list Naive Scoring

@@ -1,0 +1,1 @@
+lib/core/win_stream.ml: Anchored Array List Match0 Match_list Pj_util Scoring

@@ -1,0 +1,1 @@
+lib/core/win_stream.mli: Anchored Match0 Match_list Scoring

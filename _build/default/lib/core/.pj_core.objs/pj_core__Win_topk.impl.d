@@ -1,0 +1,1 @@
+lib/core/win_topk.ml: Array Hashtbl List Match0 Match_list Naive Pj_util Printf Scoring String

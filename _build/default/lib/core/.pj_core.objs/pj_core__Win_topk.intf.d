@@ -1,0 +1,1 @@
+lib/core/win_topk.mli: Match_list Naive Scoring

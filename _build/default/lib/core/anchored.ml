@@ -1,0 +1,16 @@
+type entry = {
+  anchor : int;
+  matchset : Matchset.t;
+  score : float;
+}
+
+let filter_by_score threshold entries =
+  List.filter (fun e -> e.score >= threshold) entries
+
+let best_entry entries =
+  List.fold_left
+    (fun best e ->
+      match best with
+      | Some b when b.score >= e.score -> best
+      | _ -> Some e)
+    None entries

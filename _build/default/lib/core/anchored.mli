@@ -1,0 +1,17 @@
+(** Anchored results: a best matchset per anchor location (the result
+    shape of the Section VII best-matchset-by-location problem). *)
+
+type entry = {
+  anchor : int;            (** the anchor location *)
+  matchset : Matchset.t;
+  score : float;
+      (** for WIN and MED: the definitional matchset score; for MAX: the
+          score evaluated at the anchor *)
+}
+
+val filter_by_score : float -> entry list -> entry list
+(** Keep the entries whose score reaches the threshold — the "good
+    enough matchsets" filter for extraction applications. *)
+
+val best_entry : entry list -> entry option
+(** The highest-scoring entry. *)

@@ -1,0 +1,49 @@
+(** Best matchset by location (Section VII, Definitions 9 and 10).
+
+    Instead of one overall best matchset, return a best matchset for
+    every possible anchor location:
+    - WIN anchors a matchset at its largest match location; the solver is
+      a streaming extension of Algorithm 1 that emits the best candidate
+      as soon as all matches at a location have been processed.
+    - MED anchors at the median location; for every anchor we select, per
+      other term, a side-best candidate (strictly before, exactly at, or
+      strictly after the anchor) under a cardinality constraint that
+      forces the anchor to be the median — a small dynamic program per
+      anchor, overall [O(|Q|^3 * sum |L_j|)] with tiny constants (the
+      paper's variant is [O(|Q|^2 * sum |L_j|)]).
+    - MAX anchors at the reference location; for every location we return
+      the matchset of dominating matches, which maximizes the score
+      evaluated at that location.
+
+    Results can be post-filtered by score threshold for
+    information-extraction use (Section I). *)
+
+type entry = Anchored.entry = {
+  anchor : int;            (** the anchor location *)
+  matchset : Matchset.t;
+  score : float;
+      (** for WIN and MED: the definitional matchset score; for MAX: the
+          score evaluated at the anchor, [score_max_at anchor] *)
+}
+
+val win : Scoring.win -> Match_list.problem -> entry list
+(** One entry per location [l] where some matchset has its largest match:
+    the best matchset whose largest match location is [l]. Entries are in
+    increasing anchor order. Empty when some match list is empty.
+    Implemented by the streaming operator {!Win_stream}. *)
+
+val med : Scoring.med -> Match_list.problem -> entry list
+(** One entry per location [l] where some matchset has its median: the
+    best matchset whose median location is [l]. *)
+
+val max_ : Scoring.max -> Match_list.problem -> entry list
+(** One entry per match location [l]: the matchset maximizing the score
+    with reference point [l]. *)
+
+val filter_by_score : float -> entry list -> entry list
+(** Keep the entries whose score reaches the threshold — the "good
+    enough matchsets" filter for extraction applications. *)
+
+val best_entry : entry list -> entry option
+(** The highest-scoring entry (for cross-checking against the
+    overall-best solvers). *)

@@ -1,0 +1,101 @@
+type contribution = Match0.t -> int -> float
+
+(* dominates m m' l <=> c (m, l) >= c (m', l); ties count as dominance so
+   that the later of two tying matches wins (footnote 4). *)
+let dominates c m m' l = c m l >= c m' l
+
+let dominating_list c (lst : Match_list.t) =
+  let stack = Pj_util.Vec.create () in
+  Array.iter
+    (fun m ->
+      let loc = m.Match0.loc in
+      if
+        Pj_util.Vec.is_empty stack
+        || dominates c m (Pj_util.Vec.last stack) loc
+      then begin
+        let continue = ref true in
+        while !continue && not (Pj_util.Vec.is_empty stack) do
+          let top = Pj_util.Vec.last stack in
+          if dominates c m top top.Match0.loc then
+            ignore (Pj_util.Vec.pop stack)
+          else continue := false
+        done;
+        Pj_util.Vec.push stack m
+      end)
+    lst;
+  Pj_util.Vec.to_array stack
+
+type cursor = {
+  contribution : contribution;
+  doms : Match0.t array;
+  mutable next : int;  (* index of the first dominating match with loc > last query *)
+}
+
+let cursor c doms = { contribution = c; doms; next = 0 }
+
+type pick = {
+  chosen : Match0.t;
+  succeeds : bool;
+  value : float;
+}
+
+let query cur l =
+  let n = Array.length cur.doms in
+  if n = 0 then None
+  else begin
+    while cur.next < n && cur.doms.(cur.next).Match0.loc <= l do
+      cur.next <- cur.next + 1
+    done;
+    let before = if cur.next > 0 then Some cur.doms.(cur.next - 1) else None in
+    let after = if cur.next < n then Some cur.doms.(cur.next) else None in
+    match (before, after) with
+    | None, None -> None
+    | Some m, None ->
+        Some { chosen = m; succeeds = false; value = cur.contribution m l }
+    | None, Some m ->
+        Some { chosen = m; succeeds = true; value = cur.contribution m l }
+    | Some m1, Some m2 ->
+        (* Prefer the succeeding match on ties (footnote 3). *)
+        let v1 = cur.contribution m1 l and v2 = cur.contribution m2 l in
+        if v2 >= v1 then Some { chosen = m2; succeeds = true; value = v2 }
+        else Some { chosen = m1; succeeds = false; value = v1 }
+  end
+
+let pointwise_max c (lst : Match_list.t) l =
+  Array.fold_left (fun acc m -> Float.max acc (c m l)) neg_infinity lst
+
+let pointwise_argmax c (lst : Match_list.t) l =
+  (* Ties toward the later match, consistent with [dominating_list]. *)
+  let best = ref None in
+  Array.iter
+    (fun m ->
+      let v = c m l in
+      match !best with
+      | Some (_, bv) when bv > v -> ()
+      | _ -> best := Some (m, v))
+    lst;
+  !best
+
+let interval_pairs c (lst : Match_list.t) ~lo ~hi =
+  if Array.length lst = 0 || lo > hi then []
+  else begin
+    let segments = ref [] in
+    let current = ref None in
+    for l = lo to hi do
+      match pointwise_argmax c lst l with
+      | None -> ()
+      | Some (m, _) -> begin
+          match !current with
+          | Some (a, _, m') when Match0.equal m m' ->
+              current := Some (a, l, m')
+          | Some seg ->
+              segments := seg :: !segments;
+              current := Some (l, l, m)
+          | None -> current := Some (l, l, m)
+        end
+    done;
+    (match !current with
+    | Some seg -> segments := seg :: !segments
+    | None -> ());
+    List.rev !segments
+  end

@@ -1,0 +1,21 @@
+type t = {
+  loc : int;
+  score : float;
+  payload : int;
+}
+
+let make ?(payload = 0) ~loc ~score () = { loc; score; payload }
+
+let compare_by_loc a b =
+  let c = compare a.loc b.loc in
+  if c <> 0 then c
+  else begin
+    let c = compare a.score b.score in
+    if c <> 0 then c else compare a.payload b.payload
+  end
+
+let equal a b = a.loc = b.loc && a.score = b.score && a.payload = b.payload
+
+let same_token a b = a.loc = b.loc
+
+let pp ppf m = Format.fprintf ppf "@[<h>(%d, %.3f)@]" m.loc m.score

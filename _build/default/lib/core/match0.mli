@@ -1,0 +1,28 @@
+(** Individual matches (Definition 1).
+
+    A match is an occurrence of (something matching) a query term in a
+    document: it carries an integer location and a real-valued score
+    measuring the quality of the match. The [payload] field is opaque to
+    the join algorithms; higher layers use it to recover which token
+    produced the match. *)
+
+type t = {
+  loc : int;       (** location within the document, in token positions *)
+  score : float;   (** individual match score, typically in (0, 1] *)
+  payload : int;   (** opaque user tag (e.g. vocabulary id of the token) *)
+}
+
+val make : ?payload:int -> loc:int -> score:float -> unit -> t
+
+val compare_by_loc : t -> t -> int
+(** Total order: by location, then score, then payload — gives the
+    deterministic processing order used by every algorithm. *)
+
+val equal : t -> t -> bool
+
+val same_token : t -> t -> bool
+(** Two matches denote the same document token iff they share a location
+    (Section VI: a duplicate is a match whose location is identical to a
+    match from another list). *)
+
+val pp : Format.formatter -> t -> unit

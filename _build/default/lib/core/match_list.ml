@@ -1,0 +1,131 @@
+type t = Match0.t array
+type problem = t array
+
+let of_unsorted matches =
+  let a = Array.copy matches in
+  Array.sort Match0.compare_by_loc a;
+  a
+
+let is_sorted (l : t) =
+  let ok = ref true in
+  for i = 1 to Array.length l - 1 do
+    if Match0.compare_by_loc l.(i - 1) l.(i) > 0 then ok := false
+  done;
+  !ok
+
+let validate (p : problem) =
+  if Array.length p = 0 then invalid_arg "Match_list.validate: no query term";
+  Array.iteri
+    (fun j l ->
+      if not (is_sorted l) then
+        invalid_arg (Printf.sprintf "Match_list.validate: list %d unsorted" j))
+    p
+
+let n_terms (p : problem) = Array.length p
+
+let total_size (p : problem) =
+  Array.fold_left (fun acc l -> acc + Array.length l) 0 p
+
+let has_empty_list (p : problem) =
+  Array.exists (fun l -> Array.length l = 0) p
+
+let duplicate_count (p : problem) =
+  (* Count, per list, matches whose location occurs in some other list. *)
+  let module Iset = Set.Make (Int) in
+  let loc_sets =
+    Array.map
+      (fun l -> Array.fold_left (fun s m -> Iset.add m.Match0.loc s) Iset.empty l)
+      p
+  in
+  let count = ref 0 in
+  Array.iteri
+    (fun j l ->
+      Array.iter
+        (fun m ->
+          let in_other =
+            Array.to_seq loc_sets
+            |> Seq.mapi (fun j' s -> (j', s))
+            |> Seq.exists (fun (j', s) -> j' <> j && Iset.mem m.Match0.loc s)
+          in
+          if in_other then incr count)
+        l)
+    p;
+  !count
+
+let duplicate_frequency (p : problem) =
+  let n = total_size p in
+  if n = 0 then 0. else float_of_int (duplicate_count p) /. float_of_int n
+
+let iter_in_location_order (p : problem) f =
+  let n = Array.length p in
+  let cursor = Array.make n 0 in
+  let exhausted () =
+    let all = ref true in
+    for j = 0 to n - 1 do
+      if cursor.(j) < Array.length p.(j) then all := false
+    done;
+    !all
+  in
+  while not (exhausted ()) do
+    (* Pick the smallest head among the lists; ties by compare, then term. *)
+    let best = ref (-1) in
+    for j = n - 1 downto 0 do
+      if cursor.(j) < Array.length p.(j) then begin
+        if !best = -1 then best := j
+        else begin
+          let c =
+            Match0.compare_by_loc p.(j).(cursor.(j)) p.(!best).(cursor.(!best))
+          in
+          if c < 0 || (c = 0 && j < !best) then best := j
+        end
+      end
+    done;
+    let j = !best in
+    f ~term:j p.(j).(cursor.(j));
+    cursor.(j) <- cursor.(j) + 1
+  done
+
+let locations (p : problem) =
+  let module Iset = Set.Make (Int) in
+  let s =
+    Array.fold_left
+      (fun s l -> Array.fold_left (fun s m -> Iset.add m.Match0.loc s) s l)
+      Iset.empty p
+  in
+  Array.of_list (Iset.elements s)
+
+let merge (a : t) (b : t) : t =
+  let all = Array.append a b in
+  Array.sort Match0.compare_by_loc all;
+  (* Keep one match per location: the last of a co-located run is the
+     highest-scoring under [compare_by_loc]. *)
+  let out = ref [] in
+  Array.iter
+    (fun m ->
+      match !out with
+      | prev :: rest when prev.Match0.loc = m.Match0.loc -> out := m :: rest
+      | _ -> out := m :: !out)
+    all;
+  Array.of_list (List.rev !out)
+
+let remove_match (p : problem) ~term m =
+  let l = p.(term) in
+  let idx = ref (-1) in
+  Array.iteri (fun i x -> if !idx = -1 && Match0.equal x m then idx := i) l;
+  if !idx = -1 then invalid_arg "Match_list.remove_match: match not present";
+  let l' =
+    Array.init
+      (Array.length l - 1)
+      (fun i -> if i < !idx then l.(i) else l.(i + 1))
+  in
+  Array.mapi (fun j lj -> if j = term then l' else lj) p
+
+let pp ppf (p : problem) =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun j l ->
+      Format.fprintf ppf "L%d: @[<h>%a@]@," j
+        (Format.pp_print_array ~pp_sep:Format.pp_print_space Match0.pp)
+        l)
+    p;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,57 @@
+(** Match lists and join-problem instances (Definition 1).
+
+    A problem instance holds one match list per query term; each list is
+    sorted by increasing location, as produced by a document scan or by
+    merging inverted lists. *)
+
+type t = Match0.t array
+(** One match list, sorted by [Match0.compare_by_loc]. *)
+
+type problem = t array
+(** One list per query term; index [j] is the list for term [j]. *)
+
+val of_unsorted : Match0.t array -> t
+(** Sort a copy of the given matches into a valid match list. *)
+
+val is_sorted : t -> bool
+
+val validate : problem -> unit
+(** Raises [Invalid_argument] if any list is unsorted or the problem has
+    no term. Empty lists are allowed (the join result is then [None]). *)
+
+val n_terms : problem -> int
+
+val total_size : problem -> int
+(** Sum of the match-list sizes, the input-size measure of the paper. *)
+
+val has_empty_list : problem -> bool
+(** True iff some term has no match, in which case no matchset exists. *)
+
+val duplicate_count : problem -> int
+(** Number of matches whose location also appears in another list
+    (the duplicate-frequency numerator of Section VIII, footnote 8). *)
+
+val duplicate_frequency : problem -> float
+(** [duplicate_count / total_size]; 0 for an empty problem. *)
+
+val iter_in_location_order : problem -> (term:int -> Match0.t -> unit) -> unit
+(** Visit every match of every list in increasing location order
+    (k-way merge). Co-located matches are visited in a deterministic
+    order: by [Match0.compare_by_loc], then by term index. *)
+
+val locations : problem -> int array
+(** Sorted array of the distinct locations appearing in the problem. *)
+
+val merge : t -> t -> t
+(** Union of two match lists for the same term, sorted; when both lists
+    contain a match at the same location, the higher-scoring one is
+    kept (the per-location best of both sources) — the combinator for
+    assembling a term's list from several matchers (e.g. token-level
+    plus phrase-level). *)
+
+val remove_match : problem -> term:int -> Match0.t -> problem
+(** A copy of the problem with one occurrence of the given match deleted
+    from the given term's list (used by the Section VI duplicate
+    handler). The match must be present. *)
+
+val pp : Format.formatter -> problem -> unit

@@ -1,0 +1,46 @@
+type t = Match0.t array
+
+let min_loc (m : t) =
+  assert (Array.length m > 0);
+  Array.fold_left (fun acc x -> Stdlib.min acc x.Match0.loc) max_int m
+
+let max_loc (m : t) =
+  assert (Array.length m > 0);
+  Array.fold_left (fun acc x -> Stdlib.max acc x.Match0.loc) min_int m
+
+let window m = max_loc m - min_loc m
+
+let median_loc (m : t) =
+  let n = Array.length m in
+  assert (n > 0);
+  let locs = Array.map (fun x -> x.Match0.loc) m in
+  (* Rank by value, greatest first; pick the floor((n+1)/2)-th. *)
+  Array.sort (fun a b -> compare b a) locs;
+  locs.(((n + 1) / 2) - 1)
+
+let is_valid (m : t) =
+  let n = Array.length m in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Match0.same_token m.(i) m.(j) then ok := false
+    done
+  done;
+  !ok
+
+let locations (m : t) = Array.map (fun x -> x.Match0.loc) m
+
+let equal (a : t) b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i x -> if not (Match0.equal x b.(i)) then ok := false) a;
+       !ok
+     end
+
+let pp ppf (m : t) =
+  Format.fprintf ppf "@[<h>{%a}@]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Match0.pp)
+    m

@@ -1,0 +1,29 @@
+(** Matchsets: one match per query term (Definition 1).
+
+    A matchset for an n-term query is an array of n matches where index
+    [j] holds the match for term [j]. *)
+
+type t = Match0.t array
+
+val window : t -> int
+(** Length of the smallest window enclosing all matches:
+    max location - min location (the WIN proximity measure). *)
+
+val min_loc : t -> int
+val max_loc : t -> int
+
+val median_loc : t -> int
+(** Median location per the paper's footnote 2: the floor((n+1)/2)-th
+    ranked location when ranked by value with the 1st ranked element
+    having the greatest value. For n = 2 this is the larger location. *)
+
+val is_valid : t -> bool
+(** True iff the matchset contains no duplicate matches, i.e. no two
+    member locations coincide (Section VI validity). *)
+
+val locations : t -> int array
+(** Member locations in term order. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

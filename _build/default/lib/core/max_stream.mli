@@ -1,0 +1,46 @@
+(** Less-blocking best-matchset-by-location for MAX scoring — the MAX
+    counterpart of {!Med_stream}, also from Section VII's closing
+    future-work remark.
+
+    The best matchset with reference point [l] consists of each term's
+    maximum-contribution match at [l]. Contributions decay with
+    distance, so given a non-increasing bound [decay d] on the
+    contribution any match can make from distance [d] (e.g.
+    [exp (-alpha d)] for Eq. (5) with scores in (0, 1]), an anchor is
+    final once the scan position [pos] satisfies
+    [best_j >= decay (pos - l)] for every term [j]: no future match can
+    enter the dominating matchset at [l]. The frozen left side of each
+    anchor comes from an online version of Algorithm 2's dominating
+    stack (exact for at-most-one-crossing contributions, Definition 8);
+    the right side is maintained incrementally.
+
+    Matches must be fed in non-decreasing location order. *)
+
+type t
+
+val create :
+  Scoring.max -> n_terms:int -> decay:(int -> float) -> t
+(** [decay d] must bound [max_g j score d] over every term and feedable
+    score, and be non-increasing in [d]. *)
+
+val feed : t -> term:int -> Match0.t -> Anchored.entry list
+(** Push the next match; returns the anchors settled by this advance, in
+    increasing anchor order. Raises [Invalid_argument] on out-of-order
+    locations, a bad term index, or a contribution above [decay 0]. *)
+
+val finish : t -> Anchored.entry list
+(** Close the stream, emitting every remaining anchor (anchors for
+    which some term never matched are dropped, matching
+    [By_location.max_] on problems with an empty list). *)
+
+val pending_count : t -> int
+
+val run :
+  ?decay:(int -> float) ->
+  Scoring.max ->
+  Match_list.problem ->
+  Anchored.entry list
+(** Drive a whole problem through a fresh stream. [decay] defaults to
+    [fun d -> max_j max_g j s_max d] with [s_max] the largest score in
+    the problem. The result equals [By_location.max_] on the same
+    input. *)

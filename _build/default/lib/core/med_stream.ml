@@ -1,0 +1,232 @@
+(* Anchors wait in a queue until settled. An anchor at location l is
+   settled at scan position pos when, for every term, the best
+   strictly-after candidate seen so far has (g - loc) at least
+   g_bound - pos: any later match (loc >= pos) contributes at most
+   (g_bound - loc + l) <= (g_bound - pos) + l to the anchor, so it can
+   no longer change any selection option. Left and at-anchor options are
+   frozen the moment the anchor's location group closes. *)
+
+type pending = {
+  anchor : int;
+  members : (int * Match0.t) list;  (* the anchor-member candidates *)
+  frozen : Med_selection.options array;
+      (* left/at options per term; right filled at settlement *)
+  right_key : float array;          (* running max of g - loc, per term *)
+  right_match : Match0.t option array;
+}
+
+type t = {
+  scoring : Scoring.med;
+  n_terms : int;
+  g_bound : float;
+  (* running best strictly-left candidate per term: max of g + loc *)
+  left_key : float array;
+  left_match : Match0.t option array;
+  pending : pending Queue.t;
+  mutable group : (int * Match0.t) list;
+  mutable group_loc : int;
+  mutable closed : bool;
+}
+
+let create scoring ~n_terms ~g_bound =
+  if n_terms < 1 then invalid_arg "Med_stream.create: n_terms < 1";
+  {
+    scoring;
+    n_terms;
+    g_bound;
+    left_key = Array.make n_terms neg_infinity;
+    left_match = Array.make n_terms None;
+    pending = Queue.create ();
+    group = [];
+    group_loc = min_int;
+    closed = false;
+  }
+
+let g_of t term m = t.scoring.Scoring.med_g term m.Match0.score
+
+(* Settle one pending anchor: build the full options array and run the
+   selection DP for every anchor-member candidate. *)
+let emit t (p : pending) =
+  let n = t.n_terms in
+  let options =
+    Array.mapi
+      (fun j frozen ->
+        let right =
+          match p.right_match.(j) with
+          | None -> None
+          | Some m -> Some (p.right_key.(j) +. float_of_int p.anchor, m)
+        in
+        { frozen with Med_selection.right })
+      p.frozen
+  in
+  let best = ref None in
+  List.iter
+    (fun (term, m) ->
+      let others =
+        Array.of_list
+          (List.filter_map
+             (fun j -> if j = term then None else Some options.(j))
+             (List.init n (fun j -> j)))
+      in
+      match Med_selection.select n others with
+      | None -> ()
+      | Some picks ->
+          let matchset = Array.make n m in
+          let k = ref 0 in
+          for j = 0 to n - 1 do
+            if j <> term then begin
+              matchset.(j) <- picks.(!k);
+              incr k
+            end
+          done;
+          let s = Scoring.score_med t.scoring matchset in
+          (match !best with
+          | Some (s', _) when s' >= s -> ()
+          | _ -> best := Some (s, matchset)))
+    p.members;
+  match !best with
+  | None -> None
+  | Some (score, matchset) ->
+      Some { Anchored.anchor = p.anchor; matchset; score }
+
+let settled t (p : pending) ~pos =
+  let ok = ref true in
+  for j = 0 to t.n_terms - 1 do
+    if p.right_key.(j) < t.g_bound -. pos then ok := false
+  done;
+  !ok
+
+(* Emit settled anchors from the front of the queue, preserving anchor
+   order (a later anchor is held until every earlier one is out). *)
+let drain t ~pos =
+  let out = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.pending with
+    | Some p when settled t p ~pos ->
+        ignore (Queue.pop t.pending);
+        (match emit t p with
+        | Some e -> out := e :: !out
+        | None -> ())
+    | Some _ | None -> continue := false
+  done;
+  List.rev !out
+
+(* Close the buffered location group into a pending anchor. *)
+let close_group t =
+  match t.group with
+  | [] -> ()
+  | group ->
+      let l = t.group_loc in
+      let n = t.n_terms in
+      (* This group lies strictly after every older pending anchor. *)
+      Queue.iter
+        (fun p ->
+          List.iter
+            (fun (term, m) ->
+              let key = g_of t term m -. float_of_int m.Match0.loc in
+              if key > p.right_key.(term) then begin
+                p.right_key.(term) <- key;
+                p.right_match.(term) <- Some m
+              end)
+            group)
+        t.pending;
+      (* Freeze left and at options for the new anchor. *)
+      let at_key = Array.make n neg_infinity in
+      let at_match = Array.make n None in
+      List.iter
+        (fun (term, m) ->
+          let g = g_of t term m in
+          if g >= at_key.(term) then begin
+            at_key.(term) <- g;
+            at_match.(term) <- Some m
+          end)
+        group;
+      let frozen =
+        Array.init n (fun j ->
+            {
+              Med_selection.left =
+                (match t.left_match.(j) with
+                | None -> None
+                | Some m -> Some (t.left_key.(j) -. float_of_int l, m));
+              at =
+                (match at_match.(j) with
+                | None -> None
+                | Some m -> Some (at_key.(j), m));
+              right = None;
+            })
+      in
+      Queue.add
+        {
+          anchor = l;
+          members = List.rev group;
+          frozen;
+          right_key = Array.make n neg_infinity;
+          right_match = Array.make n None;
+        }
+        t.pending;
+      (* The group now belongs to the strict left of future anchors. *)
+      List.iter
+        (fun (term, m) ->
+          let key = g_of t term m +. float_of_int m.Match0.loc in
+          if key > t.left_key.(term) then begin
+            t.left_key.(term) <- key;
+            t.left_match.(term) <- Some m
+          end)
+        group;
+      t.group <- []
+
+let feed t ~term m =
+  if t.closed then invalid_arg "Med_stream.feed: stream is finished";
+  if term < 0 || term >= t.n_terms then
+    invalid_arg "Med_stream.feed: bad term index";
+  if m.Match0.loc < t.group_loc then
+    invalid_arg "Med_stream.feed: locations must be non-decreasing";
+  if g_of t term m > t.g_bound +. 1e-12 then
+    invalid_arg "Med_stream.feed: contribution above g_bound";
+  let emitted =
+    if m.Match0.loc > t.group_loc then begin
+      close_group t;
+      t.group_loc <- m.Match0.loc;
+      drain t ~pos:(float_of_int m.Match0.loc)
+    end
+    else []
+  in
+  t.group <- (term, m) :: t.group;
+  emitted
+
+let finish t =
+  if t.closed then invalid_arg "Med_stream.finish: stream is finished";
+  t.closed <- true;
+  close_group t;
+  drain t ~pos:infinity
+
+let pending_count t =
+  Queue.length t.pending + (match t.group with [] -> 0 | _ -> 1)
+
+let default_bound d (p : Match_list.problem) =
+  let bound = ref neg_infinity in
+  Array.iteri
+    (fun j l ->
+      Array.iter
+        (fun m -> bound := Float.max !bound (d.Scoring.med_g j m.Match0.score))
+        l)
+    p;
+  !bound
+
+let run ?g_bound d (p : Match_list.problem) =
+  Match_list.validate p;
+  if Match_list.has_empty_list p then []
+  else begin
+    let g_bound =
+      match g_bound with
+      | Some b -> b
+      | None -> default_bound d p
+    in
+    let t = create d ~n_terms:(Array.length p) ~g_bound in
+    let out = ref [] in
+    Match_list.iter_in_location_order p (fun ~term m ->
+        List.iter (fun e -> out := e :: !out) (feed t ~term m));
+    List.iter (fun e -> out := e :: !out) (finish t);
+    List.rev !out
+  end

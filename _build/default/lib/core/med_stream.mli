@@ -1,0 +1,41 @@
+(** Less-blocking best-matchset-by-location for MED scoring — the future
+    work sketched at the end of Section VII.
+
+    MED is fundamentally not streaming: a match arbitrarily far to the
+    right can join the best matchset anchored at an old median if its
+    score is high enough. But when individual g-contributions are
+    bounded above by [g_bound] (e.g. scores lie in (0, 1], as in all the
+    paper's experiments), a match at distance d from an anchor can
+    contribute at most [g_bound - d], so once the scan has moved far
+    enough past an anchor that no future match can beat the
+    strictly-after candidates already seen for any term, the anchor's
+    result is final and can be emitted. This operator emits each anchor
+    at that earliest sound moment, holding only the unsettled anchors in
+    memory, and degrades gracefully to end-of-stream emission when
+    right-side candidates stay weak.
+
+    Matches must be fed in non-decreasing location order and satisfy
+    [med_g term score <= g_bound]. *)
+
+type t
+
+val create : Scoring.med -> n_terms:int -> g_bound:float -> t
+
+val feed : t -> term:int -> Match0.t -> Anchored.entry list
+(** Push the next match; returns the anchors settled by this advance, in
+    increasing anchor order. Raises [Invalid_argument] on out-of-order
+    locations, a bad term index, or a contribution above [g_bound]. *)
+
+val finish : t -> Anchored.entry list
+(** Close the stream, emitting every remaining anchor. The stream can no
+    longer be fed. *)
+
+val pending_count : t -> int
+(** Number of anchors currently buffered (for observing how aggressively
+    the bound prunes state). *)
+
+val run :
+  ?g_bound:float -> Scoring.med -> Match_list.problem -> Anchored.entry list
+(** Drive a whole problem through a fresh stream. [g_bound] defaults to
+    the largest g-contribution present in the problem. The result equals
+    [By_location.med] on the same input. *)

@@ -1,0 +1,45 @@
+type result = {
+  matchset : Matchset.t;
+  score : float;
+}
+
+let iter_matchsets (p : Match_list.problem) f =
+  let n = Array.length p in
+  if not (Match_list.has_empty_list p) then begin
+    let current = Array.make n p.(0).(0) in
+    let rec fill j =
+      if j = n then f current
+      else
+        Array.iter
+          (fun m ->
+            current.(j) <- m;
+            fill (j + 1))
+          p.(j)
+    in
+    fill 0
+  end
+
+let count_matchsets (p : Match_list.problem) =
+  Array.fold_left
+    (fun acc l ->
+      let len = Array.length l in
+      if len = 0 then 0
+      else if acc > max_int / (Stdlib.max len 1) then max_int
+      else acc * len)
+    1 p
+
+let best_where keep scoring (p : Match_list.problem) =
+  Match_list.validate p;
+  let best = ref None in
+  iter_matchsets p (fun m ->
+      if keep m then begin
+        let s = Scoring.score scoring m in
+        match !best with
+        | Some r when r.score >= s -> ()
+        | _ -> best := Some { matchset = Array.copy m; score = s }
+      end);
+  !best
+
+let best scoring p = best_where (fun _ -> true) scoring p
+
+let best_valid scoring p = best_where Matchset.is_valid scoring p

@@ -1,0 +1,27 @@
+(** Naive cross-product solvers NWIN / NMED / NMAX (Sections II and VIII).
+
+    These enumerate every matchset in [L_1 x ... x L_n], evaluate the
+    scoring function definitionally, and keep the best — time
+    [Theta(|Q| prod |L_j|)]. They are the experimental baselines and the
+    test oracles for the fast algorithms. *)
+
+type result = {
+  matchset : Matchset.t;
+  score : float;
+}
+
+val best : Scoring.t -> Match_list.problem -> result option
+(** Overall best matchset (Definition 2), or [None] when some match list
+    is empty. Ties are broken toward the matchset enumerated first
+    (lexicographic in list positions). *)
+
+val best_valid : Scoring.t -> Match_list.problem -> result option
+(** Overall best among matchsets containing no duplicate matches
+    (Section VI validity) — the oracle for the duplicate handler. *)
+
+val iter_matchsets : Match_list.problem -> (Matchset.t -> unit) -> unit
+(** Enumerate the full cross product. The matchset array passed to the
+    callback is reused between calls; copy it to retain it. *)
+
+val count_matchsets : Match_list.problem -> int
+(** Size of the cross product (saturating at [max_int]). *)

@@ -1,0 +1,124 @@
+(** Matchset scoring functions (Definitions 3, 5 and 7).
+
+    Each family is represented by first-class records holding the [f]
+    and [g_j] components, so that the join algorithms work for any
+    function in the family while the concrete instances of the paper are
+    provided ready-made. *)
+
+(** {1 Window-length (WIN), Definition 3} *)
+
+type win = {
+  win_g : int -> float -> float;
+      (** [win_g j score]: the monotonically increasing per-term
+          transform g_j of the individual match score. *)
+  win_f : float -> int -> float;
+      (** [win_f gsum window]: monotonically increasing in the first
+          argument, decreasing in the second, and satisfying the optimal
+          substructure property of Definition 3. *)
+  win_key : float -> int -> float;
+      (** A strictly increasing transform of [win_f], used for score
+          comparisons in the inner loops of Algorithm 1 — e.g. for
+          Eq. (1)'s [exp (x - alpha y)] the key is [x - alpha y], which
+          avoids an exponential per comparison. Must order pairs exactly
+          as [win_f] does; defaults to [win_f] in the provided
+          constructors when no cheaper form exists. *)
+  win_name : string;
+}
+
+val score_win : win -> Matchset.t -> float
+(** Definitional WIN score: [f (sum_j g_j score_j) (window M)]. *)
+
+val win_exponential : alpha:float -> win
+(** Equation (1): [(prod score_j) * exp (-alpha * window)] — the
+    approximation of Cheng et al.'s EntityRank scoring, with
+    [g_j = ln] and [f (x, y) = exp (x - alpha y)]. *)
+
+val win_linear : win
+(** Footnote 9's TREC instance: [g_j x = x / 0.3], [f (x, y) = x - y]. *)
+
+(** {1 Distance-from-median (MED), Definition 5} *)
+
+type med = {
+  med_g : int -> float -> float;  (** monotonically increasing g_j *)
+  med_f : float -> float;         (** monotonically increasing f *)
+  med_name : string;
+}
+
+val med_contribution : med -> term:int -> Match0.t -> at:int -> float
+(** Distance-decayed score contribution
+    [c_j (m, l) = g_j (score m) - |loc m - l|]. *)
+
+val score_med : med -> Matchset.t -> float
+(** Definitional MED score: [f (sum_j c_j (m_j, median M))]. *)
+
+val med_exponential : alpha:float -> med
+(** Equation (3): [prod (score_j * exp (-alpha |loc_j - median|))], with
+    [g_j x = ln x / alpha] and [f x = exp (alpha x)]. *)
+
+val med_linear : med
+(** Footnote 9's TREC instance: [g_j x = x / 0.3], [f x = x]. *)
+
+(** {1 Maximize-over-location (MAX), Definition 7} *)
+
+type max = {
+  max_g : int -> float -> int -> float;
+      (** [max_g j score dist]: g_j, increasing in the score and
+          decreasing in the distance. *)
+  max_f : float -> float;  (** monotonically increasing f *)
+  max_name : string;
+}
+
+val max_contribution : max -> term:int -> Match0.t -> at:int -> float
+(** Contribution [c_j (m, l) = g_j (score m) |loc m - l|]. *)
+
+val score_max_at : max -> Matchset.t -> at:int -> float
+(** The matchset score with the reference point fixed at a location:
+    [f (sum_j c_j (m_j, l))]. *)
+
+val score_max : max -> Matchset.t -> float
+(** Definitional MAX score, [max_l score_max_at l]. Exact for
+    maximized-at-match scoring functions (Definition 8) — the maximum is
+    taken over the member locations, which is where both Eq. (4) and
+    Eq. (5) attain it (Lemma 3). *)
+
+val max_product : alpha:float -> max
+(** Equation (4): [max_l prod (score_j * exp (-alpha |loc_j - l|))],
+    with [g_j (x, y) = ln x - alpha y] and [f = exp]. *)
+
+val max_sum : alpha:float -> max
+(** Equation (5): [max_l sum (score_j * exp (-alpha |loc_j - l|))],
+    with [g_j (x, y) = x exp (-alpha y)] and [f = id] — the
+    generalization of Chakrabarti et al.'s scoring. *)
+
+val max_gaussian_sum : alpha:float -> max
+(** [max_l sum (score_j * exp (-alpha (loc_j - l)^2))]: Gaussian decay.
+    At-most-one-crossing (the log-contribution difference of two matches
+    is linear in [l]) but {e not} maximized-at-match — two nearby equal
+    matches peak between their locations — so [score_max] and the
+    specialized algorithm underestimate it; use [score_max_in_range] and
+    [Max_join.best_general]. Provided as the documented counterexample
+    for Definition 8's maximized-at-match requirement. *)
+
+val score_max_in_range : max -> Matchset.t -> lo:int -> hi:int -> float
+(** MAX score with the reference point ranging over the integer
+    locations [lo..hi] — the definitional score for MAX functions
+    without the maximized-at-match property. *)
+
+(** {1 Uniform view} *)
+
+type t =
+  | Win of win
+  | Med of med
+  | Max of max
+
+val name : t -> string
+
+val score : t -> Matchset.t -> float
+(** Definitional score under any family. *)
+
+val upper_bound : t -> float array -> float
+(** [upper_bound scoring best_scores] bounds the score of any matchset
+    whose member for term [j] has individual score at most
+    [best_scores.(j)]: the proximity penalty is dropped (window 0 /
+    distance 0), leaving [f] of the summed per-term maxima. Used for
+    candidate pruning in top-k document search. *)

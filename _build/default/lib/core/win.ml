@@ -1,0 +1,295 @@
+(* Best partial matchsets are shared persistently: each state points at
+   the state it extends, so an update is O(1) and the final matchset is
+   rebuilt once at the end. Score comparisons go through the scoring
+   function's comparison key (a strictly increasing transform of f),
+   which keeps e.g. exponentials out of the inner subset loop. *)
+type chain =
+  | Nil
+  | Cons of int * Match0.t * chain  (* term, match, rest *)
+
+type state = {
+  mutable live : bool;       (* is there a P-matchset yet? *)
+  mutable g_sum : float;     (* sum of g_j over the members *)
+  mutable l_min : int;       (* smallest member location *)
+  mutable members : chain;
+}
+
+let rebuild n chain =
+  let a = Array.make n None in
+  let rec walk = function
+    | Nil -> ()
+    | Cons (j, m, rest) ->
+        a.(j) <- Some m;
+        walk rest
+  in
+  walk chain;
+  Array.map
+    (function
+      | Some m -> m
+      | None -> assert false)
+    a
+
+let best (w : Scoring.win) (p : Match_list.problem) =
+  Match_list.validate p;
+  if Match_list.has_empty_list p then None
+  else begin
+    let n = Array.length p in
+    let full = Pj_util.Subset.full n in
+    let states =
+      Array.init (full + 1) (fun _ ->
+          { live = false; g_sum = 0.; l_min = 0; members = Nil })
+    in
+    let key = w.Scoring.win_key in
+    let best_key = ref neg_infinity in
+    let best_g = ref 0. in
+    let best_window = ref 0 in
+    let best_chain = ref Nil in
+    let have_best = ref false in
+    let process ~term m =
+      let g = w.Scoring.win_g term m.Match0.score in
+      let l = m.Match0.loc in
+      (* Visit subsets containing [term] from larger to smaller so that
+         P \ {term} still holds its value at the previous location. *)
+      Pj_util.Subset.iter_by_decreasing_size n (fun s ->
+          if Pj_util.Subset.mem term s then begin
+            let st = states.(s) in
+            if Pj_util.Subset.equal s (Pj_util.Subset.singleton term) then begin
+              (* Best single-term matchset at l: either keep the previous
+                 best (aged to l) or restart at m with window 0. *)
+              if (not st.live) || key st.g_sum (l - st.l_min) < key g 0 then begin
+                st.live <- true;
+                st.g_sum <- g;
+                st.l_min <- l;
+                st.members <- Cons (term, m, Nil)
+              end
+            end
+            else begin
+              let sub = states.(Pj_util.Subset.remove term s) in
+              if sub.live then begin
+                let cand_g = sub.g_sum +. g in
+                let cand_lmin = sub.l_min in
+                if
+                  (not st.live)
+                  || key st.g_sum (l - st.l_min) < key cand_g (l - cand_lmin)
+                then begin
+                  st.live <- true;
+                  st.g_sum <- cand_g;
+                  st.l_min <- cand_lmin;
+                  st.members <- Cons (term, m, sub.members)
+                end
+              end
+            end
+          end);
+      let q = states.(full) in
+      if q.live then begin
+        let k = key q.g_sum (l - q.l_min) in
+        if (not !have_best) || k > !best_key then begin
+          have_best := true;
+          best_key := k;
+          best_g := q.g_sum;
+          best_window := l - q.l_min;
+          best_chain := q.members
+        end
+      end
+    in
+    Match_list.iter_in_location_order p process;
+    if !have_best then
+      Some
+        {
+          Naive.matchset = rebuild n !best_chain;
+          score = w.Scoring.win_f !best_g !best_window;
+        }
+    else None
+  end
+
+(* Extension beyond the paper's Section VI wrapper: an exact
+   duplicate-aware variant of Algorithm 1 in the same O(2^|Q| sum |L|)
+   bound. A valid matchset uses at most one match per location, so it is
+   enough to process matches one location group at a time and extend
+   only the states as they were before the group: within a group, a
+   match can then never join a partial matchset containing a co-located
+   match. The cut-and-paste optimality argument carries over unchanged,
+   with groups in place of single matches. *)
+let best_valid (w : Scoring.win) (p : Match_list.problem) =
+  Match_list.validate p;
+  if Match_list.has_empty_list p then None
+  else begin
+    let n = Array.length p in
+    let full = Pj_util.Subset.full n in
+    let states =
+      Array.init (full + 1) (fun _ ->
+          { live = false; g_sum = 0.; l_min = 0; members = Nil })
+    in
+    let snapshot =
+      Array.init (full + 1) (fun _ ->
+          { live = false; g_sum = 0.; l_min = 0; members = Nil })
+    in
+    let key = w.Scoring.win_key in
+    let best_key = ref neg_infinity in
+    let best_g = ref 0. in
+    let best_window = ref 0 in
+    let best_chain = ref Nil in
+    let have_best = ref false in
+    (* Collect the matches of one location group, then fold them in. *)
+    let group : (int * Match0.t) list ref = ref [] in
+    let group_loc = ref min_int in
+    let flush_group () =
+      match !group with
+      | [] -> ()
+      | members ->
+          let l = !group_loc in
+          for s = 0 to full do
+            let st = states.(s) and sn = snapshot.(s) in
+            sn.live <- st.live;
+            sn.g_sum <- st.g_sum;
+            sn.l_min <- st.l_min;
+            sn.members <- st.members
+          done;
+          (* Extensions read the snapshot (pre-group states), so no two
+             co-located matches can enter the same partial matchset. *)
+          List.iter
+            (fun (term, m) ->
+              let g = w.Scoring.win_g term m.Match0.score in
+              Pj_util.Subset.iter_nonempty n (fun s ->
+                  if Pj_util.Subset.mem term s then begin
+                    let st = states.(s) in
+                    let consider cand_g cand_lmin cand_members =
+                      if
+                        (not st.live)
+                        || key st.g_sum (l - st.l_min)
+                           < key cand_g (l - cand_lmin)
+                      then begin
+                        st.live <- true;
+                        st.g_sum <- cand_g;
+                        st.l_min <- cand_lmin;
+                        st.members <- cand_members
+                      end
+                    in
+                    if Pj_util.Subset.equal s (Pj_util.Subset.singleton term)
+                    then consider g l (Cons (term, m, Nil))
+                    else begin
+                      let sub = snapshot.(Pj_util.Subset.remove term s) in
+                      if sub.live then
+                        consider (sub.g_sum +. g) sub.l_min
+                          (Cons (term, m, sub.members))
+                    end
+                  end))
+            members;
+          let q = states.(full) in
+          if q.live then begin
+            let k = key q.g_sum (l - q.l_min) in
+            if (not !have_best) || k > !best_key then begin
+              have_best := true;
+              best_key := k;
+              best_g := q.g_sum;
+              best_window := l - q.l_min;
+              best_chain := q.members
+            end
+          end;
+          group := []
+    in
+    Match_list.iter_in_location_order p (fun ~term m ->
+        if m.Match0.loc <> !group_loc then begin
+          flush_group ();
+          group_loc := m.Match0.loc
+        end;
+        group := (term, m) :: !group);
+    flush_group ();
+    if !have_best then
+      Some
+        {
+          Naive.matchset = rebuild n !best_chain;
+          score = w.Scoring.win_f !best_g !best_window;
+        }
+    else None
+  end
+
+(* Order-constrained variant: members must appear in query-term order,
+   so a partial matchset is always a prefix {q_1..q_k} and the DP keeps
+   one state per prefix. When processing a match for term k at location
+   l, it can only extend the best (k-1)-prefix at a location <= l —
+   which is exactly the prefix state at the previous processing step,
+   by the same cut-and-paste argument as Algorithm 1. Ties in location
+   are processed in increasing term order so that a term-k match can
+   extend a co-located term-(k-1) match (the constraint is non-strict). *)
+let iter_by_location_then_term (p : Match_list.problem) f =
+  let all = Pj_util.Vec.create () in
+  Array.iteri
+    (fun term l -> Array.iter (fun m -> Pj_util.Vec.push all (term, m)) l)
+    p;
+  let arr = Pj_util.Vec.to_array all in
+  Array.sort
+    (fun (ta, ma) (tb, mb) ->
+      let c = compare ma.Match0.loc mb.Match0.loc in
+      if c <> 0 then c
+      else begin
+        let c = compare ta tb in
+        if c <> 0 then c else Match0.compare_by_loc ma mb
+      end)
+    arr;
+  Array.iter (fun (term, m) -> f ~term m) arr
+
+let best_ordered (w : Scoring.win) (p : Match_list.problem) =
+  Match_list.validate p;
+  if Match_list.has_empty_list p then None
+  else begin
+    let n = Array.length p in
+    (* states.(k): best ordered matchset over terms 0..k. *)
+    let states =
+      Array.init n (fun _ ->
+          { live = false; g_sum = 0.; l_min = 0; members = Nil })
+    in
+    let key = w.Scoring.win_key in
+    let best_key = ref neg_infinity in
+    let best_g = ref 0. in
+    let best_window = ref 0 in
+    let best_chain = ref Nil in
+    let have_best = ref false in
+    let process ~term m =
+      let g = w.Scoring.win_g term m.Match0.score in
+      let l = m.Match0.loc in
+      let st = states.(term) in
+      if term = 0 then begin
+        if (not st.live) || key st.g_sum (l - st.l_min) < key g 0 then begin
+          st.live <- true;
+          st.g_sum <- g;
+          st.l_min <- l;
+          st.members <- Cons (term, m, Nil)
+        end
+      end
+      else begin
+        let sub = states.(term - 1) in
+        if sub.live then begin
+          let cand_g = sub.g_sum +. g in
+          if
+            (not st.live)
+            || key st.g_sum (l - st.l_min) < key cand_g (l - sub.l_min)
+          then begin
+            st.live <- true;
+            st.g_sum <- cand_g;
+            st.l_min <- sub.l_min;
+            st.members <- Cons (term, m, sub.members)
+          end
+        end
+      end;
+      let q = states.(n - 1) in
+      if q.live then begin
+        let k = key q.g_sum (l - q.l_min) in
+        if (not !have_best) || k > !best_key then begin
+          have_best := true;
+          best_key := k;
+          best_g := q.g_sum;
+          best_window := l - q.l_min;
+          best_chain := q.members
+        end
+      end
+    in
+    iter_by_location_then_term p process;
+    if !have_best then
+      Some
+        {
+          Naive.matchset = rebuild n !best_chain;
+          score = w.Scoring.win_f !best_g !best_window;
+        }
+    else None
+  end

@@ -1,0 +1,31 @@
+(** Streaming best-matchset-by-location for WIN scoring (Section VII's
+    "A Note on Streaming").
+
+    WIN anchors a matchset at its largest match location, so the best
+    matchset anchored at [l] is known as soon as every match at [l] has
+    been seen: the operator emits each result immediately after its
+    anchor location closes, in a single pass, with state independent of
+    the input size ([O(|Q| 2^|Q|)]). MED and MAX do not admit such an
+    operator (a later match can join an earlier anchor), which is why
+    only WIN gets one.
+
+    Matches must be fed in non-decreasing location order; term indices
+    must be below [n_terms]. *)
+
+type t
+
+val create : Scoring.win -> n_terms:int -> t
+
+val feed : t -> term:int -> Match0.t -> Anchored.entry option
+(** Push the next match. When this match's location strictly exceeds
+    the previous one, the best matchset anchored at the previous
+    location (if any) is emitted. Raises [Invalid_argument] on
+    out-of-order locations or a bad term index. *)
+
+val finish : t -> Anchored.entry option
+(** Close the stream, emitting the entry for the final location. The
+    stream can no longer be fed. *)
+
+val run : Scoring.win -> Match_list.problem -> Anchored.entry list
+(** Drive a whole problem through a fresh stream: equivalent to (and
+    the implementation of) [By_location.win]. *)

@@ -1,0 +1,18 @@
+(** Top-k overall matchsets under WIN scoring — a k-best extension of
+    Algorithm 1 (the paper's related work contrasts the best-join with
+    general top-k joins; this bridges the two for WIN).
+
+    The dynamic program keeps, per nonempty term subset P, the k best
+    partial P-matchsets at the current location instead of one. The
+    optimal substructure property transfers rank by rank: a partial
+    matchset outside its subset's top k at the previous location is
+    dominated by k others both after aging and after any extension, so
+    it can never enter a top-k answer. Distinctness is by matchset
+    membership. Running time [O(k * 2^|Q| * sum |L_j| * log k)]. *)
+
+val best_k :
+  k:int -> Scoring.win -> Match_list.problem -> Naive.result list
+(** The [k] highest-scoring distinct matchsets, best first (fewer when
+    the cross product is smaller than [k]; empty when a list is empty).
+    [best_k ~k:1] returns the same score as [Win.best]. Raises
+    [Invalid_argument] when [k < 0]. *)

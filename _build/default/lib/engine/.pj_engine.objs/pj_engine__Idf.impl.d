@@ -1,0 +1,1 @@
+lib/engine/idf.ml: List Option Pj_index Pj_matching

@@ -1,0 +1,1 @@
+lib/engine/idf.mli: Pj_index Pj_matching

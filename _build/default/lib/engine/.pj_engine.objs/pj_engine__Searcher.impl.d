@@ -1,0 +1,1 @@
+lib/engine/searcher.ml: Array Float Int List Pj_core Pj_index Pj_matching Pj_util Printf Set

@@ -1,0 +1,1 @@
+lib/engine/searcher.mli: Pj_core Pj_index Pj_matching

@@ -1,0 +1,1 @@
+lib/engine/snippet.ml: Array Buffer Int List Pj_core Pj_text Set Stdlib

@@ -1,0 +1,1 @@
+lib/engine/snippet.mli: Pj_core Pj_text

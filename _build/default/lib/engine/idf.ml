@@ -1,0 +1,37 @@
+let corpus_size idx =
+  Pj_index.Corpus.size (Pj_index.Inverted_index.corpus idx)
+
+let idf_of_df ~n df = log (1. +. (float_of_int n /. float_of_int (1 + df)))
+
+let df idx word =
+  Pj_index.Posting_list.document_frequency
+    (Pj_index.Inverted_index.postings_of_word idx word)
+
+let idf idx word =
+  let n = corpus_size idx in
+  if n = 0 then 0. else idf_of_df ~n (df idx word)
+
+let normalized_idf idx word =
+  let n = corpus_size idx in
+  if n = 0 then 1.
+  else begin
+    let max_idf = idf_of_df ~n 0 in
+    idf_of_df ~n (df idx word) /. max_idf
+  end
+
+let matcher idx word =
+  Pj_matching.Matcher.exact ~score:(normalized_idf idx word) word
+
+let weighted_matcher idx (m : Pj_matching.Matcher.t) =
+  {
+    m with
+    Pj_matching.Matcher.score_token =
+      (fun tok ->
+        match m.Pj_matching.Matcher.score_token tok with
+        | None -> None
+        | Some s -> Some (s *. normalized_idf idx tok));
+    expansions =
+      Option.map
+        (List.map (fun (form, s) -> (form, s *. normalized_idf idx form)))
+        m.Pj_matching.Matcher.expansions;
+  }

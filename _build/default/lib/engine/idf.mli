@@ -1,0 +1,24 @@
+(** Corpus-statistics-based individual match scores.
+
+    The paper assumes individual match scores are given; for plain
+    keyword terms a standard choice is inverse document frequency, so
+    that rare terms contribute more. This module turns index statistics
+    into matchers whose scores lie in (0, 1], as the join algorithms and
+    the synthetic experiments assume. *)
+
+val idf : Pj_index.Inverted_index.t -> string -> float
+(** Smoothed IDF of a token: [ln (1 + N / (1 + df))], where N is the
+    corpus size. 0 when the corpus is empty. *)
+
+val normalized_idf : Pj_index.Inverted_index.t -> string -> float
+(** IDF scaled into (0, 1] by the corpus's maximum possible IDF (that of
+    an unseen token). Unseen tokens get 1. *)
+
+val matcher : Pj_index.Inverted_index.t -> string -> Pj_matching.Matcher.t
+(** Exact-token matcher for the word, scored by normalized IDF. *)
+
+val weighted_matcher :
+  Pj_index.Inverted_index.t -> Pj_matching.Matcher.t -> Pj_matching.Matcher.t
+(** Rescale an existing matcher: each accepted token's score is
+    multiplied by its normalized IDF, combining match quality with
+    corpus rarity. Expansions are rescaled too when present. *)

@@ -1,0 +1,120 @@
+type t = { index : Pj_index.Inverted_index.t }
+
+let create index = { index }
+let index t = t.index
+
+type hit = {
+  doc_id : int;
+  score : float;
+  matchset : Pj_core.Matchset.t;
+}
+
+(* Document ids with at least one posting for some expansion form of the
+   matcher. *)
+let term_doc_ids t (m : Pj_matching.Matcher.t) =
+  match m.Pj_matching.Matcher.expansions with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Searcher: matcher %s has no finite expansions"
+           m.Pj_matching.Matcher.name)
+  | Some expansions ->
+      let module Iset = Set.Make (Int) in
+      List.fold_left
+        (fun acc (form, _) ->
+          let pl = Pj_index.Inverted_index.postings_of_word t.index form in
+          Pj_index.Posting_list.fold
+            (fun acc p -> Iset.add p.Pj_index.Posting.doc_id acc)
+            acc pl)
+        Iset.empty expansions
+
+let candidates t (q : Pj_matching.Query.t) =
+  let module Iset = Set.Make (Int) in
+  let sets = Array.map (term_doc_ids t) q.Pj_matching.Query.matchers in
+  let smallest =
+    Array.fold_left
+      (fun acc s -> if Iset.cardinal s < Iset.cardinal acc then s else acc)
+      sets.(0) sets
+  in
+  let all =
+    Iset.filter
+      (fun doc -> Array.for_all (fun s -> Iset.mem doc s) sets)
+      smallest
+  in
+  Array.of_list (Iset.elements all)
+
+let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
+  if k < 0 then invalid_arg "Searcher.search: negative k";
+  (* Bounded result set: a min-heap of size k; the root is the weakest
+     hit and is evicted when a better one arrives. *)
+  let heap =
+    Pj_util.Heap.create ~leq:(fun a b ->
+        (* max-heap orders by leq; invert to keep the weakest on top.
+           Prefer evicting larger doc ids on ties. *)
+        match compare b.score a.score with
+        | 0 -> a.doc_id <= b.doc_id
+        | c -> c <= 0)
+  in
+  (* Once the heap is full, a candidate whose proximity-free upper bound
+     cannot beat the weakest kept hit needs no solving. *)
+  let worth_solving ~doc_id problem =
+    (not prune)
+    || Pj_util.Heap.length heap < k
+    ||
+    match Pj_util.Heap.peek heap with
+    | None -> true
+    | Some weakest ->
+        let best_scores =
+          Array.map
+            (fun list ->
+              Array.fold_left
+                (fun acc m -> Float.max acc m.Pj_core.Match0.score)
+                0. list)
+            problem
+        in
+        let bound = Pj_core.Scoring.upper_bound scoring best_scores in
+        (* A bound that only ties the weakest hit can still win the
+           doc-id tiebreak, so keep solving in that case. *)
+        bound > weakest.score
+        || (bound = weakest.score && doc_id < weakest.doc_id)
+  in
+  Array.iter
+    (fun doc_id ->
+      let problem =
+        Pj_matching.Match_builder.from_index t.index ~doc_id q
+      in
+      if not (worth_solving ~doc_id problem) then ()
+      else begin
+      match Pj_core.Best_join.solve ~dedup scoring problem with
+      | None -> ()
+      | Some r ->
+          let hit =
+            {
+              doc_id;
+              score = r.Pj_core.Naive.score;
+              matchset = r.Pj_core.Naive.matchset;
+            }
+          in
+          if Pj_util.Heap.length heap < k then Pj_util.Heap.push heap hit
+          else begin
+            match Pj_util.Heap.peek heap with
+            | Some weakest
+              when hit.score > weakest.score
+                   || (hit.score = weakest.score && hit.doc_id < weakest.doc_id)
+              ->
+                ignore (Pj_util.Heap.pop heap);
+                Pj_util.Heap.push heap hit
+            | Some _ | None -> ()
+          end
+      end)
+    (candidates t q);
+  (* Drain the heap weakest-first, then reverse into best-first order. *)
+  let out = ref [] in
+  let rec drain () =
+    match Pj_util.Heap.pop heap with
+    | Some h ->
+        out := h :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  !out

@@ -1,0 +1,42 @@
+(** Query evaluation over an indexed corpus: candidate generation from
+    the inverted index, weighted proximity best-join scoring per
+    document, and top-k selection.
+
+    This is the document-search loop the paper's introduction motivates:
+    instead of materializing match lists for every document, only
+    documents containing at least one match for {e every} query term are
+    considered (their ids come from merging the expansion posting
+    lists), and each candidate is scored by its overall best matchset. *)
+
+type t
+
+val create : Pj_index.Inverted_index.t -> t
+
+type hit = {
+  doc_id : int;
+  score : float;
+  matchset : Pj_core.Matchset.t;
+}
+
+val candidates : t -> Pj_matching.Query.t -> int array
+(** Document ids containing at least one match for every term, in
+    increasing order. Requires matchers with finite expansions. *)
+
+val search :
+  ?k:int ->
+  ?dedup:bool ->
+  ?prune:bool ->
+  t ->
+  Pj_core.Scoring.t ->
+  Pj_matching.Query.t ->
+  hit list
+(** Top-[k] (default 10) documents by overall-best-matchset score, best
+    first; ties broken toward smaller document ids. [dedup] (default
+    true) restricts to valid matchsets. Candidates whose only matchsets
+    are invalid are skipped. With [prune] (default true), once [k] hits
+    are held, candidates whose [Scoring.upper_bound] (per-term maximum
+    scores, proximity penalty dropped) cannot beat the weakest held hit
+    are skipped without solving — sound, since the bound dominates every
+    matchset score in the document. *)
+
+val index : t -> Pj_index.Inverted_index.t

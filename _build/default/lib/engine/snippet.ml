@@ -1,0 +1,45 @@
+type style = {
+  open_mark : string;
+  close_mark : string;
+  ellipsis : string;
+}
+
+let default_style = { open_mark = "["; close_mark = "]"; ellipsis = "..." }
+
+let answer_words vocab (m : Pj_core.Matchset.t) =
+  Array.to_list m
+  |> List.map (fun x -> Pj_text.Vocab.word vocab x.Pj_core.Match0.payload)
+
+let render ?(style = default_style) ?(padding = 3) vocab doc
+    (m : Pj_core.Matchset.t) =
+  let module Iset = Set.Make (Int) in
+  let marked =
+    Array.fold_left
+      (fun s x -> Iset.add x.Pj_core.Match0.loc s)
+      Iset.empty m
+  in
+  let lo = Stdlib.max 0 (Pj_core.Matchset.min_loc m - padding) in
+  let hi =
+    Stdlib.min (Pj_text.Document.length doc - 1)
+      (Pj_core.Matchset.max_loc m + padding)
+  in
+  let buf = Buffer.create 128 in
+  if lo > 0 then begin
+    Buffer.add_string buf style.ellipsis;
+    Buffer.add_char buf ' '
+  end;
+  for i = lo to hi do
+    if i > lo then Buffer.add_char buf ' ';
+    let word = Pj_text.Vocab.word vocab (Pj_text.Document.token_at doc i) in
+    if Iset.mem i marked then begin
+      Buffer.add_string buf style.open_mark;
+      Buffer.add_string buf word;
+      Buffer.add_string buf style.close_mark
+    end
+    else Buffer.add_string buf word
+  done;
+  if hi < Pj_text.Document.length doc - 1 then begin
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf style.ellipsis
+  end;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Answer snippets: render a matchset in its document context, with
+    the matched tokens highlighted — the presentation layer for "answer
+    the question directly" results (Section I's "Lenovo partners with
+    NBA"). *)
+
+type style = {
+  open_mark : string;   (** prefix for matched tokens, default "[" *)
+  close_mark : string;  (** suffix for matched tokens, default "]" *)
+  ellipsis : string;    (** shown when the window is clipped, default "..." *)
+}
+
+val default_style : style
+
+val render :
+  ?style:style ->
+  ?padding:int ->
+  Pj_text.Vocab.t ->
+  Pj_text.Document.t ->
+  Pj_core.Matchset.t ->
+  string
+(** The tokens from [padding] (default 3) before the matchset's first
+    member to [padding] after its last, space-joined, with every member
+    token wrapped in the style's marks. *)
+
+val answer_words :
+  Pj_text.Vocab.t -> Pj_core.Matchset.t -> string list
+(** Just the matched tokens, in query-term order (via match payloads). *)

@@ -1,0 +1,1 @@
+lib/index/corpus.ml: Pj_text Pj_util

@@ -1,0 +1,1 @@
+lib/index/corpus.mli: Pj_text

@@ -1,0 +1,1 @@
+lib/index/inverted_index.ml: Array Corpus List Pj_text Pj_util Posting Posting_list

@@ -1,0 +1,1 @@
+lib/index/posting.mli: Format

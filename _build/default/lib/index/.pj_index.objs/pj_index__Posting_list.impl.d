@@ -1,0 +1,1 @@
+lib/index/posting_list.ml: Array List Pj_util Posting

@@ -1,0 +1,1 @@
+lib/index/posting_list.mli: Posting

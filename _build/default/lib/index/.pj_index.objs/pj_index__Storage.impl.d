@@ -1,0 +1,1 @@
+lib/index/storage.ml: Array Buffer Char Corpus Fun Inverted_index Pj_text Printf String

@@ -1,0 +1,1 @@
+lib/index/storage.mli: Buffer Corpus Inverted_index

@@ -1,0 +1,28 @@
+type t = {
+  vocab : Pj_text.Vocab.t;
+  docs : Pj_text.Document.t Pj_util.Vec.t;
+}
+
+let create () = { vocab = Pj_text.Vocab.create (); docs = Pj_util.Vec.create () }
+
+let vocab t = t.vocab
+
+let add_tokens t tokens =
+  let id = Pj_util.Vec.length t.docs in
+  let d = Pj_text.Document.of_tokens t.vocab ~id tokens in
+  Pj_util.Vec.push t.docs d;
+  d
+
+let add_text t text = add_tokens t (Pj_text.Tokenizer.tokenize_array text)
+
+let size t = Pj_util.Vec.length t.docs
+let document t i = Pj_util.Vec.get t.docs i
+let iter f t = Pj_util.Vec.iter f t.docs
+let fold f acc t = Pj_util.Vec.fold_left f acc t.docs
+
+let total_tokens t =
+  fold (fun acc d -> acc + Pj_text.Document.length d) 0 t
+
+let average_length t =
+  if size t = 0 then 0.
+  else float_of_int (total_tokens t) /. float_of_int (size t)

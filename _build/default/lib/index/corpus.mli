@@ -1,0 +1,21 @@
+(** Document collections sharing one vocabulary. *)
+
+type t
+
+val create : unit -> t
+
+val vocab : t -> Pj_text.Vocab.t
+
+val add_text : t -> string -> Pj_text.Document.t
+(** Tokenize, intern and store a document; returns it with its assigned
+    id (dense, starting at 0). *)
+
+val add_tokens : t -> string array -> Pj_text.Document.t
+
+val size : t -> int
+val document : t -> int -> Pj_text.Document.t
+val iter : (Pj_text.Document.t -> unit) -> t -> unit
+val fold : ('acc -> Pj_text.Document.t -> 'acc) -> 'acc -> t -> 'acc
+
+val total_tokens : t -> int
+val average_length : t -> float

@@ -1,0 +1,59 @@
+type t = {
+  corpus : Corpus.t;
+  lists : Posting_list.t array;  (* indexed by token id *)
+}
+
+let build corpus =
+  let vocab_size = Pj_text.Vocab.size (Corpus.vocab corpus) in
+  (* Accumulate positions per (token, doc) with one Vec per token. *)
+  let acc : (int * int Pj_util.Vec.t) Pj_util.Vec.t array =
+    Array.init vocab_size (fun _ -> Pj_util.Vec.create ())
+  in
+  Corpus.iter
+    (fun d ->
+      Array.iteri
+        (fun pos tok ->
+          let per_tok = acc.(tok) in
+          let doc_id = d.Pj_text.Document.id in
+          if
+            Pj_util.Vec.is_empty per_tok
+            || fst (Pj_util.Vec.last per_tok) <> doc_id
+          then begin
+            let v = Pj_util.Vec.create () in
+            Pj_util.Vec.push v pos;
+            Pj_util.Vec.push per_tok (doc_id, v)
+          end
+          else Pj_util.Vec.push (snd (Pj_util.Vec.last per_tok)) pos)
+        d.Pj_text.Document.tokens)
+    corpus;
+  let lists =
+    Array.map
+      (fun per_tok ->
+        Pj_util.Vec.to_list per_tok
+        |> List.map (fun (doc_id, v) ->
+               Posting.make ~doc_id ~positions:(Pj_util.Vec.to_array v))
+        |> Posting_list.of_postings)
+      acc
+  in
+  { corpus; lists }
+
+let postings t token =
+  if token < 0 || token >= Array.length t.lists then Posting_list.empty
+  else t.lists.(token)
+
+let postings_of_word t w =
+  match Pj_text.Vocab.find (Corpus.vocab t.corpus) w with
+  | None -> Posting_list.empty
+  | Some token -> postings t token
+
+let positions_in t ~token ~doc_id =
+  match Posting_list.find (postings t token) doc_id with
+  | None -> [||]
+  | Some p -> p.Posting.positions
+
+let document_frequency t token =
+  Posting_list.document_frequency (postings t token)
+
+let vocabulary_size t = Array.length t.lists
+
+let corpus t = t.corpus

@@ -1,0 +1,28 @@
+(** Positional inverted index over a corpus.
+
+    Maps token ids to posting lists. The paper assumes match lists can
+    be "derived from precomputed inverted lists" (Section II); this is
+    that precomputation. Match lists for a document are obtained by
+    looking up the postings of every token related to a query term and
+    merging them with per-token scores (see [Pj_matching.Match_builder]). *)
+
+type t
+
+val build : Corpus.t -> t
+(** Index every document of the corpus. *)
+
+val postings : t -> int -> Posting_list.t
+(** Posting list of a token id ([Posting_list.empty] when absent). *)
+
+val postings_of_word : t -> string -> Posting_list.t
+(** Posting list of a raw token (lookup through the corpus vocabulary). *)
+
+val positions_in : t -> token:int -> doc_id:int -> int array
+(** Occurrence locations of a token in one document (empty when absent). *)
+
+val document_frequency : t -> int -> int
+
+val vocabulary_size : t -> int
+(** Number of distinct indexed tokens. *)
+
+val corpus : t -> Corpus.t

@@ -1,0 +1,18 @@
+type t = {
+  doc_id : int;
+  positions : int array;
+}
+
+let term_frequency t = Array.length t.positions
+
+let make ~doc_id ~positions =
+  let positions = Array.copy positions in
+  Array.sort compare positions;
+  { doc_id; positions }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>doc %d: [%a]@]" t.doc_id
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Format.pp_print_int)
+    t.positions

@@ -1,0 +1,13 @@
+(** Positional postings: the occurrences of one term in one document. *)
+
+type t = {
+  doc_id : int;
+  positions : int array;  (** sorted token locations of the occurrences *)
+}
+
+val term_frequency : t -> int
+
+val make : doc_id:int -> positions:int array -> t
+(** Positions are sorted defensively. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type t = Posting.t array (* sorted by doc_id, unique doc_ids *)
+
+let empty : t = [||]
+
+let merge_positions a b =
+  let merged = Array.append a b in
+  Array.sort compare merged;
+  (* Keep duplicate positions only once. *)
+  let n = Array.length merged in
+  if n = 0 then merged
+  else begin
+    let out = Pj_util.Vec.create () in
+    Pj_util.Vec.push out merged.(0);
+    for i = 1 to n - 1 do
+      if merged.(i) <> merged.(i - 1) then Pj_util.Vec.push out merged.(i)
+    done;
+    Pj_util.Vec.to_array out
+  end
+
+let of_postings postings =
+  let sorted =
+    List.sort (fun a b -> compare a.Posting.doc_id b.Posting.doc_id) postings
+  in
+  let out = Pj_util.Vec.create () in
+  List.iter
+    (fun p ->
+      if
+        (not (Pj_util.Vec.is_empty out))
+        && (Pj_util.Vec.last out).Posting.doc_id = p.Posting.doc_id
+      then begin
+        let last = Pj_util.Vec.pop out in
+        Pj_util.Vec.push out
+          (Posting.make ~doc_id:p.Posting.doc_id
+             ~positions:(merge_positions last.Posting.positions p.Posting.positions))
+      end
+      else Pj_util.Vec.push out p)
+    sorted;
+  Pj_util.Vec.to_array out
+
+let document_frequency (t : t) = Array.length t
+
+let collection_frequency (t : t) =
+  Array.fold_left (fun acc p -> acc + Posting.term_frequency p) 0 t
+
+let find (t : t) doc_id =
+  let lo = ref 0 and hi = ref (Array.length t - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let d = t.(mid).Posting.doc_id in
+    if d = doc_id then found := Some t.(mid)
+    else if d < doc_id then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let iter f (t : t) = Array.iter f t
+let fold f acc (t : t) = Array.fold_left f acc t
+let doc_ids (t : t) = Array.map (fun p -> p.Posting.doc_id) t
+
+let union (a : t) (b : t) : t =
+  of_postings (Array.to_list a @ Array.to_list b)
+
+let to_list (t : t) = Array.to_list t

@@ -1,0 +1,34 @@
+(** Posting lists: all postings of one term, sorted by document id.
+
+    Supports the operations the paper's footnote 1 relies on: deriving a
+    match list for a concept by merging the posting lists of several
+    specific terms (e.g. "PC maker" from "lenovo", "dell", ...). *)
+
+type t
+
+val empty : t
+val of_postings : Posting.t list -> t
+(** Builds a list from unordered postings; postings of the same document
+    are merged (position arrays unioned). *)
+
+val document_frequency : t -> int
+(** Number of documents containing the term. *)
+
+val collection_frequency : t -> int
+(** Total number of occurrences across documents. *)
+
+val find : t -> int -> Posting.t option
+(** Posting for a document id (binary search). *)
+
+val iter : (Posting.t -> unit) -> t -> unit
+(** Visit postings in increasing document id. *)
+
+val fold : ('acc -> Posting.t -> 'acc) -> 'acc -> t -> 'acc
+
+val doc_ids : t -> int array
+
+val union : t -> t -> t
+(** Merge two posting lists (documents present in either; positions
+    unioned) — the match-list merging primitive of footnote 1. *)
+
+val to_list : t -> Posting.t list

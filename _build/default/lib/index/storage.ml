@@ -1,0 +1,98 @@
+let magic = "PJIX"
+let version = 1
+
+let write_varint buf n =
+  assert (n >= 0);
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let read_varint s ~pos =
+  let value = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !pos >= String.length s then failwith "Storage: truncated varint";
+    if !shift > 56 then failwith "Storage: varint overflow";
+    let b = Char.code s.[!pos] in
+    incr pos;
+    value := !value lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  !value
+
+let write_string buf s =
+  write_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string s ~pos =
+  let len = read_varint s ~pos in
+  if !pos + len > String.length s then failwith "Storage: truncated string";
+  let v = String.sub s !pos len in
+  pos := !pos + len;
+  v
+
+let save_corpus corpus path =
+  let buf = Buffer.create (64 * 1024) in
+  Buffer.add_string buf magic;
+  write_varint buf version;
+  let vocab = Corpus.vocab corpus in
+  let vocab_size = Pj_text.Vocab.size vocab in
+  write_varint buf vocab_size;
+  for id = 0 to vocab_size - 1 do
+    write_string buf (Pj_text.Vocab.word vocab id)
+  done;
+  write_varint buf (Corpus.size corpus);
+  Corpus.iter
+    (fun d ->
+      write_varint buf (Pj_text.Document.length d);
+      Array.iter (write_varint buf) d.Pj_text.Document.tokens)
+    corpus;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_corpus path =
+  let s = read_file path in
+  let pos = ref 0 in
+  if String.length s < 4 || String.sub s 0 4 <> magic then
+    failwith "Storage: not a proxjoin corpus file";
+  pos := 4;
+  let v = read_varint s ~pos in
+  if v <> version then
+    failwith (Printf.sprintf "Storage: unsupported version %d" v);
+  let vocab_size = read_varint s ~pos in
+  let words = Array.init vocab_size (fun _ -> read_string s ~pos) in
+  let corpus = Corpus.create () in
+  (* Re-interning the words in id order reproduces the same ids; the
+     document token arrays can then be mapped through [words]. *)
+  let vocab = Corpus.vocab corpus in
+  Array.iter (fun w -> ignore (Pj_text.Vocab.intern vocab w)) words;
+  let n_docs = read_varint s ~pos in
+  for _ = 1 to n_docs do
+    let len = read_varint s ~pos in
+    let tokens =
+      Array.init len (fun _ ->
+          let id = read_varint s ~pos in
+          if id >= vocab_size then failwith "Storage: token id out of range";
+          words.(id))
+    in
+    ignore (Corpus.add_tokens corpus tokens)
+  done;
+  if !pos <> String.length s then failwith "Storage: trailing bytes";
+  corpus
+
+let save idx path = save_corpus (Inverted_index.corpus idx) path
+
+let load path = Inverted_index.build (load_corpus path)

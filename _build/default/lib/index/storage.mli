@@ -1,0 +1,32 @@
+(** Corpus persistence: a compact custom binary format, so an indexed
+    collection can be built once and reopened without re-tokenizing.
+
+    Layout: a magic header and version, the vocabulary as
+    length-prefixed strings, then each document's token ids — integers
+    throughout are LEB128 varints. The inverted index is rebuilt on
+    load (it is a deterministic function of the corpus and loads at
+    disk speed anyway). The format is independent of OCaml's [Marshal]
+    so files are stable across compiler versions. *)
+
+val save_corpus : Corpus.t -> string -> unit
+(** Write the corpus (vocabulary + documents) to the path. Raises
+    [Sys_error] on I/O failure. *)
+
+val load_corpus : string -> Corpus.t
+(** Read a corpus back. Raises [Failure] on a malformed or
+    wrong-version file, [Sys_error] on I/O failure. *)
+
+val save : Inverted_index.t -> string -> unit
+(** [save idx path] persists the index's corpus. *)
+
+val load : string -> Inverted_index.t
+(** Load a corpus and rebuild its inverted index. *)
+
+(** {1 Varint encoding (exposed for tests)} *)
+
+val write_varint : Buffer.t -> int -> unit
+(** LEB128 encoding of a non-negative integer. *)
+
+val read_varint : string -> pos:int ref -> int
+(** Decode at [!pos], advancing it. Raises [Failure] on truncation or
+    overflow. *)

@@ -1,0 +1,1 @@
+lib/matching/date_matcher.ml: List Matcher Pj_ontology

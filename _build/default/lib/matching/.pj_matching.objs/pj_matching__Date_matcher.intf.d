@@ -1,0 +1,1 @@
+lib/matching/date_matcher.mli: Matcher

@@ -1,0 +1,1 @@
+lib/matching/match_builder.ml: Array Hashtbl List Matcher Pj_core Pj_index Pj_text Pj_util Printf Query

@@ -1,0 +1,1 @@
+lib/matching/match_builder.mli: Pj_core Pj_index Pj_text Query

@@ -1,0 +1,1 @@
+lib/matching/matcher.ml: Float Hashtbl List Pj_text String

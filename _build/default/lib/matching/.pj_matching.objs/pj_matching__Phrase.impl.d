@@ -1,0 +1,1 @@
+lib/matching/phrase.ml: Array List Match_builder Option Pj_core Pj_text Pj_util Query

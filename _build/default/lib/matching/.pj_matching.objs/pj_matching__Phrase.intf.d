@@ -1,0 +1,1 @@
+lib/matching/phrase.mli: Pj_core Pj_text Query

@@ -1,0 +1,1 @@
+lib/matching/place_matcher.ml: List Matcher Pj_ontology

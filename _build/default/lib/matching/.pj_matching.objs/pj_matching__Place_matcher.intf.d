@@ -1,0 +1,1 @@
+lib/matching/place_matcher.mli: Matcher Pj_ontology

@@ -1,0 +1,1 @@
+lib/matching/query.ml: Array Matcher

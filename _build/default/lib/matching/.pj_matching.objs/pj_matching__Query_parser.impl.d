@@ -1,0 +1,1 @@
+lib/matching/query_parser.ml: Date_matcher List Matcher Pj_ontology Place_matcher Printf Query String Wordnet_matcher

@@ -1,0 +1,1 @@
+lib/matching/query_parser.mli: Matcher Pj_ontology Query

@@ -1,0 +1,1 @@
+lib/matching/wordnet_matcher.ml: List Matcher Pj_ontology Pj_text

@@ -1,0 +1,1 @@
+lib/matching/wordnet_matcher.mli: Matcher Pj_ontology

@@ -1,0 +1,13 @@
+let create () =
+  let months =
+    List.map (fun m -> (m, 1.)) (Pj_ontology.Date_lex.months ())
+  in
+  let years = List.init 21 (fun i -> (string_of_int (1990 + i), 1.)) in
+  let table = Matcher.of_table ~name:"date" (months @ years) in
+  {
+    table with
+    (* Accept abbreviations through the lexicon predicate as well. *)
+    Matcher.score_token =
+      (fun tok ->
+        if Pj_ontology.Date_lex.is_date_token tok then Some 1. else None);
+  }

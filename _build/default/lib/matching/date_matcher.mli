@@ -1,0 +1,5 @@
+(** The paper's DBWorld date matcher: "a simple matcher that looks for
+    month names and numbers between 1990 and 2010; identified matches
+    are scored 1". *)
+
+val create : unit -> Matcher.t

@@ -1,0 +1,81 @@
+let scan vocab (doc : Pj_text.Document.t) (q : Query.t) =
+  let n = Query.n_terms q in
+  let lists = Array.init n (fun _ -> Pj_util.Vec.create ()) in
+  (* Memoize per distinct token id: the per-term score vector. *)
+  let cache : (int, float option array) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun pos tok ->
+      let scores =
+        match Hashtbl.find_opt cache tok with
+        | Some s -> s
+        | None ->
+            let word = Pj_text.Vocab.word vocab tok in
+            let s =
+              Array.map (fun m -> m.Matcher.score_token word) q.Query.matchers
+            in
+            Hashtbl.add cache tok s;
+            s
+      in
+      Array.iteri
+        (fun j score ->
+          match score with
+          | None -> ()
+          | Some score ->
+              Pj_util.Vec.push lists.(j)
+                (Pj_core.Match0.make ~payload:tok ~loc:pos ~score ()))
+        scores)
+    doc.Pj_text.Document.tokens;
+  Array.map Pj_util.Vec.to_array lists
+
+let from_index idx ~doc_id (q : Query.t) =
+  let vocab = Pj_index.Corpus.vocab (Pj_index.Inverted_index.corpus idx) in
+  Array.map
+    (fun m ->
+      match m.Matcher.expansions with
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Match_builder.from_index: matcher %s has no finite expansions"
+               m.Matcher.name)
+      | Some expansions ->
+          let matches = Pj_util.Vec.create () in
+          List.iter
+            (fun (form, score) ->
+              match Pj_text.Vocab.find vocab form with
+              | None -> ()
+              | Some tok ->
+                  Array.iter
+                    (fun pos ->
+                      Pj_util.Vec.push matches
+                        (Pj_core.Match0.make ~payload:tok ~loc:pos ~score ()))
+                    (Pj_index.Inverted_index.positions_in idx ~token:tok
+                       ~doc_id))
+            expansions;
+          (* Several expansion forms can share a location only if two
+             distinct lexicon forms intern to the same token, which the
+             vocabulary forbids; still, sort defensively and keep one
+             match per location (the best-scoring). *)
+          let arr = Pj_util.Vec.to_array matches in
+          Array.sort
+            (fun a b ->
+              let c = compare a.Pj_core.Match0.loc b.Pj_core.Match0.loc in
+              if c <> 0 then c
+              else compare b.Pj_core.Match0.score a.Pj_core.Match0.score)
+            arr;
+          let out = Pj_util.Vec.create () in
+          Array.iter
+            (fun m ->
+              if
+                Pj_util.Vec.is_empty out
+                || (Pj_util.Vec.last out).Pj_core.Match0.loc
+                   <> m.Pj_core.Match0.loc
+              then Pj_util.Vec.push out m)
+            arr;
+          Pj_core.Match_list.of_unsorted (Pj_util.Vec.to_array out))
+    q.Query.matchers
+
+let scan_corpus corpus q =
+  let vocab = Pj_index.Corpus.vocab corpus in
+  Array.init (Pj_index.Corpus.size corpus) (fun i ->
+      let doc = Pj_index.Corpus.document corpus i in
+      (doc, scan vocab doc q))

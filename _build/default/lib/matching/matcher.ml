@@ -1,0 +1,76 @@
+type t = {
+  name : string;
+  score_token : string -> float option;
+  expansions : (string * float) list option;
+}
+
+let exact ?(score = 1.) word =
+  {
+    name = word;
+    score_token = (fun tok -> if String.equal tok word then Some score else None);
+    expansions = Some [ (word, score) ];
+  }
+
+let stemmed_exact ?(score = 1.) word =
+  let stem = Pj_text.Porter.stem word in
+  {
+    name = word;
+    score_token =
+      (fun tok ->
+        if String.equal (Pj_text.Porter.stem tok) stem then Some score else None);
+    expansions = Some [ (stem, score) ];
+  }
+
+let of_table ~name entries =
+  let table = Hashtbl.create (List.length entries) in
+  List.iter
+    (fun (form, score) ->
+      match Hashtbl.find_opt table form with
+      | Some s when s >= score -> ()
+      | _ -> Hashtbl.replace table form score)
+    entries;
+  {
+    name;
+    score_token = (fun tok -> Hashtbl.find_opt table tok);
+    expansions = Some (Hashtbl.fold (fun f s acc -> (f, s) :: acc) table []);
+  }
+
+let disjunction ~name a b =
+  {
+    name;
+    score_token =
+      (fun tok ->
+        match (a.score_token tok, b.score_token tok) with
+        | None, r | r, None -> r
+        | Some x, Some y -> Some (Float.max x y));
+    expansions =
+      (match (a.expansions, b.expansions) with
+      | Some ea, Some eb ->
+          (* Re-deduplicate through of_table's max-wins logic. *)
+          (of_table ~name (ea @ eb)).expansions
+      | _ -> None);
+  }
+
+let predicate ~name ?(score = 1.) p =
+  {
+    name;
+    score_token = (fun tok -> if p tok then Some score else None);
+    expansions = None;
+  }
+
+let stem_expansions m =
+  match m.expansions with
+  | None ->
+      {
+        m with
+        score_token = (fun tok -> m.score_token (Pj_text.Porter.stem tok));
+      }
+  | Some expansions ->
+      let stemmed =
+        List.map (fun (form, s) -> (Pj_text.Porter.stem form, s)) expansions
+      in
+      let table = of_table ~name:m.name stemmed in
+      {
+        table with
+        score_token = (fun tok -> table.score_token (Pj_text.Porter.stem tok));
+      }

@@ -1,0 +1,46 @@
+(** Matchers: per-query-term scoring of document tokens.
+
+    A matcher turns a raw lowercase token into an optional match score in
+    (0, 1]. Matchers encapsulate the "fuzzy match" machinery of the
+    paper's experiments (WordNet graph distance, gazetteer membership,
+    date recognition) behind one interface, so the match-list builder and
+    the join algorithms stay agnostic of where scores come from.
+
+    A matcher may also expose its [expansions]: the finite list of
+    (token form, score) pairs it accepts. When available, match lists
+    can be derived from precomputed inverted lists by merging the
+    expansion postings (the strategy of the paper's footnote 1). *)
+
+type t = {
+  name : string;
+  score_token : string -> float option;
+      (** Score of a token for this term, [None] when it does not match.
+          Scores must lie in (0, 1]. *)
+  expansions : (string * float) list option;
+      (** All accepted forms with scores, when finitely enumerable. The
+          forms are in the same normalization that [score_token] accepts
+          directly (e.g. stems if the matcher stems). *)
+}
+
+val exact : ?score:float -> string -> t
+(** Match exactly one token form (default score 1). *)
+
+val stemmed_exact : ?score:float -> string -> t
+(** Match any token whose Porter stem equals the stem of the given word. *)
+
+val of_table : name:string -> (string * float) list -> t
+(** Match any listed form at its listed score (highest wins on
+    duplicates). *)
+
+val disjunction : name:string -> t -> t -> t
+(** Match when either matcher matches, keeping the higher score — e.g.
+    the paper's [conference|workshop] query term. *)
+
+val predicate : name:string -> ?score:float -> (string -> bool) -> t
+(** Match every token satisfying the predicate (no expansions). *)
+
+val stem_expansions : t -> t
+(** Porter-stem the matcher's expansion forms (max score wins on stem
+    collisions) and stem incoming tokens before scoring, so the matcher
+    lines up with an index built over stemmed tokens. Matchers without
+    expansions only gain the token stemming. *)

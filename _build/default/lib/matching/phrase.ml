@@ -1,0 +1,36 @@
+let find vocab (doc : Pj_text.Document.t) ~phrase ~score =
+  if phrase = [] then invalid_arg "Phrase.find: empty phrase";
+  (* Resolve the phrase's tokens to ids; an unknown token cannot occur. *)
+  let ids = List.map (Pj_text.Vocab.find vocab) phrase in
+  if List.exists Option.is_none ids then [||]
+  else begin
+    let ids = Array.of_list (List.map Option.get ids) in
+    let k = Array.length ids in
+    let n = Pj_text.Document.length doc in
+    let out = Pj_util.Vec.create () in
+    for start = 0 to n - k do
+      let matches = ref true in
+      for i = 0 to k - 1 do
+        if Pj_text.Document.token_at doc (start + i) <> ids.(i) then
+          matches := false
+      done;
+      if !matches then
+        Pj_util.Vec.push out
+          (Pj_core.Match0.make ~payload:ids.(0) ~loc:start ~score ())
+    done;
+    Pj_util.Vec.to_array out
+  end
+
+let find_all vocab doc phrases =
+  List.fold_left
+    (fun acc (phrase, score) ->
+      Pj_core.Match_list.merge acc (find vocab doc ~phrase ~score))
+    [||] phrases
+
+let scan_with_phrases vocab doc (q : Query.t) ~phrases =
+  let base = Match_builder.scan vocab doc q in
+  if Array.length phrases <> Array.length base then
+    invalid_arg "Phrase.scan_with_phrases: phrases array size mismatch";
+  Array.mapi
+    (fun j list -> Pj_core.Match_list.merge list (find_all vocab doc phrases.(j)))
+    base

@@ -1,0 +1,35 @@
+(** Multi-token phrase matching.
+
+    Query concepts like "Leaning Tower of Pisa" occur in documents as
+    consecutive token sequences; a phrase occurrence becomes a single
+    match located at the phrase's first token (its payload is that
+    token's id). Phrase lists combine with token-level matcher lists via
+    [Pj_core.Match_list.merge]. *)
+
+val find :
+  Pj_text.Vocab.t ->
+  Pj_text.Document.t ->
+  phrase:string list ->
+  score:float ->
+  Pj_core.Match_list.t
+(** All occurrences of the consecutive (lowercase) token sequence.
+    Raises [Invalid_argument] on an empty phrase. Overlapping
+    occurrences are all reported. *)
+
+val find_all :
+  Pj_text.Vocab.t ->
+  Pj_text.Document.t ->
+  (string list * float) list ->
+  Pj_core.Match_list.t
+(** Occurrences of several scored phrases, merged into one list (best
+    score per location). *)
+
+val scan_with_phrases :
+  Pj_text.Vocab.t ->
+  Pj_text.Document.t ->
+  Query.t ->
+  phrases:(string list * float) list array ->
+  Pj_core.Match_list.problem
+(** [Match_builder.scan], with each term's token-level list merged with
+    its phrase occurrences ([phrases] is indexed by term; use [[]] for
+    terms without phrases). *)

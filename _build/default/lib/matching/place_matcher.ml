@@ -1,0 +1,20 @@
+let create graph =
+  let neighbor_forms =
+    ("place", 1.)
+    :: List.map (fun w -> (w, 0.7)) (Pj_ontology.Graph.neighbors graph "place")
+  in
+  let gazetteer_forms =
+    List.map
+      (fun p -> (p, 1.))
+      (Pj_ontology.Gazetteer.cities () @ Pj_ontology.Gazetteer.countries ())
+  in
+  let table =
+    Matcher.of_table ~name:"place" (gazetteer_forms @ neighbor_forms)
+  in
+  {
+    table with
+    Matcher.score_token =
+      (fun tok ->
+        if Pj_ontology.Gazetteer.mem tok then Some 1.
+        else table.Matcher.score_token tok);
+  }

@@ -1,0 +1,8 @@
+(** The paper's DBWorld place matcher: "if a term can be found in the
+    GeoWorldMap database, we consider it a match with score 1. If
+    GeoWorldMap does not have the term, we check if the term is directly
+    connected to 'place' in WordNet; if yes, it is considered a match
+    with score 0.7." The paper also added a [university -- place] edge
+    to improve accuracy; callers do that on the graph they pass in. *)
+
+val create : Pj_ontology.Graph.t -> Matcher.t

@@ -1,0 +1,12 @@
+type t = {
+  label : string;
+  matchers : Matcher.t array;
+}
+
+let make label matchers =
+  if matchers = [] then invalid_arg "Query.make: no query term";
+  { label; matchers = Array.of_list matchers }
+
+let n_terms t = Array.length t.matchers
+
+let term_names t = Array.map (fun m -> m.Matcher.name) t.matchers

@@ -1,0 +1,13 @@
+(** Multi-term queries: a label plus one matcher per query term
+    (Definition 1's query, with the match machinery attached). *)
+
+type t = {
+  label : string;
+  matchers : Matcher.t array;
+}
+
+val make : string -> Matcher.t list -> t
+(** Raises [Invalid_argument] on an empty term list. *)
+
+val n_terms : t -> int
+val term_names : t -> string array

@@ -1,0 +1,68 @@
+let years = List.init 21 (fun i -> (string_of_int (1990 + i), 1.))
+
+let parse_atom graph spec =
+  match String.index_opt spec ':' with
+  | Some i -> begin
+      let kind = String.sub spec 0 i in
+      let arg = String.sub spec (i + 1) (String.length spec - i - 1) in
+      if arg = "" then Error (Printf.sprintf "empty argument in %S" spec)
+      else begin
+        match kind with
+        | "wordnet" -> Ok (Wordnet_matcher.create graph arg)
+        | "stem" -> Ok (Matcher.stemmed_exact arg)
+        | "exact" -> Ok (Matcher.exact arg)
+        | _ -> Error (Printf.sprintf "unknown term kind %S in %S" kind spec)
+      end
+    end
+  | None -> begin
+      match spec with
+      | "" -> Error "empty term spec"
+      | "date" -> Ok (Date_matcher.create ())
+      | "place" -> Ok (Place_matcher.create graph)
+      | "city" ->
+          Ok
+            (Matcher.of_table ~name:"city"
+               (List.map (fun c -> (c, 1.)) (Pj_ontology.Gazetteer.cities ())))
+      | "country" ->
+          Ok
+            (Matcher.of_table ~name:"country"
+               (List.map (fun c -> (c, 1.)) (Pj_ontology.Gazetteer.countries ())))
+      | "year" -> Ok (Matcher.of_table ~name:"year" years)
+      | w -> Ok (Wordnet_matcher.create graph w)
+    end
+
+let parse_term graph spec =
+  let parts = String.split_on_char '|' spec in
+  let rec build acc = function
+    | [] -> begin
+        match acc with
+        | Some m -> Ok m
+        | None -> Error "empty term spec"
+      end
+    | part :: rest -> begin
+        match parse_atom graph (String.trim part) with
+        | Error _ as e -> e
+        | Ok m ->
+            let combined =
+              match acc with
+              | None -> m
+              | Some prev -> Matcher.disjunction ~name:spec prev m
+            in
+            build (Some combined) rest
+      end
+  in
+  build None parts
+
+let parse graph specs =
+  if specs = [] then Error "at least one term is required"
+  else begin
+    let rec go acc = function
+      | [] -> Ok (Query.make "cli" (List.rev acc))
+      | spec :: rest -> begin
+          match parse_term graph spec with
+          | Ok m -> go (m :: acc) rest
+          | Error _ as e -> e
+        end
+    in
+    go [] specs
+  end

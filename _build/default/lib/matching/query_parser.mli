@@ -1,0 +1,21 @@
+(** Textual query-term specifications, as used by the proxjoin CLI.
+
+    Grammar (one spec per query term):
+    - ["wordnet:CONCEPT"] — WordNet-style fuzzy matcher
+      ([1 - 0.3 d], d <= 3) over a lemma graph;
+    - ["stem:WORD"] — Porter-stem equality at score 1;
+    - ["exact:WORD"] — literal token at score 1;
+    - ["date"], ["place"], ["city"], ["country"], ["year"] — lexicon
+      matchers;
+    - a spec with a ["|"] separator builds the disjunction of its parts
+      (e.g. ["exact:conference|exact:workshop"]);
+    - any other bare word defaults to ["wordnet:WORD"]. *)
+
+val parse_term :
+  Pj_ontology.Graph.t -> string -> (Matcher.t, string) result
+(** Parse one term spec against the given lemma graph. *)
+
+val parse :
+  Pj_ontology.Graph.t -> string list -> (Query.t, string) result
+(** Parse a whole query (label "cli"); [Error] reports the first bad
+    spec or an empty term list. *)

@@ -1,0 +1,22 @@
+let score_of_distance d = 1. -. (0.3 *. float_of_int d)
+
+let expansion_scores ?(radius = 3) graph concept =
+  let within = Pj_ontology.Graph.within graph ~radius concept in
+  let expansions =
+    List.map (fun (lemma, d) -> (lemma, score_of_distance d)) within
+  in
+  (* A concept outside the graph still matches itself. *)
+  if expansions = [] then [ (concept, 1.) ] else expansions
+
+let create ?(radius = 3) ?(use_stems = true) graph concept =
+  let normalize w = if use_stems then Pj_text.Porter.stem w else w in
+  let entries =
+    List.map
+      (fun (lemma, score) -> (normalize lemma, score))
+      (expansion_scores ~radius graph concept)
+  in
+  let table = Matcher.of_table ~name:concept entries in
+  {
+    table with
+    Matcher.score_token = (fun tok -> table.Matcher.score_token (normalize tok));
+  }

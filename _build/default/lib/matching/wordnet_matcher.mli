@@ -1,0 +1,17 @@
+(** The paper's WordNet matcher (Section VIII, TREC experiment):
+    "Two terms are considered to be matching if their WordNet graph
+    distance d (in number of edges) is no more than 3; we score this
+    match by (1 - 0.3 d). We use the stem of a word as returned by a
+    standard Porter's stemmer in all our string comparisons." *)
+
+val create :
+  ?radius:int -> ?use_stems:bool -> Pj_ontology.Graph.t -> string -> Matcher.t
+(** [create graph concept] expands the concept to every lemma within
+    [radius] (default 3) edges, scoring lemma at distance d by
+    [1 - 0.3 d], and matches document tokens against the expansion —
+    comparing Porter stems when [use_stems] (default true). A concept
+    absent from the graph still matches itself exactly (score 1). *)
+
+val expansion_scores :
+  ?radius:int -> Pj_ontology.Graph.t -> string -> (string * float) list
+(** The raw (lemma, score) expansion before stemming, for inspection. *)

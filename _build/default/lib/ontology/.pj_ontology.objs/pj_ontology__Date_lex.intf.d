@@ -1,0 +1,1 @@
+lib/ontology/date_lex.mli:

@@ -1,0 +1,1 @@
+lib/ontology/gazetteer.ml: Hashtbl List

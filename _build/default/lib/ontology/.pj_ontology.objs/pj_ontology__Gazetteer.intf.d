@@ -1,0 +1,1 @@
+lib/ontology/gazetteer.mli:

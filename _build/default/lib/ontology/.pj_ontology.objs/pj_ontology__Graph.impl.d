@@ -1,0 +1,1 @@
+lib/ontology/graph.ml: Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/ontology/graph.mli:

@@ -1,0 +1,1 @@
+lib/ontology/mini_wordnet.ml: Graph List

@@ -1,0 +1,1 @@
+lib/ontology/mini_wordnet.mli: Graph

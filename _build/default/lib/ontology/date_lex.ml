@@ -1,0 +1,36 @@
+let month_names =
+  [
+    "january"; "february"; "march"; "april"; "may"; "june"; "july";
+    "august"; "september"; "october"; "november"; "december";
+  ]
+
+let month_abbrevs =
+  [ "jan"; "feb"; "mar"; "apr"; "jun"; "jul"; "aug"; "sep"; "sept";
+    "oct"; "nov"; "dec" ]
+
+let month_table =
+  let h = Hashtbl.create 32 in
+  List.iter (fun m -> Hashtbl.replace h m ()) month_names;
+  List.iter (fun m -> Hashtbl.replace h m ()) month_abbrevs;
+  h
+
+let is_month w = Hashtbl.mem month_table w
+
+let as_int w =
+  if w <> "" && String.for_all (fun c -> c >= '0' && c <= '9') w then
+    int_of_string_opt w
+  else None
+
+let is_year w =
+  match as_int w with
+  | Some n -> n >= 1990 && n <= 2010
+  | None -> false
+
+let is_day_number w =
+  match as_int w with
+  | Some n -> n >= 1 && n <= 31
+  | None -> false
+
+let is_date_token w = is_month w || is_year w
+
+let months () = month_names

@@ -1,0 +1,17 @@
+(** Date lexicon: the simple date matcher of the paper's DBWorld
+    experiment "looks for month names and numbers between 1990 and 2010;
+    identified matches are scored 1". *)
+
+val is_month : string -> bool
+(** Full month names and common three-letter abbreviations. *)
+
+val is_year : string -> bool
+(** Numeric tokens between 1990 and 2010 inclusive. *)
+
+val is_day_number : string -> bool
+(** Numeric tokens between 1 and 31 (used to enrich generated CFPs). *)
+
+val is_date_token : string -> bool
+(** [is_month || is_year]: the paper's date-match predicate. *)
+
+val months : unit -> string list

@@ -1,0 +1,72 @@
+let city_list =
+  [
+    "amsterdam"; "athens"; "atlanta"; "auckland"; "austin"; "baltimore";
+    "bangalore"; "bangkok"; "barcelona"; "beijing"; "beirut"; "berkeley";
+    "berlin"; "bern"; "bologna"; "bordeaux"; "boston"; "brisbane";
+    "brussels"; "bucharest"; "budapest"; "cairo"; "calgary"; "cambridge";
+    "canberra"; "chicago"; "cleveland"; "copenhagen"; "dallas"; "delhi";
+    "denver"; "detroit"; "dresden"; "dublin"; "edinburgh"; "edmonton";
+    "eindhoven"; "florence"; "frankfurt"; "geneva"; "genoa"; "glasgow";
+    "gothenburg"; "grenoble"; "hamburg"; "hanover"; "heidelberg";
+    "helsinki"; "houston"; "istanbul"; "jerusalem"; "johannesburg";
+    "karlsruhe"; "kyoto"; "lausanne"; "leipzig"; "lille"; "lisbon";
+    "liverpool"; "ljubljana"; "london"; "lyon"; "madison"; "madrid";
+    "manchester"; "marseille"; "melbourne"; "miami"; "milan"; "minneapolis";
+    "montreal"; "moscow"; "mumbai"; "munich"; "nagoya"; "nairobi";
+    "nanjing"; "naples"; "newcastle"; "nice"; "osaka"; "oslo"; "ottawa";
+    "oxford"; "padua"; "paris"; "perth"; "philadelphia"; "phoenix";
+    "pisa"; "pittsburgh"; "portland"; "prague"; "princeton"; "quebec";
+    "riga"; "rome"; "rotterdam"; "salamanca"; "salerno"; "santiago";
+    "sapporo"; "seattle"; "seoul"; "shanghai"; "sheffield"; "singapore";
+    "sofia"; "stanford"; "stockholm"; "strasbourg"; "stuttgart"; "sydney";
+    "taipei"; "tampere"; "tokyo"; "toronto"; "toulouse"; "trento";
+    "trondheim"; "tucson"; "turin"; "uppsala"; "utrecht"; "valencia";
+    "vancouver"; "venice"; "vienna"; "warsaw"; "washington"; "wellington";
+    "zagreb"; "zurich";
+    (* extended coverage *)
+    "aarhus"; "adelaide"; "algiers"; "alicante"; "ankara"; "antwerp";
+    "baltimore"; "basel"; "belfast"; "belgrade"; "bilbao"; "bratislava";
+    "bremen"; "brno"; "caen"; "cardiff"; "casablanca"; "catania";
+    "chengdu"; "cologne"; "cork"; "darmstadt"; "davis"; "dortmund";
+    "duisburg"; "dundee"; "durham"; "essen"; "exeter"; "fukuoka";
+    "galway"; "ghent"; "granada"; "graz"; "guangzhou"; "haifa"; "hangzhou";
+    "hanoi"; "havana"; "hiroshima"; "hobart"; "innsbruck"; "izmir";
+    "jakarta"; "kiel"; "kobe"; "krakow"; "lancaster"; "leeds"; "leicester";
+    "leuven"; "lima"; "linz"; "lodz"; "lublin"; "lugano"; "malaga";
+    "malmo"; "manila"; "mannheim"; "maribor"; "marrakesh"; "medellin";
+    "messina"; "montevideo"; "montpellier"; "nantes"; "nottingham";
+    "odense"; "orleans"; "palermo"; "pamplona"; "patras"; "pavia";
+    "pecs"; "pilsen"; "poitiers"; "porto"; "potsdam"; "poznan"; "pretoria";
+    "quito"; "reading"; "regensburg"; "rennes"; "reykjavik"; "rosario";
+    "rouen"; "saarbrucken"; "salzburg"; "sendai"; "seville"; "sienna";
+    "skopje"; "southampton"; "split"; "stirling"; "tallinn"; "tartu";
+    "tbilisi"; "tehran"; "tirana"; "toledo"; "tromso"; "tsukuba"; "tubingen";
+    "ulm"; "umea"; "vilnius"; "vitoria"; "wollongong"; "wuhan"; "york";
+    "yokohama";
+  ]
+
+let country_list =
+  [
+    "argentina"; "australia"; "austria"; "belgium"; "brazil"; "bulgaria";
+    "canada"; "chile"; "china"; "colombia"; "croatia"; "cyprus";
+    "czechia"; "denmark"; "egypt"; "england"; "estonia"; "finland";
+    "france"; "germany"; "greece"; "hungary"; "iceland"; "india";
+    "indonesia"; "ireland"; "israel"; "italy"; "japan"; "kenya"; "korea";
+    "latvia"; "lebanon"; "lithuania"; "luxembourg"; "malaysia"; "mexico";
+    "morocco"; "netherlands"; "norway"; "pakistan"; "peru"; "philippines";
+    "poland"; "portugal"; "romania"; "russia"; "scotland"; "serbia";
+    "slovakia"; "slovenia"; "spain"; "sweden"; "switzerland"; "taiwan";
+    "thailand"; "tunisia"; "turkey"; "ukraine"; "venezuela"; "vietnam";
+    "wales";
+  ]
+
+let table =
+  let h = Hashtbl.create 512 in
+  List.iter (fun c -> Hashtbl.replace h c ()) city_list;
+  List.iter (fun c -> Hashtbl.replace h c ()) country_list;
+  h
+
+let mem w = Hashtbl.mem table w
+let cities () = city_list
+let countries () = country_list
+let size () = Hashtbl.length table

@@ -1,0 +1,10 @@
+(** A place gazetteer, substituting for the GeoWorldMap database used by
+    the paper's DBWorld experiment: a term found in the gazetteer is a
+    place match with score 1. *)
+
+val mem : string -> bool
+(** Is the lowercase token a known place (city or country)? *)
+
+val cities : unit -> string list
+val countries : unit -> string list
+val size : unit -> int

@@ -1,0 +1,80 @@
+type t = {
+  adjacency : (string, string list ref) Hashtbl.t;
+  mutable edges : int;
+}
+
+let create () = { adjacency = Hashtbl.create 256; edges = 0 }
+
+let add_node t v =
+  if not (Hashtbl.mem t.adjacency v) then Hashtbl.add t.adjacency v (ref [])
+
+let neighbors_ref t v =
+  add_node t v;
+  Hashtbl.find t.adjacency v
+
+let add_edge t a b =
+  if a <> b then begin
+    let na = neighbors_ref t a in
+    if not (List.mem b !na) then begin
+      na := b :: !na;
+      let nb = neighbors_ref t b in
+      nb := a :: !nb;
+      t.edges <- t.edges + 1
+    end
+  end
+
+let mem t v = Hashtbl.mem t.adjacency v
+let node_count t = Hashtbl.length t.adjacency
+let edge_count t = t.edges
+
+let neighbors t v =
+  match Hashtbl.find_opt t.adjacency v with
+  | None -> []
+  | Some l -> !l
+
+let bfs t src ~stop_at ~max_depth =
+  (* Runs BFS from [src]; returns either the distance to [stop_at] (when
+     given) or the full frontier map. *)
+  let dist = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.add dist src 0;
+  Queue.add src queue;
+  let answer = ref None in
+  let continue = ref true in
+  (match stop_at with
+  | Some target when target = src -> answer := Some 0
+  | _ -> ());
+  while !continue && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let d = Hashtbl.find dist v in
+    if (match max_depth with Some m -> d >= m | None -> false) then ()
+    else
+      List.iter
+        (fun w ->
+          if not (Hashtbl.mem dist w) then begin
+            Hashtbl.add dist w (d + 1);
+            (match stop_at with
+            | Some target when target = w ->
+                answer := Some (d + 1);
+                continue := false
+            | _ -> ());
+            Queue.add w queue
+          end)
+        (neighbors t v)
+  done;
+  (!answer, dist)
+
+let distance t ?max_depth a b =
+  if not (mem t a && mem t b) then None
+  else begin
+    let answer, _ = bfs t a ~stop_at:(Some b) ~max_depth in
+    answer
+  end
+
+let within t ~radius src =
+  if not (mem t src) then []
+  else begin
+    let _, dist = bfs t src ~stop_at:None ~max_depth:(Some radius) in
+    Hashtbl.fold (fun v d acc -> (v, d) :: acc) dist []
+    |> List.sort compare
+  end

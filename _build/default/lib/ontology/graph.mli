@@ -1,0 +1,31 @@
+(** Undirected lemma graphs with breadth-first distances.
+
+    The substrate for WordNet-style matching: the paper's TREC matcher
+    considers two terms matching when their WordNet graph distance (in
+    edges) is at most 3, scoring the match [1 - 0.3 d]. *)
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> string -> unit
+(** Idempotent. *)
+
+val add_edge : t -> string -> string -> unit
+(** Adds both endpoints as needed; self-loops and duplicate edges are
+    ignored. *)
+
+val mem : t -> string -> bool
+val node_count : t -> int
+val edge_count : t -> int
+val neighbors : t -> string -> string list
+
+val distance : t -> ?max_depth:int -> string -> string -> int option
+(** BFS distance in edges, or [None] when disconnected, beyond
+    [max_depth] (default: unbounded), or when either node is absent.
+    [distance g x x = Some 0] when [x] is present. *)
+
+val within : t -> radius:int -> string -> (string * int) list
+(** All nodes within the radius of a source, with their distances,
+    including the source at distance 0. Empty when the source is
+    absent. *)

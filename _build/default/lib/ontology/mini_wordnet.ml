@@ -1,0 +1,247 @@
+(* Edges are grouped thematically; every pair is an undirected edge in
+   the lemma graph. Lemmas are lowercase single tokens; multi-token
+   names (e.g. "hewlett-packard") keep their internal hyphen, matching
+   the tokenizer. *)
+
+let company_edges =
+  [
+    (* PC makers: the intro's motivating example. *)
+    ("pc-maker", "lenovo"); ("pc-maker", "dell"); ("pc-maker", "hewlett-packard");
+    ("pc-maker", "acer"); ("pc-maker", "asus"); ("pc-maker", "toshiba");
+    ("pc-maker", "ibm");
+    ("pc-maker", "laptop-maker"); ("laptop-maker", "lenovo");
+    ("pc-maker", "company"); ("company", "firm"); ("company", "corporation");
+    ("company", "manufacturer"); ("manufacturer", "maker");
+    ("company", "startup"); ("company", "vendor");
+  ]
+
+let sports_edges =
+  [
+    ("sports", "nba"); ("sports", "nfl"); ("sports", "fifa");
+    ("sports", "olympics"); ("olympics", "olympic"); ("olympics", "games");
+    ("sports", "basketball"); ("sports", "football"); ("sports", "soccer");
+    ("nba", "basketball"); ("fifa", "soccer");
+    ("sports", "league"); ("league", "tournament"); ("tournament", "championship");
+    ("sports", "athletics"); ("athletics", "athlete");
+  ]
+
+let partnership_edges =
+  [
+    ("partnership", "partner"); ("partnership", "alliance");
+    ("partnership", "collaboration"); ("collaboration", "cooperation");
+    ("partnership", "deal"); ("deal", "agreement"); ("agreement", "contract");
+    ("partnership", "sponsorship"); ("sponsorship", "sponsor");
+    ("alliance", "coalition"); ("deal", "transaction");
+  ]
+
+let qa_edges =
+  [
+    (* people and life events *)
+    ("person", "man"); ("person", "woman"); ("person", "people");
+    ("born", "birth"); ("birth", "birthplace"); ("born", "native");
+    ("marry", "marriage"); ("marriage", "wedding"); ("marry", "wed");
+    ("marriage", "spouse"); ("spouse", "wife"); ("spouse", "husband");
+    ("die", "death"); ("death", "deceased");
+    ("graduate", "graduation"); ("graduate", "degree"); ("degree", "diploma");
+    ("graduate", "alumnus");
+    (* institutions *)
+    ("school", "academy"); ("school", "college"); ("college", "university");
+    ("school", "university"); ("school", "institution");
+    ("university", "campus"); ("academy", "institute");
+    ("parliament", "legislature"); ("legislature", "assembly");
+    ("parliament", "congress"); ("congress", "senate");
+    ("headquarters", "headquarter"); ("headquarters", "base");
+    ("headquarters", "office"); ("office", "bureau");
+    ("imf", "fund"); ("fund", "bank"); ("bank", "institution");
+    (* places *)
+    ("place", "location"); ("location", "site"); ("place", "area");
+    ("place", "spot"); ("place", "venue");
+    ("city", "town"); ("city", "metropolis"); ("town", "village");
+    ("city", "capital"); ("city", "municipality"); ("city", "place");
+    ("country", "nation"); ("country", "state"); ("nation", "land");
+    ("country", "place"); ("country", "kingdom"); ("country", "republic");
+    ("region", "province"); ("region", "area");
+    (* time *)
+    ("year", "date"); ("date", "day"); ("date", "time");
+    ("year", "decade"); ("year", "annual"); ("month", "date");
+    ("time", "period"); ("period", "era");
+    (* construction and artifacts *)
+    ("build", "construct"); ("construct", "construction");
+    ("build", "built"); ("build", "erect"); ("construction", "building");
+    ("tower", "structure"); ("structure", "building");
+    ("tower", "monument"); ("monument", "landmark");
+    ("begin", "start"); ("begin", "began"); ("start", "commence");
+    ("begin", "begun"); ("start", "launch");
+    (* porcelain example of Section VI *)
+    ("porcelain", "ceramics"); ("ceramics", "pottery"); ("porcelain", "china");
+    ("asia", "china"); ("asia", "jingdezhen"); ("china", "chinese");
+    ("pottery", "earthenware");
+  ]
+
+let cfp_edges =
+  [
+    ("conference", "symposium"); ("conference", "meeting");
+    ("conference", "congress"); ("meeting", "gathering");
+    ("workshop", "seminar"); ("workshop", "tutorial");
+    ("symposium", "colloquium"); ("seminar", "colloquium");
+    ("conference", "convention"); ("meeting", "session");
+    ("deadline", "date"); ("submission", "paper"); ("paper", "manuscript");
+    ("proceedings", "publication"); ("publication", "journal");
+    ("venue", "site"); ("venue", "location");
+    ("university", "institution"); ("institute", "institution");
+    ("laboratory", "lab"); ("department", "faculty");
+  ]
+
+let celebrity_edges =
+  [
+    (* Named entities used by the simulated TREC queries. These stand in
+       for WordNet instance links. *)
+    ("pisa", "tower"); ("pisa", "italy");
+    ("stonehenge", "monument"); ("stonehenge", "england");
+    ("chavez", "hugo"); ("chavez", "president");
+    ("hitchcock", "alfred"); ("hitchcock", "director");
+    ("edward", "prince"); ("prince", "royal"); ("royal", "king");
+    ("shakespeare", "playwright"); ("playwright", "writer");
+    ("lebanese", "lebanon"); ("lebanon", "beirut");
+  ]
+
+let technology_edges =
+  [
+    ("computer", "pc"); ("computer", "laptop"); ("laptop", "notebook");
+    ("computer", "server"); ("server", "mainframe"); ("computer", "desktop");
+    ("computer", "machine"); ("machine", "device"); ("device", "gadget");
+    ("software", "program"); ("program", "application"); ("application", "app");
+    ("software", "code"); ("code", "source"); ("software", "firmware");
+    ("hardware", "chip"); ("chip", "processor"); ("processor", "cpu");
+    ("chip", "semiconductor"); ("hardware", "motherboard");
+    ("network", "internet"); ("internet", "web"); ("web", "website");
+    ("network", "lan"); ("network", "ethernet");
+    ("phone", "telephone"); ("phone", "smartphone"); ("phone", "mobile");
+    ("storage", "disk"); ("disk", "drive"); ("storage", "memory");
+    ("memory", "ram"); ("database", "datastore"); ("database", "index");
+    ("algorithm", "procedure"); ("procedure", "method"); ("method", "technique");
+    ("robot", "automaton"); ("robot", "android");
+    ("screen", "display"); ("display", "monitor");
+    ("keyboard", "keypad"); ("printer", "scanner");
+  ]
+
+let science_edges =
+  [
+    ("science", "physics"); ("science", "chemistry"); ("science", "biology");
+    ("science", "research"); ("research", "study"); ("study", "experiment");
+    ("experiment", "trial"); ("research", "investigation");
+    ("physics", "mechanics"); ("physics", "optics"); ("physics", "quantum");
+    ("chemistry", "molecule"); ("molecule", "atom"); ("atom", "particle");
+    ("particle", "electron"); ("particle", "proton");
+    ("biology", "cell"); ("cell", "gene"); ("gene", "dna"); ("gene", "genome");
+    ("biology", "organism"); ("organism", "species"); ("species", "animal");
+    ("animal", "mammal"); ("mammal", "primate"); ("animal", "bird");
+    ("animal", "fish"); ("animal", "insect");
+    ("mathematics", "algebra"); ("mathematics", "geometry");
+    ("mathematics", "calculus"); ("mathematics", "statistics");
+    ("statistics", "probability"); ("mathematics", "arithmetic");
+    ("astronomy", "telescope"); ("astronomy", "star"); ("star", "sun");
+    ("astronomy", "planet"); ("planet", "earth"); ("planet", "mars");
+    ("medicine", "doctor"); ("doctor", "physician"); ("medicine", "drug");
+    ("drug", "medication"); ("medication", "pill"); ("medicine", "therapy");
+    ("therapy", "treatment"); ("disease", "illness"); ("illness", "sickness");
+    ("disease", "infection"); ("infection", "virus"); ("virus", "bacteria");
+    ("hospital", "clinic"); ("hospital", "infirmary");
+    ("laboratory", "facility");
+  ]
+
+let economy_edges =
+  [
+    ("economy", "market"); ("market", "trade"); ("trade", "commerce");
+    ("commerce", "business"); ("business", "enterprise");
+    ("money", "cash"); ("cash", "currency"); ("currency", "dollar");
+    ("currency", "euro"); ("currency", "yuan");
+    ("money", "capital"); ("capital", "investment"); ("investment", "investor");
+    ("stock", "share"); ("share", "equity"); ("stock", "exchange");
+    ("profit", "earnings"); ("earnings", "revenue"); ("revenue", "income");
+    ("income", "salary"); ("salary", "wage");
+    ("price", "cost"); ("cost", "expense"); ("price", "value");
+    ("tax", "levy"); ("tax", "tariff"); ("tariff", "duty");
+    ("loan", "credit"); ("credit", "debt"); ("debt", "liability");
+    ("budget", "spending"); ("inflation", "deflation");
+    ("merger", "acquisition"); ("acquisition", "takeover");
+    ("factory", "plant"); ("plant", "mill"); ("factory", "workshop");
+  ]
+
+let politics_edges =
+  [
+    ("government", "administration"); ("administration", "cabinet");
+    ("government", "regime"); ("government", "authority");
+    ("president", "leader"); ("leader", "chief"); ("chief", "head");
+    ("minister", "secretary"); ("minister", "official");
+    ("election", "vote"); ("vote", "ballot"); ("election", "poll");
+    ("election", "campaign"); ("campaign", "candidate");
+    ("law", "statute"); ("statute", "act"); ("law", "regulation");
+    ("regulation", "rule"); ("law", "legislation");
+    ("court", "tribunal"); ("court", "judiciary"); ("judge", "justice");
+    ("police", "constabulary"); ("army", "military"); ("military", "forces");
+    ("war", "conflict"); ("conflict", "battle"); ("battle", "combat");
+    ("peace", "truce"); ("truce", "ceasefire");
+    ("treaty", "accord"); ("accord", "pact"); ("pact", "agreement");
+    ("embassy", "consulate"); ("diplomat", "envoy"); ("envoy", "ambassador");
+  ]
+
+let arts_edges =
+  [
+    ("music", "song"); ("song", "melody"); ("melody", "tune");
+    ("music", "concert"); ("concert", "recital"); ("concert", "performance");
+    ("musician", "artist"); ("artist", "performer"); ("performer", "entertainer");
+    ("band", "orchestra"); ("orchestra", "ensemble");
+    ("film", "movie"); ("movie", "picture"); ("film", "cinema");
+    ("director", "filmmaker"); ("actor", "actress"); ("actor", "performer");
+    ("book", "novel"); ("novel", "fiction"); ("book", "volume");
+    ("writer", "author"); ("author", "novelist"); ("writer", "poet");
+    ("poem", "verse"); ("verse", "stanza");
+    ("painting", "portrait"); ("painting", "canvas"); ("painter", "artist");
+    ("sculpture", "statue"); ("museum", "gallery");
+    ("theater", "stage"); ("theater", "playhouse"); ("play", "drama");
+    ("drama", "tragedy"); ("drama", "comedy");
+    ("dance", "ballet"); ("opera", "operetta");
+  ]
+
+let everyday_edges =
+  [
+    ("food", "meal"); ("meal", "dinner"); ("meal", "lunch");
+    ("meal", "breakfast"); ("food", "cuisine"); ("cuisine", "dish");
+    ("bread", "loaf"); ("drink", "beverage"); ("beverage", "coffee");
+    ("beverage", "tea"); ("beverage", "juice");
+    ("house", "home"); ("home", "residence"); ("residence", "dwelling");
+    ("house", "cottage"); ("building", "edifice");
+    ("road", "street"); ("street", "avenue"); ("avenue", "boulevard");
+    ("road", "highway"); ("highway", "motorway"); ("path", "trail");
+    ("car", "automobile"); ("automobile", "vehicle"); ("vehicle", "truck");
+    ("vehicle", "bus"); ("train", "railway"); ("railway", "railroad");
+    ("ship", "boat"); ("boat", "vessel"); ("plane", "aircraft");
+    ("aircraft", "airplane"); ("airport", "airfield");
+    ("weather", "climate"); ("rain", "rainfall"); ("rainfall", "precipitation");
+    ("storm", "tempest"); ("storm", "hurricane"); ("hurricane", "typhoon");
+    ("snow", "frost"); ("wind", "breeze"); ("sun", "sunshine");
+    ("river", "stream"); ("stream", "creek"); ("lake", "pond");
+    ("mountain", "peak"); ("peak", "summit"); ("hill", "slope");
+    ("forest", "woods"); ("woods", "woodland"); ("sea", "ocean");
+    ("clothes", "clothing"); ("clothing", "garment"); ("garment", "apparel");
+    ("shoe", "boot"); ("hat", "cap");
+  ]
+
+let all_edges =
+  company_edges @ sports_edges @ partnership_edges @ qa_edges @ cfp_edges
+  @ celebrity_edges @ technology_edges @ science_edges @ economy_edges
+  @ politics_edges @ arts_edges @ everyday_edges
+
+let create () =
+  let g = Graph.create () in
+  List.iter (fun (a, b) -> Graph.add_edge g a b) all_edges;
+  g
+
+let concepts () =
+  [
+    "pc-maker"; "sports"; "partnership"; "school"; "city"; "country";
+    "year"; "date"; "place"; "conference"; "workshop"; "university";
+    "parliament"; "headquarters"; "marry"; "born"; "graduate"; "build";
+    "begin";
+  ]

@@ -1,0 +1,21 @@
+(** A hand-built WordNet-style lemma graph.
+
+    Substitute for the Princeton WordNet used in the paper's TREC and
+    DBWorld experiments (Section VIII): an undirected graph of synonym /
+    hypernym / instance edges covering the vocabulary of the simulated
+    evaluation corpora — companies and PC makers, sports organizations,
+    partnership language, question-answering nouns (school, city,
+    country, year, birth, marriage...), and call-for-papers language
+    (conference, workshop, deadline, university...).
+
+    The matcher semantics on top of the graph are the paper's: terms
+    within graph distance d <= 3 match with score 1 - 0.3 d. *)
+
+val create : unit -> Graph.t
+(** A fresh copy of the lexicon graph, so experiments can add their own
+    edges — the paper added [conference -- workshop] and
+    [university -- place] for the DBWorld experiment. *)
+
+val concepts : unit -> string list
+(** The distinguished concept lemmas that the evaluation queries use
+    (e.g. "pc-maker", "sports", "partnership", "school", "place"). *)

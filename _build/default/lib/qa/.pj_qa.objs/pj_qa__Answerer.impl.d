@@ -1,0 +1,1 @@
+lib/qa/answerer.ml: Array Hashtbl List Pj_core Pj_index Pj_matching Pj_ontology Pj_text Question

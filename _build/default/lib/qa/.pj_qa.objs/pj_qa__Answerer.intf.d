@@ -1,0 +1,1 @@
+lib/qa/answerer.mli: Pj_core Pj_index Pj_matching Pj_ontology Question

@@ -1,0 +1,1 @@
+lib/qa/question.ml: List Pj_matching Pj_text Set String

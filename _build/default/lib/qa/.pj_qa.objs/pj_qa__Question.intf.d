@@ -1,0 +1,1 @@
+lib/qa/question.mli: Pj_matching Pj_ontology

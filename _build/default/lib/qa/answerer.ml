@@ -1,0 +1,90 @@
+type answer = {
+  answer_word : string;
+  support : float;
+  documents : int list;
+}
+
+type t = {
+  corpus : Pj_index.Corpus.t;
+  graph : Pj_ontology.Graph.t;
+}
+
+let create ?graph corpus =
+  let graph =
+    match graph with
+    | Some g -> g
+    | None -> Pj_ontology.Mini_wordnet.create ()
+  in
+  { corpus; graph }
+
+let question_of t text =
+  let q = Question.analyze text in
+  (q, Question.to_query t.graph q)
+
+let default_scoring = Pj_core.Scoring.Med Pj_core.Scoring.med_linear
+
+(* Documents rarely contain a match for every question word ("located",
+   "exactly", ...), so per document the join runs over the target term
+   plus the content terms that do match there; a document must match the
+   target and at least one content term to vote. Votes count matched
+   content terms first (a two-term context beats any one-term context)
+   and break ties by a bounded monotone transform of the matchset
+   score. *)
+let vote ~matched_content score =
+  float_of_int matched_content +. (1. /. (1. +. exp (-.score)))
+
+let ask ?(scoring = default_scoring) ?(k = 3) t text =
+  let _, query = question_of t text in
+  let vocab = Pj_index.Corpus.vocab t.corpus in
+  (* Per candidate answer word: accumulated votes and supporters. *)
+  let table : (string, float ref * (float * int) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  Pj_index.Corpus.iter
+    (fun doc ->
+      let full = Pj_matching.Match_builder.scan vocab doc query in
+      (* Keep the target list (index 0) plus non-empty content lists. *)
+      if Array.length full.(0) > 0 then begin
+        let kept =
+          full.(0)
+          :: List.filter_map
+               (fun j -> if Array.length full.(j) > 0 then Some full.(j) else None)
+               (List.init (Array.length full - 1) (fun j -> j + 1))
+        in
+        let matched_content = List.length kept - 1 in
+        if matched_content >= 1 then begin
+          let problem = Array.of_list kept in
+          match Pj_core.Best_join.solve ~dedup:true scoring problem with
+          | None -> ()
+          | Some r ->
+              (* Term 0 is the target; its payload is the answer token. *)
+              let word =
+                Pj_text.Vocab.word vocab
+                  r.Pj_core.Naive.matchset.(0).Pj_core.Match0.payload
+              in
+              let score = r.Pj_core.Naive.score in
+              let support = vote ~matched_content score in
+              let sum, docs =
+                match Hashtbl.find_opt table word with
+                | Some entry -> entry
+                | None ->
+                    let entry = (ref 0., ref []) in
+                    Hashtbl.add table word entry;
+                    entry
+              in
+              sum := !sum +. support;
+              docs := (score, doc.Pj_text.Document.id) :: !docs
+        end
+      end)
+    t.corpus;
+  Hashtbl.fold
+    (fun word (sum, docs) acc ->
+      let documents =
+        List.sort (fun (a, _) (b, _) -> compare b a) !docs |> List.map snd
+      in
+      { answer_word = word; support = !sum; documents } :: acc)
+    table []
+  |> List.sort (fun a b ->
+         let c = compare b.support a.support in
+         if c <> 0 then c else compare a.answer_word b.answer_word)
+  |> List.filteri (fun i _ -> i < k)

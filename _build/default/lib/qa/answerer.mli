@@ -1,0 +1,30 @@
+(** Answer extraction over a corpus: the full question-answering loop of
+    the paper's introduction. For each document the weighted proximity
+    best-join finds the best matchset; the target term's matched token is
+    that document's answer candidate; candidates are aggregated across
+    documents by summed matchset score, so an answer supported by several
+    tight, high-quality contexts outranks a lucky singleton. *)
+
+type answer = {
+  answer_word : string;   (** the extracted token for the target term *)
+  support : float;        (** summed best-matchset scores of supporters *)
+  documents : int list;   (** supporting document ids, best first *)
+}
+
+type t
+
+val create :
+  ?graph:Pj_ontology.Graph.t -> Pj_index.Corpus.t -> t
+(** Prepare an answerer over a corpus (default graph: the mini
+    WordNet). Documents are scanned per question; see
+    {!Pj_engine.Searcher} for the index-driven path. *)
+
+val ask :
+  ?scoring:Pj_core.Scoring.t -> ?k:int -> t -> string -> answer list
+(** [ask t question] analyzes the question, runs the join on every
+    document, and returns up to [k] (default 3) aggregated answers,
+    best-supported first. Empty when no document matches every term.
+    Default scoring: MED with the footnote-9 linear instance. *)
+
+val question_of : t -> string -> Question.t * Pj_matching.Query.t
+(** The analysis and query [ask] would use (for inspection). *)

@@ -1,0 +1,115 @@
+type target =
+  | Person
+  | Place
+  | Time
+  | Thing
+
+type t = {
+  text : string;
+  target : target;
+  content_words : string list;
+}
+
+let target_name = function
+  | Person -> "person"
+  | Place -> "place"
+  | Time -> "time"
+  | Thing -> "thing"
+
+(* Words that define the question shape rather than its content. *)
+let question_words =
+  [ "who"; "whom"; "whose"; "where"; "when"; "what"; "which"; "how" ]
+
+let classify tokens =
+  match tokens with
+  | "who" :: _ | "whom" :: _ | "whose" :: _ -> Person
+  | "where" :: _ -> Place
+  | "when" :: _ -> Time
+  | ("what" | "which" | "in") :: rest -> begin
+      (* "what year", "in what city", "which country"... *)
+      let typed = [ "year"; "date"; "day"; "month" ] in
+      let placey = [ "city"; "country"; "place"; "town"; "nation" ] in
+      let rec scan = function
+        | [] -> Thing
+        | w :: _ when List.mem w typed -> Time
+        | w :: _ when List.mem w placey -> Place
+        | w :: rest when List.mem w question_words || Pj_text.Stopwords.mem w ->
+            scan rest
+        | _ -> Thing
+      in
+      scan rest
+    end
+  | _ -> Thing
+
+let content_of tokens =
+  let type_words =
+    [ "year"; "date"; "day"; "month"; "city"; "country"; "place"; "town";
+      "nation" ]
+  in
+  List.filter
+    (fun w ->
+      (not (List.mem w question_words))
+      && (not (Pj_text.Stopwords.mem w))
+      && not (List.mem w type_words))
+    tokens
+
+let analyze text =
+  let tokens = Pj_text.Tokenizer.tokenize text in
+  { text; target = classify tokens; content_words = content_of tokens }
+
+let years = List.init 21 (fun i -> (string_of_int (1990 + i), 1.))
+
+let target_matcher graph q =
+  match q.target with
+  | Place ->
+      (* Gazetteer membership at 1, place-like words via WordNet. *)
+      Pj_matching.Place_matcher.create graph
+  | Time ->
+      Pj_matching.Matcher.disjunction ~name:"time"
+        (Pj_matching.Date_matcher.create ())
+        (Pj_matching.Matcher.of_table ~name:"year" years)
+  | Person ->
+      (* Person-ish lemmas around "person" in the lexicon; real systems
+         would plug in a named-entity recognizer here. *)
+      Pj_matching.Wordnet_matcher.create graph "person"
+  | Thing -> begin
+      match q.content_words with
+      | w :: _ -> Pj_matching.Wordnet_matcher.create graph w
+      | [] -> Pj_matching.Matcher.exact "thing"
+    end
+
+(* Two content words whose WordNet expansions overlap (e.g. "alfred" and
+   "hitchcock") would force every matchset to reuse one token and be
+   killed by duplicate avoidance; keep only the first of any overlapping
+   group. *)
+let disjoint_matchers matchers =
+  let module Sset = Set.Make (String) in
+  let forms m =
+    match m.Pj_matching.Matcher.expansions with
+    | Some e -> Sset.of_list (List.map fst e)
+    | None -> Sset.empty
+  in
+  let rec keep seen = function
+    | [] -> []
+    | m :: rest ->
+        let f = forms m in
+        if Sset.is_empty (Sset.inter f seen) then
+          m :: keep (Sset.union seen f) rest
+        else keep seen rest
+  in
+  keep Sset.empty matchers
+
+let to_query graph q =
+  let content =
+    (* For Thing questions the first content word already serves as the
+       target term. *)
+    match q.target with
+    | Thing -> (match q.content_words with [] -> [] | _ :: rest -> rest)
+    | Person | Place | Time -> q.content_words
+  in
+  let terms =
+    target_matcher graph q
+    :: disjoint_matchers
+         (List.map (Pj_matching.Wordnet_matcher.create graph) content)
+  in
+  Pj_matching.Query.make q.text terms

@@ -1,0 +1,33 @@
+(** Factoid-question analysis: turning a natural-language wh-question
+    into a multi-term proximity query (the paper's motivating use:
+    "who invented dental floss" becomes a typed target term plus content
+    terms).
+
+    The analysis is deliberately simple — a template keyed on the
+    wh-word plus WordNet matchers for the content words — mirroring the
+    paper's "simple matcher" philosophy for the TREC experiment. *)
+
+type target =
+  | Person   (** who *)
+  | Place    (** where; also "what city/country" *)
+  | Time     (** when; also "what year" *)
+  | Thing    (** what/which, untyped *)
+
+type t = {
+  text : string;           (** the original question *)
+  target : target;
+  content_words : string list;
+      (** non-stopword question words, lowercase, in order *)
+}
+
+val analyze : string -> t
+(** Classify the question's target type and extract its content words.
+    Never fails; unknown shapes default to [Thing]. *)
+
+val to_query : Pj_ontology.Graph.t -> t -> Pj_matching.Query.t
+(** Build the proximity query: term 0 matches the target type (place
+    names, dates, person-ish words, or a WordNet expansion of the first
+    content word for [Thing]), the remaining terms are WordNet matchers
+    for the content words. *)
+
+val target_name : target -> string

@@ -1,0 +1,1 @@
+lib/text/document.ml: Array Buffer Stdlib Tokenizer Vocab

@@ -1,0 +1,1 @@
+lib/text/tokenizer.mli:

@@ -1,0 +1,1 @@
+lib/text/vocab.ml: Array Hashtbl Pj_util

@@ -1,0 +1,27 @@
+type t = {
+  id : int;
+  tokens : int array;
+}
+
+let of_tokens vocab ~id tokens = { id; tokens = Vocab.intern_all vocab tokens }
+
+let of_text vocab ~id text = of_tokens vocab ~id (Tokenizer.tokenize_array text)
+
+let length d = Array.length d.tokens
+
+let token_at d loc = d.tokens.(loc)
+
+let words vocab d lo hi =
+  let buf = Buffer.create 64 in
+  for i = lo to hi do
+    if i > lo then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Vocab.word vocab d.tokens.(i))
+  done;
+  Buffer.contents buf
+
+let text vocab d = words vocab d 0 (length d - 1)
+
+let slice vocab d ~lo ~hi =
+  let lo = Stdlib.max 0 lo in
+  let hi = Stdlib.min (length d - 1) hi in
+  if lo > hi then "" else words vocab d lo hi

@@ -1,0 +1,25 @@
+(** Positional documents: a document id plus the sequence of token ids,
+    where the array index of a token is its location. *)
+
+type t = {
+  id : int;
+  tokens : int array;  (** token id at each location *)
+}
+
+val of_text : Vocab.t -> id:int -> string -> t
+(** Tokenize raw text and intern the tokens. *)
+
+val of_tokens : Vocab.t -> id:int -> string array -> t
+(** Intern an already-tokenized sequence. *)
+
+val length : t -> int
+
+val token_at : t -> int -> int
+(** Token id at a location. *)
+
+val text : Vocab.t -> t -> string
+(** Reconstructed space-joined text (for display). *)
+
+val slice : Vocab.t -> t -> lo:int -> hi:int -> string
+(** Space-joined tokens of locations [lo..hi] clamped to the document —
+    used to show matchset windows in examples. *)

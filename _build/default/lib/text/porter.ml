@@ -1,0 +1,230 @@
+(* A faithful transcription of Porter's reference implementation (1980).
+   The word lives in a byte buffer [b]; [k] is the index of its last
+   character and [j] marks the start of a candidate suffix after a
+   successful [ends]. All the classic predicates (cons, m, vowelinstem,
+   doublec, cvc) follow the original definitions. *)
+
+type state = {
+  mutable b : Bytes.t;
+  mutable k : int;  (* index of last character *)
+  mutable j : int;  (* general offset set by [ends] *)
+}
+
+let is_alpha c = c >= 'a' && c <= 'z'
+
+(* cons s i: is b.[i] a consonant? 'y' is a consonant when it starts the
+   word or follows a vowel. *)
+let rec cons s i =
+  match Bytes.get s.b i with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> if i = 0 then true else not (cons s (i - 1))
+  | _ -> true
+
+(* m s: the measure of b[0..j], the number of vowel-consonant sequences.
+   <c>(VC){m}<v> in Porter's notation. *)
+let m s =
+  let n = ref 0 in
+  let i = ref 0 in
+  let result = ref (-1) in
+  (* Skip initial consonants. *)
+  while !result < 0 && !i <= s.j && cons s !i do
+    incr i
+  done;
+  if !i > s.j then result := 0;
+  while !result < 0 do
+    (* Skip vowels. *)
+    while !result < 0 && !i <= s.j && not (cons s !i) do
+      incr i
+    done;
+    if !i > s.j then result := !n
+    else begin
+      incr n;
+      (* Skip consonants. *)
+      while !i <= s.j && cons s !i do
+        incr i
+      done;
+      if !i > s.j then result := !n
+    end
+  done;
+  !result
+
+let vowel_in_stem s =
+  let found = ref false in
+  for i = 0 to s.j do
+    if not (cons s i) then found := true
+  done;
+  !found
+
+(* doublec s i: b[i-1..i] is a double consonant. *)
+let doublec s i =
+  i >= 1 && Bytes.get s.b i = Bytes.get s.b (i - 1) && cons s i
+
+(* cvc s i: b[i-2..i] is consonant-vowel-consonant and the final
+   consonant is not w, x or y (restores an e after e.g. cav(e), lov(e)). *)
+let cvc s i =
+  if i < 2 || not (cons s i) || cons s (i - 1) || not (cons s (i - 2)) then
+    false
+  else begin
+    match Bytes.get s.b i with
+    | 'w' | 'x' | 'y' -> false
+    | _ -> true
+  end
+
+(* ends s suffix: b[0..k] ends with suffix; sets j on success. *)
+let ends s suffix =
+  let len = String.length suffix in
+  if len > s.k + 1 then false
+  else if
+    String.equal (Bytes.sub_string s.b (s.k - len + 1) len) suffix
+  then begin
+    s.j <- s.k - len;
+    true
+  end
+  else false
+
+(* setto s str: replace b[j+1 .. k] with str. *)
+let setto s str =
+  let len = String.length str in
+  Bytes.blit_string str 0 s.b (s.j + 1) len;
+  s.k <- s.j + len
+
+(* r s str: setto when the stem before the suffix has measure > 0. *)
+let r s str = if m s > 0 then setto s str
+
+(* Step 1a: plurals. caresses -> caress, ponies -> poni, cats -> cat. *)
+let step1a s =
+  if Bytes.get s.b s.k = 's' then begin
+    if ends s "sses" then s.k <- s.k - 2
+    else if ends s "ies" then setto s "i"
+    else if s.k >= 1 && Bytes.get s.b (s.k - 1) <> 's' then s.k <- s.k - 1
+  end
+
+(* Step 1b: -eed, -ed, -ing. feed -> feed, agreed -> agree,
+   plastered -> plaster, motoring -> motor, hopping -> hop (undouble),
+   filing <- filed via the -e repair. *)
+let step1b s =
+  if ends s "eed" then begin
+    if m s > 0 then s.k <- s.k - 1
+  end
+  else if (ends s "ed" || ends s "ing") && vowel_in_stem s then begin
+    s.k <- s.j;
+    if ends s "at" then setto s "ate"
+    else if ends s "bl" then setto s "ble"
+    else if ends s "iz" then setto s "ize"
+    else if doublec s s.k then begin
+      s.k <- s.k - 1;
+      match Bytes.get s.b s.k with
+      | 'l' | 's' | 'z' -> s.k <- s.k + 1
+      | _ -> ()
+    end
+    else if m s = 1 && cvc s s.k then setto s "e"
+  end
+
+(* Step 1c: terminal y -> i when there is a vowel in the stem. *)
+let step1c s =
+  if ends s "y" && vowel_in_stem s then Bytes.set s.b s.k 'i'
+
+(* Step 2: double to single suffixes, keyed on the penultimate letter. *)
+let step2 s =
+  if s.k >= 1 then begin
+    match Bytes.get s.b (s.k - 1) with
+    | 'a' ->
+        if ends s "ational" then r s "ate"
+        else if ends s "tional" then r s "tion"
+    | 'c' ->
+        if ends s "enci" then r s "ence"
+        else if ends s "anci" then r s "ance"
+    | 'e' -> if ends s "izer" then r s "ize"
+    | 'l' ->
+        if ends s "abli" then r s "able"
+        else if ends s "alli" then r s "al"
+        else if ends s "entli" then r s "ent"
+        else if ends s "eli" then r s "e"
+        else if ends s "ousli" then r s "ous"
+    | 'o' ->
+        if ends s "ization" then r s "ize"
+        else if ends s "ation" then r s "ate"
+        else if ends s "ator" then r s "ate"
+    | 's' ->
+        if ends s "alism" then r s "al"
+        else if ends s "iveness" then r s "ive"
+        else if ends s "fulness" then r s "ful"
+        else if ends s "ousness" then r s "ous"
+    | 't' ->
+        if ends s "aliti" then r s "al"
+        else if ends s "iviti" then r s "ive"
+        else if ends s "biliti" then r s "ble"
+    | _ -> ()
+  end
+
+(* Step 3: -ic-, -full, -ness etc. *)
+let step3 s =
+  match Bytes.get s.b s.k with
+  | 'e' ->
+      if ends s "icate" then r s "ic"
+      else if ends s "ative" then r s ""
+      else if ends s "alize" then r s "al"
+  | 'i' -> if ends s "iciti" then r s "ic"
+  | 'l' ->
+      if ends s "ical" then r s "ic" else if ends s "ful" then r s ""
+  | 's' -> if ends s "ness" then r s ""
+  | _ -> ()
+
+(* Step 4: strip -ant, -ence, etc. when the measure exceeds 1. *)
+let step4 s =
+  let matched =
+    if s.k < 1 then false
+    else begin
+      match Bytes.get s.b (s.k - 1) with
+      | 'a' -> ends s "al"
+      | 'c' -> ends s "ance" || ends s "ence"
+      | 'e' -> ends s "er"
+      | 'i' -> ends s "ic"
+      | 'l' -> ends s "able" || ends s "ible"
+      | 'n' -> ends s "ant" || ends s "ement" || ends s "ment" || ends s "ent"
+      | 'o' ->
+          (ends s "ion"
+          && s.j >= 0
+          && (Bytes.get s.b s.j = 's' || Bytes.get s.b s.j = 't'))
+          || ends s "ou"
+      | 's' -> ends s "ism"
+      | 't' -> ends s "ate" || ends s "iti"
+      | 'u' -> ends s "ous"
+      | 'v' -> ends s "ive"
+      | 'z' -> ends s "ize"
+      | _ -> false
+    end
+  in
+  if matched && m s > 1 then s.k <- s.j
+
+(* Step 5a: remove a final -e if the measure allows. *)
+let step5a s =
+  s.j <- s.k;
+  if Bytes.get s.b s.k = 'e' then begin
+    let a = m s in
+    if a > 1 || (a = 1 && not (cvc s (s.k - 1))) then s.k <- s.k - 1
+  end
+
+(* Step 5b: -ll -> -l for words like controll. *)
+let step5b s =
+  if Bytes.get s.b s.k = 'l' && doublec s s.k && m s > 1 then
+    s.k <- s.k - 1
+
+let stem word =
+  let n = String.length word in
+  if n <= 2 then word
+  else if not (String.for_all is_alpha word) then word
+  else begin
+    let s = { b = Bytes.of_string word; k = n - 1; j = 0 } in
+    step1a s;
+    if s.k > 0 then begin
+      step1b s;
+      step1c s;
+      step2 s;
+      step3 s;
+      step4 s;
+      step5a s;
+      step5b s
+    end;
+    Bytes.sub_string s.b 0 (s.k + 1)
+  end

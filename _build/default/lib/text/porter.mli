@@ -1,0 +1,11 @@
+(** The Porter stemming algorithm (M. F. Porter, 1980), implemented in
+    full: steps 1a, 1b (with its consonant-doubling and -e repair
+    pass), 1c, 2, 3, 4 and 5a/5b.
+
+    The paper's TREC experiment compares word stems "as returned by a
+    standard Porter's stemmer"; this is that standard stemmer. *)
+
+val stem : string -> string
+(** Stem of a lowercase word. Words of length <= 2 are returned
+    unchanged, as in the reference implementation. Non-alphabetic
+    strings are returned unchanged. *)

@@ -1,0 +1,12 @@
+(** English stopword list.
+
+    Used by the matchers to skip function words when building match
+    lists from documents (a stopword never produces a match unless the
+    query term is itself that stopword, e.g. the "in" term of the
+    paper's TREC queries Q3 and Q4). *)
+
+val mem : string -> bool
+(** Is the lowercase word a stopword? *)
+
+val all : unit -> string list
+(** The full list, for inspection. *)

@@ -1,0 +1,43 @@
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+let is_word_char c = is_letter c || is_digit c || c = '-' || c = '\''
+
+let lowercase = String.lowercase_ascii
+
+(* Trim hyphens/apostrophes from the token edges: "rock-'n'-roll" keeps
+   internal punctuation, "--" disappears. *)
+let trim_edges s =
+  let n = String.length s in
+  let is_edge c = c = '-' || c = '\'' in
+  let i = ref 0 in
+  while !i < n && is_edge s.[!i] do
+    incr i
+  done;
+  let j = ref (n - 1) in
+  while !j >= !i && is_edge s.[!j] do
+    decr j
+  done;
+  if !j < !i then "" else String.sub s !i (!j - !i + 1)
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let start = ref (-1) in
+  let flush stop =
+    if !start >= 0 then begin
+      let raw = String.sub text !start (stop - !start) in
+      let tok = trim_edges (lowercase raw) in
+      if tok <> "" then tokens := tok :: !tokens;
+      start := -1
+    end
+  in
+  for i = 0 to n - 1 do
+    if is_word_char text.[i] then begin
+      if !start < 0 then start := i
+    end
+    else flush i
+  done;
+  flush n;
+  List.rev !tokens
+
+let tokenize_array text = Array.of_list (tokenize text)

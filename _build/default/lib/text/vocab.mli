@@ -1,0 +1,24 @@
+(** String interning: a bidirectional mapping between tokens and dense
+    integer ids.
+
+    The index and the matchers work on token ids; ids also ride in the
+    [payload] field of core matches so that applications can print which
+    token produced a match. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** The id of the token, allocating a fresh one on first sight. *)
+
+val find : t -> string -> int option
+(** The id of the token if it has been interned. *)
+
+val word : t -> int -> string
+(** The token of an id. Raises [Invalid_argument] for unknown ids. *)
+
+val size : t -> int
+(** Number of interned tokens. *)
+
+val intern_all : t -> string array -> int array

@@ -1,0 +1,45 @@
+type discrete = {
+  cumulative : float array; (* strictly increasing, last element = 1. *)
+  probabilities : float array;
+}
+
+let of_weights weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  assert (total > 0.);
+  let n = Array.length weights in
+  let probabilities = Array.map (fun w -> w /. total) weights in
+  let cumulative = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    assert (weights.(i) >= 0.);
+    acc := !acc +. probabilities.(i);
+    cumulative.(i) <- !acc
+  done;
+  cumulative.(n - 1) <- 1.;
+  { cumulative; probabilities }
+
+let sample d rng =
+  let u = Prng.float rng 1. in
+  (* Binary search for the first cumulative value exceeding u. *)
+  let lo = ref 0 and hi = ref (Array.length d.cumulative - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if d.cumulative.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability d i = d.probabilities.(i)
+let support d = Array.length d.probabilities
+
+let zipf ~n ~s =
+  assert (n > 0);
+  of_weights (Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s))
+
+let truncated_exponential ~n ~lambda =
+  assert (n > 0);
+  of_weights (Array.init n (fun i -> exp (-.lambda *. float_of_int (i + 1))))
+
+let categorical_expectation d f =
+  let acc = ref 0. in
+  Array.iteri (fun i p -> acc := !acc +. (p *. f i)) d.probabilities;
+  !acc

@@ -1,0 +1,31 @@
+(** Discrete distributions used by the workload generators of the paper's
+    experimental section (Section VIII). *)
+
+type discrete
+(** A finite discrete distribution over [0 .. n-1]. *)
+
+val of_weights : float array -> discrete
+(** Distribution proportional to the given non-negative weights.
+    Requires at least one strictly positive weight. *)
+
+val sample : discrete -> Prng.t -> int
+(** Draw an index according to the distribution. *)
+
+val probability : discrete -> int -> float
+(** Normalized probability of an index. *)
+
+val support : discrete -> int
+(** Number of outcomes. *)
+
+val zipf : n:int -> s:float -> discrete
+(** Zipf distribution over ranks 1..n mapped to indices 0..n-1:
+    P(k) proportional to 1 / k^s. Used by the paper to skew the relative
+    popularities of query terms. *)
+
+val truncated_exponential : n:int -> lambda:float -> discrete
+(** Distribution over 1..n mapped to indices 0..n-1 with
+    P(tau) proportional to exp(-lambda * tau). Used by the paper to pick
+    the number of co-located matches (duplicate frequency control). *)
+
+val categorical_expectation : discrete -> (int -> float) -> float
+(** Expectation of a function of the outcome index. *)

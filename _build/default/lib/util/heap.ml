@@ -1,0 +1,54 @@
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  data : 'a Vec.t;
+}
+
+let create ~leq = { leq; data = Vec.create () }
+
+let length t = Vec.length t.data
+let is_empty t = Vec.is_empty t.data
+
+let swap t i j =
+  let tmp = Vec.get t.data i in
+  Vec.set t.data i (Vec.get t.data j);
+  Vec.set t.data j tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.leq (Vec.get t.data parent) (Vec.get t.data i) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = Vec.length t.data in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < n && t.leq (Vec.get t.data !largest) (Vec.get t.data l) then
+    largest := l;
+  if r < n && t.leq (Vec.get t.data !largest) (Vec.get t.data r) then
+    largest := r;
+  if !largest <> i then begin
+    swap t i !largest;
+    sift_down t !largest
+  end
+
+let push t x =
+  Vec.push t.data x;
+  sift_up t (Vec.length t.data - 1)
+
+let peek t = if is_empty t then None else Some (Vec.get t.data 0)
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let top = Vec.get t.data 0 in
+    let last = Vec.pop t.data in
+    if not (Vec.is_empty t.data) then begin
+      Vec.set t.data 0 last;
+      sift_down t 0
+    end;
+    Some top
+  end

@@ -1,0 +1,20 @@
+(** Binary max-heaps over an explicit ordering.
+
+    Used by the duplicate handler's best-first branch-and-bound search
+    and available as a general priority queue. *)
+
+type 'a t
+
+val create : leq:('a -> 'a -> bool) -> 'a t
+(** [create ~leq] orders elements by [leq]; [pop] returns a maximal
+    element (one for which no other element is strictly greater). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Maximal element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return a maximal element. *)

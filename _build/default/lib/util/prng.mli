@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the library (workload generators,
+    property tests, benchmarks) draw from this splittable SplitMix64
+    generator so that every experiment is reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a generator from a 63-bit seed. Two generators
+    created from the same seed produce identical streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). Requires [n > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). Requires [x > 0]. *)
+
+val float_open : t -> float
+(** Uniform in the half-open interval (0, 1]: never returns 0, as the
+    paper draws individual match scores from (0, 1]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

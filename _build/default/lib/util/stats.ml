@@ -1,0 +1,63 @@
+let mean a =
+  assert (Array.length a > 0);
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else begin
+    let m = mean a in
+    let acc = ref 0. in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) a;
+    !acc /. float_of_int (n - 1)
+  end
+
+let stdev a = sqrt (variance a)
+
+let coefficient_of_variation a =
+  let m = mean a in
+  if m = 0. then 0. else stdev a /. m
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let median a =
+  assert (Array.length a > 0);
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.
+
+let min_max a =
+  assert (Array.length a > 0);
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0))
+    a
+
+let percentile a p =
+  assert (Array.length a > 0 && p >= 0. && p <= 100.);
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n = 1 then b.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+  end
+
+let histogram a ~bins =
+  assert (bins > 0 && Array.length a > 0);
+  let lo, hi = min_max a in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = Stdlib.min i (bins - 1) in
+      counts.(i) <- counts.(i) + 1)
+    a;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts

@@ -1,0 +1,28 @@
+(** Summary statistics for the experiment harness (mean execution times,
+    coefficients of variation as reported in Section VIII). *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val variance : float array -> float
+(** Sample variance (divides by n-1); 0 for singleton arrays. *)
+
+val stdev : float array -> float
+(** Sample standard deviation. *)
+
+val coefficient_of_variation : float array -> float
+(** stdev / mean; the dispersion measure the paper reports (5.7% average). *)
+
+val median : float array -> float
+(** Median (average of the two central elements for even sizes).
+    Does not mutate its argument. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest elements. Requires a non-empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for p in [0,100], nearest-rank with linear
+    interpolation. Does not mutate its argument. *)
+
+val histogram : float array -> bins:int -> (float * int) array
+(** Equal-width histogram; returns (bin lower bound, count) pairs. *)

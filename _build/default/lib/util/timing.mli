@@ -1,0 +1,24 @@
+(** Wall-clock measurement for the experiment harness.
+
+    The paper measures wall-clock time of each algorithm over a document
+    set, excluding match-list generation, and reports coefficients of
+    variation over repetitions; this module provides exactly that
+    protocol. *)
+
+val now : unit -> float
+(** Monotonic-enough wall clock in seconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Run a thunk and return its result together with the elapsed seconds. *)
+
+type measurement = {
+  mean_s : float;       (** mean elapsed seconds over repetitions *)
+  stdev_s : float;
+  cov : float;          (** coefficient of variation, as in Section VIII *)
+  repetitions : int;
+}
+
+val measure : ?repetitions:int -> (unit -> unit) -> measurement
+(** Run the thunk [repetitions] times (default 3) and summarize. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

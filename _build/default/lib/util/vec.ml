@@ -1,0 +1,72 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t elt =
+  let cap = Array.length t.data in
+  let new_cap = if cap = 0 then 8 else 2 * cap in
+  let data = Array.make new_cap elt in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let push t x =
+  if t.size = Array.length t.data then grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then invalid_arg "Vec.pop: empty";
+  t.size <- t.size - 1;
+  t.data.(t.size)
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Vec.get: index out of bounds";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.size then invalid_arg "Vec.set: index out of bounds";
+  t.data.(i) <- x
+
+let last t =
+  if t.size = 0 then invalid_arg "Vec.last: empty";
+  t.data.(t.size - 1)
+
+let clear t = t.size <- 0
+
+let to_array t = Array.sub t.data 0 t.size
+
+let of_array a = { data = Array.copy a; size = Array.length a }
+
+let to_list t = Array.to_list (to_array t)
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.size - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.size && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.size

@@ -1,0 +1,37 @@
+(** Growable arrays (OCaml 5.1 predates stdlib [Dynarray]).
+
+    Used pervasively for building match lists and posting lists whose
+    sizes are not known in advance. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append at the end; amortized O(1). *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element. Raises [Invalid_argument] when
+    empty. *)
+
+val get : 'a t -> int -> 'a
+(** Bounds-checked access. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val last : 'a t -> 'a
+(** Last element. Raises [Invalid_argument] when empty. *)
+
+val clear : 'a t -> unit
+(** Remove every element, retaining the allocated capacity. *)
+
+val to_array : 'a t -> 'a array
+val of_array : 'a array -> 'a t
+val to_list : 'a t -> 'a list
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val sort : ('a -> 'a -> int) -> 'a t -> unit

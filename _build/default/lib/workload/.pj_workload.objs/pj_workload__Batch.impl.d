@@ -1,0 +1,1 @@
+lib/workload/batch.ml: Array Pj_core Pj_util Ranker

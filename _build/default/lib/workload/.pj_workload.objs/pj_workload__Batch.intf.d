@@ -1,0 +1,1 @@
+lib/workload/batch.mli: Pj_core Ranker

@@ -1,0 +1,1 @@
+lib/workload/dbworld_sim.ml: Array List Pj_core Pj_index Pj_matching Pj_ontology Pj_text Pj_util Stdlib Textgen

@@ -1,0 +1,1 @@
+lib/workload/dbworld_sim.mli: Pj_core Pj_index Pj_matching

@@ -1,0 +1,1 @@
+lib/workload/ranker.ml: Array Format Pj_core

@@ -1,0 +1,1 @@
+lib/workload/ranker.mli: Format Pj_core

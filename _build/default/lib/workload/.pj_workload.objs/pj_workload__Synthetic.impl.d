@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Hashtbl List Pj_core Pj_util Stdlib

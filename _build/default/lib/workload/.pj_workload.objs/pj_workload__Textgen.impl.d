@@ -1,0 +1,1 @@
+lib/workload/textgen.ml: Buffer Float Pj_util String

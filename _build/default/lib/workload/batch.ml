@@ -1,0 +1,26 @@
+let solve_all ?domains ?(dedup = true) scoring problems =
+  Pj_util.Parallel.map_array ?domains
+    (fun p -> Pj_core.Best_join.solve ~dedup scoring p)
+    problems
+
+let rank ?domains ?(dedup = true) scoring docs =
+  let solved =
+    Pj_util.Parallel.map_array ?domains
+      (fun (doc_id, problem) ->
+        {
+          Ranker.doc_id;
+          result = Pj_core.Best_join.solve ~dedup scoring problem;
+        })
+      docs
+  in
+  let score (r : Ranker.ranked) =
+    match r.Ranker.result with
+    | Some x -> x.Pj_core.Naive.score
+    | None -> neg_infinity
+  in
+  Array.sort
+    (fun a b ->
+      let c = compare (score b) (score a) in
+      if c <> 0 then c else compare a.Ranker.doc_id b.Ranker.doc_id)
+    solved;
+  solved

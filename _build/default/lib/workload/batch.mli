@@ -1,0 +1,21 @@
+(** Multicore batch solving: a document collection's problems are
+    independent, so the overall-best join parallelizes trivially across
+    domains. *)
+
+val solve_all :
+  ?domains:int ->
+  ?dedup:bool ->
+  Pj_core.Scoring.t ->
+  Pj_core.Match_list.problem array ->
+  Pj_core.Naive.result option array
+(** [Best_join.solve] over every problem, in document order, chunked
+    across domains (default {!Pj_util.Parallel.recommended_domains};
+    [dedup] defaults to true). *)
+
+val rank :
+  ?domains:int ->
+  ?dedup:bool ->
+  Pj_core.Scoring.t ->
+  (int * Pj_core.Match_list.problem) array ->
+  Ranker.ranked array
+(** Parallel counterpart of {!Ranker.rank}: identical output. *)

@@ -1,0 +1,250 @@
+type message = {
+  doc_id : int;
+  is_cfp : bool;
+  is_extension : bool;
+  event_city : string;
+  event_country : string;
+  event_month : string;
+  event_year : string;
+}
+
+type case = {
+  corpus : Pj_index.Corpus.t;
+  query : Pj_matching.Query.t;
+  messages : message array;
+  problems : (int * Pj_core.Match_list.problem) array;
+}
+
+let conference_words = [| "conference"; "workshop"; "symposium"; "meeting" |]
+let topic_fillers = 12 (* nonsense topic tokens per topics block *)
+
+let push_words vec words =
+  List.iter (fun w -> Pj_util.Vec.push vec w) words
+
+let push_filler vec rng n =
+  for _ = 1 to n do
+    Pj_util.Vec.push vec (Textgen.random_filler rng)
+  done
+
+let month_for rng = Pj_util.Prng.choose rng
+    [| "january"; "february"; "march"; "april"; "june"; "july";
+       "september"; "october"; "november"; "december" |]
+
+(* Event months exclude "august", the month used by the extension-trap
+   deadline, so the first-date heuristic is genuinely wrong on traps. *)
+let event_month_for = month_for
+
+let day_for rng = string_of_int (1 + Pj_util.Prng.int rng 28)
+
+let deadline_line vec rng label =
+  push_words vec [ label; "submission" ];
+  push_words vec [ day_for rng; month_for rng; "2008" ]
+
+(* One program-committee entry: a name plus a place-heavy affiliation. *)
+let pc_entry vec rng =
+  push_filler vec rng 2;
+  (* family and given nonsense names *)
+  push_words vec [ "university"; "of" ];
+  Pj_util.Vec.push vec
+    (Pj_util.Prng.choose rng (Array.of_list (Pj_ontology.Gazetteer.cities ())));
+  Pj_util.Vec.push vec
+    (Pj_util.Prng.choose rng
+       (Array.of_list (Pj_ontology.Gazetteer.countries ())))
+
+let cfp_tokens rng ~is_extension ~loose_venue msg =
+  let vec = Pj_util.Vec.create () in
+  push_words vec [ "call"; "for"; "papers" ];
+  if is_extension then begin
+    (* The trap: the first date in the message is the extended deadline,
+       not the event date (footnote 12). *)
+    push_words vec [ "deadline"; "extension"; "the"; "submission";
+                     "deadline"; "has"; "been"; "extended"; "to" ];
+    push_words vec [ day_for rng; "august"; "2008" ];
+    push_filler vec rng 6
+  end;
+  push_words vec [ "the"; "international"; "conference"; "on" ];
+  push_filler vec rng 3;
+  (* The venue sentence: the answer cluster. *)
+  push_words vec [ "will"; "be"; "held"; "in" ];
+  Pj_util.Vec.push vec msg.event_city;
+  Pj_util.Vec.push vec msg.event_country;
+  if loose_venue then push_filler vec rng 9;
+  push_words vec [ "on"; day_for rng; msg.event_month; msg.event_year ];
+  push_filler vec rng 6;
+  (* Topics block with a few conference-ish mentions. *)
+  push_words vec [ "topics"; "of"; "interest"; "include" ];
+  for _ = 1 to topic_fillers do
+    Pj_util.Vec.push vec (Textgen.random_filler rng)
+  done;
+  push_words vec [ "co-located" ];
+  Pj_util.Vec.push vec (Pj_util.Prng.choose rng conference_words);
+  push_filler vec rng 3;
+  Pj_util.Vec.push vec (Pj_util.Prng.choose rng conference_words);
+  push_filler vec rng 5;
+  (* Important dates. *)
+  push_words vec [ "important"; "dates" ];
+  deadline_line vec rng "abstract";
+  deadline_line vec rng "paper";
+  deadline_line vec rng "demo";
+  push_words vec [ "notification" ];
+  push_words vec [ day_for rng; month_for rng; "2008" ];
+  push_words vec [ "camera"; "ready" ];
+  push_words vec [ day_for rng; month_for rng; "2008" ];
+  push_filler vec rng 4;
+  (* More conference mentions in the program section. *)
+  push_words vec [ "the" ];
+  Pj_util.Vec.push vec (Pj_util.Prng.choose rng conference_words);
+  push_words vec [ "program"; "features" ];
+  push_filler vec rng 6;
+  for _ = 1 to 6 do
+    Pj_util.Vec.push vec (Pj_util.Prng.choose rng conference_words);
+    push_filler vec rng 4
+  done;
+  (* Program committee: the place flood. *)
+  push_words vec [ "program"; "committee" ];
+  let n_pc = 22 + Pj_util.Prng.int rng 5 in
+  for _ = 1 to n_pc do
+    pc_entry vec rng
+  done;
+  push_filler vec rng 5;
+  Pj_util.Vec.to_array vec
+
+(* Non-CFP DBWorld traffic: job ads and the like — a couple of dates and
+   places but no meeting announcement. *)
+let other_tokens rng =
+  let vec = Pj_util.Vec.create () in
+  push_words vec [ "job"; "opening"; "at"; "the"; "university"; "of" ];
+  Pj_util.Vec.push vec
+    (Pj_util.Prng.choose rng (Array.of_list (Pj_ontology.Gazetteer.cities ())));
+  push_filler vec rng 40;
+  push_words vec [ "apply"; "before"; day_for rng; month_for rng; "2008" ];
+  push_filler vec rng 30;
+  Pj_util.Vec.to_array vec
+
+let build_query () =
+  (* The paper's matcher setup: conference|workshop via WordNet with an
+     added conference--workshop edge (direct neighbors score 0.7); a
+     simple date matcher; gazetteer places with an added
+     university--place edge. *)
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  Pj_ontology.Graph.add_edge graph "conference" "workshop";
+  Pj_ontology.Graph.add_edge graph "university" "place";
+  let conference =
+    Pj_matching.Wordnet_matcher.create ~radius:1 graph "conference"
+  in
+  let conference =
+    { conference with Pj_matching.Matcher.name = "conference|workshop" }
+  in
+  Pj_matching.Query.make "dbworld"
+    [ conference; Pj_matching.Date_matcher.create ();
+      Pj_matching.Place_matcher.create graph ]
+
+let generate ?(seed = 624) ?(n_cfps = 25) ?(n_other = 13) () =
+  let rng = Pj_util.Prng.create seed in
+  let query = build_query () in
+  let corpus = Pj_index.Corpus.create () in
+  let messages = Pj_util.Vec.create () in
+  let n_extensions = Stdlib.min 7 n_cfps in
+  let cities = Array.of_list (Pj_ontology.Gazetteer.cities ()) in
+  let countries = Array.of_list (Pj_ontology.Gazetteer.countries ()) in
+  for i = 0 to n_cfps - 1 do
+    let is_extension = i < n_extensions in
+    let msg =
+      {
+        doc_id = i;
+        is_cfp = true;
+        is_extension;
+        event_city = Pj_util.Prng.choose rng cities;
+        event_country = Pj_util.Prng.choose rng countries;
+        event_month = event_month_for rng;
+        event_year = "2009";
+      }
+    in
+    (* One extension message gets a loose venue sentence: the hard case
+       where even the proximity join extracts only a partial answer. *)
+    let loose_venue = is_extension && i = 0 in
+    let tokens = cfp_tokens rng ~is_extension ~loose_venue msg in
+    ignore (Pj_index.Corpus.add_tokens corpus tokens);
+    Pj_util.Vec.push messages msg
+  done;
+  for i = 0 to n_other - 1 do
+    let msg =
+      {
+        doc_id = n_cfps + i;
+        is_cfp = false;
+        is_extension = false;
+        event_city = ""; event_country = "";
+        event_month = ""; event_year = "";
+      }
+    in
+    ignore (Pj_index.Corpus.add_tokens corpus (other_tokens rng));
+    Pj_util.Vec.push messages msg
+  done;
+  let vocab = Pj_index.Corpus.vocab corpus in
+  let problems =
+    Array.init n_cfps (fun doc_id ->
+        let doc = Pj_index.Corpus.document corpus doc_id in
+        (doc_id, Pj_matching.Match_builder.scan vocab doc query))
+  in
+  { corpus; query; messages = Pj_util.Vec.to_array messages; problems }
+
+type extraction = {
+  date_correct : bool;
+  place_correct : bool;
+}
+
+let evaluate case solver =
+  let vocab = Pj_index.Corpus.vocab case.corpus in
+  Array.map
+    (fun (doc_id, problem) ->
+      let msg = case.messages.(doc_id) in
+      match solver problem with
+      | None -> (msg, None)
+      | Some r ->
+          let word j =
+            Pj_text.Vocab.word vocab
+              r.Pj_core.Naive.matchset.(j).Pj_core.Match0.payload
+          in
+          (* Term order: conference|workshop, date, place. *)
+          let date = word 1 and place = word 2 in
+          ( msg,
+            Some
+              {
+                date_correct =
+                  date = msg.event_month || date = msg.event_year;
+                place_correct =
+                  place = msg.event_city || place = msg.event_country;
+              } ))
+    case.problems
+
+let first_date_heuristic case =
+  let vocab = Pj_index.Corpus.vocab case.corpus in
+  Array.map
+    (fun (doc_id, _) ->
+      let msg = case.messages.(doc_id) in
+      let doc = Pj_index.Corpus.document case.corpus doc_id in
+      let found = ref None in
+      Array.iter
+        (fun tok ->
+          if !found = None then begin
+            let w = Pj_text.Vocab.word vocab tok in
+            if Pj_ontology.Date_lex.is_date_token w then found := Some w
+          end)
+        doc.Pj_text.Document.tokens;
+      let correct =
+        match !found with
+        | Some w -> w = msg.event_month || w = msg.event_year
+        | None -> false
+      in
+      (msg, correct))
+    case.problems
+
+let average_list_sizes case =
+  let n = Pj_matching.Query.n_terms case.query in
+  let sums = Array.make n 0 in
+  Array.iter
+    (fun (_, p) ->
+      Array.iteri (fun j l -> sums.(j) <- sums.(j) + Array.length l) p)
+    case.problems;
+  let docs = float_of_int (Array.length case.problems) in
+  Array.map (fun s -> float_of_int s /. docs) sums

@@ -1,0 +1,62 @@
+(** Simulated DBWorld call-for-papers workload (Section VIII).
+
+    The paper collected 38 DBWorld messages (25 of them CFPs) and ran
+    the query (conference-or-workshop, date, place) to extract each
+    meeting's date and location. Generated messages reproduce the
+    documented structure:
+    - a title and a venue sentence "...will be held in CITY COUNTRY on
+      DAY MONTH YEAR" — the answer cluster;
+    - an important-dates block with many deadline dates (matching the
+      ~13 date matches per message);
+    - a program-committee list whose affiliations mention dozens of
+      cities and countries (matching the ~73 place matches per message);
+    - 7 of the 25 CFPs are deadline-extension messages whose first date
+      is the new deadline, the trap that defeats the first-date
+      heuristic (footnote 12).
+
+    Matchers follow the paper: the conference term is WordNet-based with
+    a [conference -- workshop] edge added, scoring direct neighbors 0.7;
+    dates by month/year lexicon at score 1; places by gazetteer at score
+    1 or WordNet neighbors of "place" at 0.7, with a
+    [university -- place] edge added. *)
+
+type message = {
+  doc_id : int;
+  is_cfp : bool;
+  is_extension : bool;  (** first date is a new deadline, not the event's *)
+  event_city : string;
+  event_country : string;
+  event_month : string;
+  event_year : string;
+}
+
+type case = {
+  corpus : Pj_index.Corpus.t;
+  query : Pj_matching.Query.t;
+  messages : message array;  (** one per document *)
+  problems : (int * Pj_core.Match_list.problem) array;
+      (** match lists for the CFP documents only, as the paper runs the
+          query on the 25 CFPs *)
+}
+
+val generate : ?seed:int -> ?n_cfps:int -> ?n_other:int -> unit -> case
+(** Default 25 CFPs (7 with deadline extensions) + 13 other messages. *)
+
+type extraction = {
+  date_correct : bool;   (** extracted date token is the event's month/year *)
+  place_correct : bool;  (** extracted place token is the event's city/country *)
+}
+
+val evaluate :
+  case -> (Pj_core.Match_list.problem -> Pj_core.Naive.result option) ->
+  (message * extraction option) array
+(** Run a solver on every CFP and judge the extracted matchset against
+    the ground truth ([None] when the solver returns no matchset). *)
+
+val first_date_heuristic : case -> (message * bool) array
+(** The strawman of footnote 12: take the first date token of each CFP
+    as the event date; the boolean says whether it is correct. *)
+
+val average_list_sizes : case -> float array
+(** Mean match-list sizes over the CFPs — the paper reports
+    (13.2, 12.7, 73.5). *)

@@ -1,0 +1,52 @@
+type ranked = {
+  doc_id : int;
+  result : Pj_core.Naive.result option;
+}
+
+let rank ?(dedup = true) scoring docs =
+  let solved =
+    Array.map
+      (fun (doc_id, problem) ->
+        { doc_id; result = Pj_core.Best_join.solve ~dedup scoring problem })
+      docs
+  in
+  let score r =
+    match r.result with
+    | Some x -> x.Pj_core.Naive.score
+    | None -> neg_infinity
+  in
+  let order a b =
+    let c = compare (score b) (score a) in
+    if c <> 0 then c else compare a.doc_id b.doc_id
+  in
+  Array.sort order solved;
+  solved
+
+type answer_rank = {
+  rank : int;
+  ties : int;
+}
+
+let answer_rank_of ranked ~doc_id =
+  let target = ref None in
+  Array.iter
+    (fun r -> if r.doc_id = doc_id then target := r.result)
+    ranked;
+  match !target with
+  | None -> None
+  | Some answer ->
+      let s = answer.Pj_core.Naive.score in
+      let higher = ref 0 and ties = ref 0 in
+      Array.iter
+        (fun r ->
+          match r.result with
+          | None -> ()
+          | Some x ->
+              if x.Pj_core.Naive.score > s then incr higher
+              else if x.Pj_core.Naive.score = s then incr ties)
+        ranked;
+      Some { rank = !higher + 1; ties = !ties }
+
+let pp_answer_rank ppf r =
+  if r.ties <= 1 then Format.fprintf ppf "%d" r.rank
+  else Format.fprintf ppf "%d(%d)" r.rank r.ties

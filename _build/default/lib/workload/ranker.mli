@@ -1,0 +1,33 @@
+(** Document ranking by overall-best-matchset score, and the answer-rank
+    measure of the paper's TREC experiment (Figure 12): "the rank of a
+    document in which the best matchset found is the correct answer",
+    with the number of documents tied at that rank. *)
+
+type ranked = {
+  doc_id : int;
+  result : Pj_core.Naive.result option;
+      (** best (valid) matchset in the document, [None] when some match
+          list is empty *)
+}
+
+val rank :
+  ?dedup:bool ->
+  Pj_core.Scoring.t ->
+  (int * Pj_core.Match_list.problem) array ->
+  ranked array
+(** Solve every document with the fast algorithm for the scoring family
+    ([dedup] defaults to true, as the paper's experiments always apply
+    the Section VI handler) and sort by descending best score; documents
+    with no matchset rank last (stable among themselves). *)
+
+type answer_rank = {
+  rank : int;   (** 1 + number of documents with strictly higher score *)
+  ties : int;   (** number of documents sharing the answer's score *)
+}
+
+val answer_rank_of : ranked array -> doc_id:int -> answer_rank option
+(** Rank of a document in a [rank] output; [None] when the document has
+    no matchset or is absent. *)
+
+val pp_answer_rank : Format.formatter -> answer_rank -> unit
+(** "1" or "2(3)" in the style of Figure 12. *)

@@ -1,0 +1,80 @@
+type params = {
+  n_terms : int;
+  total_matches : int;
+  lambda : float;
+  zipf_s : float;
+  doc_length : int;
+}
+
+let default =
+  { n_terms = 4; total_matches = 30; lambda = 2.0; zipf_s = 1.1;
+    doc_length = 1000 }
+
+let validate p =
+  if p.n_terms < 1 then invalid_arg "Synthetic: n_terms < 1";
+  if p.total_matches < 0 then invalid_arg "Synthetic: negative total_matches";
+  if p.doc_length < 1 then invalid_arg "Synthetic: doc_length < 1";
+  if p.total_matches > p.doc_length * p.n_terms then
+    invalid_arg "Synthetic: more matches than available slots"
+
+(* Sample [k] distinct term indices according to the Zipf popularity,
+   by repeated draws with rejection (k <= n_terms is tiny). *)
+let distinct_terms zipf rng k n_terms =
+  let chosen = Array.make n_terms false in
+  let out = ref [] in
+  let count = ref 0 in
+  while !count < k do
+    let t = Pj_util.Dist.sample zipf rng in
+    if not chosen.(t) then begin
+      chosen.(t) <- true;
+      out := t :: !out;
+      incr count
+    end
+  done;
+  !out
+
+let generate p rng =
+  validate p;
+  let zipf = Pj_util.Dist.zipf ~n:p.n_terms ~s:p.zipf_s in
+  let tau_dist =
+    Pj_util.Dist.truncated_exponential ~n:p.n_terms ~lambda:p.lambda
+  in
+  let lists = Array.init p.n_terms (fun _ -> Pj_util.Vec.create ()) in
+  let used = Hashtbl.create p.total_matches in
+  let placed = ref 0 in
+  while !placed < p.total_matches do
+    (* A fresh random location. *)
+    let loc = ref (Pj_util.Prng.int rng p.doc_length) in
+    while Hashtbl.mem used !loc do
+      loc := Pj_util.Prng.int rng p.doc_length
+    done;
+    Hashtbl.add used !loc ();
+    let tau = 1 + Pj_util.Dist.sample tau_dist rng in
+    let tau = Stdlib.min tau (p.total_matches - !placed) in
+    let terms = distinct_terms zipf rng tau p.n_terms in
+    List.iter
+      (fun t ->
+        Pj_util.Vec.push lists.(t)
+          (Pj_core.Match0.make ~loc:!loc
+             ~score:(Pj_util.Prng.float_open rng)
+             ()))
+      terms;
+    placed := !placed + tau
+  done;
+  Array.map
+    (fun v -> Pj_core.Match_list.of_unsorted (Pj_util.Vec.to_array v))
+    lists
+
+let generate_batch ?(seed = 2009) ?(n_docs = 500) p =
+  let rng = Pj_util.Prng.create seed in
+  Array.init n_docs (fun _ -> generate p (Pj_util.Prng.split rng))
+
+let expected_duplicate_fraction p =
+  let tau_dist =
+    Pj_util.Dist.truncated_exponential ~n:p.n_terms ~lambda:p.lambda
+  in
+  let e_tau =
+    Pj_util.Dist.categorical_expectation tau_dist (fun i -> float_of_int (i + 1))
+  in
+  let p1 = Pj_util.Dist.probability tau_dist 0 in
+  (e_tau -. p1) /. e_tau

@@ -1,0 +1,44 @@
+(** The synthetic workload generator of Section VIII.
+
+    Generates match-list problem instances directly, with the paper's
+    control knobs:
+    - [n_terms]: number of query terms (default 4);
+    - [total_matches]: total size of the match lists per document
+      (default 30);
+    - [lambda]: at each match location, the number tau of co-located
+      matches across lists is drawn from a truncated exponential
+      [p (tau) proportional to exp (-lambda tau)], tau in [1, n_terms] —
+      larger lambda means fewer duplicates (default 2.0, which yields a
+      little under 24% duplicates at 4 terms, matching the paper);
+    - [zipf_s]: the relative popularity of query terms follows a Zipf
+      distribution with exponent [s] (default 1.1) — larger s skews the
+      match-list sizes;
+    - [doc_length]: number of candidate locations (default 1000);
+    - match locations are chosen uniformly at random and individual
+      match scores uniformly from (0, 1]. *)
+
+type params = {
+  n_terms : int;
+  total_matches : int;
+  lambda : float;
+  zipf_s : float;
+  doc_length : int;
+}
+
+val default : params
+(** The paper's defaults: 4 terms, 30 matches, lambda 2.0, s 1.1,
+    1000-word documents. *)
+
+val generate : params -> Pj_util.Prng.t -> Pj_core.Match_list.problem
+(** One document's match lists. Every list is sorted; the total size is
+    exactly [total_matches] (when [total_matches <= doc_length *
+    n_terms]; locations are not reused). *)
+
+val generate_batch :
+  ?seed:int -> ?n_docs:int -> params -> Pj_core.Match_list.problem array
+(** A document collection (default 500 documents, the paper's setting). *)
+
+val expected_duplicate_fraction : params -> float
+(** Analytic duplicate frequency implied by [lambda] and [n_terms]:
+    (E tau - P(tau = 1)) / E tau. Lambda 2.0 at 4 terms gives roughly
+    0.25; the paper reports "a little less than 24%". *)

@@ -1,0 +1,17 @@
+let filler_token i =
+  let letters = "abcdefghijklmnopqrstuvwxyz" in
+  let buf = Buffer.create 8 in
+  Buffer.add_string buf "zz";
+  let rec go n =
+    Buffer.add_char buf letters.[n mod 26];
+    if n >= 26 then go (n / 26)
+  in
+  go i;
+  Buffer.contents buf
+
+let random_filler rng = filler_token (Pj_util.Prng.int rng 400)
+
+let poissonish rng rate =
+  let base = int_of_float (Float.floor rate) in
+  let frac = rate -. Float.floor rate in
+  base + (if Pj_util.Prng.float rng 1. < frac then 1 else 0)

@@ -1,0 +1,12 @@
+(** Small helpers shared by the corpus generators. *)
+
+val filler_token : int -> string
+(** Letter-only nonsense token ("zz..."): never in any lexicon, never
+    numeric, and safe from stem collisions with real vocabulary. *)
+
+val random_filler : Pj_util.Prng.t -> string
+(** A filler token drawn from a 400-token pool. *)
+
+val poissonish : Pj_util.Prng.t -> float -> int
+(** Integer draw with the given mean: floor(rate) plus a Bernoulli on
+    the fractional part. *)

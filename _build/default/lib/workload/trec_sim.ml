@@ -1,0 +1,249 @@
+type term_kind =
+  | Concept of string * string list
+  | Year
+  | Date
+  | City
+  | Country
+  | Exact of string
+
+type term_spec = {
+  term_name : string;
+  kind : term_kind;
+  rate : float;
+  answer : string;
+}
+
+type spec = {
+  id : string;
+  question : string;
+  terms : term_spec list;
+}
+
+type case = {
+  spec : spec;
+  query : Pj_matching.Query.t;
+  corpus : Pj_index.Corpus.t;
+  answer_doc : int;
+  problems : (int * Pj_core.Match_list.problem) array;
+}
+
+let years = List.init 21 (fun i -> string_of_int (1990 + i))
+
+let specs () =
+  [
+    {
+      id = "Q1";
+      question = "Leaning Tower of Pisa began to be built in what year?";
+      terms =
+        [
+          { term_name = "leaning-tower-of-pisa";
+            kind = Concept ("pisa", [ "pisa"; "tower"; "italy"; "monument" ]);
+            rate = 2.9; answer = "pisa" };
+          { term_name = "began";
+            kind = Concept ("began", [ "began"; "begin"; "start"; "launch" ]);
+            rate = 0.2; answer = "began" };
+          { term_name = "build";
+            kind =
+              Concept
+                ("build",
+                 (* "building" is kept rare: its stem also falls in the
+                    pisa expansion, so it is the natural source of Q1's
+                    duplicate matches (Fig. 12 reports 0.6 per doc). *)
+                 [ "built"; "construct"; "construction"; "constructed";
+                   "erect"; "erected"; "building" ]);
+            rate = 8.3; answer = "built" };
+          { term_name = "year"; kind = Year; rate = 3.7; answer = "1990" };
+        ];
+    };
+    {
+      id = "Q2";
+      question = "What school and in what year did Hugo Chavez graduate from?";
+      terms =
+        [
+          { term_name = "chavez";
+            kind = Concept ("chavez", [ "chavez"; "hugo"; "president" ]);
+            rate = 6.7; answer = "chavez" };
+          { term_name = "graduate";
+            kind =
+              Concept
+                ("graduate",
+                 [ "graduate"; "graduated"; "graduation"; "degree"; "diploma" ]);
+            rate = 5.2; answer = "graduated" };
+          { term_name = "school";
+            kind =
+              Concept
+                ("school",
+                 [ "school"; "academy"; "college"; "university"; "institution" ]);
+            rate = 4.3; answer = "academy" };
+          { term_name = "year"; kind = Year; rate = 4.6; answer = "1994" };
+        ];
+    };
+    {
+      id = "Q3";
+      question = "In what city is the Lebanese parliament located?";
+      terms =
+        [
+          { term_name = "lebanese-parliament";
+            kind =
+              Concept
+                ("parliament", [ "parliament"; "legislature"; "assembly" ]);
+            rate = 0.1; answer = "parliament" };
+          { term_name = "in"; kind = Exact "in"; rate = 11.9; answer = "in" };
+          { term_name = "city"; kind = City; rate = 4.1; answer = "beirut" };
+        ];
+    };
+    {
+      id = "Q4";
+      question = "In what country was Stonehenge built?";
+      terms =
+        [
+          { term_name = "country"; kind = Country; rate = 11.4;
+            answer = "england" };
+          { term_name = "stonehenge";
+            kind = Concept ("stonehenge", [ "stonehenge" ]);
+            rate = 0.04; answer = "stonehenge" };
+          { term_name = "in"; kind = Exact "in"; rate = 11.5; answer = "in" };
+        ];
+    };
+    {
+      id = "Q5";
+      question = "When did Prince Edward marry?";
+      terms =
+        [
+          { term_name = "prince-edward";
+            kind = Concept ("edward", [ "edward"; "prince"; "royal" ]);
+            rate = 3.4; answer = "edward" };
+          { term_name = "marry";
+            kind =
+              Concept
+                ("marry", [ "marry"; "married"; "marriage"; "wedding"; "wed" ]);
+            rate = 2.1; answer = "married" };
+          { term_name = "date"; kind = Date; rate = 18.2; answer = "june" };
+        ];
+    };
+    {
+      id = "Q6";
+      question = "Where was Alfred Hitchcock born?";
+      terms =
+        [
+          { term_name = "alfred-hitchcock";
+            kind = Concept ("hitchcock", [ "hitchcock"; "alfred"; "director" ]);
+            rate = 3.6; answer = "hitchcock" };
+          { term_name = "born";
+            kind = Concept ("born", [ "born"; "birth"; "birthplace"; "native" ]);
+            rate = 0.1; answer = "born" };
+          { term_name = "city"; kind = City; rate = 8.4; answer = "london" };
+        ];
+    };
+    {
+      id = "Q7";
+      question = "Where is the IMF headquartered?";
+      terms =
+        [
+          { term_name = "imf"; kind = Concept ("imf", [ "imf"; "fund" ]);
+            rate = 7.5; answer = "imf" };
+          { term_name = "headquarters";
+            kind =
+              Concept
+                ("headquarters",
+                 [ "headquarters"; "headquarter"; "base"; "office" ]);
+            rate = 1.0; answer = "headquarters" };
+          { term_name = "city"; kind = City; rate = 2.4; answer = "washington" };
+        ];
+    };
+  ]
+
+let find_spec id =
+  match List.find_opt (fun s -> s.id = id) (specs ()) with
+  | Some s -> s
+  | None -> raise Not_found
+
+(* --- matcher construction ------------------------------------------- *)
+
+let matcher_of_kind graph term =
+  match term.kind with
+  | Concept (lemma, _) ->
+      let m = Pj_matching.Wordnet_matcher.create graph lemma in
+      { m with Pj_matching.Matcher.name = term.term_name }
+  | Year ->
+      Pj_matching.Matcher.of_table ~name:term.term_name
+        (List.map (fun y -> (y, 1.)) years)
+  | Date ->
+      { (Pj_matching.Date_matcher.create ()) with
+        Pj_matching.Matcher.name = term.term_name }
+  | City ->
+      Pj_matching.Matcher.of_table ~name:term.term_name
+        (List.map (fun c -> (c, 1.)) (Pj_ontology.Gazetteer.cities ()))
+  | Country ->
+      Pj_matching.Matcher.of_table ~name:term.term_name
+        (List.map (fun c -> (c, 1.)) (Pj_ontology.Gazetteer.countries ()))
+  | Exact w -> Pj_matching.Matcher.exact w
+
+let scatter_vocab term =
+  match term.kind with
+  | Concept (_, vocab) -> Array.of_list vocab
+  | Year -> Array.of_list years
+  | Date -> Array.of_list (Pj_ontology.Date_lex.months () @ years)
+  | City -> Array.of_list (Pj_ontology.Gazetteer.cities ())
+  | Country -> Array.of_list (Pj_ontology.Gazetteer.countries ())
+  | Exact w -> [| w |]
+
+(* --- corpus generation ----------------------------------------------- *)
+
+let generate ?(seed = 42) ?(n_docs = 1000) ?(doc_length = 475) spec =
+  let rng = Pj_util.Prng.create seed in
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let query =
+    Pj_matching.Query.make spec.id
+      (List.map (matcher_of_kind graph) spec.terms)
+  in
+  let corpus = Pj_index.Corpus.create () in
+  let answer_doc = Pj_util.Prng.int rng n_docs in
+  let scatter = List.map scatter_vocab spec.terms in
+  let answers = List.map (fun t -> t.answer) spec.terms in
+  for doc_id = 0 to n_docs - 1 do
+    let len = doc_length - 25 + Pj_util.Prng.int rng 51 in
+    let tokens =
+      Array.init len (fun _ -> Textgen.random_filler rng)
+    in
+    (* Scatter per-term matching tokens at the Figure 12 rates. *)
+    List.iter2
+      (fun term vocab ->
+        let k = Textgen.poissonish rng term.rate in
+        for _ = 1 to k do
+          let pos = Pj_util.Prng.int rng len in
+          tokens.(pos) <- Pj_util.Prng.choose rng vocab
+        done)
+      spec.terms scatter;
+    (* Plant the tight answer cluster in the answer document. *)
+    if doc_id = answer_doc then begin
+      let n_terms = List.length answers in
+      let anchor = Pj_util.Prng.int rng (len - n_terms) in
+      List.iteri (fun i a -> tokens.(anchor + i) <- a) answers
+    end;
+    ignore (Pj_index.Corpus.add_tokens corpus tokens)
+  done;
+  let problems =
+    Array.map
+      (fun (doc, p) -> (doc.Pj_text.Document.id, p))
+      (Pj_matching.Match_builder.scan_corpus corpus query)
+  in
+  { spec; query; corpus; answer_doc; problems }
+
+let measured_list_sizes case =
+  let n = Pj_matching.Query.n_terms case.query in
+  let sums = Array.make n 0 in
+  Array.iter
+    (fun (_, p) ->
+      Array.iteri (fun j l -> sums.(j) <- sums.(j) + Array.length l) p)
+    case.problems;
+  let docs = float_of_int (Array.length case.problems) in
+  Array.map (fun s -> float_of_int s /. docs) sums
+
+let measured_duplicates case =
+  let total =
+    Array.fold_left
+      (fun acc (_, p) -> acc + Pj_core.Match_list.duplicate_count p)
+      0 case.problems
+  in
+  float_of_int total /. float_of_int (Array.length case.problems)

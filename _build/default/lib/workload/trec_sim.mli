@@ -1,0 +1,60 @@
+(** Simulated TREC 2006 QA workload (Section VIII, Figures 11 and 12).
+
+    The paper runs seven factoid queries over 1000 short documents each
+    (450-500 words), with WordNet-based matchers. We do not have the
+    TREC collection, so for each query we generate a corpus with the
+    same structure: filler text, per-term scattered matching tokens at
+    the average rates of Figure 12's "match list sizes" column, and one
+    answer document containing a tight cluster of exact answer tokens.
+    The match lists are then built by the real matchers over the real
+    mini-WordNet graph, so list sizes, overlaps and scores arise the way
+    they would on real text. *)
+
+type term_kind =
+  | Concept of string * string list
+      (** WordNet concept lemma, plus the scatter vocabulary whose
+          tokens the concept's matcher accepts *)
+  | Year    (** numeric years, matched at score 1 *)
+  | Date    (** month names and years (the DBWorld-style date matcher) *)
+  | City    (** gazetteer cities *)
+  | Country (** gazetteer countries *)
+  | Exact of string  (** literal token, e.g. the "in" of Q3/Q4 *)
+
+type term_spec = {
+  term_name : string;
+  kind : term_kind;
+  rate : float;      (** mean scattered matches per document (Fig. 12) *)
+  answer : string;   (** the token planted in the answer cluster *)
+}
+
+type spec = {
+  id : string;        (** "Q1" .. "Q7" *)
+  question : string;  (** the factoid question *)
+  terms : term_spec list;
+}
+
+type case = {
+  spec : spec;
+  query : Pj_matching.Query.t;
+  corpus : Pj_index.Corpus.t;
+  answer_doc : int;  (** document id holding the planted answer cluster *)
+  problems : (int * Pj_core.Match_list.problem) array;
+      (** (doc id, match lists) for every document, scan-built *)
+}
+
+val specs : unit -> spec list
+(** The seven queries of Figure 12 with their per-term rates. *)
+
+val find_spec : string -> spec
+(** Lookup by id ("Q3"); raises [Not_found]. *)
+
+val generate : ?seed:int -> ?n_docs:int -> ?doc_length:int -> spec -> case
+(** Default 1000 documents of 450-500 tokens, as in the paper. The
+    answer document is chosen deterministically from the seed. *)
+
+val measured_list_sizes : case -> float array
+(** Average match-list size per term over the corpus — the quantity the
+    paper tabulates in Figure 12. *)
+
+val measured_duplicates : case -> float
+(** Average duplicate matches per document (Fig. 12's "# dups"). *)

@@ -1,0 +1,1 @@
+test/core/gen.ml: Array Float Format Match0 Match_list Naive Pj_core QCheck QCheck_alcotest Scoring

@@ -1,0 +1,1 @@
+test/core/test_best_join.ml: Alcotest Best_join Dedup Gen List Match0 Matchset Naive Pj_core Printf Scoring

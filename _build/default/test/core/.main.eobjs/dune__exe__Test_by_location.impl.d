@@ -1,0 +1,1 @@
+test/core/test_by_location.ml: Alcotest Array By_location Gen Hashtbl List Match0 Match_list Matchset Max_join Med Naive Pj_core Pj_util Printf Scoring Win Win_topk

@@ -1,0 +1,1 @@
+test/core/test_dedup.ml: Alcotest Dedup Gen Match0 Matchset Max_join Med Naive Pj_core Printf Scoring Win

@@ -1,0 +1,1 @@
+test/core/test_envelope.ml: Alcotest Array Envelope Gen List Match0 Pj_core Printf QCheck

@@ -1,0 +1,1 @@
+test/core/test_match_list.ml: Alcotest Array Gen List Match0 Match_list Pj_core

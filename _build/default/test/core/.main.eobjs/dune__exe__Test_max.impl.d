@@ -1,0 +1,1 @@
+test/core/test_max.ml: Alcotest Array Gen List Match0 Max_join Naive Pj_core Printf Scoring

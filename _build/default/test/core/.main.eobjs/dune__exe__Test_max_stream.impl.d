@@ -1,0 +1,1 @@
+test/core/test_max_stream.ml: Alcotest Anchored By_location Gen List Match0 Match_list Max_stream Pj_core Printf Scoring Stdlib

@@ -1,0 +1,1 @@
+test/core/test_med.ml: Alcotest Array Gen List Match0 Match_list Med Naive Pj_core Printf Scoring

@@ -1,0 +1,1 @@
+test/core/test_med_selection.ml: Alcotest Array Match0 Med_selection Pj_core

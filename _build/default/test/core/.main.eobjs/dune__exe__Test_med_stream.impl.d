@@ -1,0 +1,1 @@
+test/core/test_med_stream.ml: Alcotest Anchored By_location Gen List Match0 Match_list Med_stream Pj_core Printf Scoring Stdlib

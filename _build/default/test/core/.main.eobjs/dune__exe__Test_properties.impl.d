@@ -1,0 +1,1 @@
+test/core/test_properties.ml: Alcotest Array Dedup Float Format Gen Match0 Match_list Matchset Max_join Naive Pj_core Printf QCheck QCheck_alcotest Scoring Stdlib Win

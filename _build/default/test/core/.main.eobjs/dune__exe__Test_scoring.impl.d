@@ -1,0 +1,1 @@
+test/core/test_scoring.ml: Alcotest Float Match0 Matchset Pj_core Scoring

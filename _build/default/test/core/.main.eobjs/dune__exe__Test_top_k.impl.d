@@ -1,0 +1,1 @@
+test/core/test_top_k.ml: Alcotest Best_join By_location Gen List Match0 Match_list Naive Pj_core Printf Scoring

@@ -1,0 +1,1 @@
+test/core/test_win.ml: Alcotest Array Dedup Gen List Match0 Matchset Naive Pj_core Printf Scoring Win

@@ -1,0 +1,1 @@
+test/core/test_win_stream.ml: Alcotest Anchored By_location Gen List Match0 Matchset Pj_core Printf Scoring Win_stream

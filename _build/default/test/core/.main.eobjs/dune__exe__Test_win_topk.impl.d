@@ -1,0 +1,1 @@
+test/core/test_win_topk.ml: Alcotest Array Gen Hashtbl List Match0 Naive Pj_core Printf QCheck Scoring Win Win_topk

@@ -1,0 +1,62 @@
+(* Random problem generators and comparison helpers shared by the core
+   test suites. Scores are drawn from a small grid of multiples of 0.05
+   so that score ties actually occur and exercise the tie-breaking
+   logic. *)
+
+open Pj_core
+
+let score_grid = Array.init 20 (fun i -> 0.05 *. float_of_int (i + 1))
+
+let match_gen ~max_loc =
+  QCheck.Gen.(
+    map2
+      (fun loc si -> Match0.make ~loc ~score:score_grid.(si) ())
+      (int_range 0 max_loc)
+      (int_range 0 (Array.length score_grid - 1)))
+
+let list_gen ~max_len ~max_loc =
+  QCheck.Gen.(
+    map
+      (fun ms -> Match_list.of_unsorted (Array.of_list ms))
+      (list_size (int_range 0 max_len) (match_gen ~max_loc)))
+
+let nonempty_list_gen ~max_len ~max_loc =
+  QCheck.Gen.(
+    map
+      (fun ms -> Match_list.of_unsorted (Array.of_list ms))
+      (list_size (int_range 1 max_len) (match_gen ~max_loc)))
+
+let problem_gen ?(min_terms = 1) ?(max_terms = 4) ?(max_len = 6) ?(max_loc = 25)
+    ?(allow_empty = true) () =
+  QCheck.Gen.(
+    int_range min_terms max_terms >>= fun n ->
+    let lg =
+      if allow_empty then list_gen ~max_len ~max_loc
+      else nonempty_list_gen ~max_len ~max_loc
+    in
+    map Array.of_list (list_repeat n lg))
+
+let pp_problem p = Format.asprintf "%a" Match_list.pp p
+
+let problem_arb ?min_terms ?max_terms ?max_len ?max_loc ?allow_empty () =
+  QCheck.make ~print:pp_problem
+    (problem_gen ?min_terms ?max_terms ?max_len ?max_loc ?allow_empty ())
+
+let float_close ?(tol = 1e-9) a b =
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= tol *. scale
+
+(* Compare an optional fast result against the naive oracle on the score
+   (matchsets may differ when several attain the optimum) and check that
+   the reported score is the definitional score of the reported
+   matchset. *)
+let agree_with_oracle scoring fast oracle =
+  match (fast, oracle) with
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+  | Some (f : Naive.result), Some (o : Naive.result) ->
+      float_close f.score o.score
+      && float_close f.score (Scoring.score scoring f.matchset)
+
+let qtest ?(count = 500) ~name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)

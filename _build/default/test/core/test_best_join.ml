@@ -1,0 +1,64 @@
+open Pj_core
+
+let m ?(score = 1.) loc = Match0.make ~loc ~score ()
+
+let test_switch_heuristic () =
+  Alcotest.(check bool) "skewed input switches" true
+    (Best_join.switch_to_naive [| [| m 1; m 2; m 3 |]; [| m 4 |]; [| m 5 |] |]);
+  Alcotest.(check bool) "two fat lists do not" false
+    (Best_join.switch_to_naive [| [| m 1; m 2 |]; [| m 4; m 6 |] |])
+
+let scorings =
+  [
+    Scoring.Win (Scoring.win_exponential ~alpha:0.1);
+    Scoring.Med (Scoring.med_exponential ~alpha:0.2);
+    Scoring.Max (Scoring.max_sum ~alpha:0.1);
+  ]
+
+let solve_agrees_across_algorithms scoring =
+  Gen.qtest ~count:200
+    ~name:
+      (Printf.sprintf "solve Fast = Naive_alg = Auto [%s]" (Scoring.name scoring))
+    (Gen.problem_arb ~max_terms:3 ~max_len:5 ())
+    (fun p ->
+      let get a = Best_join.solve ~algorithm:a scoring p in
+      match (get Best_join.Fast, get Best_join.Naive_alg, get Best_join.Auto) with
+      | None, None, None -> true
+      | Some a, Some b, Some c ->
+          Gen.float_close a.Naive.score b.Naive.score
+          && Gen.float_close b.Naive.score c.Naive.score
+      | _ -> false)
+
+let dedup_flag_gives_valid scoring =
+  Gen.qtest ~count:200
+    ~name:(Printf.sprintf "solve ~dedup returns valid [%s]" (Scoring.name scoring))
+    (Gen.problem_arb ~min_terms:2 ~max_terms:3 ~max_len:4 ~max_loc:5 ())
+    (fun p ->
+      match Best_join.solve ~dedup:true scoring p with
+      | None -> true
+      | Some r -> Matchset.is_valid r.Naive.matchset)
+
+let test_stats_exposed () =
+  let scoring = Scoring.Win (Scoring.win_exponential ~alpha:0.1) in
+  let p = [| [| m 3; m ~score:0.2 9 |]; [| m 3; m ~score:0.2 10 |]; [| m 3; m ~score:0.2 8 |] |] in
+  let _, stats = Best_join.solve_with_stats scoring p in
+  Alcotest.(check bool) "reran" true (stats.Dedup.invocations >= 2)
+
+let test_by_location_dispatch () =
+  let p = [| [| m 1; m 5 |]; [| m 2 |] |] in
+  List.iter
+    (fun scoring ->
+      Alcotest.(check bool)
+        (Printf.sprintf "by_location non-empty [%s]" (Scoring.name scoring))
+        true
+        (Best_join.by_location scoring p <> []))
+    scorings
+
+let suite =
+  [
+    ("best_join: switch heuristic", `Quick, test_switch_heuristic);
+    ("best_join: dedup stats exposed", `Quick, test_stats_exposed);
+    ("best_join: by_location dispatch", `Quick, test_by_location_dispatch);
+  ]
+  @ List.map solve_agrees_across_algorithms scorings
+  @ List.map dedup_flag_gives_valid scorings

@@ -1,0 +1,170 @@
+open Pj_core
+
+(* Naive oracles for Definition 10: enumerate the cross product and keep
+   the best matchset per anchor location. *)
+
+let oracle_by group_of score (p : Match_list.problem) =
+  let table : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  Naive.iter_matchsets p (fun ms ->
+      let anchor = group_of ms in
+      let s = score ms in
+      match Hashtbl.find_opt table anchor with
+      | Some s' when s' >= s -> ()
+      | _ -> Hashtbl.replace table anchor s);
+  table
+
+let entries_match_oracle entries table =
+  let sorted_anchors tbl =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+  in
+  let anchors = List.map (fun e -> e.By_location.anchor) entries in
+  anchors = sorted_anchors table
+  && List.for_all
+       (fun e ->
+         match Hashtbl.find_opt table e.By_location.anchor with
+         | None -> false
+         | Some s -> Gen.float_close s e.By_location.score)
+       entries
+
+let win_by_location_exact w =
+  Gen.qtest ~count:400
+    ~name:
+      (Printf.sprintf "by-location WIN = oracle [%s]" w.Scoring.win_name)
+    (Gen.problem_arb ~max_terms:3 ~max_len:5 ~max_loc:12 ())
+    (fun p ->
+      if Match_list.has_empty_list p then By_location.win w p = []
+      else begin
+        let table = oracle_by Matchset.max_loc (Scoring.score_win w) p in
+        entries_match_oracle (By_location.win w p) table
+      end)
+
+let med_by_location_exact d =
+  Gen.qtest ~count:400
+    ~name:
+      (Printf.sprintf "by-location MED = oracle [%s]" d.Scoring.med_name)
+    (Gen.problem_arb ~max_terms:4 ~max_len:4 ~max_loc:10 ())
+    (fun p ->
+      if Match_list.has_empty_list p then By_location.med d p = []
+      else begin
+        let table = oracle_by Matchset.median_loc (Scoring.score_med d) p in
+        entries_match_oracle (By_location.med d p) table
+      end)
+
+let max_by_location_exact x =
+  Gen.qtest ~count:400
+    ~name:
+      (Printf.sprintf "by-location MAX = oracle [%s]" x.Scoring.max_name)
+    (Gen.problem_arb ~max_terms:3 ~max_len:4 ~max_loc:10 ())
+    (fun p ->
+      if Match_list.has_empty_list p then By_location.max_ x p = []
+      else begin
+        (* For MAX the oracle is: for each match location l, the best
+           score evaluated at reference point l. *)
+        let locs = Match_list.locations p in
+        let entries = By_location.max_ x p in
+        Array.length locs = List.length entries
+        && List.for_all
+             (fun e ->
+               let best = ref neg_infinity in
+               Naive.iter_matchsets p (fun ms ->
+                   let s = Scoring.score_max_at x ms ~at:e.By_location.anchor in
+                   if s > !best then best := s);
+               Gen.float_close !best e.By_location.score)
+             entries
+      end)
+
+let med_by_location_five_terms =
+  (* Five terms stress the (R, A) rank constraints of the selection DP;
+     lists are kept tiny so the oracle's cross product stays feasible. *)
+  let d = Scoring.med_linear in
+  Gen.qtest ~count:150 ~name:"by-location MED = oracle at 5 terms"
+    (Gen.problem_arb ~min_terms:5 ~max_terms:5 ~max_len:3 ~max_loc:8 ())
+    (fun p ->
+      if Match_list.has_empty_list p then By_location.med d p = []
+      else begin
+        let table = oracle_by Matchset.median_loc (Scoring.score_med d) p in
+        entries_match_oracle (By_location.med d p) table
+      end)
+
+let large_input_smoke () =
+  (* All solvers stay fast and consistent on a 4x2000-match problem. *)
+  let rng = Pj_util.Prng.create 99 in
+  let p =
+    Array.init 4 (fun _ ->
+        Match_list.of_unsorted
+          (Array.init 2000 (fun _ ->
+               Match0.make
+                 ~loc:(Pj_util.Prng.int rng 100_000)
+                 ~score:(Pj_util.Prng.float_open rng)
+                 ())))
+  in
+  let w = Scoring.win_exponential ~alpha:0.01 in
+  let d = Scoring.med_exponential ~alpha:0.01 in
+  let x = Scoring.max_sum ~alpha:0.01 in
+  let (_, dt) =
+    Pj_util.Timing.time (fun () ->
+        ignore (Win.best w p);
+        ignore (Med.best d p);
+        ignore (Max_join.best x p);
+        ignore (By_location.med d p);
+        ignore (By_location.max_ x p))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "8000 matches solved in %.2fs" dt)
+    true (dt < 5.);
+  (* Sanity: WIN top-1 equals Win.best on the big instance. *)
+  match (Win_topk.best_k ~k:1 w p, Win.best w p) with
+  | [ a ], Some b ->
+      Alcotest.(check (float 1e-9)) "topk consistent" b.Naive.score a.Naive.score
+  | _ -> Alcotest.fail "expected results"
+
+let best_entry_consistent_with_overall () =
+  (* The best by-location WIN entry must equal the overall best. *)
+  let w = Scoring.win_exponential ~alpha:0.15 in
+  let rng = Pj_util.Prng.create 42 in
+  for _ = 1 to 50 do
+    let n = 1 + Pj_util.Prng.int rng 3 in
+    let p =
+      Array.init n (fun _ ->
+          let len = 1 + Pj_util.Prng.int rng 5 in
+          Match_list.of_unsorted
+            (Array.init len (fun _ ->
+                 Match0.make
+                   ~loc:(Pj_util.Prng.int rng 20)
+                   ~score:(Pj_util.Prng.float_open rng)
+                   ())))
+    in
+    match (By_location.best_entry (By_location.win w p), Win.best w p) with
+    | Some e, Some r ->
+        if not (Gen.float_close e.By_location.score r.Naive.score) then
+          Alcotest.failf "best entry %.9f <> overall %.9f" e.By_location.score
+            r.Naive.score
+    | None, None -> ()
+    | _ -> Alcotest.fail "presence mismatch"
+  done
+
+let test_filter_by_score () =
+  let entries =
+    [
+      { By_location.anchor = 1; matchset = [||]; score = 0.2 };
+      { By_location.anchor = 2; matchset = [||]; score = 0.9 };
+    ]
+  in
+  Alcotest.(check int) "filtered" 1
+    (List.length (By_location.filter_by_score 0.5 entries))
+
+let suite =
+  [
+    win_by_location_exact (Scoring.win_exponential ~alpha:0.1);
+    win_by_location_exact Scoring.win_linear;
+    med_by_location_exact (Scoring.med_exponential ~alpha:0.2);
+    med_by_location_exact Scoring.med_linear;
+    max_by_location_exact (Scoring.max_product ~alpha:0.1);
+    max_by_location_exact (Scoring.max_sum ~alpha:0.1);
+    med_by_location_five_terms;
+    ("by-location: large-input smoke", `Slow, large_input_smoke);
+    ( "by-location: best entry = overall best",
+      `Quick,
+      best_entry_consistent_with_overall );
+    ("by-location: filter by score", `Quick, test_filter_by_score);
+  ]

@@ -1,0 +1,100 @@
+open Pj_core
+
+let m ?(score = 1.) loc = Match0.make ~loc ~score ()
+
+let test_of_unsorted () =
+  let l = Match_list.of_unsorted [| m 9; m 2; m 5 |] in
+  Alcotest.(check bool) "sorted" true (Match_list.is_sorted l);
+  Alcotest.(check int) "first" 2 l.(0).Match0.loc
+
+let test_validate_rejects_unsorted () =
+  Alcotest.check_raises "unsorted rejected"
+    (Invalid_argument "Match_list.validate: list 0 unsorted") (fun () ->
+      Match_list.validate [| [| m 5; m 2 |] |])
+
+let test_validate_rejects_empty_problem () =
+  Alcotest.check_raises "no term rejected"
+    (Invalid_argument "Match_list.validate: no query term") (fun () ->
+      Match_list.validate [||])
+
+let test_total_size () =
+  Alcotest.(check int) "total" 3
+    (Match_list.total_size [| [| m 1; m 2 |]; [| m 3 |] |])
+
+let test_duplicates () =
+  let p = [| [| m 1; m 4 |]; [| m 4; m 9 |]; [| m 2 |] |] in
+  Alcotest.(check int) "duplicate count" 2 (Match_list.duplicate_count p);
+  Alcotest.(check (float 1e-9)) "duplicate frequency" 0.4
+    (Match_list.duplicate_frequency p)
+
+let test_no_duplicates_within_one_list () =
+  (* Two matches at the same location in the same list are not
+     duplicates in the Section VI sense. *)
+  let p = [| [| m 4; m 4 |]; [| m 9 |] |] in
+  Alcotest.(check int) "same-list collision not counted" 0
+    (Match_list.duplicate_count p)
+
+let test_iter_in_location_order () =
+  let p = [| [| m 1; m 7 |]; [| m 3 |]; [| m 2; m 9 |] |] in
+  let seen = ref [] in
+  Match_list.iter_in_location_order p (fun ~term:_ x ->
+      seen := x.Match0.loc :: !seen);
+  Alcotest.(check (list int)) "merged order" [ 1; 2; 3; 7; 9 ] (List.rev !seen)
+
+let test_iter_colocated_deterministic () =
+  let p = [| [| m ~score:0.5 4 |]; [| m ~score:0.2 4 |] |] in
+  let seen = ref [] in
+  Match_list.iter_in_location_order p (fun ~term x ->
+      seen := (term, x.Match0.score) :: !seen);
+  (* Lower score first; term index breaks exact ties. *)
+  Alcotest.(check (list (pair int (float 0.)))) "deterministic tie order"
+    [ (1, 0.2); (0, 0.5) ]
+    (List.rev !seen)
+
+let test_locations () =
+  let p = [| [| m 1; m 7 |]; [| m 7 |]; [| m 2 |] |] in
+  Alcotest.(check (array int)) "distinct sorted" [| 1; 2; 7 |]
+    (Match_list.locations p)
+
+let test_remove_match () =
+  let a = m ~score:0.5 4 in
+  let p = [| [| m 1; a; m 9 |]; [| m 2 |] |] in
+  let p' = Match_list.remove_match p ~term:0 a in
+  Alcotest.(check int) "one removed" 3 (Match_list.total_size p');
+  Alcotest.(check int) "other list untouched" 1 (Array.length p'.(1));
+  Alcotest.(check bool) "original unchanged" true (Array.length p.(0) = 3)
+
+let test_remove_match_missing () =
+  let p = [| [| m 1 |] |] in
+  Alcotest.check_raises "missing match rejected"
+    (Invalid_argument "Match_list.remove_match: match not present") (fun () ->
+      ignore (Match_list.remove_match p ~term:0 (m 5)))
+
+let merged_order_is_sorted =
+  Gen.qtest ~count:300 ~name:"merged iteration is location-sorted and complete"
+    (Gen.problem_arb ())
+    (fun p ->
+      let count = ref 0 in
+      let last = ref min_int in
+      let ok = ref true in
+      Match_list.iter_in_location_order p (fun ~term:_ x ->
+          incr count;
+          if x.Match0.loc < !last then ok := false;
+          last := x.Match0.loc);
+      !ok && !count = Match_list.total_size p)
+
+let suite =
+  [
+    ("match_list: of_unsorted", `Quick, test_of_unsorted);
+    ("match_list: validate unsorted", `Quick, test_validate_rejects_unsorted);
+    ("match_list: validate empty problem", `Quick, test_validate_rejects_empty_problem);
+    ("match_list: total size", `Quick, test_total_size);
+    ("match_list: duplicates", `Quick, test_duplicates);
+    ("match_list: same-list collisions", `Quick, test_no_duplicates_within_one_list);
+    ("match_list: merged iteration", `Quick, test_iter_in_location_order);
+    ("match_list: co-located tie order", `Quick, test_iter_colocated_deterministic);
+    ("match_list: locations", `Quick, test_locations);
+    ("match_list: remove match", `Quick, test_remove_match);
+    ("match_list: remove missing", `Quick, test_remove_match_missing);
+    merged_order_is_sorted;
+  ]

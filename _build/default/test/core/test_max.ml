@@ -1,0 +1,102 @@
+open Pj_core
+
+let m ?(score = 1.) loc = Match0.make ~loc ~score ()
+
+let instances = [ Scoring.max_product ~alpha:0.1; Scoring.max_sum ~alpha:0.1 ]
+
+let test_anchors_near_heavy () =
+  (* A very high-scoring match should pull the best matchset toward it
+     rather than toward a tighter but lighter cluster. *)
+  let x = Scoring.max_sum ~alpha:1.0 in
+  let p =
+    [|
+      [| m ~score:1.0 0; m ~score:0.05 100 |];
+      [| m ~score:0.04 1; m ~score:0.05 100 |];
+    |]
+  in
+  match Max_join.best x p with
+  | None -> Alcotest.fail "expected a matchset"
+  | Some r ->
+      Alcotest.(check int) "heavy member kept" 0 r.Naive.matchset.(0).Match0.loc
+
+let test_empty_list () =
+  let p = [| [| m 1 |]; [||] |] in
+  Alcotest.(check bool) "no matchset" true
+    (Max_join.best (Scoring.max_sum ~alpha:0.1) p = None)
+
+let equiv_test x =
+  Gen.qtest
+    ~name:(Printf.sprintf "MAX (specialized) = NMAX [%s]" x.Scoring.max_name)
+    (Gen.problem_arb ())
+    (fun p ->
+      Gen.agree_with_oracle (Scoring.Max x) (Max_join.best x p)
+        (Naive.best (Scoring.Max x) p))
+
+let general_equiv_test x =
+  Gen.qtest ~count:200
+    ~name:
+      (Printf.sprintf "MAX (general envelope) = NMAX [%s]" x.Scoring.max_name)
+    (Gen.problem_arb ~max_len:4 ~max_loc:15 ())
+    (fun p ->
+      match (Max_join.best_general x p, Naive.best (Scoring.Max x) p) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some g, Some o -> Gen.float_close g.Naive.score o.Naive.score)
+
+let specialized_vs_general x =
+  Gen.qtest ~count:200
+    ~name:
+      (Printf.sprintf "MAX specialized = general [%s]" x.Scoring.max_name)
+    (Gen.problem_arb ~max_len:4 ~max_loc:15 ())
+    (fun p ->
+      match (Max_join.best x p, Max_join.best_general x p) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some a, Some b -> Gen.float_close a.Naive.score b.Naive.score)
+
+(* Oracle for the type-anchored variant: enumerate the cross product and
+   score each matchset at the anchor term's match location. *)
+let anchored_oracle ~anchor_term x p =
+  let best = ref None in
+  Naive.iter_matchsets p (fun ms ->
+      let l = ms.(anchor_term).Match0.loc in
+      let s = Scoring.score_max_at x ms ~at:l in
+      match !best with
+      | Some s' when s' >= s -> ()
+      | _ -> best := Some s);
+  !best
+
+let anchored_equiv_test x =
+  Gen.qtest ~count:400
+    ~name:
+      (Printf.sprintf "MAX best_anchored = oracle [%s]" x.Scoring.max_name)
+    (Gen.problem_arb ~min_terms:2 ~max_terms:3 ~max_len:5 ())
+    (fun p ->
+      let anchor_term = 0 in
+      match (Max_join.best_anchored ~anchor_term x p, anchored_oracle ~anchor_term x p) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some r, Some s ->
+          Gen.float_close r.Naive.score s
+          && Gen.float_close r.Naive.score
+               (Scoring.score_max_at x r.Naive.matchset
+                  ~at:r.Naive.matchset.(anchor_term).Match0.loc))
+
+let test_anchored_bad_term () =
+  Alcotest.check_raises "bad anchor"
+    (Invalid_argument "Max_join.best_anchored: bad anchor term") (fun () ->
+      ignore
+        (Max_join.best_anchored ~anchor_term:5
+           (Scoring.max_sum ~alpha:0.1)
+           [| [| m 1 |] |]))
+
+let suite =
+  [
+    ("MAX: anchors near heavy match", `Quick, test_anchors_near_heavy);
+    ("MAX: empty list", `Quick, test_empty_list);
+    ("MAX: best_anchored bad term", `Quick, test_anchored_bad_term);
+  ]
+  @ List.map equiv_test instances
+  @ List.map general_equiv_test instances
+  @ List.map specialized_vs_general instances
+  @ List.map anchored_equiv_test instances

@@ -1,0 +1,90 @@
+open Pj_core
+
+let m ?(score = 1.) loc = Match0.make ~loc ~score ()
+
+let x = Scoring.max_sum ~alpha:0.2
+(* Eq. (5) with scores in (0,1]: contribution at distance d is at most
+   exp (-alpha d). *)
+let decay d = exp (-0.2 *. float_of_int d)
+
+let entries_agree a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (p : Anchored.entry) (q : Anchored.entry) ->
+         p.Anchored.anchor = q.Anchored.anchor
+         && Gen.float_close p.Anchored.score q.Anchored.score)
+       a b
+
+let stream_equals_by_location instance name =
+  Gen.qtest ~count:500
+    ~name:(Printf.sprintf "Max_stream.run = By_location.max_ [%s]" name)
+    (Gen.problem_arb ~max_terms:4 ~max_len:5 ~max_loc:15 ())
+    (fun p ->
+      if Match_list.has_empty_list p then Max_stream.run instance p = []
+      else
+        entries_agree (Max_stream.run instance p) (By_location.max_ instance p))
+
+let test_early_emission () =
+  let t = Max_stream.create x ~n_terms:2 ~decay in
+  let emitted = ref [] in
+  let collect es = List.iter (fun e -> emitted := e :: !emitted) es in
+  collect (Max_stream.feed t ~term:0 (m 0));
+  collect (Max_stream.feed t ~term:1 (m 1));
+  Alcotest.(check int) "nothing emitted yet" 0 (List.length !emitted);
+  (* Score-1 matches at distance 1/0 from anchor 0 give best >= e^-1;
+     settled once decay (pos) <= that, i.e. within a few positions. *)
+  let pos = ref 2 in
+  while !emitted = [] && !pos < 60 do
+    collect (Max_stream.feed t ~term:(!pos mod 2) (m ~score:0.05 !pos));
+    incr pos
+  done;
+  (match List.rev !emitted with
+  | e :: _ ->
+      Alcotest.(check int) "first anchor" 0 e.Anchored.anchor;
+      Alcotest.(check bool)
+        (Printf.sprintf "emitted by position %d" !pos)
+        true (!pos <= 20)
+  | [] -> Alcotest.fail "nothing emitted mid-stream");
+  ignore (Max_stream.finish t)
+
+let test_pending_bounded () =
+  let t = Max_stream.create x ~n_terms:2 ~decay in
+  let max_pending = ref 0 in
+  for l = 0 to 499 do
+    ignore (Max_stream.feed t ~term:(l mod 2) (m l));
+    max_pending := Stdlib.max !max_pending (Max_stream.pending_count t)
+  done;
+  ignore (Max_stream.finish t);
+  (* decay d falls below the worst per-term best (~e^-0.4) within ~3
+     positions; allow generous slack. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "pending bounded (max %d)" !max_pending)
+    true (!max_pending <= 12)
+
+let test_incomplete_anchor_dropped () =
+  (* A term with no match at all: anchors are dropped, like
+     By_location.max_ on a problem with an empty list. *)
+  let t = Max_stream.create x ~n_terms:2 ~decay in
+  ignore (Max_stream.feed t ~term:0 (m 0));
+  ignore (Max_stream.feed t ~term:0 (m 5));
+  Alcotest.(check int) "nothing emitted" 0 (List.length (Max_stream.finish t))
+
+let test_errors () =
+  let t = Max_stream.create x ~n_terms:1 ~decay in
+  Alcotest.check_raises "bad term"
+    (Invalid_argument "Max_stream.feed: bad term index") (fun () ->
+      ignore (Max_stream.feed t ~term:1 (m 0)));
+  ignore (Max_stream.feed t ~term:0 (m 5));
+  Alcotest.check_raises "out of order"
+    (Invalid_argument "Max_stream.feed: locations must be non-decreasing")
+    (fun () -> ignore (Max_stream.feed t ~term:0 (m 1)))
+
+let suite =
+  [
+    stream_equals_by_location (Scoring.max_sum ~alpha:0.1) "MAX-sum";
+    stream_equals_by_location (Scoring.max_product ~alpha:0.1) "MAX-prod";
+    ("max_stream: early emission", `Quick, test_early_emission);
+    ("max_stream: pending bounded", `Quick, test_pending_bounded);
+    ("max_stream: incomplete anchors dropped", `Quick, test_incomplete_anchor_dropped);
+    ("max_stream: errors", `Quick, test_errors);
+  ]

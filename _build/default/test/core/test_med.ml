@@ -1,0 +1,84 @@
+open Pj_core
+
+let m ?(score = 1.) loc = Match0.make ~loc ~score ()
+
+let instances = [ Scoring.med_exponential ~alpha:0.2; Scoring.med_linear ]
+
+let test_prefers_clustered () =
+  (* Figure 2 as a join problem: the solver must return the clustered
+     matchset even though both candidates have equal windows. *)
+  let d = Scoring.med_exponential ~alpha:0.3 in
+  let p =
+    [|
+      [| m 0 |];
+      [| m 4; m 10 |];
+      [| m 8; m 11 |];
+      [| m 12 |];
+    |]
+  in
+  match Med.best d p with
+  | None -> Alcotest.fail "expected a matchset"
+  | Some r ->
+      Alcotest.(check int) "clustered member 1" 10 r.Naive.matchset.(1).Match0.loc;
+      Alcotest.(check int) "clustered member 2" 11 r.Naive.matchset.(2).Match0.loc
+
+let test_empty_list () =
+  let p = [| [||]; [| m 1 |] |] in
+  Alcotest.(check bool) "no matchset" true
+    (Med.best (Scoring.med_linear) p = None)
+
+let test_single_term () =
+  let d = Scoring.med_linear in
+  let p = [| Match_list.of_unsorted [| m ~score:0.2 3; m ~score:0.9 70; m ~score:0.5 9 |] |] in
+  match Med.best d p with
+  | None -> Alcotest.fail "expected a matchset"
+  | Some r ->
+      Alcotest.(check int) "picks max score" 70 r.Naive.matchset.(0).Match0.loc
+
+let test_dominating_lists_sorted () =
+  let d = Scoring.med_linear in
+  let p = [| Match_list.of_unsorted [| m 3; m ~score:0.1 5; m 9; m ~score:0.4 9 |] |] in
+  let doms = Med.dominating_lists d p in
+  Array.iter
+    (fun v ->
+      let sorted = ref true in
+      for i = 1 to Array.length v - 1 do
+        if v.(i - 1).Match0.loc > v.(i).Match0.loc then sorted := false
+      done;
+      Alcotest.(check bool) "V_j sorted by location" true !sorted)
+    doms
+
+let equiv_test d =
+  Gen.qtest
+    ~name:(Printf.sprintf "MED (Alg 2) = NMED [%s]" d.Scoring.med_name)
+    (Gen.problem_arb ())
+    (fun p ->
+      Gen.agree_with_oracle (Scoring.Med d) (Med.best d p)
+        (Naive.best (Scoring.Med d) p))
+
+let equiv_dense =
+  (* Few locations, many collisions: stresses median ties. *)
+  let d = Scoring.med_linear in
+  Gen.qtest ~count:1000 ~name:"MED = NMED under heavy location ties"
+    (Gen.problem_arb ~max_terms:4 ~max_len:5 ~max_loc:6 ())
+    (fun p ->
+      Gen.agree_with_oracle (Scoring.Med d) (Med.best d p)
+        (Naive.best (Scoring.Med d) p))
+
+let equiv_five_terms =
+  let d = Scoring.med_exponential ~alpha:0.15 in
+  Gen.qtest ~count:200 ~name:"MED = NMED with 5 terms"
+    (Gen.problem_arb ~min_terms:5 ~max_terms:5 ~max_len:4 ())
+    (fun p ->
+      Gen.agree_with_oracle (Scoring.Med d) (Med.best d p)
+        (Naive.best (Scoring.Med d) p))
+
+let suite =
+  [
+    ("MED: prefers clustered (Fig 2)", `Quick, test_prefers_clustered);
+    ("MED: empty list", `Quick, test_empty_list);
+    ("MED: single term", `Quick, test_single_term);
+    ("MED: dominating lists sorted", `Quick, test_dominating_lists_sorted);
+  ]
+  @ List.map equiv_test instances
+  @ [ equiv_dense; equiv_five_terms ]

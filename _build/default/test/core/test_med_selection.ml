@@ -1,0 +1,77 @@
+open Pj_core
+
+let m ?(score = 1.) loc = Match0.make ~loc ~score ()
+
+let opt c loc = Some (c, m loc)
+
+let test_singleton_query () =
+  (* n = 1: no other terms, trivially feasible. *)
+  match Med_selection.select 1 [||] with
+  | Some picks -> Alcotest.(check int) "no picks" 0 (Array.length picks)
+  | None -> Alcotest.fail "expected feasibility"
+
+let test_pair_needs_left () =
+  (* n = 2: the median is the larger location, so the anchor member must
+     be last — the other term can only sit at or before the anchor. *)
+  let only_right =
+    { Med_selection.left = None; at = None; right = opt 5. 9 }
+  in
+  Alcotest.(check bool) "right-only infeasible" true
+    (Med_selection.select 2 [| only_right |] = None);
+  let only_left =
+    { Med_selection.left = opt 2. 1; at = None; right = None }
+  in
+  (match Med_selection.select 2 [| only_left |] with
+  | Some picks -> Alcotest.(check int) "left pick" 1 picks.(0).Match0.loc
+  | None -> Alcotest.fail "left-only must be feasible");
+  let at_option = { Med_selection.left = None; at = opt 3. 4; right = None } in
+  match Med_selection.select 2 [| at_option |] with
+  | Some _ -> ()
+  | None -> Alcotest.fail "at-anchor must be feasible"
+
+let test_three_terms_needs_structure () =
+  (* n = 3, mr = 2: exactly one of the two others strictly after, or an
+     at-anchor member filling the upper rank. *)
+  let left = { Med_selection.left = opt 1. 0; at = None; right = None } in
+  let right = { Med_selection.left = None; at = None; right = opt 1. 9 } in
+  (match Med_selection.select 3 [| left; right |] with
+  | Some picks ->
+      Alcotest.(check int) "left pick" 0 picks.(0).Match0.loc;
+      Alcotest.(check int) "right pick" 9 picks.(1).Match0.loc
+  | None -> Alcotest.fail "left+right must be feasible");
+  (* Two left-only options: 0 rights, 0 ats + anchor = rank 1 < mr 2:
+     infeasible. *)
+  Alcotest.(check bool) "two lefts infeasible" true
+    (Med_selection.select 3 [| left; left |] = None)
+
+let test_maximizes_contribution () =
+  (* Both assignments feasible; the bigger total must win. *)
+  let both_small =
+    { Med_selection.left = opt 1. 0; at = None; right = opt 0.5 9 }
+  in
+  let both_big =
+    { Med_selection.left = opt 0.2 1; at = None; right = opt 4. 8 }
+  in
+  match Med_selection.select 3 [| both_small; both_big |] with
+  | Some picks ->
+      (* Optimal: term0 left (1.0) + term1 right (4.0) = 5.0. *)
+      Alcotest.(check int) "term0 left" 0 picks.(0).Match0.loc;
+      Alcotest.(check int) "term1 right" 8 picks.(1).Match0.loc
+  | None -> Alcotest.fail "expected feasibility"
+
+let test_at_counts_toward_upper_ranks () =
+  (* n = 4, mr = 2: one strict right OR one at-anchor plus anchor. *)
+  let at_opt = { Med_selection.left = None; at = opt 1. 5; right = None } in
+  let left = { Med_selection.left = opt 1. 2; at = None; right = None } in
+  match Med_selection.select 4 [| at_opt; left; left |] with
+  | Some _ -> ()
+  | None -> Alcotest.fail "at-anchor member should satisfy the rank condition"
+
+let suite =
+  [
+    ("med_selection: singleton", `Quick, test_singleton_query);
+    ("med_selection: pair sides", `Quick, test_pair_needs_left);
+    ("med_selection: three terms", `Quick, test_three_terms_needs_structure);
+    ("med_selection: maximizes", `Quick, test_maximizes_contribution);
+    ("med_selection: at ranks", `Quick, test_at_counts_toward_upper_ranks);
+  ]

@@ -1,0 +1,116 @@
+open Pj_core
+
+let m ?(score = 1.) loc = Match0.make ~loc ~score ()
+
+let d = Scoring.med_linear
+(* med_linear: g (x) = x / 0.3, so scores in (0,1] give g <= 10/3. *)
+let g_bound = 1. /. 0.3
+
+let entries_agree a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Anchored.entry) (y : Anchored.entry) ->
+         x.Anchored.anchor = y.Anchored.anchor
+         && Gen.float_close x.Anchored.score y.Anchored.score)
+       a b
+
+let stream_equals_by_location instance name =
+  Gen.qtest ~count:500
+    ~name:(Printf.sprintf "Med_stream.run = By_location.med [%s]" name)
+    (Gen.problem_arb ~max_terms:4 ~max_len:5 ~max_loc:15 ())
+    (fun p ->
+      if Match_list.has_empty_list p then Med_stream.run instance p = []
+      else entries_agree (Med_stream.run instance p) (By_location.med instance p))
+
+let test_early_emission () =
+  (* Once every term has a strong right candidate just past the anchor,
+     the anchor must be emitted long before the stream ends. *)
+  let t = Med_stream.create d ~n_terms:2 ~g_bound in
+  let emitted = ref [] in
+  let collect es = List.iter (fun e -> emitted := e :: !emitted) es in
+  collect (Med_stream.feed t ~term:0 (m 0));
+  collect (Med_stream.feed t ~term:1 (m 1));
+  Alcotest.(check int) "nothing emitted yet" 0 (List.length !emitted);
+  (* With two terms the median of a pair is its larger location, so the
+     first possible anchor is location 1 ({m0, m1}). Strong candidates
+     at 4/5 settle it as soon as the scan is g_bound (~3.3) past the
+     point where their contribution dominates any future match's. *)
+  collect (Med_stream.feed t ~term:0 (m 4));
+  collect (Med_stream.feed t ~term:1 (m 5));
+  let pos = ref 6 in
+  let anchor1_at = ref None in
+  while !anchor1_at = None && !pos < 50 do
+    collect (Med_stream.feed t ~term:0 (m ~score:0.01 !pos));
+    if List.exists (fun e -> e.Anchored.anchor = 1) !emitted then
+      anchor1_at := Some !pos;
+    incr pos
+  done;
+  (match !anchor1_at with
+  | Some p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "anchor 1 emitted by position %d" p)
+        true (p <= 10)
+  | None -> Alcotest.fail "anchor 1 never emitted mid-stream");
+  ignore (Med_stream.finish t)
+
+let test_pending_shrinks () =
+  (* With strong candidates everywhere, the pending set stays bounded
+     instead of growing with the stream. *)
+  let t = Med_stream.create d ~n_terms:2 ~g_bound in
+  let max_pending = ref 0 in
+  for l = 0 to 499 do
+    ignore (Med_stream.feed t ~term:(l mod 2) (m l));
+    max_pending := Stdlib.max !max_pending (Med_stream.pending_count t)
+  done;
+  ignore (Med_stream.finish t);
+  Alcotest.(check bool)
+    (Printf.sprintf "pending bounded (max %d)" !max_pending)
+    true
+    (!max_pending <= int_of_float g_bound + 3)
+
+let test_finish_emits_rest () =
+  let t = Med_stream.create d ~n_terms:1 ~g_bound in
+  ignore (Med_stream.feed t ~term:0 (m 3));
+  ignore (Med_stream.feed t ~term:0 (m 9));
+  let entries = Med_stream.finish t in
+  Alcotest.(check (list int)) "both anchors" [ 3; 9 ]
+    (List.map (fun e -> e.Anchored.anchor) entries)
+
+let test_bound_violation_rejected () =
+  let t = Med_stream.create d ~n_terms:1 ~g_bound:0.5 in
+  Alcotest.check_raises "g above bound"
+    (Invalid_argument "Med_stream.feed: contribution above g_bound")
+    (fun () -> ignore (Med_stream.feed t ~term:0 (m ~score:1.0 0)))
+
+let test_out_of_order_rejected () =
+  let t = Med_stream.create d ~n_terms:1 ~g_bound in
+  ignore (Med_stream.feed t ~term:0 (m 5));
+  Alcotest.check_raises "regression"
+    (Invalid_argument "Med_stream.feed: locations must be non-decreasing")
+    (fun () -> ignore (Med_stream.feed t ~term:0 (m 4)))
+
+let test_loose_bound_still_correct () =
+  (* A bound far above the true maximum only delays emission, never
+     changes the result. *)
+  let p =
+    [|
+      Match_list.of_unsorted [| m 1; m ~score:0.4 7 |];
+      Match_list.of_unsorted [| m 2; m ~score:0.2 9 |];
+    |]
+  in
+  Alcotest.(check bool) "same entries" true
+    (entries_agree
+       (Med_stream.run ~g_bound:1000. d p)
+       (By_location.med d p))
+
+let suite =
+  [
+    stream_equals_by_location d "MED-linear";
+    stream_equals_by_location (Scoring.med_exponential ~alpha:0.2) "MED-exp";
+    ("med_stream: early emission", `Quick, test_early_emission);
+    ("med_stream: pending bounded", `Quick, test_pending_shrinks);
+    ("med_stream: finish emits rest", `Quick, test_finish_emits_rest);
+    ("med_stream: bound violation", `Quick, test_bound_violation_rejected);
+    ("med_stream: out of order", `Quick, test_out_of_order_rejected);
+    ("med_stream: loose bound", `Quick, test_loose_bound_still_correct);
+  ]

@@ -1,0 +1,55 @@
+open Pj_core
+
+let m ?(score = 1.) loc = Match0.make ~loc ~score ()
+
+let scoring = Scoring.Win (Scoring.win_exponential ~alpha:0.2)
+
+let problem =
+  [|
+    Match_list.of_unsorted [| m 0; m 10; m 30 |];
+    Match_list.of_unsorted [| m 1; m 14; m 31 |];
+  |]
+
+let test_ordering_and_limit () =
+  let top2 = Best_join.top_k ~k:2 scoring problem in
+  Alcotest.(check int) "two entries" 2 (List.length top2);
+  (match top2 with
+  | a :: b :: _ ->
+      Alcotest.(check bool) "descending" true
+        (a.By_location.score >= b.By_location.score);
+      (* The tightest clusters are at anchors 1 and 31 (gap 1). *)
+      Alcotest.(check bool) "best anchors" true
+        (List.for_all
+           (fun e -> List.mem e.By_location.anchor [ 1; 31 ])
+           top2)
+  | _ -> Alcotest.fail "expected two entries")
+
+let test_k_larger_than_entries () =
+  let all = Best_join.top_k ~k:100 scoring problem in
+  let by_loc = Best_join.by_location scoring problem in
+  Alcotest.(check int) "everything returned" (List.length by_loc)
+    (List.length all)
+
+let test_k_zero_and_negative () =
+  Alcotest.(check int) "k=0" 0 (List.length (Best_join.top_k ~k:0 scoring problem));
+  Alcotest.check_raises "negative" (Invalid_argument "Best_join.top_k: negative k")
+    (fun () -> ignore (Best_join.top_k ~k:(-1) scoring problem))
+
+let top1_equals_best scoring =
+  Gen.qtest ~count:300
+    ~name:(Printf.sprintf "top_k 1 = overall best [%s]" (Scoring.name scoring))
+    (Gen.problem_arb ~max_terms:3 ~max_len:5 ~allow_empty:false ())
+    (fun p ->
+      match (Best_join.top_k ~k:1 scoring p, Best_join.solve scoring p) with
+      | [ e ], Some r -> Gen.float_close e.By_location.score r.Naive.score
+      | [], None -> true
+      | _ -> false)
+
+let suite =
+  [
+    ("top_k: ordering and limit", `Quick, test_ordering_and_limit);
+    ("top_k: k beyond entries", `Quick, test_k_larger_than_entries);
+    ("top_k: edge k", `Quick, test_k_zero_and_negative);
+    top1_equals_best (Scoring.Win (Scoring.win_exponential ~alpha:0.1));
+    top1_equals_best (Scoring.Med (Scoring.med_exponential ~alpha:0.2));
+  ]

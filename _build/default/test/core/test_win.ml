@@ -1,0 +1,159 @@
+open Pj_core
+
+let m ?(score = 1.) loc = Match0.make ~loc ~score ()
+
+let instances =
+  [ Scoring.win_exponential ~alpha:0.1; Scoring.win_linear ]
+
+let test_hand_example () =
+  (* Two terms: the tight low-score pair beats the distant high-score
+     pair under strong decay. *)
+  let w = Scoring.win_exponential ~alpha:1.0 in
+  let p =
+    [|
+      [| m ~score:0.9 0; m ~score:0.5 10 |];
+      [| m ~score:0.5 11; m ~score:0.9 30 |];
+    |]
+  in
+  match Win.best w p with
+  | None -> Alcotest.fail "expected a matchset"
+  | Some r ->
+      Alcotest.(check int) "first member" 10 r.Naive.matchset.(0).Match0.loc;
+      Alcotest.(check int) "second member" 11 r.Naive.matchset.(1).Match0.loc
+
+let test_empty_list () =
+  let p = [| [| m 1 |]; [||] |] in
+  Alcotest.(check bool) "no matchset" true
+    (Win.best (Scoring.win_exponential ~alpha:0.1) p = None)
+
+let test_single_term () =
+  let w = Scoring.win_linear in
+  let p = [| [| m ~score:0.2 3; m ~score:0.8 7; m ~score:0.5 9 |] |] in
+  match Win.best w p with
+  | None -> Alcotest.fail "expected a matchset"
+  | Some r ->
+      Alcotest.(check int) "picks max score" 7 r.Naive.matchset.(0).Match0.loc
+
+let test_colocated () =
+  (* All matches at one location: window 0, best is the max-score pick
+     per list. *)
+  let w = Scoring.win_exponential ~alpha:0.5 in
+  let p =
+    [| [| m ~score:0.3 5; m ~score:0.7 5 |]; [| m ~score:0.4 5 |] |]
+  in
+  match Win.best w p with
+  | None -> Alcotest.fail "expected a matchset"
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "score" (0.7 *. 0.4) r.Naive.score
+
+let equiv_test w =
+  Gen.qtest
+    ~name:(Printf.sprintf "WIN (Alg 1) = NWIN [%s]" w.Scoring.win_name)
+    (Gen.problem_arb ())
+    (fun p ->
+      Gen.agree_with_oracle (Scoring.Win w) (Win.best w p)
+        (Naive.best (Scoring.Win w) p))
+
+let equiv_large_terms =
+  (* More terms but tiny lists: exercises the 2^|Q| subset loop. *)
+  let w = Scoring.win_exponential ~alpha:0.2 in
+  Gen.qtest ~count:200 ~name:"WIN = NWIN with up to 6 terms"
+    (Gen.problem_arb ~min_terms:5 ~max_terms:6 ~max_len:3 ())
+    (fun p ->
+      Gen.agree_with_oracle (Scoring.Win w) (Win.best w p)
+        (Naive.best (Scoring.Win w) p))
+
+(* The duplicate-aware DP must agree with the exhaustive valid-best
+   oracle; duplicates are made frequent with a tiny location range. *)
+let valid_equiv_test w =
+  Gen.qtest ~count:600
+    ~name:
+      (Printf.sprintf "WIN best_valid = naive valid best [%s]" w.Scoring.win_name)
+    (Gen.problem_arb ~max_terms:3 ~max_len:4 ~max_loc:5 ())
+    (fun p ->
+      match (Win.best_valid w p, Naive.best_valid (Scoring.Win w) p) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some f, Some o ->
+          Gen.float_close f.Naive.score o.Naive.score
+          && Matchset.is_valid f.Naive.matchset)
+
+let valid_agrees_with_wrapper =
+  let w = Scoring.win_exponential ~alpha:0.3 in
+  Gen.qtest ~count:400 ~name:"WIN best_valid = Section VI wrapper"
+    (Gen.problem_arb ~max_terms:4 ~max_len:4 ~max_loc:6 ())
+    (fun p ->
+      let direct = Win.best_valid w p in
+      let wrapped, _ = Dedup.best_valid (Win.best w) p in
+      match (direct, wrapped) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some a, Some b -> Gen.float_close a.Naive.score b.Naive.score)
+
+(* Oracle for the order-constrained variant: exhaustive search over
+   matchsets whose locations are non-decreasing in term order. *)
+let ordered_oracle w p =
+  let is_ordered (ms : Matchset.t) =
+    let ok = ref true in
+    for j = 1 to Array.length ms - 1 do
+      if ms.(j).Match0.loc < ms.(j - 1).Match0.loc then ok := false
+    done;
+    !ok
+  in
+  let best = ref None in
+  Naive.iter_matchsets p (fun ms ->
+      if is_ordered ms then begin
+        let s = Scoring.score_win w ms in
+        match !best with
+        | Some s' when s' >= s -> ()
+        | _ -> best := Some s
+      end);
+  !best
+
+let ordered_equiv_test w =
+  Gen.qtest ~count:500
+    ~name:
+      (Printf.sprintf "WIN best_ordered = ordered oracle [%s]" w.Scoring.win_name)
+    (Gen.problem_arb ~max_terms:4 ~max_len:5 ~max_loc:12 ())
+    (fun p ->
+      match (Win.best_ordered w p, ordered_oracle w p) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some r, Some s ->
+          Gen.float_close r.Naive.score s
+          && begin
+               let ms = r.Naive.matchset in
+               let ok = ref true in
+               for j = 1 to Array.length ms - 1 do
+                 if ms.(j).Match0.loc < ms.(j - 1).Match0.loc then ok := false
+               done;
+               !ok
+             end)
+
+let test_ordered_rejects_inverted () =
+  (* Only the inverted arrangement exists: no ordered matchset. *)
+  let w = Scoring.win_linear in
+  let p = [| [| m 9 |]; [| m 2 |] |] in
+  Alcotest.(check bool) "no ordered matchset" true (Win.best_ordered w p = None);
+  Alcotest.(check bool) "unordered solver still finds it" true
+    (Win.best w p <> None)
+
+let test_best_valid_no_valid () =
+  let w = Scoring.win_linear in
+  let p = [| [| m 3 |]; [| m 3 |] |] in
+  Alcotest.(check bool) "no valid matchset" true (Win.best_valid w p = None)
+
+let suite =
+  [
+    ("WIN: hand example", `Quick, test_hand_example);
+    ("WIN: empty list", `Quick, test_empty_list);
+    ("WIN: single term", `Quick, test_single_term);
+    ("WIN: co-located matches", `Quick, test_colocated);
+    ("WIN: best_valid with no valid matchset", `Quick, test_best_valid_no_valid);
+  ]
+  @ [ ("WIN: ordered rejects inverted", `Quick, test_ordered_rejects_inverted) ]
+  @ List.map equiv_test instances
+  @ [ equiv_large_terms ]
+  @ List.map valid_equiv_test instances
+  @ [ valid_agrees_with_wrapper ]
+  @ List.map ordered_equiv_test instances

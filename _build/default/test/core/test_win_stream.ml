@@ -1,0 +1,96 @@
+open Pj_core
+
+let m ?(score = 1.) loc = Match0.make ~loc ~score ()
+
+let w = Scoring.win_exponential ~alpha:0.2
+
+let test_incremental_emission () =
+  (* Results must appear as soon as their location closes, one per
+     location that anchors a matchset. *)
+  let t = Win_stream.create w ~n_terms:2 in
+  Alcotest.(check bool) "nothing yet" true (Win_stream.feed t ~term:0 (m 1) = None);
+  Alcotest.(check bool) "still nothing (no full matchset before 1)" true
+    (Win_stream.feed t ~term:1 (m 3) = None);
+  (match Win_stream.feed t ~term:0 (m 5) with
+  | Some e ->
+      Alcotest.(check int) "anchor 3 emitted" 3 e.Anchored.anchor;
+      Alcotest.(check int) "window 2" 2 (Matchset.window e.Anchored.matchset)
+  | None -> Alcotest.fail "expected emission when location 3 closed");
+  match Win_stream.finish t with
+  | Some e -> Alcotest.(check int) "final anchor" 5 e.Anchored.anchor
+  | None -> Alcotest.fail "expected final emission"
+
+let test_colocated_group_buffered () =
+  (* Two matches at the same location must be combined before emission:
+     the matchset {a@4, b@4} has window 0. *)
+  let t = Win_stream.create w ~n_terms:2 in
+  ignore (Win_stream.feed t ~term:0 (m 4));
+  ignore (Win_stream.feed t ~term:1 (m 4));
+  match Win_stream.finish t with
+  | Some e ->
+      Alcotest.(check int) "anchor" 4 e.Anchored.anchor;
+      Alcotest.(check int) "window 0" 0 (Matchset.window e.Anchored.matchset)
+  | None -> Alcotest.fail "expected emission"
+
+let test_out_of_order_rejected () =
+  let t = Win_stream.create w ~n_terms:1 in
+  ignore (Win_stream.feed t ~term:0 (m 5));
+  Alcotest.check_raises "regression rejected"
+    (Invalid_argument "Win_stream.feed: locations must be non-decreasing")
+    (fun () -> ignore (Win_stream.feed t ~term:0 (m 4)))
+
+let test_bad_term_rejected () =
+  let t = Win_stream.create w ~n_terms:2 in
+  Alcotest.check_raises "bad term"
+    (Invalid_argument "Win_stream.feed: bad term index") (fun () ->
+      ignore (Win_stream.feed t ~term:2 (m 1)))
+
+let test_finish_twice_rejected () =
+  let t = Win_stream.create w ~n_terms:1 in
+  ignore (Win_stream.finish t);
+  Alcotest.check_raises "finished stream"
+    (Invalid_argument "Win_stream.finish: stream is finished") (fun () ->
+      ignore (Win_stream.finish t))
+
+let run_equals_by_location =
+  Gen.qtest ~count:400 ~name:"Win_stream.run = By_location.win"
+    (Gen.problem_arb ~max_terms:3 ~max_len:5 ~max_loc:12 ())
+    (fun p ->
+      let a = Win_stream.run w p and b = By_location.win w p in
+      List.length a = List.length b
+      && List.for_all2
+           (fun (x : Anchored.entry) (y : Anchored.entry) ->
+             x.Anchored.anchor = y.Anchored.anchor
+             && Gen.float_close x.Anchored.score y.Anchored.score)
+           a b)
+
+let state_size_is_input_independent () =
+  (* Streaming claim: state does not grow with the input. We approximate
+     this by feeding a long stream and checking emissions stay timely
+     (every location < current is already emitted). *)
+  let t = Win_stream.create w ~n_terms:2 in
+  let emitted = ref 0 in
+  for l = 0 to 4999 do
+    let term = l mod 2 in
+    match Win_stream.feed t ~term (m l) with
+    | Some _ -> incr emitted
+    | None -> ()
+  done;
+  ignore (Win_stream.finish t);
+  (* Every location from 1 on anchors a matchset (both lists populated
+     below it); the first can not. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "emitted %d of 5000" !emitted)
+    true
+    (!emitted >= 4998)
+
+let suite =
+  [
+    ("win_stream: incremental emission", `Quick, test_incremental_emission);
+    ("win_stream: co-located group", `Quick, test_colocated_group_buffered);
+    ("win_stream: out of order", `Quick, test_out_of_order_rejected);
+    ("win_stream: bad term", `Quick, test_bad_term_rejected);
+    ("win_stream: finish twice", `Quick, test_finish_twice_rejected);
+    run_equals_by_location;
+    ("win_stream: long stream emits timely", `Quick, state_size_is_input_independent);
+  ]

@@ -1,0 +1,90 @@
+open Pj_core
+
+let m ?(score = 1.) loc = Match0.make ~loc ~score ()
+
+let instances = [ Scoring.win_exponential ~alpha:0.1; Scoring.win_linear ]
+
+(* Oracle: enumerate the cross product, dedupe by matchset membership
+   (a list can contain two identical matches, which denote the same
+   matchset), and take the k best scores. *)
+let oracle_scores ~k w p =
+  let seen = Hashtbl.create 64 in
+  Naive.iter_matchsets p (fun ms ->
+      let key =
+        Array.to_list ms
+        |> List.map (fun x -> (x.Match0.loc, x.Match0.score, x.Match0.payload))
+        |> List.sort compare
+      in
+      if not (Hashtbl.mem seen key) then
+        Hashtbl.add seen key (Scoring.score_win w ms));
+  Hashtbl.fold (fun _ s acc -> s :: acc) seen []
+  |> List.sort (fun a b -> compare b a)
+  |> List.filteri (fun i _ -> i < k)
+
+let topk_matches_oracle w =
+  Gen.qtest ~count:400
+    ~name:(Printf.sprintf "best_k = oracle top-k [%s]" w.Scoring.win_name)
+    (QCheck.pair (QCheck.int_range 1 6)
+       (Gen.problem_arb ~max_terms:3 ~max_len:4 ~max_loc:15 ()))
+    (fun (k, p) ->
+      let got = Win_topk.best_k ~k w p in
+      let expected = oracle_scores ~k w p in
+      List.length got = List.length expected
+      && List.for_all2
+           (fun (r : Naive.result) s -> Gen.float_close r.Naive.score s)
+           got expected
+      (* Results are distinct matchsets. *)
+      && begin
+           let keys =
+             List.map
+               (fun (r : Naive.result) ->
+                 Array.to_list r.Naive.matchset
+                 |> List.map (fun x -> (x.Match0.loc, x.Match0.score))
+                 |> List.sort compare)
+               got
+           in
+           List.length (List.sort_uniq compare keys) = List.length keys
+         end)
+
+let top1_equals_best w =
+  Gen.qtest ~count:300
+    ~name:(Printf.sprintf "best_k 1 = Win.best [%s]" w.Scoring.win_name)
+    (Gen.problem_arb ~max_terms:4 ~max_len:5 ())
+    (fun p ->
+      match (Win_topk.best_k ~k:1 w p, Win.best w p) with
+      | [], None -> true
+      | [ r ], Some b -> Gen.float_close r.Naive.score b.Naive.score
+      | _ -> false)
+
+let test_fewer_than_k () =
+  let w = Scoring.win_linear in
+  let p = [| [| m 1; m 4 |]; [| m 2 |] |] in
+  (* Only two matchsets exist. *)
+  Alcotest.(check int) "all returned" 2 (List.length (Win_topk.best_k ~k:10 w p))
+
+let test_k_zero_and_negative () =
+  let w = Scoring.win_linear in
+  let p = [| [| m 1 |] |] in
+  Alcotest.(check int) "k=0" 0 (List.length (Win_topk.best_k ~k:0 w p));
+  Alcotest.check_raises "negative" (Invalid_argument "Win_topk.best_k: negative k")
+    (fun () -> ignore (Win_topk.best_k ~k:(-2) w p))
+
+let test_descending_order () =
+  let w = Scoring.win_exponential ~alpha:0.2 in
+  let p = [| [| m 0; m 5; m 9 |]; [| m 1; m 6 |] |] in
+  let results = Win_topk.best_k ~k:6 w p in
+  let rec desc = function
+    | (a : Naive.result) :: (b :: _ as rest) ->
+        a.Naive.score >= b.Naive.score && desc rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending" true (desc results)
+
+let suite =
+  [
+    ("win_topk: fewer than k", `Quick, test_fewer_than_k);
+    ("win_topk: edge k", `Quick, test_k_zero_and_negative);
+    ("win_topk: descending", `Quick, test_descending_order);
+  ]
+  @ List.map topk_matches_oracle instances
+  @ List.map top1_equals_best instances

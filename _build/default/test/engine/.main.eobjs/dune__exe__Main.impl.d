@@ -1,0 +1,1 @@
+test/engine/main.ml: Alcotest Test_idf Test_search_oracle Test_searcher Test_snippet

@@ -1,0 +1,1 @@
+test/engine/main.mli:

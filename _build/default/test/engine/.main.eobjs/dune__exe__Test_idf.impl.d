@@ -1,0 +1,1 @@
+test/engine/test_idf.ml: Alcotest Idf Lazy List Option Pj_engine Pj_index Pj_matching

@@ -1,0 +1,1 @@
+test/engine/test_search_oracle.ml: Array Float List Pj_core Pj_engine Pj_index Pj_matching Pj_text Pj_workload QCheck QCheck_alcotest Searcher String

@@ -1,0 +1,1 @@
+test/engine/test_searcher.ml: Alcotest List Pj_core Pj_engine Pj_index Pj_matching Pj_util Printf Searcher String

@@ -1,0 +1,1 @@
+test/engine/test_snippet.ml: Alcotest Array Pj_core Pj_engine Pj_text Snippet

@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "proxjoin.engine"
+    [
+      ("idf", Test_idf.suite);
+      ("searcher", Test_searcher.suite);
+      ("search_oracle", Test_search_oracle.suite);
+      ("snippet", Test_snippet.suite);
+    ]

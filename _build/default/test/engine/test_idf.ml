@@ -1,0 +1,77 @@
+open Pj_engine
+
+let index_of texts =
+  let corpus = Pj_index.Corpus.create () in
+  List.iter (fun t -> ignore (Pj_index.Corpus.add_text corpus t)) texts;
+  Pj_index.Inverted_index.build corpus
+
+let idx =
+  lazy
+    (index_of
+       [
+         "the cat sat on the mat";
+         "the dog sat on the log";
+         "the cat chased the dog";
+         "a rare aardvark appeared";
+       ])
+
+let test_idf_ordering () =
+  let idx = Lazy.force idx in
+  (* "the" (3 docs) must score below "aardvark" (1 doc) and both below
+     an unseen token. *)
+  let common = Idf.idf idx "the" in
+  let rare = Idf.idf idx "aardvark" in
+  let unseen = Idf.idf idx "zzz" in
+  Alcotest.(check bool) "rare > common" true (rare > common);
+  Alcotest.(check bool) "unseen >= rare" true (unseen >= rare)
+
+let test_normalized_range () =
+  let idx = Lazy.force idx in
+  List.iter
+    (fun w ->
+      let s = Idf.normalized_idf idx w in
+      if s <= 0. || s > 1. then Alcotest.failf "%s: %f outside (0,1]" w s)
+    [ "the"; "cat"; "aardvark"; "zzz" ];
+  Alcotest.(check (float 1e-9)) "unseen = 1" 1. (Idf.normalized_idf idx "zzz")
+
+let test_empty_corpus () =
+  let idx = index_of [] in
+  Alcotest.(check (float 1e-9)) "idf 0" 0. (Idf.idf idx "x");
+  Alcotest.(check (float 1e-9)) "normalized 1" 1. (Idf.normalized_idf idx "x")
+
+let test_matcher () =
+  let idx = Lazy.force idx in
+  let m = Idf.matcher idx "cat" in
+  (match m.Pj_matching.Matcher.score_token "cat" with
+  | Some s -> Alcotest.(check bool) "scored" true (s > 0. && s <= 1.)
+  | None -> Alcotest.fail "expected a match");
+  Alcotest.(check bool) "other token" true
+    (m.Pj_matching.Matcher.score_token "dog" = None)
+
+let test_weighted_matcher () =
+  let idx = Lazy.force idx in
+  let base =
+    Pj_matching.Matcher.of_table ~name:"animals" [ ("cat", 1.0); ("the", 1.0) ]
+  in
+  let weighted = Idf.weighted_matcher idx base in
+  let score w =
+    Option.get (weighted.Pj_matching.Matcher.score_token w)
+  in
+  Alcotest.(check bool) "cat outranks the" true (score "cat" > score "the");
+  (* Expansions rescaled consistently with score_token. *)
+  match weighted.Pj_matching.Matcher.expansions with
+  | Some e ->
+      List.iter
+        (fun (form, s) ->
+          Alcotest.(check (float 1e-9)) ("expansion " ^ form) (score form) s)
+        e
+  | None -> Alcotest.fail "expansions lost"
+
+let suite =
+  [
+    ("idf: ordering", `Quick, test_idf_ordering);
+    ("idf: normalized range", `Quick, test_normalized_range);
+    ("idf: empty corpus", `Quick, test_empty_corpus);
+    ("idf: matcher", `Quick, test_matcher);
+    ("idf: weighted matcher", `Quick, test_weighted_matcher);
+  ]

@@ -1,0 +1,62 @@
+(* Property test: the engine's index-driven search must equal the naive
+   oracle that scans every document and ranks by best-matchset score. *)
+
+open Pj_engine
+
+let alphabet = [| "aa"; "bb"; "cc"; "dd"; "ee" |]
+
+let corpus_gen =
+  QCheck.Gen.(
+    let doc = list_size (int_range 1 12) (oneofa alphabet) in
+    list_size (int_range 1 8) doc)
+
+let corpus_print docs =
+  String.concat " | " (List.map (String.concat " ") docs)
+
+let corpus_arb = QCheck.make ~print:corpus_print corpus_gen
+
+let query =
+  Pj_matching.Query.make "ab"
+    [ Pj_matching.Matcher.exact "aa"; Pj_matching.Matcher.exact "bb" ]
+
+let scoring = Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha:0.3)
+
+let oracle docs =
+  (* Scan-based ranking over every document. *)
+  let corpus = Pj_index.Corpus.create () in
+  List.iter
+    (fun tokens -> ignore (Pj_index.Corpus.add_tokens corpus (Array.of_list tokens)))
+    docs;
+  let problems =
+    Array.map
+      (fun (d, p) -> (d.Pj_text.Document.id, p))
+      (Pj_matching.Match_builder.scan_corpus corpus query)
+  in
+  Pj_workload.Ranker.rank scoring problems
+  |> Array.to_list
+  |> List.filter_map (fun r ->
+         match r.Pj_workload.Ranker.result with
+         | Some res -> Some (r.Pj_workload.Ranker.doc_id, res.Pj_core.Naive.score)
+         | None -> None)
+
+let engine docs =
+  let corpus = Pj_index.Corpus.create () in
+  List.iter
+    (fun tokens -> ignore (Pj_index.Corpus.add_tokens corpus (Array.of_list tokens)))
+    docs;
+  let s = Searcher.create (Pj_index.Inverted_index.build corpus) in
+  Searcher.search ~k:max_int s scoring query
+  |> List.map (fun h -> (h.Searcher.doc_id, h.Searcher.score))
+
+let close (a, sa) (b, sb) =
+  a = b && Float.abs (sa -. sb) <= 1e-9 *. Float.max 1. (Float.abs sa)
+
+let search_equals_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"Searcher.search = scan-and-rank oracle"
+       corpus_arb
+       (fun docs ->
+         let a = engine docs and b = oracle docs in
+         List.length a = List.length b && List.for_all2 close a b))
+
+let suite = [ search_equals_oracle ]

@@ -1,0 +1,148 @@
+open Pj_engine
+
+let texts =
+  [
+    (* 0 *) "lenovo signs a partnership with the nba this season";
+    (* 1 *) "lenovo mentioned briefly and much later a partnership of others";
+    (* 2 *) "the nba expanded its partnership program with dell";
+    (* 3 *) "unrelated document about gardening and weather";
+    (* 4 *) "lenovo lenovo lenovo no sports words here";
+    (* 5 *) "nba partnership nba partnership no company here";
+  ]
+
+let setup () =
+  let corpus = Pj_index.Corpus.create () in
+  List.iter (fun t -> ignore (Pj_index.Corpus.add_text corpus t)) texts;
+  let idx = Pj_index.Inverted_index.build corpus in
+  Searcher.create idx
+
+let query =
+  Pj_matching.Query.make "company nba partnership"
+    [
+      Pj_matching.Matcher.of_table ~name:"company"
+        [ ("lenovo", 1.); ("dell", 0.9) ];
+      Pj_matching.Matcher.exact "nba";
+      Pj_matching.Matcher.exact "partnership";
+    ]
+
+let scoring = Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha:0.2)
+
+let test_candidates () =
+  let s = setup () in
+  (* Docs with all three terms: 0 and 2 (doc 1 lacks nba; 4 lacks both;
+     5 lacks a company). *)
+  Alcotest.(check (array int)) "conjunctive" [| 0; 2 |]
+    (Searcher.candidates s query)
+
+let test_search_ranking () =
+  let s = setup () in
+  match Searcher.search s scoring query with
+  | [ a; b ] ->
+      (* Doc 0's cluster is tighter than doc 2's. *)
+      Alcotest.(check int) "best doc" 0 a.Searcher.doc_id;
+      Alcotest.(check int) "second doc" 2 b.Searcher.doc_id;
+      Alcotest.(check bool) "ordered" true (a.Searcher.score >= b.Searcher.score)
+  | hits -> Alcotest.failf "expected 2 hits, got %d" (List.length hits)
+
+let test_search_k_limits () =
+  let s = setup () in
+  Alcotest.(check int) "k=1" 1 (List.length (Searcher.search ~k:1 s scoring query));
+  Alcotest.(check int) "k=0" 0 (List.length (Searcher.search ~k:0 s scoring query))
+
+let test_no_candidates () =
+  let s = setup () in
+  let q = Pj_matching.Query.make "impossible" [ Pj_matching.Matcher.exact "zzz" ] in
+  Alcotest.(check (array int)) "no docs" [||] (Searcher.candidates s q);
+  Alcotest.(check int) "no hits" 0 (List.length (Searcher.search s scoring q))
+
+let test_search_respects_dedup () =
+  (* A document where one token matches two terms at the same location:
+     with dedup the invalid matchset may not be used. *)
+  let corpus = Pj_index.Corpus.create () in
+  ignore (Pj_index.Corpus.add_text corpus "china porcelain market");
+  let idx = Pj_index.Inverted_index.build corpus in
+  let s = Searcher.create idx in
+  let q =
+    Pj_matching.Query.make "asia porcelain"
+      [
+        Pj_matching.Matcher.of_table ~name:"asia" [ ("china", 1.) ];
+        Pj_matching.Matcher.of_table ~name:"porcelain"
+          [ ("china", 1.); ("porcelain", 0.8) ];
+      ]
+  in
+  (match Searcher.search ~dedup:true s scoring q with
+  | [ hit ] ->
+      Alcotest.(check bool) "valid matchset" true
+        (Pj_core.Matchset.is_valid hit.Searcher.matchset)
+  | hits -> Alcotest.failf "expected 1 hit, got %d" (List.length hits));
+  match Searcher.search ~dedup:false s scoring q with
+  | [ hit ] ->
+      Alcotest.(check bool) "duplicate allowed without dedup" false
+        (Pj_core.Matchset.is_valid hit.Searcher.matchset)
+  | hits -> Alcotest.failf "expected 1 hit, got %d" (List.length hits)
+
+let test_heap_eviction_order () =
+  (* More candidates than k: the top-k must equal the full ranking's
+     prefix. *)
+  let corpus = Pj_index.Corpus.create () in
+  let rng = Pj_util.Prng.create 3 in
+  for _ = 0 to 30 do
+    (* Random gap between the two terms controls the score. *)
+    let gap = 1 + Pj_util.Prng.int rng 12 in
+    let filler = List.init gap (fun i -> "zz" ^ string_of_int i) in
+    let text = String.concat " " (("alpha" :: filler) @ [ "beta" ]) in
+    ignore (Pj_index.Corpus.add_text corpus text)
+  done;
+  let idx = Pj_index.Inverted_index.build corpus in
+  let s = Searcher.create idx in
+  let q =
+    Pj_matching.Query.make "ab"
+      [ Pj_matching.Matcher.exact "alpha"; Pj_matching.Matcher.exact "beta" ]
+  in
+  let all = Searcher.search ~k:31 s scoring q in
+  let top5 = Searcher.search ~k:5 s scoring q in
+  Alcotest.(check int) "five hits" 5 (List.length top5);
+  List.iteri
+    (fun i hit ->
+      let expected = List.nth all i in
+      Alcotest.(check int)
+        (Printf.sprintf "rank %d doc" i)
+        expected.Searcher.doc_id hit.Searcher.doc_id)
+    top5
+
+let test_prune_equals_unpruned () =
+  (* Pruning must never change the result, including under score ties. *)
+  let rng = Pj_util.Prng.create 19 in
+  for trial = 1 to 30 do
+    let corpus = Pj_index.Corpus.create () in
+    let n_docs = 5 + Pj_util.Prng.int rng 15 in
+    for _ = 1 to n_docs do
+      (* Small gap alphabet creates frequent exact score ties. *)
+      let gap = 1 + Pj_util.Prng.int rng 3 in
+      let filler = List.init gap (fun i -> "zz" ^ string_of_int i) in
+      let tokens = ("alpha" :: filler) @ [ "beta" ] in
+      ignore (Pj_index.Corpus.add_text corpus (String.concat " " tokens))
+    done;
+    let s = Searcher.create (Pj_index.Inverted_index.build corpus) in
+    let q =
+      Pj_matching.Query.make "ab"
+        [ Pj_matching.Matcher.exact "alpha"; Pj_matching.Matcher.exact "beta" ]
+    in
+    let k = 1 + Pj_util.Prng.int rng 5 in
+    let a = Searcher.search ~k ~prune:true s scoring q in
+    let b = Searcher.search ~k ~prune:false s scoring q in
+    if List.map (fun h -> h.Searcher.doc_id) a
+       <> List.map (fun h -> h.Searcher.doc_id) b
+    then Alcotest.failf "trial %d: pruned search differs" trial
+  done
+
+let suite =
+  [
+    ("searcher: prune = no-prune", `Quick, test_prune_equals_unpruned);
+    ("searcher: candidates", `Quick, test_candidates);
+    ("searcher: ranking", `Quick, test_search_ranking);
+    ("searcher: k limits", `Quick, test_search_k_limits);
+    ("searcher: no candidates", `Quick, test_no_candidates);
+    ("searcher: dedup flag", `Quick, test_search_respects_dedup);
+    ("searcher: heap eviction", `Quick, test_heap_eviction_order);
+  ]

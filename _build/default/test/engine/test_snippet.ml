@@ -1,0 +1,59 @@
+open Pj_engine
+
+let setup text =
+  let vocab = Pj_text.Vocab.create () in
+  let doc = Pj_text.Document.of_text vocab ~id:0 text in
+  (vocab, doc)
+
+let matchset_of vocab doc positions =
+  Array.map
+    (fun loc ->
+      Pj_core.Match0.make
+        ~payload:(Pj_text.Document.token_at doc loc)
+        ~loc ~score:1. ()
+      |> fun m ->
+      ignore vocab;
+      m)
+    (Array.of_list positions)
+
+let test_render_basic () =
+  let vocab, doc = setup "a b c d e f g h i j" in
+  let ms = matchset_of vocab doc [ 4; 6 ] in
+  Alcotest.(check string) "window with padding"
+    "... b c d [e] f [g] h i j" (Snippet.render ~padding:3 vocab doc ms)
+
+let test_render_clipped_at_ends () =
+  let vocab, doc = setup "a b c" in
+  let ms = matchset_of vocab doc [ 0; 2 ] in
+  Alcotest.(check string) "no ellipses" "[a] b [c]"
+    (Snippet.render vocab doc ms)
+
+let test_render_custom_style () =
+  let vocab, doc = setup "x y z" in
+  let ms = matchset_of vocab doc [ 1 ] in
+  let style =
+    { Snippet.open_mark = "<b>"; close_mark = "</b>"; ellipsis = "…" }
+  in
+  Alcotest.(check string) "html-ish" "x <b>y</b> z"
+    (Snippet.render ~style vocab doc ms)
+
+let test_answer_words () =
+  let vocab, doc = setup "lenovo partners nba" in
+  let ms = matchset_of vocab doc [ 0; 2 ] in
+  Alcotest.(check (list string)) "words" [ "lenovo"; "nba" ]
+    (Snippet.answer_words vocab ms)
+
+let test_zero_padding () =
+  let vocab, doc = setup "a b c d e" in
+  let ms = matchset_of vocab doc [ 2 ] in
+  Alcotest.(check string) "just the match" "... [c] ..."
+    (Snippet.render ~padding:0 vocab doc ms)
+
+let suite =
+  [
+    ("snippet: basic", `Quick, test_render_basic);
+    ("snippet: clipped", `Quick, test_render_clipped_at_ends);
+    ("snippet: custom style", `Quick, test_render_custom_style);
+    ("snippet: answer words", `Quick, test_answer_words);
+    ("snippet: zero padding", `Quick, test_zero_padding);
+  ]

@@ -1,0 +1,1 @@
+test/index/main.ml: Alcotest Test_inverted_index Test_posting Test_storage

@@ -1,0 +1,1 @@
+test/index/main.mli:

@@ -1,0 +1,1 @@
+test/index/test_inverted_index.ml: Alcotest Array Corpus Inverted_index Pj_index Pj_text Posting Posting_list Printf

@@ -1,0 +1,1 @@
+test/index/test_posting.ml: Alcotest List Pj_index Posting Posting_list

@@ -1,0 +1,1 @@
+test/index/test_storage.ml: Alcotest Array Buffer Corpus Filename Fun Inverted_index List Pj_index Pj_text Pj_util Posting_list Printf Storage String Sys

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "proxjoin.index"
+    [
+      ("posting", Test_posting.suite);
+      ("inverted_index", Test_inverted_index.suite);
+      ("storage", Test_storage.suite);
+    ]

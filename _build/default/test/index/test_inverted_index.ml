@@ -1,0 +1,74 @@
+open Pj_index
+
+let sample_corpus () =
+  let c = Corpus.create () in
+  ignore (Corpus.add_text c "lenovo partners with nba lenovo wins");
+  ignore (Corpus.add_text c "dell and lenovo compete");
+  ignore (Corpus.add_text c "the olympic games in beijing");
+  c
+
+let test_corpus_basics () =
+  let c = sample_corpus () in
+  Alcotest.(check int) "size" 3 (Corpus.size c);
+  Alcotest.(check int) "doc 1 id" 1 (Corpus.document c 1).Pj_text.Document.id;
+  Alcotest.(check int) "total tokens" 15 (Corpus.total_tokens c);
+  Alcotest.(check (float 1e-9)) "average length" 5. (Corpus.average_length c)
+
+let test_positions () =
+  let c = sample_corpus () in
+  let idx = Inverted_index.build c in
+  let pl = Inverted_index.postings_of_word idx "lenovo" in
+  Alcotest.(check int) "df lenovo" 2 (Posting_list.document_frequency pl);
+  (match Posting_list.find pl 0 with
+  | Some p ->
+      Alcotest.(check (array int)) "positions in doc 0" [| 0; 4 |]
+        p.Posting.positions
+  | None -> Alcotest.fail "doc 0 missing");
+  Alcotest.(check (array int)) "positions_in helper" [| 2 |]
+    (let v = Corpus.vocab c in
+     match Pj_text.Vocab.find v "lenovo" with
+     | Some tok -> Inverted_index.positions_in idx ~token:tok ~doc_id:1
+     | None -> [||])
+
+let test_missing_word () =
+  let c = sample_corpus () in
+  let idx = Inverted_index.build c in
+  Alcotest.(check int) "unknown word df" 0
+    (Posting_list.document_frequency (Inverted_index.postings_of_word idx "zzz"));
+  Alcotest.(check (array int)) "positions of unknown token" [||]
+    (Inverted_index.positions_in idx ~token:9999 ~doc_id:0)
+
+let test_document_frequencies_consistent () =
+  (* Every token's collection frequency equals its total occurrence
+     count in the corpus. *)
+  let c = sample_corpus () in
+  let idx = Inverted_index.build c in
+  let vocab_size = Inverted_index.vocabulary_size idx in
+  let counts = Array.make vocab_size 0 in
+  Corpus.iter
+    (fun d ->
+      Array.iter
+        (fun tok -> counts.(tok) <- counts.(tok) + 1)
+        d.Pj_text.Document.tokens)
+    c;
+  for tok = 0 to vocab_size - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "cf of token %d" tok)
+      counts.(tok)
+      (Posting_list.collection_frequency (Inverted_index.postings idx tok))
+  done
+
+let test_empty_corpus () =
+  let c = Corpus.create () in
+  let idx = Inverted_index.build c in
+  Alcotest.(check int) "no tokens" 0 (Inverted_index.vocabulary_size idx);
+  Alcotest.(check (float 1e-9)) "avg length" 0. (Corpus.average_length c)
+
+let suite =
+  [
+    ("corpus: basics", `Quick, test_corpus_basics);
+    ("index: positions", `Quick, test_positions);
+    ("index: missing word", `Quick, test_missing_word);
+    ("index: frequencies consistent", `Quick, test_document_frequencies_consistent);
+    ("index: empty corpus", `Quick, test_empty_corpus);
+  ]

@@ -1,0 +1,130 @@
+open Pj_index
+
+let temp_path () = Filename.temp_file "proxjoin_test" ".pjix"
+
+let test_varint_roundtrip () =
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 16 in
+      Storage.write_varint buf n;
+      let pos = ref 0 in
+      Alcotest.(check int)
+        (Printf.sprintf "varint %d" n)
+        n
+        (Storage.read_varint (Buffer.contents buf) ~pos);
+      Alcotest.(check int) "fully consumed" (Buffer.length buf) !pos)
+    [ 0; 1; 127; 128; 300; 16_383; 16_384; 1_000_000; max_int / 4 ]
+
+let test_varint_random_roundtrip () =
+  let rng = Pj_util.Prng.create 77 in
+  let buf = Buffer.create 4096 in
+  let values = Array.init 500 (fun _ -> Pj_util.Prng.int rng 10_000_000) in
+  Array.iter (Storage.write_varint buf) values;
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  Array.iter
+    (fun expected ->
+      Alcotest.(check int) "sequence value" expected (Storage.read_varint s ~pos))
+    values;
+  Alcotest.(check int) "consumed" (String.length s) !pos
+
+let test_varint_truncation () =
+  Alcotest.check_raises "truncated" (Failure "Storage: truncated varint")
+    (fun () -> ignore (Storage.read_varint "\x80" ~pos:(ref 0)))
+
+let sample_corpus () =
+  let c = Corpus.create () in
+  ignore (Corpus.add_text c "lenovo partners with nba lenovo wins");
+  ignore (Corpus.add_text c "dell and lenovo compete");
+  ignore (Corpus.add_text c "");
+  ignore (Corpus.add_text c "the olympic games in beijing 2008");
+  c
+
+let corpora_equal a b =
+  Corpus.size a = Corpus.size b
+  && begin
+       let ok = ref true in
+       for i = 0 to Corpus.size a - 1 do
+         let da = Corpus.document a i and db = Corpus.document b i in
+         if
+           Pj_text.Document.text (Corpus.vocab a) da
+           <> Pj_text.Document.text (Corpus.vocab b) db
+         then ok := false
+       done;
+       !ok
+     end
+
+let test_corpus_roundtrip () =
+  let c = sample_corpus () in
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.save_corpus c path;
+      let c' = Storage.load_corpus path in
+      Alcotest.(check bool) "documents identical" true (corpora_equal c c'))
+
+let test_index_roundtrip () =
+  let c = sample_corpus () in
+  let idx = Inverted_index.build c in
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.save idx path;
+      let idx' = Storage.load path in
+      (* Same posting statistics for every word of the original vocab. *)
+      let vocab = Corpus.vocab c in
+      for tok = 0 to Pj_text.Vocab.size vocab - 1 do
+        let w = Pj_text.Vocab.word vocab tok in
+        Alcotest.(check int)
+          ("df of " ^ w)
+          (Posting_list.document_frequency (Inverted_index.postings_of_word idx w))
+          (Posting_list.document_frequency (Inverted_index.postings_of_word idx' w))
+      done)
+
+let test_empty_corpus_roundtrip () =
+  let c = Corpus.create () in
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.save_corpus c path;
+      Alcotest.(check int) "empty" 0 (Corpus.size (Storage.load_corpus path)))
+
+let test_bad_magic () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "NOPE whatever";
+      close_out oc;
+      Alcotest.check_raises "rejected"
+        (Failure "Storage: not a proxjoin corpus file") (fun () ->
+          ignore (Storage.load_corpus path)))
+
+let test_trailing_bytes () =
+  let c = sample_corpus () in
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.save_corpus c path;
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "junk";
+      close_out oc;
+      Alcotest.check_raises "rejected" (Failure "Storage: trailing bytes")
+        (fun () -> ignore (Storage.load_corpus path)))
+
+let suite =
+  [
+    ("storage: varint roundtrip", `Quick, test_varint_roundtrip);
+    ("storage: varint sequence", `Quick, test_varint_random_roundtrip);
+    ("storage: varint truncation", `Quick, test_varint_truncation);
+    ("storage: corpus roundtrip", `Quick, test_corpus_roundtrip);
+    ("storage: index roundtrip", `Quick, test_index_roundtrip);
+    ("storage: empty corpus", `Quick, test_empty_corpus_roundtrip);
+    ("storage: bad magic", `Quick, test_bad_magic);
+    ("storage: trailing bytes", `Quick, test_trailing_bytes);
+  ]

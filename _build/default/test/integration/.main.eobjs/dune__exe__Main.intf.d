@@ -1,0 +1,1 @@
+test/integration/main.mli:

@@ -1,0 +1,1 @@
+test/integration/test_pipeline.ml: Alcotest Array Filename Float Fun List Pj_core Pj_engine Pj_index Pj_matching Pj_ontology Pj_text Pj_workload String Sys

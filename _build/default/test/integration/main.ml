@@ -1,0 +1,1 @@
+let () = Alcotest.run "proxjoin.integration" [ ("pipeline", Test_pipeline.suite) ]

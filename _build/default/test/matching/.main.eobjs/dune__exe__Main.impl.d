@@ -1,0 +1,1 @@
+test/matching/main.ml: Alcotest Test_match_builder Test_matcher Test_phrase Test_query_parser

@@ -1,0 +1,1 @@
+test/matching/main.mli:

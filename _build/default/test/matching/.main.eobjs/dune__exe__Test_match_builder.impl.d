@@ -1,0 +1,1 @@
+test/matching/test_match_builder.ml: Alcotest Array Date_matcher List Match_builder Matcher Pj_core Pj_index Pj_matching Pj_ontology Pj_text Printf Query Wordnet_matcher

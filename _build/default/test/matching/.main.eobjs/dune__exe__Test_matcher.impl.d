@@ -1,0 +1,1 @@
+test/matching/test_matcher.ml: Alcotest Date_matcher List Matcher Pj_matching Pj_ontology Place_matcher Query String Wordnet_matcher

@@ -1,0 +1,1 @@
+test/matching/test_phrase.ml: Alcotest Array Matcher Phrase Pj_core Pj_matching Pj_text Query

@@ -1,0 +1,1 @@
+test/matching/test_query_parser.ml: Alcotest Lazy List Matcher Pj_matching Pj_ontology Query Query_parser

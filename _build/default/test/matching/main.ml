@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "proxjoin.matching"
+    [
+      ("matcher", Test_matcher.suite);
+      ("match_builder", Test_match_builder.suite);
+      ("phrase", Test_phrase.suite);
+      ("query_parser", Test_query_parser.suite);
+    ]

@@ -1,0 +1,141 @@
+open Pj_matching
+
+let intro_text =
+  "As part of the new deal Lenovo will become the official PC partner of \
+   the NBA and it will be marketing its NBA affiliation in the US and in \
+   China The laptop-maker has a similar marketing and technology \
+   partnership with the Olympic Games"
+
+let intro_query g =
+  Query.make "pc-maker sports partnership"
+    [
+      Wordnet_matcher.create g "pc-maker";
+      Wordnet_matcher.create g "sports";
+      Wordnet_matcher.create g "partnership";
+    ]
+
+let test_scan_intro_example () =
+  let g = Pj_ontology.Mini_wordnet.create () in
+  let vocab = Pj_text.Vocab.create () in
+  let doc = Pj_text.Document.of_text vocab ~id:0 intro_text in
+  let p = Match_builder.scan vocab doc (intro_query g) in
+  Pj_core.Match_list.validate p;
+  Alcotest.(check int) "three lists" 3 (Array.length p);
+  (* pc-maker list: lenovo, laptop-maker (and pc? "pc" alone is not a
+     node). sports: nba x2, olympic, games. partnership: deal, partner,
+     partnership. *)
+  Alcotest.(check bool) "pc-maker matches found" true (Array.length p.(0) >= 2);
+  Alcotest.(check bool) "sports matches found" true (Array.length p.(1) >= 3);
+  Alcotest.(check bool) "partnership matches found" true (Array.length p.(2) >= 3);
+  (* The best WIN matchset must be a coherent answer: one of the two
+     partnerships described by the text (Lenovo/NBA or the laptop
+     maker's Olympic one), with a tight window — never a mix that pairs,
+     say, Dell with the NBA across the document. *)
+  let w = Pj_core.Scoring.win_exponential ~alpha:0.3 in
+  match Pj_core.Win.best w p with
+  | None -> Alcotest.fail "expected an answer"
+  | Some r ->
+      let words =
+        Array.map
+          (fun m -> Pj_text.Vocab.word vocab m.Pj_core.Match0.payload)
+          r.Pj_core.Naive.matchset
+      in
+      let mem l x = List.mem x l in
+      Alcotest.(check bool) "pc maker term" true
+        (mem [ "lenovo"; "laptop-maker" ] words.(0));
+      Alcotest.(check bool) "sports term" true
+        (mem [ "nba"; "olympic"; "games" ] words.(1));
+      Alcotest.(check bool) "partnership term" true
+        (mem [ "deal"; "partner"; "partnership" ] words.(2));
+      Alcotest.(check bool) "tight window" true
+        (Pj_core.Matchset.window r.Pj_core.Naive.matchset <= 12)
+
+let test_scan_locations_are_token_positions () =
+  let vocab = Pj_text.Vocab.create () in
+  let doc = Pj_text.Document.of_text vocab ~id:0 "x a x b" in
+  let q = Query.make "ab" [ Matcher.exact "a"; Matcher.exact "b" ] in
+  let p = Match_builder.scan vocab doc q in
+  Alcotest.(check int) "a at 1" 1 p.(0).(0).Pj_core.Match0.loc;
+  Alcotest.(check int) "b at 3" 3 p.(1).(0).Pj_core.Match0.loc
+
+let test_scan_empty_lists_for_no_match () =
+  let vocab = Pj_text.Vocab.create () in
+  let doc = Pj_text.Document.of_text vocab ~id:0 "nothing here" in
+  let q = Query.make "ab" [ Matcher.exact "a" ] in
+  let p = Match_builder.scan vocab doc q in
+  Alcotest.(check int) "empty list" 0 (Array.length p.(0))
+
+let test_from_index_agrees_with_scan () =
+  (* Build a corpus, index it, and check the index-derived match lists
+     equal the scan-derived ones for expansion-based matchers. *)
+  let corpus = Pj_index.Corpus.create () in
+  let texts =
+    [
+      "lenovo partners with nba in beijing 2008";
+      "dell and hewlett-packard sign a deal in june";
+      "the olympic games partnership of lenovo";
+    ]
+  in
+  List.iter (fun t -> ignore (Pj_index.Corpus.add_text corpus t)) texts;
+  let idx = Pj_index.Inverted_index.build corpus in
+  let q =
+    Query.make "companies and dates"
+      [
+        Matcher.of_table ~name:"company"
+          [ ("lenovo", 1.); ("dell", 0.9); ("hewlett-packard", 0.9) ];
+        Date_matcher.create ();
+      ]
+  in
+  let vocab = Pj_index.Corpus.vocab corpus in
+  for doc_id = 0 to Pj_index.Corpus.size corpus - 1 do
+    let doc = Pj_index.Corpus.document corpus doc_id in
+    let by_scan = Match_builder.scan vocab doc q in
+    let by_index = Match_builder.from_index idx ~doc_id q in
+    Array.iteri
+      (fun j scan_list ->
+        let index_list = by_index.(j) in
+        Alcotest.(check int)
+          (Printf.sprintf "doc %d list %d size" doc_id j)
+          (Array.length scan_list) (Array.length index_list);
+        Array.iteri
+          (fun i m ->
+            Alcotest.(check bool)
+              (Printf.sprintf "doc %d list %d match %d" doc_id j i)
+              true
+              (Pj_core.Match0.equal m index_list.(i)))
+          scan_list)
+      by_scan
+  done
+
+let test_from_index_rejects_non_enumerable () =
+  let corpus = Pj_index.Corpus.create () in
+  ignore (Pj_index.Corpus.add_text corpus "a b c");
+  let idx = Pj_index.Inverted_index.build corpus in
+  let q =
+    Query.make "bad" [ Matcher.predicate ~name:"any" (fun _ -> true) ]
+  in
+  Alcotest.check_raises "no expansions"
+    (Invalid_argument
+       "Match_builder.from_index: matcher any has no finite expansions")
+    (fun () -> ignore (Match_builder.from_index idx ~doc_id:0 q))
+
+let test_scan_corpus () =
+  let corpus = Pj_index.Corpus.create () in
+  ignore (Pj_index.Corpus.add_text corpus "a b");
+  ignore (Pj_index.Corpus.add_text corpus "b a");
+  let q = Query.make "q" [ Matcher.exact "a" ] in
+  let results = Match_builder.scan_corpus corpus q in
+  Alcotest.(check int) "two docs" 2 (Array.length results);
+  let _, p0 = results.(0) and _, p1 = results.(1) in
+  Alcotest.(check int) "doc0 a at 0" 0 p0.(0).(0).Pj_core.Match0.loc;
+  Alcotest.(check int) "doc1 a at 1" 1 p1.(0).(0).Pj_core.Match0.loc
+
+let suite =
+  [
+    ("scan: intro example end-to-end", `Quick, test_scan_intro_example);
+    ("scan: token positions", `Quick, test_scan_locations_are_token_positions);
+    ("scan: empty lists", `Quick, test_scan_empty_lists_for_no_match);
+    ("from_index: agrees with scan", `Quick, test_from_index_agrees_with_scan);
+    ("from_index: rejects non-enumerable", `Quick, test_from_index_rejects_non_enumerable);
+    ("scan_corpus", `Quick, test_scan_corpus);
+  ]

@@ -1,0 +1,134 @@
+open Pj_matching
+
+let score = Alcotest.(option (float 1e-9))
+
+let test_exact () =
+  let m = Matcher.exact "nba" in
+  Alcotest.check score "hit" (Some 1.) (m.Matcher.score_token "nba");
+  Alcotest.check score "miss" None (m.Matcher.score_token "nfl");
+  Alcotest.(check bool) "expansions" true
+    (m.Matcher.expansions = Some [ ("nba", 1.) ])
+
+let test_stemmed_exact () =
+  let m = Matcher.stemmed_exact "partnership" in
+  Alcotest.check score "same stem plural" (Some 1.)
+    (m.Matcher.score_token "partnerships");
+  Alcotest.check score "different word" None (m.Matcher.score_token "partner")
+
+let test_of_table_max_wins () =
+  let m = Matcher.of_table ~name:"t" [ ("x", 0.4); ("x", 0.9); ("y", 0.5) ] in
+  Alcotest.check score "max kept" (Some 0.9) (m.Matcher.score_token "x");
+  Alcotest.check score "other" (Some 0.5) (m.Matcher.score_token "y")
+
+let test_disjunction () =
+  let a = Matcher.exact ~score:0.8 "conference" in
+  let b = Matcher.exact ~score:0.6 "workshop" in
+  let d = Matcher.disjunction ~name:"conference|workshop" a b in
+  Alcotest.check score "left" (Some 0.8) (d.Matcher.score_token "conference");
+  Alcotest.check score "right" (Some 0.6) (d.Matcher.score_token "workshop");
+  Alcotest.check score "neither" None (d.Matcher.score_token "seminar");
+  let overlap =
+    Matcher.disjunction ~name:"o" (Matcher.exact ~score:0.3 "x")
+      (Matcher.exact ~score:0.9 "x")
+  in
+  Alcotest.check score "overlap keeps max" (Some 0.9)
+    (overlap.Matcher.score_token "x")
+
+let test_predicate () =
+  let m = Matcher.predicate ~name:"digits" (fun t -> String.length t = 4) in
+  Alcotest.check score "hit" (Some 1.) (m.Matcher.score_token "2008");
+  Alcotest.(check bool) "no expansions" true (m.Matcher.expansions = None)
+
+let test_wordnet_scoring () =
+  let g = Pj_ontology.Mini_wordnet.create () in
+  let m = Wordnet_matcher.create g "pc-maker" in
+  Alcotest.check score "distance 0" (Some 1.) (m.Matcher.score_token "pc-maker");
+  Alcotest.check score "distance 1" (Some 0.7) (m.Matcher.score_token "lenovo");
+  Alcotest.check score "unrelated" None (m.Matcher.score_token "nba")
+
+let test_wordnet_radius () =
+  let g = Pj_ontology.Graph.create () in
+  Pj_ontology.Graph.add_edge g "a" "b";
+  Pj_ontology.Graph.add_edge g "b" "c";
+  Pj_ontology.Graph.add_edge g "c" "d";
+  Pj_ontology.Graph.add_edge g "d" "e";
+  let m = Wordnet_matcher.create ~use_stems:false g "a" in
+  Alcotest.check score "d=3" (Some 0.1) (m.Matcher.score_token "d");
+  Alcotest.check score "d=4 outside radius" None (m.Matcher.score_token "e")
+
+let test_wordnet_stemming () =
+  let g = Pj_ontology.Mini_wordnet.create () in
+  let m = Wordnet_matcher.create g "partnership" in
+  (* Document token "partners" stems to "partner", distance 1. *)
+  Alcotest.check score "stemmed form" (Some 0.7) (m.Matcher.score_token "partners")
+
+let test_wordnet_unknown_concept () =
+  let g = Pj_ontology.Mini_wordnet.create () in
+  let m = Wordnet_matcher.create g "coriolanus" in
+  Alcotest.check score "self-match" (Some 1.) (m.Matcher.score_token "coriolanus");
+  Alcotest.check score "nothing else" None (m.Matcher.score_token "play")
+
+let test_date_matcher () =
+  let m = Date_matcher.create () in
+  Alcotest.check score "month" (Some 1.) (m.Matcher.score_token "june");
+  Alcotest.check score "year" (Some 1.) (m.Matcher.score_token "2008");
+  Alcotest.check score "not date" None (m.Matcher.score_token "lenovo");
+  Alcotest.(check bool) "has expansions" true (m.Matcher.expansions <> None)
+
+let test_place_matcher () =
+  let g = Pj_ontology.Mini_wordnet.create () in
+  (* The paper's added edge. *)
+  Pj_ontology.Graph.add_edge g "university" "place";
+  let m = Place_matcher.create g in
+  Alcotest.check score "gazetteer city" (Some 1.) (m.Matcher.score_token "beijing");
+  Alcotest.check score "gazetteer country" (Some 1.) (m.Matcher.score_token "italy");
+  Alcotest.check score "wordnet neighbor" (Some 0.7)
+    (m.Matcher.score_token "university");
+  Alcotest.check score "unrelated" None (m.Matcher.score_token "deadline")
+
+let test_stem_expansions () =
+  let m =
+    Matcher.stem_expansions
+      (Matcher.of_table ~name:"t" [ ("partnerships", 0.8); ("running", 0.5) ])
+  in
+  (* Forms stemmed: lookups accept any token with the same stem. *)
+  Alcotest.check score "stemmed form hit" (Some 0.8)
+    (m.Matcher.score_token "partnership");
+  Alcotest.check score "other inflection" (Some 0.5) (m.Matcher.score_token "runs");
+  (match m.Matcher.expansions with
+  | Some e ->
+      Alcotest.(check bool) "expansion forms stemmed" true
+        (List.mem_assoc "partnership" e && List.mem_assoc "run" e)
+  | None -> Alcotest.fail "expansions lost");
+  (* Collisions keep the best score. *)
+  let c =
+    Matcher.stem_expansions
+      (Matcher.of_table ~name:"c" [ ("connect", 0.3); ("connected", 0.9) ])
+  in
+  Alcotest.check score "collision max" (Some 0.9) (c.Matcher.score_token "connecting")
+
+let test_query () =
+  let q =
+    Query.make "demo" [ Matcher.exact "a"; Matcher.exact "b" ]
+  in
+  Alcotest.(check int) "terms" 2 (Query.n_terms q);
+  Alcotest.(check (array string)) "names" [| "a"; "b" |] (Query.term_names q);
+  Alcotest.check_raises "empty rejected" (Invalid_argument "Query.make: no query term")
+    (fun () -> ignore (Query.make "x" []))
+
+let suite =
+  [
+    ("matcher: exact", `Quick, test_exact);
+    ("matcher: stemmed exact", `Quick, test_stemmed_exact);
+    ("matcher: of_table max wins", `Quick, test_of_table_max_wins);
+    ("matcher: disjunction", `Quick, test_disjunction);
+    ("matcher: predicate", `Quick, test_predicate);
+    ("wordnet: 1 - 0.3d scoring", `Quick, test_wordnet_scoring);
+    ("wordnet: radius 3 cutoff", `Quick, test_wordnet_radius);
+    ("wordnet: stemming", `Quick, test_wordnet_stemming);
+    ("wordnet: unknown concept", `Quick, test_wordnet_unknown_concept);
+    ("date matcher", `Quick, test_date_matcher);
+    ("place matcher", `Quick, test_place_matcher);
+    ("matcher: stem expansions", `Quick, test_stem_expansions);
+    ("query", `Quick, test_query);
+  ]

@@ -1,0 +1,89 @@
+open Pj_matching
+
+let setup text =
+  let vocab = Pj_text.Vocab.create () in
+  let doc = Pj_text.Document.of_text vocab ~id:0 text in
+  (vocab, doc)
+
+let locs l = Array.to_list (Array.map (fun m -> m.Pj_core.Match0.loc) l)
+
+let test_find_basic () =
+  let vocab, doc = setup "the leaning tower of pisa began in the year" in
+  let hits =
+    Phrase.find vocab doc ~phrase:[ "leaning"; "tower"; "of"; "pisa" ] ~score:1.
+  in
+  Alcotest.(check (list int)) "one occurrence at 1" [ 1 ] (locs hits);
+  Alcotest.(check (float 1e-9)) "score" 1. hits.(0).Pj_core.Match0.score
+
+let test_find_repeated_and_overlapping () =
+  let vocab, doc = setup "a a a b" in
+  let hits = Phrase.find vocab doc ~phrase:[ "a"; "a" ] ~score:0.5 in
+  Alcotest.(check (list int)) "overlapping occurrences" [ 0; 1 ] (locs hits)
+
+let test_find_absent () =
+  let vocab, doc = setup "x y z" in
+  Alcotest.(check int) "unknown token" 0
+    (Array.length (Phrase.find vocab doc ~phrase:[ "nope" ] ~score:1.));
+  Alcotest.(check int) "sequence broken" 0
+    (Array.length (Phrase.find vocab doc ~phrase:[ "x"; "z" ] ~score:1.))
+
+let test_find_empty_phrase () =
+  let vocab, doc = setup "x" in
+  Alcotest.check_raises "empty" (Invalid_argument "Phrase.find: empty phrase")
+    (fun () -> ignore (Phrase.find vocab doc ~phrase:[] ~score:1.))
+
+let test_find_all_merges_best () =
+  let vocab, doc = setup "winter olympics in turin" in
+  let hits =
+    Phrase.find_all vocab doc
+      [ ([ "winter"; "olympics" ], 0.6); ([ "winter" ], 0.9) ]
+  in
+  (* Both phrases hit location 0; the higher score must survive. *)
+  Alcotest.(check (list int)) "single merged match" [ 0 ] (locs hits);
+  Alcotest.(check (float 1e-9)) "max score kept" 0.9
+    hits.(0).Pj_core.Match0.score
+
+let test_merge_core () =
+  let m ?(score = 1.) loc = Pj_core.Match0.make ~loc ~score () in
+  let a = [| m ~score:0.3 1; m 5 |] in
+  let b = [| m ~score:0.8 1; m 9 |] in
+  let merged = Pj_core.Match_list.merge a b in
+  Alcotest.(check (list int)) "locations" [ 1; 5; 9 ] (locs merged);
+  Alcotest.(check (float 1e-9)) "best per location" 0.8
+    merged.(0).Pj_core.Match0.score
+
+let test_scan_with_phrases () =
+  let vocab, doc = setup "the leaning tower of pisa was built in 1173" in
+  let q =
+    Query.make "pisa build"
+      [ Matcher.of_table ~name:"pisa" [ ("pisa", 0.4) ];
+        Matcher.of_table ~name:"build" [ ("built", 1.0) ] ]
+  in
+  let phrases =
+    [| [ ([ "leaning"; "tower"; "of"; "pisa" ], 1.0) ]; [] |]
+  in
+  let p = Phrase.scan_with_phrases vocab doc q ~phrases in
+  Pj_core.Match_list.validate p;
+  (* pisa list: token hit at 4 (0.4) plus phrase hit at 1 (1.0). *)
+  Alcotest.(check (list int)) "pisa locations" [ 1; 4 ] (locs p.(0));
+  Alcotest.(check (float 1e-9)) "phrase scored" 1.0 p.(0).(0).Pj_core.Match0.score;
+  Alcotest.(check (list int)) "build locations" [ 6 ] (locs p.(1))
+
+let test_scan_with_phrases_size_mismatch () =
+  let vocab, doc = setup "x" in
+  let q = Query.make "q" [ Matcher.exact "x" ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Phrase.scan_with_phrases: phrases array size mismatch")
+    (fun () -> ignore (Phrase.scan_with_phrases vocab doc q ~phrases:[||]))
+
+let suite =
+  [
+    ("phrase: basic", `Quick, test_find_basic);
+    ("phrase: overlapping", `Quick, test_find_repeated_and_overlapping);
+    ("phrase: absent", `Quick, test_find_absent);
+    ("phrase: empty rejected", `Quick, test_find_empty_phrase);
+    ("phrase: find_all merges", `Quick, test_find_all_merges_best);
+    ("match_list: merge", `Quick, test_merge_core);
+    ("phrase: scan_with_phrases", `Quick, test_scan_with_phrases);
+    ("phrase: size mismatch", `Quick, test_scan_with_phrases_size_mismatch);
+  ]

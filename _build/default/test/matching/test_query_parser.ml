@@ -1,0 +1,83 @@
+open Pj_matching
+
+let graph = lazy (Pj_ontology.Mini_wordnet.create ())
+
+let parse_term spec = Query_parser.parse_term (Lazy.force graph) spec
+
+let score m tok = m.Matcher.score_token tok
+
+let test_wordnet_spec () =
+  match parse_term "wordnet:pc-maker" with
+  | Ok m ->
+      Alcotest.(check (option (float 1e-9))) "lenovo at 0.7" (Some 0.7)
+        (score m "lenovo")
+  | Error e -> Alcotest.fail e
+
+let test_bare_word_defaults_to_wordnet () =
+  match parse_term "sports" with
+  | Ok m ->
+      Alcotest.(check (option (float 1e-9))) "nba at 0.7" (Some 0.7)
+        (score m "nba")
+  | Error e -> Alcotest.fail e
+
+let test_exact_and_stem () =
+  (match parse_term "exact:nba" with
+  | Ok m ->
+      Alcotest.(check (option (float 1e-9))) "exact hit" (Some 1.) (score m "nba");
+      Alcotest.(check (option (float 1e-9))) "exact miss" None (score m "nbas")
+  | Error e -> Alcotest.fail e);
+  match parse_term "stem:partnership" with
+  | Ok m ->
+      Alcotest.(check (option (float 1e-9))) "stem hit" (Some 1.)
+        (score m "partnerships")
+  | Error e -> Alcotest.fail e
+
+let test_lexicon_specs () =
+  List.iter
+    (fun (spec, tok) ->
+      match parse_term spec with
+      | Ok m ->
+          Alcotest.(check bool) (spec ^ " matches " ^ tok) true
+            (score m tok <> None)
+      | Error e -> Alcotest.fail e)
+    [
+      ("date", "june"); ("year", "2005"); ("city", "beijing");
+      ("country", "italy"); ("place", "beijing");
+    ]
+
+let test_disjunction_spec () =
+  match parse_term "exact:conference|exact:workshop" with
+  | Ok m ->
+      Alcotest.(check bool) "left" true (score m "conference" <> None);
+      Alcotest.(check bool) "right" true (score m "workshop" <> None);
+      Alcotest.(check bool) "neither" true (score m "seminar" = None)
+  | Error e -> Alcotest.fail e
+
+let test_errors () =
+  let fails spec =
+    match parse_term spec with
+    | Ok _ -> Alcotest.failf "%S should be rejected" spec
+    | Error _ -> ()
+  in
+  fails "";
+  fails "bogus:thing";
+  fails "exact:";
+  match Query_parser.parse (Lazy.force graph) [] with
+  | Ok _ -> Alcotest.fail "empty query accepted"
+  | Error _ -> ()
+
+let test_parse_query () =
+  match Query_parser.parse (Lazy.force graph) [ "pc-maker"; "date" ] with
+  | Ok q -> Alcotest.(check int) "two terms" 2 (Query.n_terms q)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    ("parser: wordnet spec", `Quick, test_wordnet_spec);
+    ("parser: bare word", `Quick, test_bare_word_defaults_to_wordnet);
+    ("parser: exact and stem", `Quick, test_exact_and_stem);
+    ("parser: lexicons", `Quick, test_lexicon_specs);
+    ("parser: disjunction", `Quick, test_disjunction_spec);
+    ("parser: errors", `Quick, test_errors);
+    ("parser: whole query", `Quick, test_parse_query);
+  ]

@@ -1,0 +1,1 @@
+test/ontology/main.ml: Alcotest Test_graph Test_lexicons

@@ -1,0 +1,1 @@
+test/ontology/main.mli:

@@ -1,0 +1,1 @@
+test/ontology/test_graph.ml: Alcotest Graph Pj_ontology

@@ -1,0 +1,1 @@
+test/ontology/test_lexicons.ml: Alcotest Date_lex Gazetteer Graph List Mini_wordnet Pj_ontology

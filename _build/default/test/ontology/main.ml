@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "proxjoin.ontology"
+    [ ("graph", Test_graph.suite); ("lexicons", Test_lexicons.suite) ]

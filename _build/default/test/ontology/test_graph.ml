@@ -1,0 +1,72 @@
+open Pj_ontology
+
+let line_graph n =
+  (* 0 - 1 - 2 - ... - (n-1) as strings *)
+  let g = Graph.create () in
+  for i = 0 to n - 2 do
+    Graph.add_edge g (string_of_int i) (string_of_int (i + 1))
+  done;
+  g
+
+let test_basic_distance () =
+  let g = line_graph 6 in
+  Alcotest.(check (option int)) "adjacent" (Some 1) (Graph.distance g "0" "1");
+  Alcotest.(check (option int)) "far" (Some 5) (Graph.distance g "0" "5");
+  Alcotest.(check (option int)) "self" (Some 0) (Graph.distance g "3" "3")
+
+let test_max_depth () =
+  let g = line_graph 6 in
+  Alcotest.(check (option int)) "within depth" (Some 3)
+    (Graph.distance g ~max_depth:3 "0" "3");
+  Alcotest.(check (option int)) "beyond depth" None
+    (Graph.distance g ~max_depth:3 "0" "4")
+
+let test_disconnected () =
+  let g = Graph.create () in
+  Graph.add_edge g "a" "b";
+  Graph.add_node g "z";
+  Alcotest.(check (option int)) "disconnected" None (Graph.distance g "a" "z");
+  Alcotest.(check (option int)) "absent" None (Graph.distance g "a" "nope")
+
+let test_undirected () =
+  let g = line_graph 4 in
+  Alcotest.(check (option int)) "forward" (Graph.distance g "0" "3")
+    (Graph.distance g "3" "0")
+
+let test_duplicate_edges_and_self_loops () =
+  let g = Graph.create () in
+  Graph.add_edge g "a" "b";
+  Graph.add_edge g "a" "b";
+  Graph.add_edge g "b" "a";
+  Graph.add_edge g "a" "a";
+  Alcotest.(check int) "one edge" 1 (Graph.edge_count g);
+  Alcotest.(check int) "two nodes" 2 (Graph.node_count g);
+  Alcotest.(check (list string)) "neighbors" [ "b" ] (Graph.neighbors g "a")
+
+let test_within () =
+  let g = line_graph 6 in
+  let w = Graph.within g ~radius:2 "2" in
+  Alcotest.(check (list (pair string int)))
+    "radius 2 around node 2"
+    [ ("0", 2); ("1", 1); ("2", 0); ("3", 1); ("4", 2) ]
+    w;
+  Alcotest.(check (list (pair string int))) "absent source" []
+    (Graph.within g ~radius:2 "zzz")
+
+let test_branching () =
+  let g = Graph.create () in
+  Graph.add_edge g "hub" "a";
+  Graph.add_edge g "hub" "b";
+  Graph.add_edge g "a" "leaf";
+  Alcotest.(check (option int)) "through hub" (Some 3) (Graph.distance g "b" "leaf" ~max_depth:5)
+
+let suite =
+  [
+    ("graph: distances", `Quick, test_basic_distance);
+    ("graph: max depth", `Quick, test_max_depth);
+    ("graph: disconnected", `Quick, test_disconnected);
+    ("graph: undirected", `Quick, test_undirected);
+    ("graph: dedup edges", `Quick, test_duplicate_edges_and_self_loops);
+    ("graph: within radius", `Quick, test_within);
+    ("graph: branching", `Quick, test_branching);
+  ]

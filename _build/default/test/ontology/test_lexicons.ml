@@ -1,0 +1,68 @@
+open Pj_ontology
+
+let test_wordnet_intro_example () =
+  (* The intro's motivating matches: lenovo / dell / hewlett-packard are
+     close to "pc-maker"; nba and olympics close to "sports"; partner and
+     deal close to "partnership". *)
+  let g = Mini_wordnet.create () in
+  let close a b =
+    match Graph.distance g ~max_depth:3 a b with
+    | Some d -> d <= 3
+    | None -> false
+  in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) (a ^ " ~ " ^ b) true (close a b))
+    [
+      ("pc-maker", "lenovo"); ("pc-maker", "dell");
+      ("pc-maker", "hewlett-packard"); ("pc-maker", "laptop-maker");
+      ("sports", "nba"); ("sports", "olympics");
+      ("partnership", "partner"); ("partnership", "deal");
+      ("asia", "china"); ("porcelain", "china"); ("porcelain", "ceramics");
+      ("asia", "jingdezhen");
+    ]
+
+let test_wordnet_fresh_copies () =
+  (* The paper added conference--workshop for DBWorld; mutations must not
+     leak into later copies. *)
+  let g1 = Mini_wordnet.create () in
+  Graph.add_edge g1 "conference" "workshop";
+  Alcotest.(check (option int)) "added edge" (Some 1)
+    (Graph.distance g1 "conference" "workshop");
+  let g2 = Mini_wordnet.create () in
+  Alcotest.(check bool) "fresh copy lacks it" true
+    (Graph.distance g2 ~max_depth:1 "conference" "workshop" <> Some 1)
+
+let test_wordnet_concepts_present () =
+  let g = Mini_wordnet.create () in
+  List.iter
+    (fun c -> Alcotest.(check bool) (c ^ " in graph") true (Graph.mem g c))
+    (Mini_wordnet.concepts ())
+
+let test_gazetteer () =
+  Alcotest.(check bool) "beijing" true (Gazetteer.mem "beijing");
+  Alcotest.(check bool) "italy" true (Gazetteer.mem "italy");
+  Alcotest.(check bool) "lenovo" false (Gazetteer.mem "lenovo");
+  Alcotest.(check bool) "rich enough" true (Gazetteer.size () > 150)
+
+let test_date_lex () =
+  Alcotest.(check bool) "june" true (Date_lex.is_month "june");
+  Alcotest.(check bool) "sept abbrev" true (Date_lex.is_month "sept");
+  Alcotest.(check bool) "not a month" false (Date_lex.is_month "lenovo");
+  Alcotest.(check bool) "2008" true (Date_lex.is_year "2008");
+  Alcotest.(check bool) "1989 outside range" false (Date_lex.is_year "1989");
+  Alcotest.(check bool) "2011 outside range" false (Date_lex.is_year "2011");
+  Alcotest.(check bool) "day number" true (Date_lex.is_day_number "26");
+  Alcotest.(check bool) "32 not a day" false (Date_lex.is_day_number "32");
+  Alcotest.(check bool) "date token month" true (Date_lex.is_date_token "may");
+  Alcotest.(check bool) "date token year" true (Date_lex.is_date_token "1995");
+  Alcotest.(check bool) "plain number not a date" false (Date_lex.is_date_token "42")
+
+let suite =
+  [
+    ("wordnet: intro example distances", `Quick, test_wordnet_intro_example);
+    ("wordnet: fresh copies", `Quick, test_wordnet_fresh_copies);
+    ("wordnet: concepts present", `Quick, test_wordnet_concepts_present);
+    ("gazetteer", `Quick, test_gazetteer);
+    ("date lexicon", `Quick, test_date_lex);
+  ]

@@ -1,0 +1,1 @@
+test/qa/main.ml: Alcotest Test_answerer Test_question

@@ -1,0 +1,1 @@
+test/qa/main.mli:

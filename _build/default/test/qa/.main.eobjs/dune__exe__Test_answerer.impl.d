@@ -1,0 +1,1 @@
+test/qa/test_answerer.ml: Alcotest Answerer List Pj_index Pj_matching Pj_qa Question

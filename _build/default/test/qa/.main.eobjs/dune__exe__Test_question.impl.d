@@ -1,0 +1,1 @@
+test/qa/test_question.ml: Alcotest Array List Pj_matching Pj_ontology Pj_qa Question

@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "proxjoin.qa"
+    [ ("question", Test_question.suite); ("answerer", Test_answerer.suite) ]

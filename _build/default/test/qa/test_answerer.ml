@@ -1,0 +1,95 @@
+open Pj_qa
+
+let corpus_of texts =
+  let c = Pj_index.Corpus.create () in
+  List.iter (fun t -> ignore (Pj_index.Corpus.add_text c t)) texts;
+  c
+
+let test_simple_place_answer () =
+  let corpus =
+    corpus_of
+      [
+        "the lebanese parliament sits in beirut near the waterfront";
+        "lebanon has many cities and a parliament with many members";
+        "the parliament of another nation is in vienna";
+        "beirut is a port city";
+      ]
+  in
+  let t = Answerer.create corpus in
+  match Answerer.ask t "In what city is the lebanese parliament located?" with
+  | best :: _ ->
+      Alcotest.(check string) "beirut extracted" "beirut"
+        best.Answerer.answer_word;
+      Alcotest.(check bool) "doc 0 supports" true
+        (List.mem 0 best.Answerer.documents)
+  | [] -> Alcotest.fail "no answer"
+
+let test_aggregation_prefers_repeated_answer () =
+  (* "london" is supported by two tight contexts, "paris" by one. *)
+  let corpus =
+    corpus_of
+      [
+        "hitchcock was born in london in a small flat";
+        "alfred hitchcock the director born and raised in london";
+        "some say hitchcock was born in paris but that is wrong";
+      ]
+  in
+  let t = Answerer.create corpus in
+  match Answerer.ask t "Where was Alfred Hitchcock born?" with
+  | best :: _ ->
+      Alcotest.(check string) "london wins" "london" best.Answerer.answer_word;
+      Alcotest.(check int) "two supporters" 2
+        (List.length best.Answerer.documents)
+  | [] -> Alcotest.fail "no answer"
+
+let test_time_answer () =
+  let corpus =
+    corpus_of
+      [
+        "prince edward married in june 1999 at windsor";
+        "the prince attended a sports event in 2003";
+      ]
+  in
+  let t = Answerer.create corpus in
+  match Answerer.ask t "When did Prince Edward marry?" with
+  | best :: _ ->
+      Alcotest.(check bool)
+        ("answer is a date: " ^ best.Answerer.answer_word)
+        true
+        (List.mem best.Answerer.answer_word [ "june"; "1999" ])
+  | [] -> Alcotest.fail "no answer"
+
+let test_no_answer () =
+  let corpus = corpus_of [ "nothing about the topic here" ] in
+  let t = Answerer.create corpus in
+  Alcotest.(check int) "no answers" 0
+    (List.length (Answerer.ask t "Where was Alfred Hitchcock born?"))
+
+let test_k_limits () =
+  let corpus =
+    corpus_of
+      [
+        "hitchcock born in london";
+        "hitchcock born in paris";
+        "hitchcock born in vienna";
+      ]
+  in
+  let t = Answerer.create corpus in
+  Alcotest.(check int) "k=2" 2
+    (List.length (Answerer.ask ~k:2 t "Where was Alfred Hitchcock born?"))
+
+let test_question_of_inspection () =
+  let t = Answerer.create (corpus_of [ "x" ]) in
+  let q, query = Answerer.question_of t "Where was Hitchcock born?" in
+  Alcotest.(check string) "target" "place" (Question.target_name q.Question.target);
+  Alcotest.(check bool) "query built" true (Pj_matching.Query.n_terms query >= 2)
+
+let suite =
+  [
+    ("answerer: place answer", `Quick, test_simple_place_answer);
+    ("answerer: aggregation", `Quick, test_aggregation_prefers_repeated_answer);
+    ("answerer: time answer", `Quick, test_time_answer);
+    ("answerer: no answer", `Quick, test_no_answer);
+    ("answerer: k limit", `Quick, test_k_limits);
+    ("answerer: question_of", `Quick, test_question_of_inspection);
+  ]

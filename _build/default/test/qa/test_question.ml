@@ -1,0 +1,64 @@
+open Pj_qa
+
+let check_target name text expected =
+  Alcotest.(check string)
+    name
+    (Question.target_name expected)
+    (Question.target_name (Question.analyze text).Question.target)
+
+let test_classification () =
+  check_target "who" "Who invented dental floss?" Question.Person;
+  check_target "where" "Where was Alfred Hitchcock born?" Question.Place;
+  check_target "when" "When did Prince Edward marry?" Question.Time;
+  check_target "what year" "What year did the games begin?" Question.Time;
+  check_target "what city" "In what city is the parliament located?"
+    Question.Place;
+  check_target "which country" "Which country built Stonehenge?" Question.Place;
+  check_target "what plain" "What does Lenovo sell?" Question.Thing
+
+let test_content_words () =
+  let q = Question.analyze "Where was Alfred Hitchcock born?" in
+  Alcotest.(check (list string)) "content" [ "alfred"; "hitchcock"; "born" ]
+    q.Question.content_words;
+  let q2 = Question.analyze "In what city is the Lebanese parliament located?" in
+  Alcotest.(check bool) "type word removed" true
+    (not (List.mem "city" q2.Question.content_words));
+  Alcotest.(check bool) "content kept" true
+    (List.mem "parliament" q2.Question.content_words)
+
+let test_to_query_shapes () =
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let q = Question.analyze "Where was Hitchcock born?" in
+  let query = Question.to_query graph q in
+  (* Target + hitchcock + born. *)
+  Alcotest.(check int) "terms" 3 (Pj_matching.Query.n_terms query);
+  let target = query.Pj_matching.Query.matchers.(0) in
+  Alcotest.(check bool) "target matches a city" true
+    (target.Pj_matching.Matcher.score_token "london" <> None)
+
+let test_time_target_matches_dates_and_years () =
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let q = Question.analyze "When did Prince Edward marry?" in
+  let query = Question.to_query graph q in
+  let target = query.Pj_matching.Query.matchers.(0) in
+  Alcotest.(check bool) "month" true
+    (target.Pj_matching.Matcher.score_token "june" <> None);
+  Alcotest.(check bool) "year" true
+    (target.Pj_matching.Matcher.score_token "1999" <> None)
+
+let test_thing_uses_first_content_word () =
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let q = Question.analyze "What partnership did Lenovo announce?" in
+  let query = Question.to_query graph q in
+  let target = query.Pj_matching.Query.matchers.(0) in
+  Alcotest.(check bool) "partnership expansion" true
+    (target.Pj_matching.Matcher.score_token "deal" <> None)
+
+let suite =
+  [
+    ("question: classification", `Quick, test_classification);
+    ("question: content words", `Quick, test_content_words);
+    ("question: query shape", `Quick, test_to_query_shapes);
+    ("question: time target", `Quick, test_time_target_matches_dates_and_years);
+    ("question: thing target", `Quick, test_thing_uses_first_content_word);
+  ]

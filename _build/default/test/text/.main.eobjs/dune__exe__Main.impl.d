@@ -1,0 +1,1 @@
+test/text/main.ml: Alcotest Test_fuzz Test_porter Test_tokenizer Test_vocab_document

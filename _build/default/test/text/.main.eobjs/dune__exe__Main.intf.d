@@ -1,0 +1,1 @@
+test/text/main.mli:

@@ -1,0 +1,1 @@
+test/text/test_fuzz.ml: Fun List Pj_text QCheck QCheck_alcotest Stdlib String

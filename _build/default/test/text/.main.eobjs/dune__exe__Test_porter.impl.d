@@ -1,0 +1,1 @@
+test/text/test_porter.ml: Alcotest List Pj_text Porter String

@@ -1,0 +1,1 @@
+test/text/test_tokenizer.ml: Alcotest Array List Pj_text Tokenizer

@@ -1,0 +1,1 @@
+test/text/test_vocab_document.ml: Alcotest Document List Pj_text Stopwords Vocab

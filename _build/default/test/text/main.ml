@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "proxjoin.text"
+    [
+      ("tokenizer", Test_tokenizer.suite);
+      ("porter", Test_porter.suite);
+      ("vocab_document", Test_vocab_document.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

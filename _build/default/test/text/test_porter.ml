@@ -1,0 +1,138 @@
+open Pj_text
+
+(* Expected stems from Porter's published sample vocabulary
+   (tartarus.org voc.txt / output.txt) plus the step-by-step examples of
+   the 1980 paper. *)
+let cases =
+  [
+    (* step 1a *)
+    ("caresses", "caress");
+    ("ponies", "poni");
+    ("ties", "ti");
+    ("caress", "caress");
+    ("cats", "cat");
+    (* step 1b *)
+    ("feed", "feed");
+    ("agreed", "agre");
+    ("plastered", "plaster");
+    ("bled", "bled");
+    ("motoring", "motor");
+    ("sing", "sing");
+    (* step 1b repair pass *)
+    ("conflated", "conflat");
+    ("troubled", "troubl");
+    ("sized", "size");
+    ("hopping", "hop");
+    ("tanned", "tan");
+    ("falling", "fall");
+    ("hissing", "hiss");
+    ("fizzed", "fizz");
+    ("failing", "fail");
+    ("filing", "file");
+    (* step 1c *)
+    ("happy", "happi");
+    ("sky", "sky");
+    (* step 2 *)
+    ("relational", "relat");
+    ("conditional", "condit");
+    ("rational", "ration");
+    ("valenci", "valenc");
+    ("hesitanci", "hesit");
+    ("digitizer", "digit");
+    ("conformabli", "conform");
+    ("radicalli", "radic");
+    ("differentli", "differ");
+    ("vileli", "vile");
+    ("analogousli", "analog");
+    ("vietnamization", "vietnam");
+    ("predication", "predic");
+    ("operator", "oper");
+    ("feudalism", "feudal");
+    ("decisiveness", "decis");
+    ("hopefulness", "hope");
+    ("callousness", "callous");
+    ("formaliti", "formal");
+    ("sensitiviti", "sensit");
+    ("sensibiliti", "sensibl");
+    (* step 3 *)
+    ("triplicate", "triplic");
+    ("formative", "form");
+    ("formalize", "formal");
+    ("electriciti", "electr");
+    ("electrical", "electr");
+    ("hopeful", "hope");
+    ("goodness", "good");
+    (* step 4 *)
+    ("revival", "reviv");
+    ("allowance", "allow");
+    ("inference", "infer");
+    ("airliner", "airlin");
+    ("gyroscopic", "gyroscop");
+    ("adjustable", "adjust");
+    ("defensible", "defens");
+    ("irritant", "irrit");
+    ("replacement", "replac");
+    ("adjustment", "adjust");
+    ("dependent", "depend");
+    ("adoption", "adopt");
+    ("homologou", "homolog");
+    ("communism", "commun");
+    ("activate", "activ");
+    ("angulariti", "angular");
+    ("homologous", "homolog");
+    ("effective", "effect");
+    ("bowdlerize", "bowdler");
+    (* step 5 *)
+    ("probate", "probat");
+    ("rate", "rate");
+    ("cease", "ceas");
+    ("controll", "control");
+    ("roll", "roll");
+    (* whole-pipeline words *)
+    ("generalizations", "gener");
+    ("oscillators", "oscil");
+    ("partnership", "partnership");
+    ("partner", "partner");
+    ("computers", "comput");
+    ("marketing", "market");
+    ("university", "univers");
+    ("graduate", "graduat");
+    ("connected", "connect");
+    ("connecting", "connect");
+    ("connection", "connect");
+    ("connections", "connect");
+  ]
+
+let test_known_stems () =
+  List.iter
+    (fun (word, expected) ->
+      Alcotest.(check string) word expected (Porter.stem word))
+    cases
+
+let test_short_words_unchanged () =
+  List.iter
+    (fun w -> Alcotest.(check string) w w (Porter.stem w))
+    [ "a"; "is"; "be"; "to"; "in" ]
+
+let test_non_alpha_unchanged () =
+  Alcotest.(check string) "number" "2008" (Porter.stem "2008");
+  Alcotest.(check string) "hyphenated" "e-mail" (Porter.stem "e-mail")
+
+let test_idempotent_on_sample () =
+  (* Stemming a stem must not loop forever or crash; it is usually a
+     fixpoint for these cases (not guaranteed in general by Porter, so we
+     just require it terminates and stays non-empty). *)
+  List.iter
+    (fun (word, _) ->
+      let s = Porter.stem word in
+      Alcotest.(check bool) (word ^ " stem non-empty") true (String.length s > 0);
+      ignore (Porter.stem s))
+    cases
+
+let suite =
+  [
+    ("porter: known stems", `Quick, test_known_stems);
+    ("porter: short words", `Quick, test_short_words_unchanged);
+    ("porter: non-alpha", `Quick, test_non_alpha_unchanged);
+    ("porter: restemming terminates", `Quick, test_idempotent_on_sample);
+  ]

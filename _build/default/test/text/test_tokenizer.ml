@@ -1,0 +1,49 @@
+open Pj_text
+
+let check_tokens name text expected =
+  Alcotest.(check (list string)) name expected (Tokenizer.tokenize text)
+
+let test_basic () =
+  check_tokens "simple" "Lenovo partners with NBA"
+    [ "lenovo"; "partners"; "with"; "nba" ]
+
+let test_punctuation () =
+  check_tokens "punctuation" "Hello, world! (Really?)"
+    [ "hello"; "world"; "really" ]
+
+let test_numbers () =
+  check_tokens "numbers" "Beijing in 2008." [ "beijing"; "in"; "2008" ]
+
+let test_hyphens () =
+  check_tokens "internal hyphen kept" "state-of-the-art" [ "state-of-the-art" ];
+  check_tokens "edge hyphens trimmed" "-- dash -- -x-" [ "dash"; "x" ]
+
+let test_apostrophes () =
+  check_tokens "apostrophe" "it's Porter's stemmer" [ "it's"; "porter's"; "stemmer" ]
+
+let test_empty () =
+  check_tokens "empty" "" [];
+  check_tokens "whitespace only" "  \t\n " [];
+  check_tokens "punct only" "?!..." []
+
+let test_positions_are_dense () =
+  let a = Tokenizer.tokenize_array "one two  three" in
+  Alcotest.(check int) "array length" 3 (Array.length a);
+  Alcotest.(check string) "index 2" "three" a.(2)
+
+let test_unicode_bytes_split () =
+  (* Non-ASCII bytes act as separators; the tokenizer never crashes. *)
+  let toks = Tokenizer.tokenize "caf\xc3\xa9 bar" in
+  Alcotest.(check bool) "bar present" true (List.mem "bar" toks)
+
+let suite =
+  [
+    ("tokenizer: basic", `Quick, test_basic);
+    ("tokenizer: punctuation", `Quick, test_punctuation);
+    ("tokenizer: numbers", `Quick, test_numbers);
+    ("tokenizer: hyphens", `Quick, test_hyphens);
+    ("tokenizer: apostrophes", `Quick, test_apostrophes);
+    ("tokenizer: empty inputs", `Quick, test_empty);
+    ("tokenizer: dense positions", `Quick, test_positions_are_dense);
+    ("tokenizer: non-ascii bytes", `Quick, test_unicode_bytes_split);
+  ]

@@ -1,0 +1,54 @@
+open Pj_text
+
+let test_intern_roundtrip () =
+  let v = Vocab.create () in
+  let a = Vocab.intern v "lenovo" in
+  let b = Vocab.intern v "nba" in
+  let a' = Vocab.intern v "lenovo" in
+  Alcotest.(check int) "stable id" a a';
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check string) "word of id" "lenovo" (Vocab.word v a);
+  Alcotest.(check int) "size" 2 (Vocab.size v)
+
+let test_find () =
+  let v = Vocab.create () in
+  ignore (Vocab.intern v "x");
+  Alcotest.(check bool) "found" true (Vocab.find v "x" <> None);
+  Alcotest.(check bool) "missing" true (Vocab.find v "y" = None)
+
+let test_word_unknown () =
+  let v = Vocab.create () in
+  Alcotest.check_raises "unknown id" (Invalid_argument "Vocab.word: unknown id")
+    (fun () -> ignore (Vocab.word v 3))
+
+let test_document_of_text () =
+  let v = Vocab.create () in
+  let d = Document.of_text v ~id:7 "Lenovo partners with NBA" in
+  Alcotest.(check int) "id" 7 d.Document.id;
+  Alcotest.(check int) "length" 4 (Document.length d);
+  Alcotest.(check string) "token 0" "lenovo" (Vocab.word v (Document.token_at d 0));
+  Alcotest.(check string) "round trip" "lenovo partners with nba"
+    (Document.text v d)
+
+let test_slice () =
+  let v = Vocab.create () in
+  let d = Document.of_text v ~id:0 "a b c d e" in
+  Alcotest.(check string) "middle" "b c d" (Document.slice v d ~lo:1 ~hi:3);
+  Alcotest.(check string) "clamped" "a b" (Document.slice v d ~lo:(-3) ~hi:1);
+  Alcotest.(check string) "empty" "" (Document.slice v d ~lo:4 ~hi:2)
+
+let test_stopwords () =
+  Alcotest.(check bool) "the" true (Stopwords.mem "the");
+  Alcotest.(check bool) "in" true (Stopwords.mem "in");
+  Alcotest.(check bool) "lenovo" false (Stopwords.mem "lenovo");
+  Alcotest.(check bool) "list non-trivial" true (List.length (Stopwords.all ()) > 100)
+
+let suite =
+  [
+    ("vocab: intern round trip", `Quick, test_intern_roundtrip);
+    ("vocab: find", `Quick, test_find);
+    ("vocab: unknown id", `Quick, test_word_unknown);
+    ("document: of_text", `Quick, test_document_of_text);
+    ("document: slice", `Quick, test_slice);
+    ("stopwords", `Quick, test_stopwords);
+  ]

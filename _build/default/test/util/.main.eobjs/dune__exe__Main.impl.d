@@ -1,0 +1,1 @@
+test/util/main.ml: Alcotest Test_dist Test_heap Test_parallel Test_prng Test_stats Test_subset Test_timing Test_vec

@@ -1,0 +1,1 @@
+test/util/test_dist.ml: Alcotest Array Dist Float Pj_util Prng

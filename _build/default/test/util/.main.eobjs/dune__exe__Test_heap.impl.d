@@ -1,0 +1,1 @@
+test/util/test_heap.ml: Alcotest Array Heap List Option Pj_util Prng

@@ -1,0 +1,1 @@
+test/util/test_parallel.ml: Alcotest Array Fun Parallel Pj_util

@@ -1,0 +1,1 @@
+test/util/test_prng.ml: Alcotest Array Fun Pj_util Prng

@@ -1,0 +1,1 @@
+test/util/test_stats.ml: Alcotest Array Float Pj_util Stats

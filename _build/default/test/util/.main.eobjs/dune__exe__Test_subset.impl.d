@@ -1,0 +1,1 @@
+test/util/test_subset.ml: Alcotest List Pj_util Subset

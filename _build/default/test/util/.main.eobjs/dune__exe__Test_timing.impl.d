@@ -1,0 +1,1 @@
+test/util/test_timing.ml: Alcotest Array Format Pj_util String Sys Timing

@@ -1,0 +1,1 @@
+test/util/test_vec.ml: Alcotest List Pj_util Vec

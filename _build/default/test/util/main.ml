@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "proxjoin.util"
+    [
+      ("prng", Test_prng.suite);
+      ("dist", Test_dist.suite);
+      ("stats", Test_stats.suite);
+      ("vec", Test_vec.suite);
+      ("heap", Test_heap.suite);
+      ("subset", Test_subset.suite);
+      ("timing", Test_timing.suite);
+      ("parallel", Test_parallel.suite);
+    ]

@@ -1,0 +1,67 @@
+open Pj_util
+
+let test_of_weights_normalizes () =
+  let d = Dist.of_weights [| 1.; 3. |] in
+  Alcotest.(check (float 1e-9)) "p0" 0.25 (Dist.probability d 0);
+  Alcotest.(check (float 1e-9)) "p1" 0.75 (Dist.probability d 1);
+  Alcotest.(check int) "support" 2 (Dist.support d)
+
+let test_sample_frequencies () =
+  let d = Dist.of_weights [| 1.; 3. |] in
+  let rng = Prng.create 17 in
+  let n = 50_000 in
+  let c = Array.make 2 0 in
+  for _ = 1 to n do
+    let i = Dist.sample d rng in
+    c.(i) <- c.(i) + 1
+  done;
+  let f1 = float_of_int c.(1) /. float_of_int n in
+  Alcotest.(check bool) "frequency close to 0.75" true (Float.abs (f1 -. 0.75) < 0.02)
+
+let test_zipf_shape () =
+  let d = Dist.zipf ~n:5 ~s:1. in
+  (* P(k) proportional to 1/k: p0/p1 = 2. *)
+  Alcotest.(check (float 1e-9)) "ratio" 2.
+    (Dist.probability d 0 /. Dist.probability d 1)
+
+let test_zipf_more_skew () =
+  let mild = Dist.zipf ~n:10 ~s:1.1 in
+  let heavy = Dist.zipf ~n:10 ~s:4. in
+  Alcotest.(check bool) "higher s concentrates mass" true
+    (Dist.probability heavy 0 > Dist.probability mild 0)
+
+let test_truncated_exponential_shape () =
+  let d = Dist.truncated_exponential ~n:4 ~lambda:2. in
+  (* P(tau) proportional to exp (-lambda tau): successive ratio e^-2. *)
+  Alcotest.(check (float 1e-9)) "ratio" (exp 2.)
+    (Dist.probability d 0 /. Dist.probability d 1)
+
+let test_larger_lambda_prefers_smaller () =
+  let low = Dist.truncated_exponential ~n:4 ~lambda:1. in
+  let high = Dist.truncated_exponential ~n:4 ~lambda:3. in
+  Alcotest.(check bool) "lambda raises P(1)" true
+    (Dist.probability high 0 > Dist.probability low 0)
+
+let test_expectation () =
+  let d = Dist.of_weights [| 1.; 1. |] in
+  Alcotest.(check (float 1e-9)) "mean index" 0.5
+    (Dist.categorical_expectation d float_of_int)
+
+let test_degenerate () =
+  let d = Dist.of_weights [| 0.; 5.; 0. |] in
+  let rng = Prng.create 4 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "always the only outcome" 1 (Dist.sample d rng)
+  done
+
+let suite =
+  [
+    ("dist: normalization", `Quick, test_of_weights_normalizes);
+    ("dist: sample frequencies", `Quick, test_sample_frequencies);
+    ("dist: zipf shape", `Quick, test_zipf_shape);
+    ("dist: zipf skew ordering", `Quick, test_zipf_more_skew);
+    ("dist: truncated exponential shape", `Quick, test_truncated_exponential_shape);
+    ("dist: lambda ordering", `Quick, test_larger_lambda_prefers_smaller);
+    ("dist: expectation", `Quick, test_expectation);
+    ("dist: degenerate weights", `Quick, test_degenerate);
+  ]

@@ -1,0 +1,50 @@
+open Pj_util
+
+let int_heap () = Heap.create ~leq:(fun (a : int) b -> a <= b)
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h)
+
+let test_order () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 3; 1; 4; 1; 5; 9; 2; 6 ];
+  Alcotest.(check int) "length" 8 (Heap.length h);
+  Alcotest.(check (option int)) "peek max" (Some 9) (Heap.peek h);
+  let out = List.init 8 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list int)) "descending" [ 9; 6; 5; 4; 3; 2; 1; 1 ] out
+
+let test_interleaved () =
+  let h = int_heap () in
+  Heap.push h 5;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "pop 5" (Some 5) (Heap.pop h);
+  Heap.push h 7;
+  Heap.push h 3;
+  Alcotest.(check (option int)) "pop 7" (Some 7) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_random_against_sort () =
+  let rng = Prng.create 31 in
+  for _ = 1 to 50 do
+    let n = 1 + Prng.int rng 100 in
+    let values = Array.init n (fun _ -> Prng.int rng 1000) in
+    let h = int_heap () in
+    Array.iter (Heap.push h) values;
+    let out = Array.init n (fun _ -> Option.get (Heap.pop h)) in
+    let expected = Array.copy values in
+    Array.sort (fun a b -> compare b a) expected;
+    Alcotest.(check (array int)) "heap sort" expected out
+  done
+
+let suite =
+  [
+    ("heap: empty", `Quick, test_empty);
+    ("heap: order", `Quick, test_order);
+    ("heap: interleaved", `Quick, test_interleaved);
+    ("heap: random vs sort", `Quick, test_random_against_sort);
+  ]

@@ -1,0 +1,47 @@
+open Pj_util
+
+let test_matches_sequential () =
+  let a = Array.init 1000 (fun i -> i) in
+  let f x = (x * 7) + 3 in
+  Alcotest.(check (array int)) "same as Array.map" (Array.map f a)
+    (Parallel.map_array ~domains:4 f a)
+
+let test_order_preserved () =
+  let a = Array.init 257 string_of_int in
+  let out = Parallel.map_array ~domains:3 (fun s -> s ^ "!") a in
+  Array.iteri
+    (fun i v -> Alcotest.(check string) "slot" (string_of_int i ^ "!") v)
+    out
+
+let test_degenerate_sizes () =
+  Alcotest.(check (array int)) "empty" [||]
+    (Parallel.map_array ~domains:4 succ [||]);
+  Alcotest.(check (array int)) "singleton" [| 2 |]
+    (Parallel.map_array ~domains:4 succ [| 1 |]);
+  Alcotest.(check (array int)) "fewer items than domains" [| 2; 3 |]
+    (Parallel.map_array ~domains:8 succ [| 1; 2 |])
+
+let test_single_domain () =
+  let a = Array.init 10 Fun.id in
+  Alcotest.(check (array int)) "sequential path" (Array.map succ a)
+    (Parallel.map_array ~domains:1 succ a)
+
+let test_exception_propagates () =
+  Alcotest.check_raises "exception surfaces" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.map_array ~domains:2
+           (fun x -> if x = 7 then failwith "boom" else x)
+           (Array.init 20 Fun.id)))
+
+let test_recommended_positive () =
+  Alcotest.(check bool) "at least one" true (Parallel.recommended_domains () >= 1)
+
+let suite =
+  [
+    ("parallel: matches sequential", `Quick, test_matches_sequential);
+    ("parallel: order", `Quick, test_order_preserved);
+    ("parallel: degenerate sizes", `Quick, test_degenerate_sizes);
+    ("parallel: single domain", `Quick, test_single_domain);
+    ("parallel: exceptions", `Quick, test_exception_propagates);
+    ("parallel: recommended count", `Quick, test_recommended_positive);
+  ]

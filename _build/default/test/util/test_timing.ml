@@ -1,0 +1,24 @@
+open Pj_util
+
+let test_time_returns_result () =
+  let r, dt = Timing.time (fun () -> 21 * 2) in
+  Alcotest.(check int) "result" 42 r;
+  Alcotest.(check bool) "non-negative" true (dt >= 0.)
+
+let test_measure () =
+  let m = Timing.measure ~repetitions:5 (fun () -> ignore (Sys.opaque_identity (Array.make 100 0))) in
+  Alcotest.(check int) "repetitions" 5 m.Timing.repetitions;
+  Alcotest.(check bool) "mean non-negative" true (m.Timing.mean_s >= 0.);
+  Alcotest.(check bool) "cov non-negative" true (m.Timing.cov >= 0.)
+
+let test_pp () =
+  let m = Timing.measure ~repetitions:2 (fun () -> ()) in
+  let s = Format.asprintf "%a" Timing.pp_measurement m in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let suite =
+  [
+    ("timing: time", `Quick, test_time_returns_result);
+    ("timing: measure", `Quick, test_measure);
+    ("timing: pp", `Quick, test_pp);
+  ]

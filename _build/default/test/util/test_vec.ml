@@ -1,0 +1,78 @@
+open Pj_util
+
+let test_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Alcotest.(check int) "last" 99 (Vec.last v)
+
+let test_pop () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Alcotest.(check int) "pop" 3 (Vec.pop v);
+  Alcotest.(check int) "length after" 2 (Vec.length v)
+
+let test_pop_empty () =
+  let v : int Vec.t = Vec.create () in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty")
+    (fun () -> ignore (Vec.pop v))
+
+let test_bounds () =
+  let v = Vec.of_array [| 1 |] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Vec.get v 1))
+
+let test_set () =
+  let v = Vec.of_array [| 1; 2 |] in
+  Vec.set v 0 9;
+  Alcotest.(check int) "set" 9 (Vec.get v 0)
+
+let test_clear_reuse () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Vec.clear v;
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  Vec.push v 7;
+  Alcotest.(check int) "reusable" 7 (Vec.get v 0)
+
+let test_conversions () =
+  let v = Vec.of_array [| 3; 1; 2 |] in
+  Alcotest.(check (list int)) "to_list" [ 3; 1; 2 ] (Vec.to_list v);
+  Alcotest.(check (array int)) "to_array" [| 3; 1; 2 |] (Vec.to_array v)
+
+let test_iterators () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Alcotest.(check int) "fold" 6 (Vec.fold_left ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 2) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check int) "iteri count" 3 (List.length !acc)
+
+let test_sort () =
+  let v = Vec.of_array [| 3; 1; 2 |] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Vec.to_list v)
+
+let test_growth_stress () =
+  let v = Vec.create () in
+  for i = 0 to 100_000 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "stress length" 100_001 (Vec.length v);
+  Alcotest.(check int) "stress content" 50_000 (Vec.get v 50_000)
+
+let suite =
+  [
+    ("vec: push/get", `Quick, test_push_get);
+    ("vec: pop", `Quick, test_pop);
+    ("vec: pop empty", `Quick, test_pop_empty);
+    ("vec: bounds", `Quick, test_bounds);
+    ("vec: set", `Quick, test_set);
+    ("vec: clear and reuse", `Quick, test_clear_reuse);
+    ("vec: conversions", `Quick, test_conversions);
+    ("vec: iterators", `Quick, test_iterators);
+    ("vec: sort", `Quick, test_sort);
+    ("vec: growth stress", `Quick, test_growth_stress);
+  ]

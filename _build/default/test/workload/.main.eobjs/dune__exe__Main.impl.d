@@ -1,0 +1,1 @@
+test/workload/main.ml: Alcotest Test_batch Test_dbworld_sim Test_ranker Test_synthetic Test_trec_sim

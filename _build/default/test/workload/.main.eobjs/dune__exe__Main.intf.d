@@ -1,0 +1,1 @@
+test/workload/main.mli:

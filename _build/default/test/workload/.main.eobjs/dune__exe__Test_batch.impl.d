@@ -1,0 +1,1 @@
+test/workload/test_batch.ml: Alcotest Array Batch Pj_core Pj_workload Printf Ranker Synthetic

@@ -1,0 +1,1 @@
+test/workload/test_dbworld_sim.ml: Alcotest Array Dbworld_sim Lazy List Pj_core Pj_workload Printf

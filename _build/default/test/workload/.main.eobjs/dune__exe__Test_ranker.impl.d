@@ -1,0 +1,1 @@
+test/workload/test_ranker.ml: Alcotest Array Format Pj_core Pj_workload Ranker

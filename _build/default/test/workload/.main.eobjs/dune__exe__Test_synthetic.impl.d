@@ -1,0 +1,1 @@
+test/workload/test_synthetic.ml: Alcotest Array Float Pj_core Pj_util Pj_workload Printf Stdlib Synthetic

@@ -1,0 +1,1 @@
+test/workload/test_trec_sim.ml: Alcotest Array List Pj_core Pj_matching Pj_workload Printf Ranker Trec_sim

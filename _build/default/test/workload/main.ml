@@ -1,0 +1,9 @@
+let () =
+  Alcotest.run "proxjoin.workload"
+    [
+      ("synthetic", Test_synthetic.suite);
+      ("ranker", Test_ranker.suite);
+      ("trec_sim", Test_trec_sim.suite);
+      ("dbworld_sim", Test_dbworld_sim.suite);
+      ("batch", Test_batch.suite);
+    ]

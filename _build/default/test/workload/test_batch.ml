@@ -1,0 +1,40 @@
+open Pj_workload
+
+let scoring = Pj_core.Scoring.Med (Pj_core.Scoring.med_exponential ~alpha:0.1)
+
+let problems () =
+  Synthetic.generate_batch ~seed:21 ~n_docs:40 Synthetic.default
+
+let test_solve_all_matches_sequential () =
+  let ps = problems () in
+  let parallel = Batch.solve_all ~domains:4 scoring ps in
+  Array.iteri
+    (fun i p ->
+      let expected = Pj_core.Best_join.solve ~dedup:true scoring p in
+      match (parallel.(i), expected) with
+      | None, None -> ()
+      | Some a, Some b ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "doc %d score" i)
+            b.Pj_core.Naive.score a.Pj_core.Naive.score
+      | _ -> Alcotest.failf "doc %d presence mismatch" i)
+    ps
+
+let test_rank_matches_ranker () =
+  let ps = problems () in
+  let docs = Array.mapi (fun i p -> (i, p)) ps in
+  let a = Batch.rank ~domains:3 scoring docs in
+  let b = Ranker.rank scoring docs in
+  Alcotest.(check int) "same length" (Array.length b) (Array.length a);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int)
+        (Printf.sprintf "rank %d doc" i)
+        b.(i).Ranker.doc_id r.Ranker.doc_id)
+    a
+
+let suite =
+  [
+    ("batch: solve_all = sequential", `Quick, test_solve_all_matches_sequential);
+    ("batch: rank = Ranker.rank", `Quick, test_rank_matches_ranker);
+  ]

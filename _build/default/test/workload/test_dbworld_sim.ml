@@ -1,0 +1,117 @@
+open Pj_workload
+
+let case = lazy (Dbworld_sim.generate ~seed:624 ())
+
+let test_structure () =
+  let c = Lazy.force case in
+  Alcotest.(check int) "38 messages" 38 (Array.length c.Dbworld_sim.messages);
+  Alcotest.(check int) "25 CFP problems" 25 (Array.length c.Dbworld_sim.problems);
+  let cfps =
+    Array.to_list c.Dbworld_sim.messages
+    |> List.filter (fun m -> m.Dbworld_sim.is_cfp)
+  in
+  Alcotest.(check int) "25 CFPs" 25 (List.length cfps);
+  let extensions = List.filter (fun m -> m.Dbworld_sim.is_extension) cfps in
+  Alcotest.(check int) "7 extension traps" 7 (List.length extensions);
+  Array.iter (fun (_, p) -> Pj_core.Match_list.validate p) c.Dbworld_sim.problems
+
+let test_list_sizes_shape () =
+  (* Paper reports (13.2, 12.7, 73.5) for conference|workshop, date,
+     place. We require the same shape: place-dominated, both others
+     above ~8. *)
+  let c = Lazy.force case in
+  let sizes = Dbworld_sim.average_list_sizes c in
+  Alcotest.(check int) "three terms" 3 (Array.length sizes);
+  let conf = sizes.(0) and date = sizes.(1) and place = sizes.(2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "conference ~13 (got %.1f)" conf)
+    true
+    (conf >= 8. && conf <= 20.);
+  Alcotest.(check bool)
+    (Printf.sprintf "date ~13 (got %.1f)" date)
+    true
+    (date >= 8. && date <= 20.);
+  Alcotest.(check bool)
+    (Printf.sprintf "place ~73 (got %.1f)" place)
+    true
+    (place >= 50. && place <= 100.)
+
+let test_extraction_mostly_correct () =
+  (* Paper: 18/25 fully correct with all scoring functions; most of the
+     rest partially correct. Require >= 16 full and >= 22 at least
+     partial for the WIN solver. *)
+  let c = Lazy.force case in
+  let w = Pj_core.Scoring.Win Pj_core.Scoring.win_linear in
+  let solver p = Pj_core.Best_join.solve ~dedup:true w p in
+  let results = Dbworld_sim.evaluate c solver in
+  let full = ref 0 and partial = ref 0 in
+  Array.iter
+    (fun (_, ex) ->
+      match ex with
+      | Some e ->
+          if e.Dbworld_sim.date_correct && e.Dbworld_sim.place_correct then
+            incr full
+          else if e.Dbworld_sim.date_correct || e.Dbworld_sim.place_correct then
+            incr partial
+      | None -> ())
+    results;
+  Alcotest.(check bool)
+    (Printf.sprintf "full extractions (%d/25)" !full)
+    true (!full >= 16);
+  Alcotest.(check bool)
+    (Printf.sprintf "at least partial (%d/25)" (!full + !partial))
+    true
+    (!full + !partial >= 22)
+
+let test_first_date_heuristic_fails_on_traps () =
+  (* Footnote 12: the heuristic is wrong exactly on the deadline
+     extension messages. *)
+  let c = Lazy.force case in
+  let results = Dbworld_sim.first_date_heuristic c in
+  Array.iter
+    (fun ((msg : Dbworld_sim.message), correct) ->
+      if msg.Dbworld_sim.is_extension then
+        Alcotest.(check bool)
+          (Printf.sprintf "doc %d trap defeats heuristic" msg.Dbworld_sim.doc_id)
+          false correct
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "doc %d heuristic fine" msg.Dbworld_sim.doc_id)
+          true correct)
+    results
+
+let test_join_beats_heuristic_on_traps () =
+  (* The algorithms recover the event date on most trap messages even
+     though the first date is wrong (paper: 6 of 7). *)
+  let c = Lazy.force case in
+  let w = Pj_core.Scoring.Win Pj_core.Scoring.win_linear in
+  let solver p = Pj_core.Best_join.solve ~dedup:true w p in
+  let results = Dbworld_sim.evaluate c solver in
+  let recovered = ref 0 in
+  Array.iter
+    (fun ((msg : Dbworld_sim.message), ex) ->
+      match ex with
+      | Some e when msg.Dbworld_sim.is_extension && e.Dbworld_sim.date_correct ->
+          incr recovered
+      | _ -> ())
+    results;
+  Alcotest.(check bool)
+    (Printf.sprintf "traps recovered (%d/7)" !recovered)
+    true (!recovered >= 5)
+
+let test_deterministic () =
+  let a = Dbworld_sim.generate ~seed:1 () in
+  let b = Dbworld_sim.generate ~seed:1 () in
+  let sa = Dbworld_sim.average_list_sizes a in
+  let sb = Dbworld_sim.average_list_sizes b in
+  Array.iteri (fun i x -> Alcotest.(check (float 1e-12)) "sizes" x sb.(i)) sa
+
+let suite =
+  [
+    ("dbworld: structure", `Quick, test_structure);
+    ("dbworld: list sizes shape", `Quick, test_list_sizes_shape);
+    ("dbworld: extraction mostly correct", `Quick, test_extraction_mostly_correct);
+    ("dbworld: first-date heuristic fails on traps", `Quick, test_first_date_heuristic_fails_on_traps);
+    ("dbworld: join beats heuristic on traps", `Quick, test_join_beats_heuristic_on_traps);
+    ("dbworld: deterministic", `Quick, test_deterministic);
+  ]

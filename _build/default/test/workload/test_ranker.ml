@@ -1,0 +1,74 @@
+open Pj_workload
+
+let m ?(score = 1.) loc = Pj_core.Match0.make ~loc ~score ()
+
+let scoring = Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha:0.1)
+
+(* Three documents: doc 0 with a tight pair, doc 1 with a loose pair,
+   doc 2 with an empty list. *)
+let docs () =
+  [|
+    (0, [| [| m 10 |]; [| m 11 |] |]);
+    (1, [| [| m 10 |]; [| m 40 |] |]);
+    (2, [| [| m 1 |]; [||] |]);
+  |]
+
+let test_rank_order () =
+  let ranked = Ranker.rank scoring (docs ()) in
+  Alcotest.(check int) "best first" 0 ranked.(0).Ranker.doc_id;
+  Alcotest.(check int) "loose second" 1 ranked.(1).Ranker.doc_id;
+  Alcotest.(check int) "empty last" 2 ranked.(2).Ranker.doc_id;
+  Alcotest.(check bool) "no result for empty" true (ranked.(2).Ranker.result = None)
+
+let test_answer_rank () =
+  let ranked = Ranker.rank scoring (docs ()) in
+  (match Ranker.answer_rank_of ranked ~doc_id:0 with
+  | Some r ->
+      Alcotest.(check int) "rank 1" 1 r.Ranker.rank;
+      Alcotest.(check int) "no ties" 1 r.Ranker.ties
+  | None -> Alcotest.fail "expected a rank");
+  (match Ranker.answer_rank_of ranked ~doc_id:1 with
+  | Some r -> Alcotest.(check int) "rank 2" 2 r.Ranker.rank
+  | None -> Alcotest.fail "expected a rank");
+  Alcotest.(check bool) "no rank for empty doc" true
+    (Ranker.answer_rank_of ranked ~doc_id:2 = None);
+  Alcotest.(check bool) "absent doc" true
+    (Ranker.answer_rank_of ranked ~doc_id:99 = None)
+
+let test_ties () =
+  let tied =
+    [|
+      (0, [| [| m 10 |]; [| m 11 |] |]);
+      (1, [| [| m 20 |]; [| m 21 |] |]);
+    |]
+  in
+  let ranked = Ranker.rank scoring tied in
+  match Ranker.answer_rank_of ranked ~doc_id:1 with
+  | Some r ->
+      Alcotest.(check int) "tied rank 1" 1 r.Ranker.rank;
+      Alcotest.(check int) "two tied" 2 r.Ranker.ties;
+      Alcotest.(check string) "pp" "1(2)"
+        (Format.asprintf "%a" Ranker.pp_answer_rank r)
+  | None -> Alcotest.fail "expected a rank"
+
+let test_dedup_respected () =
+  (* With dedup on (the default), a document whose only matchset reuses
+     one token must rank below a valid-but-loose document. *)
+  let docs =
+    [|
+      (0, [| [| m 5 |]; [| m 5 |] |]);
+      (1, [| [| m 10 |]; [| m 30 |] |]);
+    |]
+  in
+  let ranked = Ranker.rank scoring docs in
+  Alcotest.(check int) "valid doc first" 1 ranked.(0).Ranker.doc_id;
+  Alcotest.(check bool) "duplicate-only doc has no valid matchset" true
+    (ranked.(1).Ranker.result = None)
+
+let suite =
+  [
+    ("ranker: order", `Quick, test_rank_order);
+    ("ranker: answer rank", `Quick, test_answer_rank);
+    ("ranker: ties", `Quick, test_ties);
+    ("ranker: dedup", `Quick, test_dedup_respected);
+  ]

@@ -1,0 +1,162 @@
+open Pj_workload
+
+let params ?(n_terms = 4) ?(total = 30) ?(lambda = 2.0) ?(s = 1.1)
+    ?(len = 1000) () =
+  {
+    Synthetic.n_terms;
+    total_matches = total;
+    lambda;
+    zipf_s = s;
+    doc_length = len;
+  }
+
+let test_total_size_exact () =
+  let rng = Pj_util.Prng.create 5 in
+  for _ = 1 to 50 do
+    let p = Synthetic.generate (params ()) rng in
+    Alcotest.(check int) "total" 30 (Pj_core.Match_list.total_size p);
+    Alcotest.(check int) "terms" 4 (Pj_core.Match_list.n_terms p);
+    Pj_core.Match_list.validate p
+  done
+
+let test_scores_in_range () =
+  let rng = Pj_util.Prng.create 6 in
+  let p = Synthetic.generate (params ~total:100 ()) rng in
+  Array.iter
+    (Array.iter (fun m ->
+         let s = m.Pj_core.Match0.score in
+         if s <= 0. || s > 1. then Alcotest.failf "score %f outside (0,1]" s))
+    p
+
+let test_locations_in_range () =
+  let rng = Pj_util.Prng.create 7 in
+  let p = Synthetic.generate (params ~len:50 ~total:20 ()) rng in
+  Array.iter
+    (Array.iter (fun m ->
+         let l = m.Pj_core.Match0.loc in
+         if l < 0 || l >= 50 then Alcotest.failf "loc %d outside doc" l))
+    p
+
+let measured_duplicate_fraction lambda =
+  let batch =
+    Synthetic.generate_batch ~seed:11 ~n_docs:300 (params ~lambda ())
+  in
+  let dups =
+    Array.fold_left
+      (fun acc p -> acc + Pj_core.Match_list.duplicate_count p)
+      0 batch
+  in
+  let total =
+    Array.fold_left
+      (fun acc p -> acc + Pj_core.Match_list.total_size p)
+      0 batch
+  in
+  float_of_int dups /. float_of_int total
+
+let test_lambda_controls_duplicates () =
+  (* The paper: lambda from 1.0 to 3.0 moves duplicate frequency from
+     about 60% down to about 10%; lambda = 2.0 is a little under 24%. *)
+  let f1 = measured_duplicate_fraction 1.0 in
+  let f2 = measured_duplicate_fraction 2.0 in
+  let f3 = measured_duplicate_fraction 3.0 in
+  Alcotest.(check bool) "monotone" true (f1 > f2 && f2 > f3);
+  Alcotest.(check bool)
+    (Printf.sprintf "lambda 1 near 60%% (got %.2f)" f1)
+    true
+    (Float.abs (f1 -. 0.60) < 0.08);
+  Alcotest.(check bool)
+    (Printf.sprintf "lambda 2 near 24%% (got %.2f)" f2)
+    true
+    (Float.abs (f2 -. 0.24) < 0.06);
+  Alcotest.(check bool)
+    (Printf.sprintf "lambda 3 near 10%% (got %.2f)" f3)
+    true
+    (Float.abs (f3 -. 0.10) < 0.05)
+
+let test_analytic_duplicate_fraction () =
+  let p = params () in
+  let expected = Synthetic.expected_duplicate_fraction p in
+  Alcotest.(check bool)
+    (Printf.sprintf "analytic near 25%% (got %.3f)" expected)
+    true
+    (Float.abs (expected -. 0.25) < 0.02);
+  let measured = measured_duplicate_fraction 2.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.3f matches analytic %.3f" measured expected)
+    true
+    (Float.abs (measured -. expected) < 0.05)
+
+let list_size_spread s =
+  let batch = Synthetic.generate_batch ~seed:3 ~n_docs:200 (params ~s ()) in
+  let sums = Array.make 4 0 in
+  Array.iter
+    (fun p -> Array.iteri (fun j l -> sums.(j) <- sums.(j) + Array.length l) p)
+    batch;
+  let sizes = Array.map float_of_int sums in
+  Array.sort compare sizes;
+  sizes.(3) /. Float.max 1. sizes.(0)
+
+let test_zipf_controls_skew () =
+  let mild = list_size_spread 1.1 in
+  let heavy = list_size_spread 4.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "s=4 more skewed than s=1.1 (%.1f vs %.1f)" heavy mild)
+    true (heavy > 2. *. mild)
+
+let popular_share s =
+  let batch = Synthetic.generate_batch ~seed:9 ~n_docs:100 (params ~s ()) in
+  let sums = Array.make 4 0 in
+  Array.iter
+    (fun p -> Array.iteri (fun j l -> sums.(j) <- sums.(j) + Array.length l) p)
+    batch;
+  let total = Array.fold_left ( + ) 0 sums in
+  float_of_int (Array.fold_left Stdlib.max 0 sums) /. float_of_int total
+
+let test_extreme_skew_shrinks_cross_product () =
+  (* At s = 4 the paper notes that essentially all matches concentrate
+     on the most popular term (all lists but one have size ~1; here
+     duplicates force a floor on the unpopular lists). *)
+  let share4 = popular_share 4.0 and share11 = popular_share 1.1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "s=4 concentrates matches (%.2f vs %.2f)" share4 share11)
+    true
+    (share4 > 0.7 && share11 < 0.55)
+
+let test_deterministic_by_seed () =
+  let a = Synthetic.generate_batch ~seed:1 ~n_docs:5 (params ()) in
+  let b = Synthetic.generate_batch ~seed:1 ~n_docs:5 (params ()) in
+  Array.iteri
+    (fun i p ->
+      Array.iteri
+        (fun j l ->
+          Array.iteri
+            (fun k m ->
+              Alcotest.(check bool)
+                (Printf.sprintf "doc %d list %d match %d" i j k)
+                true
+                (Pj_core.Match0.equal m b.(i).(j).(k)))
+            l)
+        p)
+    a
+
+let test_rejects_impossible () =
+  Alcotest.check_raises "too many matches"
+    (Invalid_argument "Synthetic: more matches than available slots")
+    (fun () ->
+      ignore
+        (Synthetic.generate
+           (params ~len:5 ~total:100 ())
+           (Pj_util.Prng.create 0)))
+
+let suite =
+  [
+    ("synthetic: exact total size", `Quick, test_total_size_exact);
+    ("synthetic: scores in (0,1]", `Quick, test_scores_in_range);
+    ("synthetic: locations in range", `Quick, test_locations_in_range);
+    ("synthetic: lambda vs duplicates (Fig 8 premise)", `Slow, test_lambda_controls_duplicates);
+    ("synthetic: analytic duplicate fraction", `Slow, test_analytic_duplicate_fraction);
+    ("synthetic: zipf skew (Fig 10 premise)", `Slow, test_zipf_controls_skew);
+    ("synthetic: extreme skew", `Slow, test_extreme_skew_shrinks_cross_product);
+    ("synthetic: deterministic", `Quick, test_deterministic_by_seed);
+    ("synthetic: rejects impossible params", `Quick, test_rejects_impossible);
+  ]

@@ -1,0 +1,115 @@
+open Pj_workload
+
+(* Smaller corpora than the paper's for test speed; the bench harness
+   uses the full 1000-document setting. *)
+let small_case spec = Trec_sim.generate ~seed:7 ~n_docs:60 ~doc_length:200 spec
+
+let test_specs_shape () =
+  let specs = Trec_sim.specs () in
+  Alcotest.(check int) "seven queries" 7 (List.length specs);
+  List.iter
+    (fun s ->
+      let n = List.length s.Trec_sim.terms in
+      Alcotest.(check bool)
+        (s.Trec_sim.id ^ " has 3 or 4 terms")
+        true
+        (n = 3 || n = 4))
+    specs;
+  Alcotest.(check string) "find_spec" "Q3" (Trec_sim.find_spec "Q3").Trec_sim.id
+
+let test_find_spec_missing () =
+  Alcotest.check_raises "unknown id" Not_found (fun () ->
+      ignore (Trec_sim.find_spec "Q99"))
+
+let test_case_structure () =
+  let case = small_case (Trec_sim.find_spec "Q3") in
+  Alcotest.(check int) "one problem per doc" 60
+    (Array.length case.Trec_sim.problems);
+  Alcotest.(check bool) "answer doc in range" true
+    (case.Trec_sim.answer_doc >= 0 && case.Trec_sim.answer_doc < 60);
+  Array.iter
+    (fun (_, p) -> Pj_core.Match_list.validate p)
+    case.Trec_sim.problems
+
+let test_answer_doc_contains_cluster () =
+  let spec = Trec_sim.find_spec "Q3" in
+  let case = small_case spec in
+  let _, p =
+    case.Trec_sim.problems.(case.Trec_sim.answer_doc)
+  in
+  (* Every term list of the answer document is non-empty, and some
+     matchset has a very tight window (the planted adjacent cluster). *)
+  Alcotest.(check bool) "no empty list" false (Pj_core.Match_list.has_empty_list p);
+  let w = Pj_core.Scoring.win_linear in
+  match Pj_core.Win.best w p with
+  | None -> Alcotest.fail "expected a matchset"
+  | Some r ->
+      Alcotest.(check bool) "tight cluster" true
+        (Pj_core.Matchset.window r.Pj_core.Naive.matchset
+         <= Pj_matching.Query.n_terms case.Trec_sim.query)
+
+let test_list_sizes_track_rates () =
+  let spec = Trec_sim.find_spec "Q5" in
+  let case = small_case spec in
+  let sizes = Trec_sim.measured_list_sizes case in
+  List.iteri
+    (fun j term ->
+      let rate = term.Trec_sim.rate in
+      let got = sizes.(j) in
+      (* Scattering is approximate (stem overlaps inflate lists a bit);
+         require the right order of magnitude. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.2f vs rate %.2f" term.Trec_sim.term_name got rate)
+        true
+        (got >= rate *. 0.5 && got <= (rate *. 2.) +. 1.))
+    spec.Trec_sim.terms
+
+let test_answer_ranks_near_top () =
+  (* The planted answer document should rank at or near the top for all
+     three scoring functions, reproducing Figure 12's behaviour. *)
+  let spec = Trec_sim.find_spec "Q7" in
+  let case = small_case spec in
+  let scorings =
+    [
+      ("MED", Pj_core.Scoring.Med Pj_core.Scoring.med_linear);
+      ("MAX", Pj_core.Scoring.Max (Pj_core.Scoring.max_sum ~alpha:0.1));
+      ("WIN", Pj_core.Scoring.Win Pj_core.Scoring.win_linear);
+    ]
+  in
+  List.iter
+    (fun (name, scoring) ->
+      let ranked = Ranker.rank scoring case.Trec_sim.problems in
+      match Ranker.answer_rank_of ranked ~doc_id:case.Trec_sim.answer_doc with
+      | Some r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s answer rank %d" name r.Ranker.rank)
+            true (r.Ranker.rank <= 3)
+      | None -> Alcotest.failf "%s: answer doc unranked" name)
+    scorings
+
+let test_duplicates_measured () =
+  let case = small_case (Trec_sim.find_spec "Q2") in
+  let d = Trec_sim.measured_duplicates case in
+  Alcotest.(check bool) (Printf.sprintf "non-negative (%f)" d) true (d >= 0.)
+
+let test_deterministic () =
+  let spec = Trec_sim.find_spec "Q6" in
+  let a = Trec_sim.generate ~seed:3 ~n_docs:10 ~doc_length:100 spec in
+  let b = Trec_sim.generate ~seed:3 ~n_docs:10 ~doc_length:100 spec in
+  Alcotest.(check int) "same answer doc" a.Trec_sim.answer_doc b.Trec_sim.answer_doc;
+  let sa = Trec_sim.measured_list_sizes a and sb = Trec_sim.measured_list_sizes b in
+  Array.iteri
+    (fun i x -> Alcotest.(check (float 1e-12)) "same sizes" x sb.(i))
+    sa
+
+let suite =
+  [
+    ("trec: specs shape", `Quick, test_specs_shape);
+    ("trec: find_spec missing", `Quick, test_find_spec_missing);
+    ("trec: case structure", `Quick, test_case_structure);
+    ("trec: answer cluster planted", `Quick, test_answer_doc_contains_cluster);
+    ("trec: list sizes track Fig 12 rates", `Quick, test_list_sizes_track_rates);
+    ("trec: answer ranks near top", `Quick, test_answer_ranks_near_top);
+    ("trec: duplicates measured", `Quick, test_duplicates_measured);
+    ("trec: deterministic", `Quick, test_deterministic);
+  ]

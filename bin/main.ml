@@ -253,6 +253,120 @@ let run_ask file question k =
                (List.map string_of_int a.Pj_qa.Answerer.documents)))
         answers
 
+(* --- serve: hold the index hot behind a TCP protocol ------------------- *)
+
+let stemmed_corpus_of_file file =
+  let corpus = Pj_index.Corpus.create () in
+  List.iter
+    (fun text ->
+      let stems =
+        Array.map Pj_text.Porter.stem (Pj_text.Tokenizer.tokenize_array text)
+      in
+      ignore (Pj_index.Corpus.add_tokens corpus stems))
+    (read_documents file);
+  corpus
+
+let run_serve file host port domains queue cache deadline_ms log_every =
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let corpus = stemmed_corpus_of_file file in
+  let index = Pj_index.Inverted_index.build corpus in
+  let searcher = Pj_engine.Searcher.create index in
+  let config =
+    {
+      Pj_server.Server.host;
+      port;
+      domains;
+      queue_capacity = queue;
+      cache_capacity = cache;
+      deadline_s = deadline_ms /. 1000.;
+      log_every_s = log_every;
+    }
+  in
+  let server = Pj_server.Server.start ~config ~graph searcher in
+  Printf.printf
+    "proxjoin serving %d documents on %s:%d (%d domains, queue %d, cache %d, \
+     deadline %.0f ms)\n\
+     %!"
+    (Pj_index.Corpus.size corpus) host
+    (Pj_server.Server.port server)
+    config.Pj_server.Server.domains queue cache deadline_ms;
+  Pj_server.Server.wait server
+
+(* --- bench-serve: loopback load generator ------------------------------ *)
+
+let connect host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (addr, port));
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  fd
+
+let run_bench_serve host port clients requests terms family alpha k =
+  if terms = [] then failwith "bench-serve needs at least one --term";
+  (* Fail fast with a readable message when no server is listening,
+     instead of killing client threads mid-flight. *)
+  (try Unix.close (connect host port)
+   with Unix.Unix_error (e, _, _) ->
+     failwith
+       (Printf.sprintf "bench-serve: cannot connect to %s:%d (%s)" host port
+          (Unix.error_message e)));
+  let request =
+    Printf.sprintf "SEARCH %s %g %d %s\n" family alpha k
+      (String.concat " " terms)
+  in
+  let tally = [| 0; 0; 0; 0 |] in
+  (* hits; busy; timeout; err *)
+  let tally_mutex = Mutex.create () in
+  let client () =
+    let fd = connect host port in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let latencies = Array.make requests 0. in
+    for i = 0 to requests - 1 do
+      let t0 = Pj_util.Timing.now () in
+      output_string oc request;
+      flush oc;
+      let line = input_line ic in
+      latencies.(i) <- Pj_util.Timing.now () -. t0;
+      let slot =
+        if String.length line >= 4 && String.sub line 0 4 = "HITS" then 0
+        else if line = "BUSY" then 1
+        else if line = "TIMEOUT" then 2
+        else 3
+      in
+      Mutex.lock tally_mutex;
+      tally.(slot) <- tally.(slot) + 1;
+      Mutex.unlock tally_mutex
+    done;
+    output_string oc "QUIT\n";
+    flush oc;
+    (try ignore (input_line ic) with End_of_file -> ());
+    Unix.close fd;
+    latencies
+  in
+  let t0 = Pj_util.Timing.now () in
+  let results = Array.make clients [||] in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create (fun () -> results.(i) <- client ()) ())
+  in
+  List.iter Thread.join threads;
+  let elapsed = Pj_util.Timing.now () -. t0 in
+  let latencies = Array.concat (Array.to_list results) in
+  let total = Array.length latencies in
+  let ms p = 1000. *. Pj_util.Stats.percentile latencies p in
+  Printf.printf
+    "%d clients x %d requests in %.3f s — %.0f req/s\n\
+     hits %d, busy %d, timeout %d, err %d\n\
+     latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f\n"
+    clients requests elapsed
+    (float_of_int total /. elapsed)
+    tally.(0) tally.(1) tally.(2) tally.(3) (ms 50.) (ms 95.) (ms 99.)
+    (1000. *. Pj_util.Stats.mean latencies)
+
 (* --- cmdliner glue ----------------------------------------------------- *)
 
 open Cmdliner
@@ -341,6 +455,73 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Generate and solve one synthetic instance.")
     Term.(ret (const run $ n_terms $ matches $ lambda $ zipf $ seed))
 
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Bind/connect address.")
+
+let port_arg ~default =
+  Arg.(value & opt int default & info [ "port"; "p" ] ~docv:"PORT" ~doc:"TCP port.")
+
+let serve_cmd =
+  let domains =
+    Arg.(
+      value
+      & opt int (Pj_util.Parallel.recommended_domains ())
+      & info [ "domains" ] ~doc:"Worker domains (default honors \\$PROXJOIN_DOMAINS).")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~doc:"Pending searches before BUSY.")
+  in
+  let cache =
+    Arg.(value & opt int 1024 & info [ "cache" ] ~doc:"Result-cache entries.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 2000.
+      & info [ "deadline-ms" ] ~doc:"Per-query wall-clock budget (ms).")
+  in
+  let log_every =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "log-every" ] ~docv:"SECONDS" ~doc:"Periodic stats line on stderr.")
+  in
+  let run file host port domains queue cache deadline log_every =
+    wrap (fun () ->
+        run_serve file host port domains queue cache deadline log_every)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve top-k queries over TCP (SEARCH/PING/STATS/QUIT line \
+          protocol) from a hot in-memory index.")
+    Term.(
+      ret
+        (const run $ file_arg $ host_arg $ port_arg ~default:7070 $ domains
+       $ queue $ cache $ deadline $ log_every))
+
+let bench_serve_cmd =
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Concurrent connections.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 100 & info [ "requests"; "n" ] ~doc:"Requests per client.")
+  in
+  let top_k = Arg.(value & opt int 10 & info [ "top" ] ~doc:"k per query.") in
+  let run host port clients requests terms family alpha k =
+    wrap (fun () ->
+        run_bench_serve host port clients requests terms family alpha k)
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:"Load-generate against a running proxjoin serve instance.")
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg ~default:7070 $ clients $ requests
+       $ terms_arg $ family_arg $ alpha_arg $ top_k))
+
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"The paper's Figure 1 example.")
@@ -350,6 +531,15 @@ let main =
   Cmd.group
     (Cmd.info "proxjoin" ~version:"1.0.0"
        ~doc:"Weighted proximity best-joins for information retrieval.")
-    [ demo_cmd; search_cmd; isearch_cmd; extract_cmd; ask_cmd; synth_cmd ]
+    [
+      demo_cmd;
+      search_cmd;
+      isearch_cmd;
+      extract_cmd;
+      ask_cmd;
+      synth_cmd;
+      serve_cmd;
+      bench_serve_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

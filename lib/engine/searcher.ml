@@ -42,7 +42,9 @@ let candidates t (q : Pj_matching.Query.t) =
   in
   Array.of_list (Iset.elements all)
 
-let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
+exception Expired
+
+let search_impl ?deadline ~k ~dedup ~prune t scoring q =
   if k < 0 then invalid_arg "Searcher.search: negative k";
   (* Bounded result set: a min-heap of size k; the root is the weakest
      hit and is evicted when a better one arrives. *)
@@ -77,8 +79,18 @@ let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
         bound > weakest.score
         || (bound = weakest.score && doc_id < weakest.doc_id)
   in
+  (* The deadline is checked between candidates: each per-document solve
+     is small (linear in the document's match lists), so the overrun
+     past the deadline is bounded by one document's work. *)
+  let check_deadline =
+    match deadline with
+    | None -> fun () -> ()
+    | Some d -> fun () -> if Pj_util.Timing.now () > d then raise Expired
+  in
+  check_deadline ();
   Array.iter
     (fun doc_id ->
+      check_deadline ();
       let problem =
         Pj_matching.Match_builder.from_index t.index ~doc_id q
       in
@@ -118,3 +130,11 @@ let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
   in
   drain ();
   !out
+
+let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
+  search_impl ~k ~dedup ~prune t scoring q
+
+let search_within ?(k = 10) ?(dedup = true) ?(prune = true) ~deadline t scoring
+    q =
+  try Ok (search_impl ~deadline ~k ~dedup ~prune t scoring q)
+  with Expired -> Error `Timeout

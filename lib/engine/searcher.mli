@@ -39,4 +39,22 @@ val search :
     are skipped without solving — sound, since the bound dominates every
     matchset score in the document. *)
 
+val search_within :
+  ?k:int ->
+  ?dedup:bool ->
+  ?prune:bool ->
+  deadline:float ->
+  t ->
+  Pj_core.Scoring.t ->
+  Pj_matching.Query.t ->
+  (hit list, [ `Timeout ]) result
+(** [search] with a wall-clock budget: [deadline] is an absolute time
+    (as returned by [Pj_util.Timing.now]) after which evaluation stops.
+    The deadline is checked before each candidate document, so the
+    overrun is bounded by one document's solve. Returns
+    [Error `Timeout] when the deadline passes before the candidate list
+    is exhausted — partial results are discarded, since an incomplete
+    top-k is not the true top-k. A deadline already in the past times
+    out immediately (before any solving). *)
+
 val index : t -> Pj_index.Inverted_index.t

@@ -1,5 +1,31 @@
 let magic = "PJIX"
-let version = 1
+let version = 2
+
+(* Standard CRC-32 (polynomial 0xEDB88320, reflected), as used by zlib
+   and PNG — implemented here so the format needs no C bindings. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
 
 let write_varint buf n =
   assert (n >= 0);
@@ -40,6 +66,7 @@ let save_corpus corpus path =
   let buf = Buffer.create (64 * 1024) in
   Buffer.add_string buf magic;
   write_varint buf version;
+  let payload_start = Buffer.length buf in
   let vocab = Corpus.vocab corpus in
   let vocab_size = Pj_text.Vocab.size vocab in
   write_varint buf vocab_size;
@@ -52,6 +79,16 @@ let save_corpus corpus path =
       write_varint buf (Pj_text.Document.length d);
       Array.iter (write_varint buf) d.Pj_text.Document.tokens)
     corpus;
+  (* v2 integrity footer: CRC-32 of the payload (everything between the
+     header and the footer), little-endian. *)
+  let contents = Buffer.contents buf in
+  let crc =
+    crc32 ~pos:payload_start ~len:(String.length contents - payload_start)
+      contents
+  in
+  let footer = Bytes.create 4 in
+  Bytes.set_int32_le footer 0 crc;
+  Buffer.add_bytes buf footer;
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -70,8 +107,28 @@ let load_corpus path =
     failwith "Storage: not a proxjoin corpus file";
   pos := 4;
   let v = read_varint s ~pos in
-  if v <> version then
-    failwith (Printf.sprintf "Storage: unsupported version %d" v);
+  (* v2 appends a CRC-32 footer over the payload; verify it and strip it
+     so the body parser sees exactly the payload. v1 files (no footer)
+     keep loading unchanged. *)
+  let s =
+    match v with
+    | 1 -> s
+    | 2 ->
+        let payload_start = !pos in
+        if String.length s < payload_start + 4 then
+          failwith "Storage: truncated file (missing CRC footer)";
+        let payload_len = String.length s - payload_start - 4 in
+        let stored = String.get_int32_le s (payload_start + payload_len) in
+        let computed = crc32 ~pos:payload_start ~len:payload_len s in
+        if stored <> computed then
+          failwith
+            (Printf.sprintf
+               "Storage: CRC mismatch (stored %08lx, computed %08lx) — file \
+                truncated or corrupted"
+               stored computed);
+        String.sub s 0 (payload_start + payload_len)
+    | v -> failwith (Printf.sprintf "Storage: unsupported version %d" v)
+  in
   let vocab_size = read_varint s ~pos in
   let words = Array.init vocab_size (fun _ -> read_string s ~pos) in
   let corpus = Corpus.create () in

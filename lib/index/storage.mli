@@ -3,7 +3,10 @@
 
     Layout: a magic header and version, the vocabulary as
     length-prefixed strings, then each document's token ids — integers
-    throughout are LEB128 varints. The inverted index is rebuilt on
+    throughout are LEB128 varints. Version 2 appends a little-endian
+    CRC-32 footer over the payload, so a truncated or bit-flipped file
+    fails with a clear error instead of decoding garbage; version 1
+    files (no footer) still load. The inverted index is rebuilt on
     load (it is a deterministic function of the corpus and loads at
     disk speed anyway). The format is independent of OCaml's [Marshal]
     so files are stable across compiler versions. *)
@@ -30,3 +33,7 @@ val write_varint : Buffer.t -> int -> unit
 val read_varint : string -> pos:int ref -> int
 (** Decode at [!pos], advancing it. Raises [Failure] on truncation or
     overflow. *)
+
+val crc32 : ?pos:int -> ?len:int -> string -> int32
+(** Standard CRC-32 (zlib/PNG polynomial) of a substring ([pos]
+    defaults to 0, [len] to the rest of the string). *)

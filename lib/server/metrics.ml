@@ -1,0 +1,88 @@
+type t = {
+  mutex : Mutex.t;
+  started_at : float;
+  mutable searches : int;
+  mutable pings : int;
+  mutable stats_calls : int;
+  mutable errors : int;
+  mutable busy : int;
+  mutable timeouts : int;
+  latency : Pj_util.Histogram.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    started_at = Pj_util.Timing.now ();
+    searches = 0;
+    pings = 0;
+    stats_calls = 0;
+    errors = 0;
+    busy = 0;
+    timeouts = 0;
+    latency = Pj_util.Histogram.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record_search t = with_lock t (fun () -> t.searches <- t.searches + 1)
+let record_ping t = with_lock t (fun () -> t.pings <- t.pings + 1)
+let record_stats t = with_lock t (fun () -> t.stats_calls <- t.stats_calls + 1)
+let record_error t = with_lock t (fun () -> t.errors <- t.errors + 1)
+let record_busy t = with_lock t (fun () -> t.busy <- t.busy + 1)
+let record_timeout t = with_lock t (fun () -> t.timeouts <- t.timeouts + 1)
+
+let observe_latency t seconds =
+  with_lock t (fun () -> Pj_util.Histogram.observe t.latency seconds)
+
+type snapshot = {
+  uptime_s : float;
+  requests : int;
+  searches : int;
+  pings : int;
+  stats_calls : int;
+  errors : int;
+  busy : int;
+  timeouts : int;
+  served : int;
+  latency_mean_ms : float;
+  latency_p50_ms : float;
+  latency_p95_ms : float;
+  latency_p99_ms : float;
+  latency_max_ms : float;
+}
+
+let snapshot t =
+  with_lock t (fun () ->
+      let ms f = 1000. *. f in
+      let h = t.latency in
+      {
+        uptime_s = Pj_util.Timing.now () -. t.started_at;
+        requests = t.searches + t.pings + t.stats_calls + t.errors;
+        searches = t.searches;
+        pings = t.pings;
+        stats_calls = t.stats_calls;
+        errors = t.errors;
+        busy = t.busy;
+        timeouts = t.timeouts;
+        served = Pj_util.Histogram.count h;
+        latency_mean_ms = ms (Pj_util.Histogram.mean h);
+        latency_p50_ms = ms (Pj_util.Histogram.percentile h 50.);
+        latency_p95_ms = ms (Pj_util.Histogram.percentile h 95.);
+        latency_p99_ms = ms (Pj_util.Histogram.percentile h 99.);
+        latency_max_ms = ms (Pj_util.Histogram.max_value h);
+      })
+
+let render t ~cache_hits ~cache_misses ~cache_len ~queue_len ~domains =
+  let s = snapshot t in
+  Printf.sprintf
+    "STATS uptime_s=%.1f requests=%d searches=%d served=%d pings=%d \
+     errors=%d busy=%d timeouts=%d cache_hits=%d cache_misses=%d \
+     cache_len=%d queue_len=%d domains=%d lat_mean_ms=%.3f p50_ms=%.3f \
+     p95_ms=%.3f p99_ms=%.3f max_ms=%.3f"
+    s.uptime_s s.requests s.searches s.served s.pings s.errors s.busy
+    s.timeouts cache_hits cache_misses cache_len queue_len domains
+    s.latency_mean_ms s.latency_p50_ms s.latency_p95_ms s.latency_p99_ms
+    s.latency_max_ms

@@ -1,0 +1,55 @@
+(** Server observability: request/error counters and a latency
+    histogram, reported through the [STATS] command and the periodic
+    log line.
+
+    All operations are mutex-protected; recording is O(1) (the
+    histogram is {!Pj_util.Histogram}, constant-memory log buckets), so
+    metrics never become the hot path they are measuring. *)
+
+type t
+
+val create : unit -> t
+
+val record_search : t -> unit
+val record_ping : t -> unit
+val record_stats : t -> unit
+val record_error : t -> unit
+
+val record_busy : t -> unit
+(** Also counted as a search; tracks queue-full rejections. *)
+
+val record_timeout : t -> unit
+(** Also counted as a search; tracks deadline expiries. *)
+
+val observe_latency : t -> float -> unit
+(** Seconds from request receipt to response for a served search
+    (cache hits included). *)
+
+type snapshot = {
+  uptime_s : float;
+  requests : int;  (** searches + pings + stats + parse errors *)
+  searches : int;
+  pings : int;
+  stats_calls : int;
+  errors : int;
+  busy : int;
+  timeouts : int;
+  served : int;  (** searches answered with a HITS line *)
+  latency_mean_ms : float;
+  latency_p50_ms : float;
+  latency_p95_ms : float;
+  latency_p99_ms : float;
+  latency_max_ms : float;
+}
+
+val snapshot : t -> snapshot
+
+val render :
+  t ->
+  cache_hits:int ->
+  cache_misses:int ->
+  cache_len:int ->
+  queue_len:int ->
+  domains:int ->
+  string
+(** The single-line key=value [STATS] response. *)

@@ -1,0 +1,93 @@
+type search_request = {
+  family : string;
+  alpha : float;
+  k : int;
+  terms : string list;
+}
+
+type request = Ping | Stats | Quit | Search of search_request
+
+let families = [ "win"; "med"; "max" ]
+let max_k = 10_000
+let max_terms = 16
+
+let scoring_of ~family ~alpha =
+  match family with
+  | "win" -> Ok (Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha))
+  | "med" -> Ok (Pj_core.Scoring.Med (Pj_core.Scoring.med_exponential ~alpha))
+  | "max" -> Ok (Pj_core.Scoring.Max (Pj_core.Scoring.max_sum ~alpha))
+  | other -> Error (Printf.sprintf "unknown scoring family %S" other)
+
+(* Tokens are maximal runs of non-blank characters, so any amount of
+   spacing (including a trailing "\r" from netcat-style clients) is
+   accepted between arguments. *)
+let tokenize line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let parse_search = function
+  | family :: alpha :: k :: terms ->
+      if not (List.mem family families) then
+        Error (Printf.sprintf "unknown scoring family %S (want win|med|max)" family)
+      else begin
+        match float_of_string_opt alpha with
+        | None -> Error (Printf.sprintf "bad alpha %S (want a float)" alpha)
+        | Some a when Float.is_nan a || a < 0. ->
+            Error (Printf.sprintf "bad alpha %S (want a float >= 0)" alpha)
+        | Some alpha -> begin
+            match int_of_string_opt k with
+            | None -> Error (Printf.sprintf "bad k %S (want an integer)" k)
+            | Some k when k < 0 -> Error "bad k (want k >= 0)"
+            | Some k when k > max_k ->
+                Error (Printf.sprintf "bad k (at most %d)" max_k)
+            | Some k ->
+                if terms = [] then Error "SEARCH needs at least one term"
+                else if List.length terms > max_terms then
+                  Error (Printf.sprintf "too many terms (at most %d)" max_terms)
+                else Ok (Search { family; alpha; k; terms })
+          end
+      end
+  | _ -> Error "usage: SEARCH <win|med|max> <alpha> <k> <term> ..."
+
+let parse_request line =
+  if String.length line > 4096 then Error "request line too long"
+  else
+    match tokenize line with
+    | [] -> Error "empty request"
+    | [ "PING" ] -> Ok Ping
+    | [ "STATS" ] -> Ok Stats
+    | [ "QUIT" ] -> Ok Quit
+    | "SEARCH" :: rest -> parse_search rest
+    | ("PING" | "STATS" | "QUIT") :: _ :: _ ->
+        Error "PING, STATS and QUIT take no arguments"
+    | cmd :: _ ->
+        Error
+          (Printf.sprintf "unknown command %S (want SEARCH|PING|STATS|QUIT)" cmd)
+
+(* The key under which a search is cached: scoring parameters plus the
+   terms sorted, so queries differing only in term order share an
+   entry (every scoring family is symmetric in its terms). *)
+let cache_key { family; alpha; k; terms } =
+  Printf.sprintf "%s|%.17g|%d|%s" family alpha k
+    (String.concat "\x00" (List.sort compare terms))
+
+let one_line msg =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) msg
+
+let string_of_hits hits =
+  let body =
+    List.map
+      (fun (h : Pj_engine.Searcher.hit) ->
+        Printf.sprintf "%d:%.9g" h.Pj_engine.Searcher.doc_id
+          h.Pj_engine.Searcher.score)
+      hits
+  in
+  String.concat " " (Printf.sprintf "HITS %d" (List.length hits) :: body)
+
+let pong = "PONG"
+let bye = "BYE"
+let busy = "BUSY"
+let timeout = "TIMEOUT"
+let err msg = "ERR " ^ one_line msg

@@ -1,0 +1,58 @@
+(** The line-oriented request protocol spoken by {!Server}.
+
+    One request per line, one response line per request (so a client
+    can pipeline naively). Grammar:
+
+    {v
+    request  ::= "SEARCH" family alpha k term+   ; top-k query
+               | "PING"                          ; liveness probe
+               | "STATS"                         ; metrics snapshot
+               | "QUIT"                          ; close the connection
+    family   ::= "win" | "med" | "max"
+    alpha    ::= float >= 0                      ; distance decay rate
+    k        ::= int in [0, 10000]
+    term     ::= a Pj_matching.Query_parser spec (no spaces)
+    v}
+
+    Responses: ["HITS n doc:score ..."], ["PONG"], ["BYE"], ["BUSY"]
+    (queue full), ["TIMEOUT"] (deadline exceeded), ["ERR reason"], or a
+    single ["STATS ..."] key=value line. A malformed request yields
+    [ERR] and leaves the connection open. *)
+
+type search_request = {
+  family : string;  (** "win", "med" or "max" — validated by the parser *)
+  alpha : float;
+  k : int;
+  terms : string list;  (** non-empty *)
+}
+
+type request = Ping | Stats | Quit | Search of search_request
+
+val parse_request : string -> (request, string) result
+(** Parse one request line (whitespace-tolerant, ["\r"]-tolerant).
+    Errors name the offending argument and never raise. *)
+
+val scoring_of :
+  family:string -> alpha:float -> (Pj_core.Scoring.t, string) result
+(** The paper's exponential WIN/MED and sum-MAX instances, keyed by
+    family name — the same mapping the CLI uses. *)
+
+val cache_key : search_request -> string
+(** Normalized cache key: scoring family, alpha, k, and the terms
+    sorted (term order does not affect scores). *)
+
+val string_of_hits : Pj_engine.Searcher.hit list -> string
+(** ["HITS n doc:score ..."], scores rendered with 9 significant
+    digits — the canonical SEARCH response line. *)
+
+val pong : string
+val bye : string
+val busy : string
+val timeout : string
+
+val err : string -> string
+(** ["ERR reason"], with embedded newlines flattened so the response
+    stays one line. *)
+
+val max_k : int
+val max_terms : int

@@ -1,0 +1,40 @@
+type t = {
+  lru : (string, string) Pj_util.Lru.t;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  {
+    lru = Pj_util.Lru.create ~capacity;
+    mutex = Mutex.create ();
+    hits = 0;
+    misses = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  with_lock t (fun () ->
+      match Pj_util.Lru.find t.lru key with
+      | Some _ as v ->
+          t.hits <- t.hits + 1;
+          v
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t key response =
+  with_lock t (fun () -> Pj_util.Lru.add t.lru key response)
+
+let stats t =
+  with_lock t (fun () -> (t.hits, t.misses, Pj_util.Lru.length t.lru))
+
+let clear t =
+  with_lock t (fun () ->
+      Pj_util.Lru.clear t.lru;
+      t.hits <- 0;
+      t.misses <- 0)

@@ -1,0 +1,23 @@
+(** Thread-safe LRU cache of rendered SEARCH responses.
+
+    Keys come from {!Protocol.cache_key} (normalized query + scoring
+    parameters); values are complete response lines, so a hit is
+    byte-identical to the response the solvers would have produced and
+    costs one lock plus one hash lookup — no query parsing, no queue
+    slot, no worker domain. Hit/miss counters feed the [STATS]
+    report. *)
+
+type t
+
+val create : capacity:int -> t
+
+val find : t -> string -> string option
+(** Counts a hit or a miss, and refreshes recency on hits. *)
+
+val add : t -> string -> string -> unit
+
+val stats : t -> int * int * int
+(** [(hits, misses, current length)]. *)
+
+val clear : t -> unit
+(** Drop all entries and reset the counters. *)

@@ -1,0 +1,246 @@
+type config = {
+  host : string;
+  port : int;
+  domains : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  deadline_s : float;
+  log_every_s : float option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    domains = Pj_util.Parallel.recommended_domains ();
+    queue_capacity = 64;
+    cache_capacity = 1024;
+    deadline_s = 2.0;
+    log_every_s = None;
+  }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  port : int;
+  graph : Pj_ontology.Graph.t;
+  pool : Worker_pool.t;
+  cache : Result_cache.t;
+  metrics : Metrics.t;
+  running : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  mutable log_thread : Thread.t option;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  mutable conn_threads : Thread.t list;
+}
+
+let port t = t.port
+let metrics t = t.metrics
+let cache t = t.cache
+
+let stats_line t =
+  let cache_hits, cache_misses, cache_len = Result_cache.stats t.cache in
+  Metrics.render t.metrics ~cache_hits ~cache_misses ~cache_len
+    ~queue_len:(Worker_pool.queue_length t.pool)
+    ~domains:(Worker_pool.domains t.pool)
+
+(* Answer one SEARCH. The cache is consulted before the worker pool, so
+   a repeated query costs one hash lookup and no queue slot; live
+   results are rendered once and cached as the final response line. *)
+let handle_search t (sr : Protocol.search_request) =
+  let key = Protocol.cache_key sr in
+  match Result_cache.find t.cache key with
+  | Some response -> response
+  | None -> begin
+      match Protocol.scoring_of ~family:sr.Protocol.family ~alpha:sr.Protocol.alpha with
+      | Error msg ->
+          Metrics.record_error t.metrics;
+          Protocol.err msg
+      | Ok scoring -> begin
+          match Pj_matching.Query_parser.parse t.graph sr.Protocol.terms with
+          | Error msg ->
+              Metrics.record_error t.metrics;
+              Protocol.err msg
+          | Ok query ->
+              (* The served index is built over Porter stems (see the
+                 serve subcommand), so matcher expansions are stemmed to
+                 the same normalization — as in [proxjoin isearch]. *)
+              let query =
+                {
+                  query with
+                  Pj_matching.Query.matchers =
+                    Array.map Pj_matching.Matcher.stem_expansions
+                      query.Pj_matching.Query.matchers;
+                }
+              in
+              let deadline = Pj_util.Timing.now () +. t.config.deadline_s in
+              begin
+                match
+                  Worker_pool.run t.pool ~scoring ~k:sr.Protocol.k ~deadline
+                    query
+                with
+                | `Busy ->
+                    Metrics.record_busy t.metrics;
+                    Protocol.busy
+                | `Done (Worker_pool.Hits hits) ->
+                    let response = Protocol.string_of_hits hits in
+                    Result_cache.add t.cache key response;
+                    response
+                | `Done Worker_pool.Timed_out ->
+                    Metrics.record_timeout t.metrics;
+                    Protocol.timeout
+                | `Done (Worker_pool.Failed msg) ->
+                    Metrics.record_error t.metrics;
+                    Protocol.err msg
+              end
+        end
+    end
+
+(* One response line per request line; [false] ends the connection. *)
+let respond t line =
+  match Protocol.parse_request line with
+  | Error msg ->
+      Metrics.record_error t.metrics;
+      (Protocol.err msg, true)
+  | Ok Protocol.Ping ->
+      Metrics.record_ping t.metrics;
+      (Protocol.pong, true)
+  | Ok Protocol.Quit -> (Protocol.bye, false)
+  | Ok Protocol.Stats ->
+      Metrics.record_stats t.metrics;
+      (stats_line t, true)
+  | Ok (Protocol.Search sr) ->
+      Metrics.record_search t.metrics;
+      let t0 = Pj_util.Timing.now () in
+      let response = handle_search t sr in
+      if String.length response >= 4 && String.sub response 0 4 = "HITS" then
+        Metrics.observe_latency t.metrics (Pj_util.Timing.now () -. t0);
+      (response, true)
+
+let register_conn t id fd =
+  Mutex.lock t.conns_mutex;
+  Hashtbl.replace t.conns id fd;
+  Mutex.unlock t.conns_mutex
+
+let unregister_conn t id =
+  Mutex.lock t.conns_mutex;
+  Hashtbl.remove t.conns id;
+  Mutex.unlock t.conns_mutex
+
+let handle_connection t id fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line ->
+        let response, continue = respond t line in
+        output_string oc response;
+        output_char oc '\n';
+        flush oc;
+        if continue then loop ()
+  in
+  (* Any per-connection failure (client gone mid-write, etc.) closes
+     this connection only; the accept loop and other connections are
+     unaffected. *)
+  (try loop () with _ -> ());
+  unregister_conn t id;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let next_id = ref 0 in
+  while Atomic.get t.running do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.setsockopt fd Unix.TCP_NODELAY true;
+        let id = !next_id in
+        incr next_id;
+        register_conn t id fd;
+        let thread = Thread.create (fun () -> handle_connection t id fd) () in
+        t.conn_threads <- thread :: t.conn_threads
+    | exception Unix.Unix_error _ ->
+        (* [stop] closes the listening socket to break us out; anything
+           else (EMFILE, ECONNABORTED) is transient — keep accepting. *)
+        if Atomic.get t.running then Thread.yield ()
+  done
+
+let log_loop t period =
+  let rec sleep remaining =
+    if remaining > 0. && Atomic.get t.running then begin
+      Thread.delay (Float.min remaining 0.25);
+      sleep (remaining -. 0.25)
+    end
+  in
+  while Atomic.get t.running do
+    sleep period;
+    if Atomic.get t.running then
+      Printf.eprintf "[pj_server] %s\n%!" (stats_line t)
+  done
+
+let start ?(config = default_config) ~graph searcher =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+  (try Unix.bind listen_fd addr
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  Unix.listen listen_fd 128;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let pool =
+    Worker_pool.create ~domains:config.domains
+      ~queue_capacity:config.queue_capacity searcher
+  in
+  let t =
+    {
+      config;
+      listen_fd;
+      port;
+      graph;
+      pool;
+      cache = Result_cache.create ~capacity:config.cache_capacity;
+      metrics = Metrics.create ();
+      running = Atomic.make true;
+      accept_thread = None;
+      log_thread = None;
+      conns = Hashtbl.create 64;
+      conns_mutex = Mutex.create ();
+      conn_threads = [];
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  (match config.log_every_s with
+  | Some period when period > 0. ->
+      t.log_thread <- Some (Thread.create (fun () -> log_loop t period) ())
+  | Some _ | None -> ());
+  t
+
+let stop t =
+  if Atomic.exchange t.running false then begin
+    (* Closing the listening socket breaks the accept loop out of
+       [Unix.accept]. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (* Nudge open connections: a shutdown makes their next read see
+       end-of-file, so handler threads drain and exit. *)
+    Mutex.lock t.conns_mutex;
+    let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+    Mutex.unlock t.conns_mutex;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      fds;
+    List.iter Thread.join t.conn_threads;
+    Worker_pool.shutdown t.pool;
+    (match t.log_thread with Some th -> Thread.join th | None -> ())
+  end
+
+let wait t =
+  match t.accept_thread with Some th -> Thread.join th | None -> ()

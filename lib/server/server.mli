@@ -1,0 +1,49 @@
+(** The concurrent query-serving loop: a TCP server speaking
+    {!Protocol} over a hot, immutable {!Pj_engine.Searcher.t}.
+
+    Architecture: one accept loop hands each connection to a
+    lightweight thread that parses requests and consults the
+    {!Result_cache}; cache misses are submitted to a {!Worker_pool} of
+    OCaml 5 domains through a bounded {!Work_queue}. Failure semantics
+    per request: queue full → [BUSY]; per-query wall-clock deadline
+    exceeded → [TIMEOUT]; malformed request or failing query → [ERR]
+    with the connection left open. {!Metrics} aggregates counters and
+    latency percentiles for [STATS] and the optional periodic log
+    line on stderr. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  domains : int;  (** worker domains, default {!Pj_util.Parallel.recommended_domains} *)
+  queue_capacity : int;  (** pending searches before [BUSY], default 64 *)
+  cache_capacity : int;  (** LRU entries, default 1024 *)
+  deadline_s : float;  (** per-query wall-clock budget, default 2.0 *)
+  log_every_s : float option;  (** stderr stats period, default [None] *)
+}
+
+val default_config : config
+
+type t
+
+val start : ?config:config -> graph:Pj_ontology.Graph.t -> Pj_engine.Searcher.t -> t
+(** Bind, listen, spawn the worker pool and the accept thread, and
+    return immediately. The searcher must be fully built (its index is
+    shared read-only across domains); [graph] is the lemma graph query
+    terms are parsed against. Raises [Unix.Unix_error] when the
+    address cannot be bound. *)
+
+val port : t -> int
+(** The actual bound port (useful with [port = 0]). *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, close open connections, finish
+    queued jobs, join every thread and domain. Idempotent. *)
+
+val wait : t -> unit
+(** Block until the accept loop exits (i.e. until {!stop}). *)
+
+val stats_line : t -> string
+(** The current [STATS] response line. *)
+
+val metrics : t -> Metrics.t
+val cache : t -> Result_cache.t

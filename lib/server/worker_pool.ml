@@ -1,0 +1,88 @@
+type outcome =
+  | Hits of Pj_engine.Searcher.hit list
+  | Timed_out
+  | Failed of string
+
+(* A one-shot result cell the submitting thread blocks on. *)
+type cell = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable result : outcome option;
+}
+
+type job = {
+  scoring : Pj_core.Scoring.t;
+  k : int;
+  deadline : float;
+  query : Pj_matching.Query.t;
+  cell : cell;
+}
+
+type t = {
+  queue : job Work_queue.t;
+  workers : unit Domain.t array;
+  domains : int;
+}
+
+let fill cell outcome =
+  Mutex.lock cell.m;
+  cell.result <- Some outcome;
+  Condition.signal cell.c;
+  Mutex.unlock cell.m
+
+let execute searcher job =
+  let outcome =
+    (* A job that sat in the queue past its deadline is not worth
+       starting — the client's budget is wall-clock, queueing
+       included. *)
+    if Pj_util.Timing.now () > job.deadline then Timed_out
+    else
+      match
+        Pj_engine.Searcher.search_within ~k:job.k ~deadline:job.deadline
+          searcher job.scoring job.query
+      with
+      | Ok hits -> Hits hits
+      | Error `Timeout -> Timed_out
+      | exception e -> Failed (Printexc.to_string e)
+  in
+  fill job.cell outcome
+
+let worker_loop searcher queue =
+  let rec go () =
+    match Work_queue.pop queue with
+    | None -> ()
+    | Some job ->
+        execute searcher job;
+        go ()
+  in
+  go ()
+
+let create ~domains ~queue_capacity searcher =
+  let domains = Stdlib.max 1 domains in
+  let queue = Work_queue.create ~capacity:queue_capacity in
+  let workers =
+    Array.init domains (fun _ ->
+        Domain.spawn (fun () -> worker_loop searcher queue))
+  in
+  { queue; workers; domains }
+
+let domains t = t.domains
+let queue_length t = Work_queue.length t.queue
+
+let run t ~scoring ~k ~deadline query =
+  let cell = { m = Mutex.create (); c = Condition.create (); result = None } in
+  let job = { scoring; k; deadline; query; cell } in
+  if not (Work_queue.try_push t.queue job) then `Busy
+  else begin
+    Mutex.lock cell.m;
+    while cell.result = None do
+      Condition.wait cell.c cell.m
+    done;
+    let r = Option.get cell.result in
+    Mutex.unlock cell.m;
+    `Done r
+  end
+
+let shutdown t =
+  Work_queue.close t.queue;
+  Array.iter Domain.join t.workers

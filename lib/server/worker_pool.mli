@@ -1,0 +1,39 @@
+(** A fixed pool of OCaml 5 worker domains executing searches against
+    one shared, immutable {!Pj_engine.Searcher.t}.
+
+    The searcher and its index are built before the pool starts and
+    never mutated afterwards, so the domains race on nothing; the only
+    synchronization is the bounded {!Work_queue} in front of the pool
+    and a per-job result cell. Parallelism therefore scales with
+    domains up to memory bandwidth, exactly like
+    {!Pj_util.Parallel.map_array} over documents. *)
+
+type outcome =
+  | Hits of Pj_engine.Searcher.hit list
+  | Timed_out  (** the per-query deadline passed (queueing included) *)
+  | Failed of string
+      (** the search raised, e.g. a matcher without finite expansions *)
+
+type t
+
+val create : domains:int -> queue_capacity:int -> Pj_engine.Searcher.t -> t
+(** Spawn [max 1 domains] workers sharing a bounded queue. *)
+
+val run :
+  t ->
+  scoring:Pj_core.Scoring.t ->
+  k:int ->
+  deadline:float ->
+  Pj_matching.Query.t ->
+  [ `Busy | `Done of outcome ]
+(** Submit a job and block until its outcome. [`Busy] — without
+    blocking — when the queue is full (backpressure) or the pool is
+    shut down. [deadline] is absolute wall-clock time; a job still
+    queued at its deadline is answered [Timed_out] without starting. *)
+
+val domains : t -> int
+val queue_length : t -> int
+
+val shutdown : t -> unit
+(** Stop accepting jobs, finish the ones already queued, and join
+    every worker domain. *)

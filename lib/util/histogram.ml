@@ -1,0 +1,78 @@
+(* Log-spaced buckets: bucket i covers [lo * growth^i, lo * growth^(i+1)).
+   With lo = 1e-6 and growth = 1.15, 250 buckets span a microsecond to
+   well past an hour at <= 15% relative error per quantile — plenty for
+   latency reporting, in a few kilobytes of constant state. *)
+
+let lo = 1e-6
+let growth = 1.15
+let n_buckets = 250
+let log_growth = Float.log growth
+
+type t = {
+  counts : int array; (* [0]: underflow; [n_buckets + 1]: overflow *)
+  mutable n : int;
+  mutable sum : float;
+  mutable max : float;
+}
+
+let create () =
+  { counts = Array.make (n_buckets + 2) 0; n = 0; sum = 0.; max = 0. }
+
+let bucket_of v =
+  if v < lo then 0
+  else
+    let i = int_of_float (Float.log (v /. lo) /. log_growth) in
+    if i >= n_buckets then n_buckets + 1 else i + 1
+
+(* Upper bound of a bucket: a conservative (pessimistic) quantile
+   estimate. Underflow reports [lo]; overflow reports the last finite
+   boundary. *)
+let bucket_upper i =
+  if i = 0 then lo
+  else lo *. Float.pow growth (float_of_int (Stdlib.min i n_buckets))
+
+let observe t v =
+  let v = if Float.is_nan v || v < 0. then 0. else v in
+  let i = bucket_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v > t.max then t.max <- v
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+let max_value t = t.max
+
+let percentile t p =
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p outside [0,100]";
+  if t.n = 0 then 0.
+  else begin
+    (* Nearest-rank over the cumulative bucket counts. *)
+    let rank =
+      Stdlib.max 1
+        (int_of_float (Float.ceil (p /. 100. *. float_of_int t.n)))
+    in
+    let acc = ref 0 and result = ref (bucket_upper (n_buckets + 1)) in
+    (try
+       for i = 0 to n_buckets + 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin
+           result := bucket_upper i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Stdlib.min !result t.max
+  end
+
+let merge_into ~src ~dst =
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  if src.max > dst.max then dst.max <- src.max
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.n <- 0;
+  t.sum <- 0.;
+  t.max <- 0.

@@ -1,0 +1,31 @@
+(** Streaming latency histogram with constant memory.
+
+    Observations (seconds) land in log-spaced buckets (growth factor
+    1.15 from one microsecond), so quantile estimates carry at most
+    ~15% relative error regardless of how many observations arrive —
+    unlike [Stats.percentile], which needs every sample retained. This
+    backs the server's p50/p95/p99 reporting. Not thread-safe. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> float -> unit
+(** Record one observation. Negative and NaN values count as 0. *)
+
+val count : t -> int
+val mean : t -> float
+(** Exact mean of all observations (0 when empty). *)
+
+val max_value : t -> float
+(** Exact maximum observation (0 when empty). *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for p in [0,100]: nearest-rank estimate, reported
+    as the matching bucket's upper bound clamped to the true maximum
+    (0 when empty). Raises [Invalid_argument] outside [0,100]. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Add [src]'s observations into [dst] (for aggregating per-worker
+    histograms). *)
+
+val reset : t -> unit

@@ -1,0 +1,30 @@
+(** Bounded least-recently-used map: O(1) lookup, insertion and
+    eviction (hash table threaded with a doubly-linked recency list).
+
+    The substrate for the query-result cache in [Pj_server]: repeated
+    queries — the common case under heavy traffic — are answered
+    without re-running the join solvers. Not thread-safe; callers that
+    share an instance across domains must serialize access. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup, marking the entry most-recently used on a hit. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test {e without} touching recency. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite, marking the entry most-recently used; evicts
+    the least-recently-used entry when the cache is at capacity. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+val clear : ('k, 'v) t -> unit
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Entries most-recently-used first (exposed for tests). *)

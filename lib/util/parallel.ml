@@ -1,4 +1,15 @@
-let recommended_domains () = Stdlib.min 8 (Domain.recommended_domain_count ())
+let default_cap = 8
+
+let domain_cap () =
+  match Sys.getenv_opt "PROXJOIN_DOMAINS" with
+  | None -> default_cap
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> Stdlib.max 1 n
+      | None -> default_cap)
+
+let recommended_domains () =
+  Stdlib.min (domain_cap ()) (Domain.recommended_domain_count ())
 
 let map_array ?domains f a =
   let n = Array.length a in

@@ -6,7 +6,11 @@
 
 val recommended_domains : unit -> int
 (** A sensible domain count for this machine
-    ([Domain.recommended_domain_count], capped at 8). *)
+    ([Domain.recommended_domain_count], capped at 8 by default). The cap
+    can be overridden through the [PROXJOIN_DOMAINS] environment
+    variable (clamped to at least 1; non-numeric values are ignored) —
+    e.g. to let a dedicated server box use more than 8 cores, or to
+    pin CI to a single domain. *)
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map], preserving order. [domains] defaults to

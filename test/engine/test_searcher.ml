@@ -136,9 +136,34 @@ let test_prune_equals_unpruned () =
     then Alcotest.failf "trial %d: pruned search differs" trial
   done
 
+let test_search_within_generous_deadline () =
+  let s = setup () in
+  let deadline = Pj_util.Timing.now () +. 60. in
+  match Searcher.search_within ~deadline s scoring query with
+  | Error `Timeout -> Alcotest.fail "timed out with a 60s budget"
+  | Ok hits ->
+      let direct = Searcher.search s scoring query in
+      Alcotest.(check (list int)) "same docs"
+        (List.map (fun h -> h.Searcher.doc_id) direct)
+        (List.map (fun h -> h.Searcher.doc_id) hits);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check (float 0.)) "same score" a.Searcher.score
+            b.Searcher.score)
+        direct hits
+
+let test_search_within_expired_deadline () =
+  let s = setup () in
+  let deadline = Pj_util.Timing.now () -. 1. in
+  match Searcher.search_within ~deadline s scoring query with
+  | Error `Timeout -> ()
+  | Ok _ -> Alcotest.fail "a deadline in the past must time out"
+
 let suite =
   [
     ("searcher: prune = no-prune", `Quick, test_prune_equals_unpruned);
+    ("searcher: deadline generous", `Quick, test_search_within_generous_deadline);
+    ("searcher: deadline expired", `Quick, test_search_within_expired_deadline);
     ("searcher: candidates", `Quick, test_candidates);
     ("searcher: ranking", `Quick, test_search_ranking);
     ("searcher: k limits", `Quick, test_search_k_limits);

@@ -104,6 +104,20 @@ let test_bad_magic () =
         (Failure "Storage: not a proxjoin corpus file") (fun () ->
           ignore (Storage.load_corpus path)))
 
+let check_load_fails ~msg_contains path =
+  match Storage.load_corpus path with
+  | _ -> Alcotest.failf "load succeeded; wanted failure about %s" msg_contains
+  | exception Failure msg ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      if not (contains msg msg_contains) then
+        Alcotest.failf "error %S does not mention %S" msg msg_contains
+
 let test_trailing_bytes () =
   let c = sample_corpus () in
   let path = temp_path () in
@@ -114,8 +128,76 @@ let test_trailing_bytes () =
       let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
       output_string oc "junk";
       close_out oc;
-      Alcotest.check_raises "rejected" (Failure "Storage: trailing bytes")
-        (fun () -> ignore (Storage.load_corpus path)))
+      (* Appended junk shifts the CRC footer, so v2 detects it as
+         corruption. *)
+      check_load_fails ~msg_contains:"CRC mismatch" path)
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+let test_bit_flip_detected () =
+  let c = sample_corpus () in
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.save_corpus c path;
+      let s = read_bytes path in
+      (* Flip one payload bit in the middle of the file. *)
+      let b = Bytes.of_string s in
+      let i = String.length s / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+      write_bytes path (Bytes.to_string b);
+      check_load_fails ~msg_contains:"CRC mismatch" path)
+
+let test_truncation_detected () =
+  let c = sample_corpus () in
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.save_corpus c path;
+      let s = read_bytes path in
+      write_bytes path (String.sub s 0 (String.length s - 3));
+      check_load_fails ~msg_contains:"CRC mismatch" path;
+      (* Truncating into the header itself is caught even earlier. *)
+      write_bytes path (String.sub s 0 6);
+      check_load_fails ~msg_contains:"truncated" path)
+
+let test_v1_still_loads () =
+  let c = sample_corpus () in
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.save_corpus c path;
+      let s = read_bytes path in
+      (* A v1 file is the same payload with version byte 1 and no CRC
+         footer. *)
+      Alcotest.(check char) "v2 version byte" '\002' s.[4];
+      let v1 =
+        String.sub s 0 4 ^ "\001" ^ String.sub s 5 (String.length s - 5 - 4)
+      in
+      write_bytes path v1;
+      let c' = Storage.load_corpus path in
+      Alcotest.(check bool) "v1 roundtrip" true (corpora_equal c c'))
+
+let test_crc32_known_value () =
+  (* The standard check value: CRC-32 of "123456789". *)
+  Alcotest.(check int32) "check value" 0xCBF43926l (Storage.crc32 "123456789");
+  Alcotest.(check int32) "empty" 0l (Storage.crc32 "");
+  Alcotest.(check int32) "substring"
+    (Storage.crc32 "456")
+    (Storage.crc32 ~pos:3 ~len:3 "123456789")
 
 let suite =
   [
@@ -127,4 +209,8 @@ let suite =
     ("storage: empty corpus", `Quick, test_empty_corpus_roundtrip);
     ("storage: bad magic", `Quick, test_bad_magic);
     ("storage: trailing bytes", `Quick, test_trailing_bytes);
+    ("storage: bit flip detected", `Quick, test_bit_flip_detected);
+    ("storage: truncation detected", `Quick, test_truncation_detected);
+    ("storage: v1 still loads", `Quick, test_v1_still_loads);
+    ("storage: crc32 check value", `Quick, test_crc32_known_value);
   ]

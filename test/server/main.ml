@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "proxjoin.server"
+    [
+      ("protocol", Test_protocol.suite);
+      ("work_queue", Test_work_queue.suite);
+      ("result_cache", Test_result_cache.suite);
+      ("e2e", Test_e2e.suite);
+    ]

@@ -1,0 +1,237 @@
+open Pj_server
+
+(* A small but non-trivial corpus, indexed over Porter stems exactly the
+   way `proxjoin serve` builds it. *)
+let texts =
+  [
+    "lenovo signs a partnership with the nba this season";
+    "the nba expanded its partnership program with dell";
+    "unrelated document about gardening and weather";
+    "lenovo mentioned briefly and much later a partnership of others";
+    "dell and lenovo compete for the nba partnership deal";
+    "nba nba nba partnership partnership lenovo at the end";
+    "a partnership between gardeners and the weather service";
+    "lenovo dell nba partnership all adjacent here";
+  ]
+
+let build () =
+  let corpus = Pj_index.Corpus.create () in
+  List.iter
+    (fun text ->
+      let stems =
+        Array.map Pj_text.Porter.stem (Pj_text.Tokenizer.tokenize_array text)
+      in
+      ignore (Pj_index.Corpus.add_tokens corpus stems))
+    texts;
+  let index = Pj_index.Inverted_index.build corpus in
+  (Pj_engine.Searcher.create index, Pj_ontology.Mini_wordnet.create ())
+
+(* What the server must answer for a SEARCH line: the same parse +
+   stem + search pipeline, rendered by the same formatter. *)
+let expected_response searcher graph ~family ~alpha ~k terms =
+  match Pj_matching.Query_parser.parse graph terms with
+  | Error msg -> Protocol.err msg
+  | Ok query ->
+      let query =
+        {
+          query with
+          Pj_matching.Query.matchers =
+            Array.map Pj_matching.Matcher.stem_expansions
+              query.Pj_matching.Query.matchers;
+        }
+      in
+      let scoring =
+        match Protocol.scoring_of ~family ~alpha with
+        | Ok s -> s
+        | Error msg -> failwith msg
+      in
+      Protocol.string_of_hits (Pj_engine.Searcher.search ~k searcher scoring query)
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let request conn line =
+  output_string conn.oc line;
+  output_char conn.oc '\n';
+  flush conn.oc;
+  input_line conn.ic
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let with_server ?config f =
+  let searcher, graph = build () in
+  let server = Server.start ?config ~graph searcher in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server searcher graph)
+
+let queries =
+  [
+    ("win", 0.2, 5, [ "exact:lenovo"; "exact:nba"; "exact:partnership" ]);
+    ("med", 0.1, 3, [ "exact:lenovo"; "exact:partnership" ]);
+    ("max", 0.1, 10, [ "exact:dell"; "exact:nba" ]);
+    ("win", 0.5, 2, [ "exact:partnership"; "exact:weather" ]);
+    ("win", 0.2, 5, [ "stem:gardening" ]);
+    ("med", 0.3, 4, [ "exact:nba"; "exact:partnership" ]);
+  ]
+
+let search_line (family, alpha, k, terms) =
+  Printf.sprintf "SEARCH %s %g %d %s" family alpha k (String.concat " " terms)
+
+let test_concurrent_clients_match_direct () =
+  with_server (fun server searcher graph ->
+      let port = Server.port server in
+      let expected =
+        List.map
+          (fun (family, alpha, k, terms) ->
+            expected_response searcher graph ~family ~alpha ~k terms)
+          queries
+      in
+      let n_clients = 8 and rounds = 3 in
+      let failures = ref [] in
+      let failures_mutex = Mutex.create () in
+      let client id =
+        let conn = connect port in
+        Fun.protect
+          ~finally:(fun () -> close conn)
+          (fun () ->
+            for round = 1 to rounds do
+              (* Stagger the query order per client so the cache sees
+                 both cold and warm lookups concurrently. *)
+              let rotated =
+                let n = List.length queries in
+                List.init n (fun i ->
+                    let j = (i + id + round) mod n in
+                    (List.nth queries j, List.nth expected j))
+              in
+              List.iter
+                (fun (q, want) ->
+                  let got = request conn (search_line q) in
+                  if got <> want then begin
+                    Mutex.lock failures_mutex;
+                    failures :=
+                      Printf.sprintf "client %d: %s -> %s (want %s)" id
+                        (search_line q) got want
+                      :: !failures;
+                    Mutex.unlock failures_mutex
+                  end)
+                rotated;
+              Alcotest.(check string) "interleaved ping" "PONG"
+                (request conn "PING")
+            done;
+            Alcotest.(check string) "quit" "BYE" (request conn "QUIT"))
+      in
+      let threads = List.init n_clients (fun id -> Thread.create client id) in
+      List.iter Thread.join threads;
+      (match !failures with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "%d mismatches, e.g. %s" (List.length !failures) f);
+      (* Each distinct query misses at least once; concurrent clients may
+         race between find and add, so a key can miss more than once — but
+         every lookup is accounted for, and the cache ends up holding
+         exactly the distinct keys. *)
+      let hits, misses, len = Result_cache.stats (Server.cache server) in
+      Alcotest.(check bool) "each distinct query missed at least once" true
+        (misses >= List.length queries);
+      Alcotest.(check int) "every lookup is a hit or a miss"
+        (n_clients * rounds * List.length queries)
+        (hits + misses);
+      Alcotest.(check int) "cache holds exactly the distinct keys"
+        (List.length queries) len)
+
+let test_repeated_query_served_from_cache () =
+  with_server (fun server _ _ ->
+      let conn = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () ->
+          let line = search_line (List.hd queries) in
+          let first = request conn line in
+          let hits0, misses0, _ = Result_cache.stats (Server.cache server) in
+          let second = request conn line in
+          let hits1, misses1, _ = Result_cache.stats (Server.cache server) in
+          Alcotest.(check string) "result unchanged" first second;
+          Alcotest.(check int) "hit counter incremented" (hits0 + 1) hits1;
+          Alcotest.(check int) "no extra miss" misses0 misses1;
+          Alcotest.(check bool) "it is a real result" true
+            (String.length first >= 6 && String.sub first 0 5 = "HITS ")))
+
+let test_deadline_timeout () =
+  (* A deadline already in the past forces every live search to expire
+     before solving; the response must be TIMEOUT, not a hang or a
+     dead worker. *)
+  let config = { Server.default_config with deadline_s = -1. } in
+  with_server ~config (fun server _ _ ->
+      let conn = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () ->
+          Alcotest.(check string) "times out" "TIMEOUT"
+            (request conn (search_line (List.hd queries)));
+          (* The worker survives and keeps serving. *)
+          Alcotest.(check string) "still alive" "PONG" (request conn "PING");
+          Alcotest.(check string) "times out again" "TIMEOUT"
+            (request conn (search_line (List.nth queries 1)))))
+
+let test_malformed_requests_keep_connection () =
+  with_server (fun server searcher graph ->
+      let conn = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () ->
+          let is_err line =
+            String.length line >= 4 && String.sub line 0 4 = "ERR "
+          in
+          Alcotest.(check bool) "garbage" true (is_err (request conn "GARBAGE IN"));
+          Alcotest.(check bool) "bad arity" true (is_err (request conn "SEARCH win"));
+          Alcotest.(check bool) "bad family" true
+            (is_err (request conn "SEARCH bm25 0.2 5 lenovo"));
+          Alcotest.(check bool) "bad alpha" true
+            (is_err (request conn "SEARCH win slow 5 lenovo"));
+          Alcotest.(check bool) "empty line" true (is_err (request conn ""));
+          (* A term the parser rejects (empty disjunct). *)
+          Alcotest.(check bool) "bad term" true
+            (is_err (request conn "SEARCH win 0.2 5 exact:"));
+          (* After all that abuse the connection still serves real
+             queries. *)
+          let family, alpha, k, terms = List.hd queries in
+          Alcotest.(check string) "recovers"
+            (expected_response searcher graph ~family ~alpha ~k terms)
+            (request conn (search_line (List.hd queries)));
+          Alcotest.(check string) "and pings" "PONG" (request conn "PING")))
+
+let test_stats_reports () =
+  with_server (fun server _ _ ->
+      let conn = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () ->
+          ignore (request conn (search_line (List.hd queries)));
+          ignore (request conn (search_line (List.hd queries)));
+          ignore (request conn "PING");
+          let stats = request conn "STATS" in
+          let has sub =
+            let n = String.length sub in
+            let rec go i =
+              i + n <= String.length stats
+              && (String.sub stats i n = sub || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "is a stats line" true (has "STATS uptime_s=");
+          Alcotest.(check bool) "searches counted" true (has "searches=2");
+          Alcotest.(check bool) "cache hit counted" true (has "cache_hits=1");
+          Alcotest.(check bool) "pings counted" true (has "pings=1");
+          Alcotest.(check bool) "latency percentiles" true (has "p99_ms=")))
+
+let suite =
+  [
+    ("e2e: concurrent clients = direct search", `Quick, test_concurrent_clients_match_direct);
+    ("e2e: repeated query hits cache", `Quick, test_repeated_query_served_from_cache);
+    ("e2e: deadline timeout", `Quick, test_deadline_timeout);
+    ("e2e: malformed requests", `Quick, test_malformed_requests_keep_connection);
+    ("e2e: stats", `Quick, test_stats_reports);
+  ]

@@ -1,0 +1,97 @@
+open Pj_server
+
+let check_error msg line =
+  match Protocol.parse_request line with
+  | Ok _ -> Alcotest.failf "%s: %S parsed" msg line
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: error nonempty" msg)
+        true
+        (String.length e > 0)
+
+let check_search msg line expected =
+  match Protocol.parse_request line with
+  | Ok (Protocol.Search sr) ->
+      let { Protocol.family; alpha; k; terms } = expected in
+      Alcotest.(check string) (msg ^ ": family") family sr.Protocol.family;
+      Alcotest.(check (float 1e-12)) (msg ^ ": alpha") alpha sr.Protocol.alpha;
+      Alcotest.(check int) (msg ^ ": k") k sr.Protocol.k;
+      Alcotest.(check (list string)) (msg ^ ": terms") terms sr.Protocol.terms
+  | Ok _ -> Alcotest.failf "%s: parsed as a different request" msg
+  | Error e -> Alcotest.failf "%s: unexpected error %s" msg e
+
+let test_simple_commands () =
+  Alcotest.(check bool) "ping" true (Protocol.parse_request "PING" = Ok Protocol.Ping);
+  Alcotest.(check bool) "stats" true (Protocol.parse_request "STATS" = Ok Protocol.Stats);
+  Alcotest.(check bool) "quit" true (Protocol.parse_request "QUIT" = Ok Protocol.Quit);
+  (* Whitespace and carriage returns are tolerated. *)
+  Alcotest.(check bool) "padded ping" true
+    (Protocol.parse_request "  PING \r" = Ok Protocol.Ping);
+  check_error "ping with args" "PING now";
+  check_error "lowercase is not a command" "ping"
+
+let test_search_ok () =
+  check_search "basic" "SEARCH win 0.2 5 lenovo nba"
+    { Protocol.family = "win"; alpha = 0.2; k = 5; terms = [ "lenovo"; "nba" ] };
+  check_search "extra spaces" "SEARCH  med  0.1   3  exact:a|exact:b"
+    {
+      Protocol.family = "med";
+      alpha = 0.1;
+      k = 3;
+      terms = [ "exact:a|exact:b" ];
+    };
+  check_search "k zero" "SEARCH max 0 0 x"
+    { Protocol.family = "max"; alpha = 0.; k = 0; terms = [ "x" ] }
+
+let test_search_malformed () =
+  check_error "empty line" "";
+  check_error "blank line" "   \r";
+  check_error "unknown command" "FETCH docs";
+  check_error "no args" "SEARCH";
+  check_error "bad arity" "SEARCH win 0.2";
+  check_error "no terms" "SEARCH win 0.2 5";
+  check_error "unknown family" "SEARCH tfidf 0.2 5 a";
+  check_error "bad alpha" "SEARCH win fast 5 a";
+  check_error "negative alpha" "SEARCH win -0.5 5 a";
+  check_error "nan alpha" "SEARCH win nan 5 a";
+  check_error "bad k" "SEARCH win 0.2 many a";
+  check_error "negative k" "SEARCH win 0.2 -1 a";
+  check_error "huge k" "SEARCH win 0.2 1000000 a";
+  check_error "too many terms"
+    ("SEARCH win 0.2 5 " ^ String.concat " " (List.init 17 string_of_int));
+  check_error "oversized line" ("SEARCH win 0.2 5 " ^ String.make 5000 'a')
+
+let test_cache_key_normalization () =
+  let key family alpha k terms = Protocol.cache_key { Protocol.family; alpha; k; terms } in
+  Alcotest.(check string) "term order ignored"
+    (key "win" 0.2 5 [ "a"; "b" ])
+    (key "win" 0.2 5 [ "b"; "a" ]);
+  Alcotest.(check bool) "k matters" true
+    (key "win" 0.2 5 [ "a" ] <> key "win" 0.2 6 [ "a" ]);
+  Alcotest.(check bool) "alpha matters" true
+    (key "win" 0.2 5 [ "a" ] <> key "win" 0.3 5 [ "a" ]);
+  Alcotest.(check bool) "family matters" true
+    (key "win" 0.2 5 [ "a" ] <> key "med" 0.2 5 [ "a" ])
+
+let test_scoring_of () =
+  (match Protocol.scoring_of ~family:"win" ~alpha:0.1 with
+  | Ok (Pj_core.Scoring.Win _) -> ()
+  | _ -> Alcotest.fail "win family");
+  (match Protocol.scoring_of ~family:"quux" ~alpha:0.1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown family accepted")
+
+let test_renderers () =
+  Alcotest.(check string) "no hits" "HITS 0" (Protocol.string_of_hits []);
+  Alcotest.(check string) "err is one line" "ERR a b"
+    (Protocol.err "a\nb")
+
+let suite =
+  [
+    ("protocol: simple commands", `Quick, test_simple_commands);
+    ("protocol: search ok", `Quick, test_search_ok);
+    ("protocol: malformed", `Quick, test_search_malformed);
+    ("protocol: cache key", `Quick, test_cache_key_normalization);
+    ("protocol: scoring_of", `Quick, test_scoring_of);
+    ("protocol: renderers", `Quick, test_renderers);
+  ]

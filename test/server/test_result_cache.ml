@@ -1,0 +1,57 @@
+open Pj_server
+
+let test_hit_miss_counters () =
+  let c = Result_cache.create ~capacity:4 in
+  Alcotest.(check (option string)) "cold" None (Result_cache.find c "k1");
+  Result_cache.add c "k1" "HITS 0";
+  Alcotest.(check (option string)) "warm" (Some "HITS 0") (Result_cache.find c "k1");
+  ignore (Result_cache.find c "k1");
+  ignore (Result_cache.find c "k2");
+  let hits, misses, len = Result_cache.stats c in
+  Alcotest.(check int) "hits" 2 hits;
+  Alcotest.(check int) "misses" 2 misses;
+  Alcotest.(check int) "len" 1 len
+
+let test_eviction () =
+  let c = Result_cache.create ~capacity:2 in
+  Result_cache.add c "a" "1";
+  Result_cache.add c "b" "2";
+  Result_cache.add c "c" "3";
+  Alcotest.(check (option string)) "a evicted" None (Result_cache.find c "a");
+  Alcotest.(check (option string)) "c kept" (Some "3") (Result_cache.find c "c")
+
+let test_clear_resets () =
+  let c = Result_cache.create ~capacity:2 in
+  Result_cache.add c "a" "1";
+  ignore (Result_cache.find c "a");
+  Result_cache.clear c;
+  let hits, misses, len = Result_cache.stats c in
+  Alcotest.(check (list int)) "reset" [ 0; 0; 0 ] [ hits; misses; len ]
+
+let test_concurrent_access () =
+  (* Hammer one cache from several domains; the test passes when no
+     crash/corruption occurs and counters add up. *)
+  let c = Result_cache.create ~capacity:32 in
+  let per_domain = 2000 in
+  let worker seed =
+    Domain.spawn (fun () ->
+        for i = 0 to per_domain - 1 do
+          let key = Printf.sprintf "k%d" ((i + seed) mod 64) in
+          match Result_cache.find c key with
+          | Some _ -> ()
+          | None -> Result_cache.add c key "v"
+        done)
+  in
+  let domains = List.init 4 worker in
+  List.iter Domain.join domains;
+  let hits, misses, len = Result_cache.stats c in
+  Alcotest.(check int) "lookups accounted" (4 * per_domain) (hits + misses);
+  Alcotest.(check bool) "bounded" true (len <= 32)
+
+let suite =
+  [
+    ("result_cache: counters", `Quick, test_hit_miss_counters);
+    ("result_cache: eviction", `Quick, test_eviction);
+    ("result_cache: clear", `Quick, test_clear_resets);
+    ("result_cache: concurrent", `Quick, test_concurrent_access);
+  ]

@@ -1,0 +1,74 @@
+open Pj_server
+
+let test_fifo () =
+  let q = Work_queue.create ~capacity:8 in
+  List.iter (fun i -> Alcotest.(check bool) "pushed" true (Work_queue.try_push q i)) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (Work_queue.length q);
+  Alcotest.(check (option int)) "first" (Some 1) (Work_queue.pop q);
+  Alcotest.(check (option int)) "second" (Some 2) (Work_queue.pop q);
+  Alcotest.(check (option int)) "third" (Some 3) (Work_queue.pop q)
+
+let test_capacity_rejects () =
+  let q = Work_queue.create ~capacity:2 in
+  Alcotest.(check bool) "1" true (Work_queue.try_push q 1);
+  Alcotest.(check bool) "2" true (Work_queue.try_push q 2);
+  Alcotest.(check bool) "full" false (Work_queue.try_push q 3);
+  ignore (Work_queue.pop q);
+  Alcotest.(check bool) "slot freed" true (Work_queue.try_push q 3)
+
+let test_close_drains_then_none () =
+  let q = Work_queue.create ~capacity:4 in
+  ignore (Work_queue.try_push q "a");
+  ignore (Work_queue.try_push q "b");
+  Work_queue.close q;
+  Alcotest.(check bool) "closed rejects" false (Work_queue.try_push q "c");
+  Alcotest.(check (option string)) "drains a" (Some "a") (Work_queue.pop q);
+  Alcotest.(check (option string)) "drains b" (Some "b") (Work_queue.pop q);
+  Alcotest.(check (option string)) "then none" None (Work_queue.pop q)
+
+let test_close_wakes_blocked_consumer () =
+  let q = Work_queue.create ~capacity:1 in
+  let result = ref (Some 42) in
+  let consumer = Thread.create (fun () -> result := Work_queue.pop q) () in
+  Thread.delay 0.05;
+  Work_queue.close q;
+  Thread.join consumer;
+  Alcotest.(check (option int)) "woken with None" None !result
+
+let test_cross_domain_transfer () =
+  let q = Work_queue.create ~capacity:16 in
+  let n = 1000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let sum = ref 0 and count = ref 0 in
+        let rec go () =
+          match Work_queue.pop q with
+          | None -> (!sum, !count)
+          | Some v ->
+              sum := !sum + v;
+              incr count;
+              go ()
+        in
+        go ())
+  in
+  let pushed = ref 0 in
+  for i = 1 to n do
+    (* Spin on a full queue: the consumer drains concurrently. *)
+    while not (Work_queue.try_push q i) do
+      Thread.yield ()
+    done;
+    pushed := !pushed + i
+  done;
+  Work_queue.close q;
+  let sum, count = Domain.join consumer in
+  Alcotest.(check int) "all items" n count;
+  Alcotest.(check int) "no corruption" !pushed sum
+
+let suite =
+  [
+    ("work_queue: fifo", `Quick, test_fifo);
+    ("work_queue: capacity", `Quick, test_capacity_rejects);
+    ("work_queue: close drains", `Quick, test_close_drains_then_none);
+    ("work_queue: close wakes", `Quick, test_close_wakes_blocked_consumer);
+    ("work_queue: cross-domain", `Quick, test_cross_domain_transfer);
+  ]

@@ -6,6 +6,8 @@ let () =
       ("stats", Test_stats.suite);
       ("vec", Test_vec.suite);
       ("heap", Test_heap.suite);
+      ("lru", Test_lru.suite);
+      ("histogram", Test_histogram.suite);
       ("subset", Test_subset.suite);
       ("timing", Test_timing.suite);
       ("parallel", Test_parallel.suite);

@@ -1,0 +1,83 @@
+open Pj_util
+
+let test_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check (float 0.)) "mean" 0. (Histogram.mean h);
+  Alcotest.(check (float 0.)) "max" 0. (Histogram.max_value h);
+  Alcotest.(check (float 0.)) "p99" 0. (Histogram.percentile h 99.)
+
+let test_exact_aggregates () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 0.001; 0.002; 0.003; 0.010 ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean" 0.004 (Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "max" 0.010 (Histogram.max_value h)
+
+let check_close msg expected actual =
+  (* Bucket growth is 1.15, so estimates sit within 15% above the true
+     value (and are clamped to the true max). *)
+  if actual < expected *. 0.999 || actual > expected *. 1.16 then
+    Alcotest.failf "%s: expected ~%g, got %g" msg expected actual
+
+let test_percentile_accuracy () =
+  let h = Histogram.create () in
+  (* 1..1000 ms, uniformly. *)
+  for i = 1 to 1000 do
+    Histogram.observe h (float_of_int i /. 1000.)
+  done;
+  check_close "p50" 0.5 (Histogram.percentile h 50.);
+  check_close "p95" 0.95 (Histogram.percentile h 95.);
+  check_close "p99" 0.99 (Histogram.percentile h 99.);
+  Alcotest.(check (float 1e-9)) "p100 = max" 1. (Histogram.percentile h 100.)
+
+let test_single_observation () =
+  let h = Histogram.create () in
+  Histogram.observe h 0.042;
+  List.iter
+    (fun p -> check_close (Printf.sprintf "p%g" p) 0.042 (Histogram.percentile h p))
+    [ 0.; 50.; 99.; 100. ]
+
+let test_outliers_and_garbage () =
+  let h = Histogram.create () in
+  Histogram.observe h (-5.) (* counts as 0 *);
+  Histogram.observe h Float.nan (* counts as 0 *);
+  Histogram.observe h 1e-9 (* underflow bucket *);
+  Histogram.observe h 1e9 (* overflow bucket *);
+  Alcotest.(check int) "all retained" 4 (Histogram.count h);
+  Alcotest.(check (float 1e-3)) "max kept exactly" 1e9 (Histogram.max_value h);
+  Alcotest.(check (float 1e-3)) "p100 clamps to max" 1e9
+    (Histogram.percentile h 100.)
+
+let test_invalid_percentile () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "p > 100"
+    (Invalid_argument "Histogram.percentile: p outside [0,100]") (fun () ->
+      ignore (Histogram.percentile h 101.))
+
+let test_merge_and_reset () =
+  let a = Histogram.create () and b = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.observe a (float_of_int i /. 100.)
+  done;
+  for i = 101 to 200 do
+    Histogram.observe b (float_of_int i /. 100.)
+  done;
+  Histogram.merge_into ~src:b ~dst:a;
+  Alcotest.(check int) "merged count" 200 (Histogram.count a);
+  check_close "merged p50" 1.0 (Histogram.percentile a 50.);
+  Alcotest.(check (float 1e-9)) "merged max" 2. (Histogram.max_value a);
+  Histogram.reset a;
+  Alcotest.(check int) "reset" 0 (Histogram.count a);
+  Alcotest.(check (float 0.)) "reset max" 0. (Histogram.max_value a)
+
+let suite =
+  [
+    ("histogram: empty", `Quick, test_empty);
+    ("histogram: aggregates", `Quick, test_exact_aggregates);
+    ("histogram: percentile accuracy", `Quick, test_percentile_accuracy);
+    ("histogram: single observation", `Quick, test_single_observation);
+    ("histogram: outliers", `Quick, test_outliers_and_garbage);
+    ("histogram: invalid p", `Quick, test_invalid_percentile);
+    ("histogram: merge/reset", `Quick, test_merge_and_reset);
+  ]

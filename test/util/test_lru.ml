@@ -1,0 +1,98 @@
+open Pj_util
+
+let test_invalid_capacity () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Lru.create: capacity must be >= 1")
+    (fun () -> ignore (Lru.create ~capacity:0))
+
+let test_add_find () =
+  let c = Lru.create ~capacity:4 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "a" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "b" (Some 2) (Lru.find c "b");
+  Alcotest.(check (option int)) "missing" None (Lru.find c "c");
+  Alcotest.(check int) "length" 2 (Lru.length c)
+
+let test_eviction_order () =
+  let c = Lru.create ~capacity:3 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  (* "a" is the least recently used; inserting a fourth evicts it. *)
+  Lru.add c "d" 4;
+  Alcotest.(check (option int)) "a evicted" None (Lru.find c "a");
+  Alcotest.(check int) "still at capacity" 3 (Lru.length c);
+  Alcotest.(check (list string)) "mru order" [ "d"; "c"; "b" ]
+    (List.map fst (Lru.to_list c))
+
+let test_find_refreshes_recency () =
+  let c = Lru.create ~capacity:3 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  (* Touching "a" promotes it; "b" becomes the eviction candidate. *)
+  ignore (Lru.find c "a");
+  Lru.add c "d" 4;
+  Alcotest.(check (option int)) "a survives" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b")
+
+let test_overwrite_refreshes () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "a" 10;
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "a overwritten" (Some 10) (Lru.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check int) "no growth" 2 (Lru.length c)
+
+let test_mem_does_not_touch () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check bool) "mem a" true (Lru.mem c "a");
+  (* mem must not promote "a": adding "c" still evicts "a". *)
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "a evicted despite mem" None (Lru.find c "a")
+
+let test_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  Lru.add c 1 "x";
+  Lru.add c 2 "y";
+  Alcotest.(check (option string)) "only latest" (Some "y") (Lru.find c 2);
+  Alcotest.(check (option string)) "evicted" None (Lru.find c 1);
+  Lru.remove c 2;
+  Alcotest.(check int) "empty after remove" 0 (Lru.length c)
+
+let test_clear () =
+  let c = Lru.create ~capacity:8 in
+  for i = 1 to 8 do
+    Lru.add c i i
+  done;
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  Alcotest.(check (option int)) "gone" None (Lru.find c 3);
+  Lru.add c 9 9;
+  Alcotest.(check (option int)) "usable after clear" (Some 9) (Lru.find c 9)
+
+let test_churn_keeps_capacity () =
+  let c = Lru.create ~capacity:16 in
+  for i = 1 to 1000 do
+    Lru.add c (i mod 37) i
+  done;
+  Alcotest.(check bool) "bounded" true (Lru.length c <= 16);
+  (* The most recent insertion is always present. *)
+  Alcotest.(check bool) "latest present" true (Lru.mem c (1000 mod 37))
+
+let suite =
+  [
+    ("lru: invalid capacity", `Quick, test_invalid_capacity);
+    ("lru: add/find", `Quick, test_add_find);
+    ("lru: eviction order", `Quick, test_eviction_order);
+    ("lru: find refreshes", `Quick, test_find_refreshes_recency);
+    ("lru: overwrite refreshes", `Quick, test_overwrite_refreshes);
+    ("lru: mem does not touch", `Quick, test_mem_does_not_touch);
+    ("lru: capacity one", `Quick, test_capacity_one);
+    ("lru: clear", `Quick, test_clear);
+    ("lru: churn", `Quick, test_churn_keeps_capacity);
+  ]

@@ -36,6 +36,30 @@ let test_exception_propagates () =
 let test_recommended_positive () =
   Alcotest.(check bool) "at least one" true (Parallel.recommended_domains () >= 1)
 
+let test_domains_env_override () =
+  let with_env v f =
+    Unix.putenv "PROXJOIN_DOMAINS" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "PROXJOIN_DOMAINS" "") f
+  in
+  with_env "1" (fun () ->
+      Alcotest.(check int) "cap 1" 1 (Parallel.recommended_domains ()));
+  with_env "0" (fun () ->
+      (* Clamped to >= 1, never 0. *)
+      Alcotest.(check int) "clamped" 1 (Parallel.recommended_domains ()));
+  with_env "-3" (fun () ->
+      Alcotest.(check int) "negative clamped" 1 (Parallel.recommended_domains ()));
+  with_env " 2 " (fun () ->
+      Alcotest.(check bool) "whitespace tolerated" true
+        (Parallel.recommended_domains () <= 2));
+  with_env "not-a-number" (fun () ->
+      (* Garbage falls back to the default cap of 8. *)
+      let d = Parallel.recommended_domains () in
+      Alcotest.(check bool) "default cap" true (d >= 1 && d <= 8));
+  with_env "9999" (fun () ->
+      (* A huge cap still bounds by the hardware count. *)
+      Alcotest.(check bool) "hardware bound" true
+        (Parallel.recommended_domains () <= Domain.recommended_domain_count ()))
+
 let suite =
   [
     ("parallel: matches sequential", `Quick, test_matches_sequential);
@@ -44,4 +68,5 @@ let suite =
     ("parallel: single domain", `Quick, test_single_domain);
     ("parallel: exceptions", `Quick, test_exception_propagates);
     ("parallel: recommended count", `Quick, test_recommended_positive);
+    ("parallel: PROXJOIN_DOMAINS override", `Quick, test_domains_env_override);
   ]

@@ -12,7 +12,8 @@ let available =
     "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "dbworld";
     "fig2_ablation"; "max_ablation"; "dedup_ablation"; "byloc_ablation";
     "switch_ablation"; "winvalid_ablation"; "stream_ablation";
-    "search_ablation"; "parallel_ablation"; "alpha_ablation"; "bechamel";
+    "search_ablation"; "parallel_ablation"; "alpha_ablation"; "daat";
+    "bechamel";
   ]
 
 let run_experiments ~quick ~only ~csv =
@@ -54,6 +55,7 @@ let run_experiments ~quick ~only ~csv =
   if selected "parallel_ablation" then
     Ablations.parallel_ablation ~n_docs ~repetitions;
   if selected "alpha_ablation" then Ablations.alpha_ablation ~n_docs;
+  if selected "daat" then Daat_bench.run ~quick ~repetitions;
   if selected "bechamel" then
     Bechamel_suite.run ~quota_s:(if quick then 0.1 else 0.25);
   Runs.set_csv_dir None;

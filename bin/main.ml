@@ -326,11 +326,11 @@ let run_bench_serve host port clients requests terms family alpha k =
     let oc = Unix.out_channel_of_descr fd in
     let latencies = Array.make requests 0. in
     for i = 0 to requests - 1 do
-      let t0 = Pj_util.Timing.now () in
+      let t0 = Pj_util.Timing.monotonic_now () in
       output_string oc request;
       flush oc;
       let line = input_line ic in
-      latencies.(i) <- Pj_util.Timing.now () -. t0;
+      latencies.(i) <- Pj_util.Timing.monotonic_now () -. t0;
       let slot =
         if String.length line >= 4 && String.sub line 0 4 = "HITS" then 0
         else if line = "BUSY" then 1
@@ -347,14 +347,14 @@ let run_bench_serve host port clients requests terms family alpha k =
     Unix.close fd;
     latencies
   in
-  let t0 = Pj_util.Timing.now () in
+  let t0 = Pj_util.Timing.monotonic_now () in
   let results = Array.make clients [||] in
   let threads =
     List.init clients (fun i ->
         Thread.create (fun () -> results.(i) <- client ()) ())
   in
   List.iter Thread.join threads;
-  let elapsed = Pj_util.Timing.now () -. t0 in
+  let elapsed = Pj_util.Timing.monotonic_now () -. t0 in
   let latencies = Array.concat (Array.to_list results) in
   let total = Array.length latencies in
   let ms p = 1000. *. Pj_util.Stats.percentile latencies p in

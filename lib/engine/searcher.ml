@@ -9,127 +9,227 @@ type hit = {
   matchset : Pj_core.Matchset.t;
 }
 
-(* Document ids with at least one posting for some expansion form of the
-   matcher. *)
-let term_doc_ids t (m : Pj_matching.Matcher.t) =
+(* --- document-at-a-time cursors ---------------------------------------- *)
+
+(* One query term = the union of its expansion forms' posting lists,
+   traversed as a bank of cursors (never materialized). [max_score] is
+   the best expansion score with any posting at all — the term's
+   contribution ceiling for max-score pruning. *)
+type term_cursor = {
+  forms : Pj_index.Posting_list.cursor array;
+  scores : float array;
+  max_score : float;
+}
+
+let term_cursor t (m : Pj_matching.Matcher.t) =
   match m.Pj_matching.Matcher.expansions with
   | None ->
       invalid_arg
         (Printf.sprintf "Searcher: matcher %s has no finite expansions"
            m.Pj_matching.Matcher.name)
   | Some expansions ->
-      let module Iset = Set.Make (Int) in
-      List.fold_left
-        (fun acc (form, _) ->
+      let forms = Pj_util.Vec.create () and scores = Pj_util.Vec.create () in
+      List.iter
+        (fun (form, score) ->
           let pl = Pj_index.Inverted_index.postings_of_word t.index form in
-          Pj_index.Posting_list.fold
-            (fun acc p -> Iset.add p.Pj_index.Posting.doc_id acc)
-            acc pl)
-        Iset.empty expansions
+          if Pj_index.Posting_list.document_frequency pl > 0 then begin
+            Pj_util.Vec.push forms (Pj_index.Posting_list.cursor pl);
+            Pj_util.Vec.push scores score
+          end)
+        expansions;
+      let scores = Pj_util.Vec.to_array scores in
+      {
+        forms = Pj_util.Vec.to_array forms;
+        scores;
+        max_score = Array.fold_left Float.max 0. scores;
+      }
 
-let candidates t (q : Pj_matching.Query.t) =
-  let module Iset = Set.Make (Int) in
-  let sets = Array.map (term_doc_ids t) q.Pj_matching.Query.matchers in
-  let smallest =
-    Array.fold_left
-      (fun acc s -> if Iset.cardinal s < Iset.cardinal acc then s else acc)
-      sets.(0) sets
+(* Smallest document id under any form cursor; -1 once all exhausted. *)
+let term_current tc =
+  let d = ref (-1) in
+  Array.iter
+    (fun c ->
+      let cd = Pj_index.Posting_list.current_doc c in
+      if cd >= 0 && (!d < 0 || cd < !d) then d := cd)
+    tc.forms;
+  !d
+
+let term_seek tc target =
+  Array.iter (fun c -> Pj_index.Posting_list.seek c target) tc.forms
+
+(* Best expansion score among forms present in [doc] — equals the
+   maximum individual match score of the term's match list for [doc],
+   without building it. *)
+let term_best_at tc doc =
+  let best = ref 0. in
+  Array.iteri
+    (fun i c ->
+      if Pj_index.Posting_list.current_doc c = doc then
+        best := Float.max !best tc.scores.(i))
+    tc.forms;
+  !best
+
+(* Leapfrog the term cursors over every document carrying at least one
+   posting for every term, in increasing id order. [check] runs once
+   per alignment round (so deadlines hold even through long barren
+   stretches of the intersection); [on_candidate] may raise to stop. *)
+let daat_iter ~check terms on_candidate =
+  let n = Array.length terms in
+  (* Invariant: term 0 sits on [start]; realign the rest round-robin
+     until n consecutive cursors agree on one document. *)
+  let align start =
+    let target = ref start
+    and idx = ref (1 mod n)
+    and agreed = ref 1
+    and result = ref (-2) in
+    while !result = -2 do
+      check ();
+      if !agreed = n then result := !target
+      else begin
+        let tc = terms.(!idx) in
+        term_seek tc !target;
+        let d = term_current tc in
+        if d < 0 then result := -1
+        else begin
+          if d = !target then incr agreed
+          else begin
+            target := d;
+            agreed := 1
+          end;
+          idx := (!idx + 1) mod n
+        end
+      end
+    done;
+    !result
   in
-  let all =
-    Iset.filter
-      (fun doc -> Array.for_all (fun s -> Iset.mem doc s) sets)
-      smallest
+  let continue_from start =
+    if start < 0 then -1 else align start
   in
-  Array.of_list (Iset.elements all)
+  let current = ref (continue_from (term_current terms.(0))) in
+  while !current >= 0 do
+    let doc = !current in
+    on_candidate doc;
+    term_seek terms.(0) (doc + 1);
+    current := continue_from (term_current terms.(0))
+  done
+
+let with_term_cursors t (q : Pj_matching.Query.t) ~none ~some =
+  let n = Array.length q.Pj_matching.Query.matchers in
+  if n = 0 then none
+  else begin
+    let terms = Array.map (term_cursor t) q.Pj_matching.Query.matchers in
+    (* A term with no indexed form makes the conjunction empty. *)
+    if Array.exists (fun tc -> Array.length tc.forms = 0) terms then none
+    else some terms
+  end
+
+let candidates t q =
+  with_term_cursors t q ~none:[||] ~some:(fun terms ->
+      let out = Pj_util.Vec.create () in
+      daat_iter ~check:(fun () -> ()) terms (fun doc ->
+          Pj_util.Vec.push out doc);
+      Pj_util.Vec.to_array out)
 
 exception Expired
+exception Early_stop
 
 let search_impl ?deadline ~k ~dedup ~prune t scoring q =
   if k < 0 then invalid_arg "Searcher.search: negative k";
-  (* Bounded result set: a min-heap of size k; the root is the weakest
-     hit and is evicted when a better one arrives. *)
-  let heap =
-    Pj_util.Heap.create ~leq:(fun a b ->
-        (* max-heap orders by leq; invert to keep the weakest on top.
-           Prefer evicting larger doc ids on ties. *)
-        match compare b.score a.score with
-        | 0 -> a.doc_id <= b.doc_id
-        | c -> c <= 0)
-  in
-  (* Once the heap is full, a candidate whose proximity-free upper bound
-     cannot beat the weakest kept hit needs no solving. *)
-  let worth_solving ~doc_id problem =
-    (not prune)
-    || Pj_util.Heap.length heap < k
-    ||
-    match Pj_util.Heap.peek heap with
-    | None -> true
-    | Some weakest ->
-        let best_scores =
-          Array.map
-            (fun list ->
-              Array.fold_left
-                (fun acc m -> Float.max acc m.Pj_core.Match0.score)
-                0. list)
-            problem
-        in
-        let bound = Pj_core.Scoring.upper_bound scoring best_scores in
-        (* A bound that only ties the weakest hit can still win the
-           doc-id tiebreak, so keep solving in that case. *)
-        bound > weakest.score
-        || (bound = weakest.score && doc_id < weakest.doc_id)
-  in
-  (* The deadline is checked between candidates: each per-document solve
-     is small (linear in the document's match lists), so the overrun
-     past the deadline is bounded by one document's work. *)
   let check_deadline =
     match deadline with
     | None -> fun () -> ()
-    | Some d -> fun () -> if Pj_util.Timing.now () > d then raise Expired
+    | Some d ->
+        fun () -> if Pj_util.Timing.monotonic_now () > d then raise Expired
   in
+  (* A deadline already in the past times out before anything else. *)
   check_deadline ();
-  Array.iter
-    (fun doc_id ->
-      check_deadline ();
-      let problem =
-        Pj_matching.Match_builder.from_index t.index ~doc_id q
-      in
-      if not (worth_solving ~doc_id problem) then ()
-      else begin
-      match Pj_core.Best_join.solve ~dedup scoring problem with
-      | None -> ()
-      | Some r ->
-          let hit =
-            {
-              doc_id;
-              score = r.Pj_core.Naive.score;
-              matchset = r.Pj_core.Naive.matchset;
-            }
-          in
-          if Pj_util.Heap.length heap < k then Pj_util.Heap.push heap hit
+  if k = 0 then []
+  else
+    with_term_cursors t q ~none:[] ~some:(fun terms ->
+        (* Bounded result set: a min-heap of size k; the root is the
+           weakest hit and is evicted when a better one arrives. *)
+        let heap =
+          Pj_util.Heap.create ~leq:(fun a b ->
+              (* max-heap orders by leq; invert to keep the weakest on
+                 top. Prefer evicting larger doc ids on ties. *)
+              match compare b.score a.score with
+              | 0 -> a.doc_id <= b.doc_id
+              | c -> c <= 0)
+        in
+        (* The same-for-every-document score ceiling: once the heap root
+           beats it, no remaining document can enter the heap (later
+           candidates also lose every doc-id tie), so the whole scan can
+           stop. *)
+        let global_bound =
+          lazy
+            (Pj_core.Scoring.upper_bound scoring
+               (Array.map (fun tc -> tc.max_score) terms))
+        in
+        let solve doc_id =
+          let problem = Pj_matching.Match_builder.from_index t.index ~doc_id q in
+          match Pj_core.Best_join.solve ~dedup scoring problem with
+          | None -> ()
+          | Some r ->
+              let hit =
+                {
+                  doc_id;
+                  score = r.Pj_core.Naive.score;
+                  matchset = r.Pj_core.Naive.matchset;
+                }
+              in
+              if Pj_util.Heap.length heap < k then Pj_util.Heap.push heap hit
+              else begin
+                match Pj_util.Heap.peek heap with
+                | Some weakest
+                  when hit.score > weakest.score
+                       || (hit.score = weakest.score
+                          && hit.doc_id < weakest.doc_id) ->
+                    ignore (Pj_util.Heap.pop heap);
+                    Pj_util.Heap.push heap hit
+                | Some _ | None -> ()
+              end
+        in
+        let on_candidate doc_id =
+          check_deadline ();
+          if (not prune) || Pj_util.Heap.length heap < k then solve doc_id
           else begin
             match Pj_util.Heap.peek heap with
-            | Some weakest
-              when hit.score > weakest.score
-                   || (hit.score = weakest.score && hit.doc_id < weakest.doc_id)
-              ->
-                ignore (Pj_util.Heap.pop heap);
-                Pj_util.Heap.push heap hit
-            | Some _ | None -> ()
+            | None -> solve doc_id
+            | Some weakest ->
+                if Lazy.force global_bound <= weakest.score then
+                  (* Candidates arrive in increasing doc id, so a tied
+                     bound can never win the tiebreak either. *)
+                  raise Early_stop
+                else begin
+                  (* Per-document upper bound from the forms actually
+                     present — the proximity-free prune of
+                     [Scoring.upper_bound], now without building the
+                     match-list problem first. *)
+                  let best =
+                    Array.map (fun tc -> term_best_at tc doc_id) terms
+                  in
+                  let bound = Pj_core.Scoring.upper_bound scoring best in
+                  if
+                    bound > weakest.score
+                    || (bound = weakest.score && doc_id < weakest.doc_id)
+                  then solve doc_id
+                end
           end
-      end)
-    (candidates t q);
-  (* Drain the heap weakest-first, then reverse into best-first order. *)
-  let out = ref [] in
-  let rec drain () =
-    match Pj_util.Heap.pop heap with
-    | Some h ->
-        out := h :: !out;
-        drain ()
-    | None -> ()
-  in
-  drain ();
-  !out
+        in
+        (try daat_iter ~check:check_deadline terms on_candidate
+         with Early_stop -> ());
+        (* Drain the heap weakest-first, then reverse into best-first
+           order. *)
+        let out = ref [] in
+        let rec drain () =
+          match Pj_util.Heap.pop heap with
+          | Some h ->
+              out := h :: !out;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        !out)
 
 let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
   search_impl ~k ~dedup ~prune t scoring q

@@ -1,12 +1,17 @@
-(** Query evaluation over an indexed corpus: candidate generation from
-    the inverted index, weighted proximity best-join scoring per
-    document, and top-k selection.
+(** Query evaluation over an indexed corpus: document-at-a-time (DAAT)
+    candidate generation from the inverted index, weighted proximity
+    best-join scoring per document, and top-k selection.
 
     This is the document-search loop the paper's introduction motivates:
     instead of materializing match lists for every document, only
     documents containing at least one match for {e every} query term are
-    considered (their ids come from merging the expansion posting
-    lists), and each candidate is scored by its overall best matchset. *)
+    considered, and each candidate is scored by its overall best
+    matchset. Candidates come from a conjunctive leapfrog intersection
+    of the expansion posting-list cursors ([Pj_index.Posting_list.seek])
+    — no per-term document set is ever materialized — and per-term
+    maximum expansion scores give proximity-free upper bounds that skip
+    or stop the scan once the top-k can no longer change (max-score
+    pruning in the sense of Fagin-style early termination). *)
 
 type t
 
@@ -20,7 +25,9 @@ type hit = {
 
 val candidates : t -> Pj_matching.Query.t -> int array
 (** Document ids containing at least one match for every term, in
-    increasing order. Requires matchers with finite expansions. *)
+    increasing order, from the DAAT cursor intersection. Requires
+    matchers with finite expansions. A query with zero matchers has no
+    candidates (empty array). *)
 
 val search :
   ?k:int ->
@@ -33,11 +40,16 @@ val search :
 (** Top-[k] (default 10) documents by overall-best-matchset score, best
     first; ties broken toward smaller document ids. [dedup] (default
     true) restricts to valid matchsets. Candidates whose only matchsets
-    are invalid are skipped. With [prune] (default true), once [k] hits
-    are held, candidates whose [Scoring.upper_bound] (per-term maximum
-    scores, proximity penalty dropped) cannot beat the weakest held hit
-    are skipped without solving — sound, since the bound dominates every
-    matchset score in the document. *)
+    are invalid are skipped. [k = 0] and zero-matcher queries return []
+    without touching the index. With [prune] (default true), once [k]
+    hits are held, two lossless max-score prunes apply before any
+    match-list materialization: a candidate whose
+    [Scoring.upper_bound] over the expansion scores present in the
+    document (proximity penalty dropped) cannot beat the weakest held
+    hit is skipped without building its match lists, and the scan stops
+    outright when even the per-term {e maximum} expansion scores cannot
+    beat it — sound, since both bounds dominate every matchset score in
+    any remaining document and later candidates lose every doc-id tie. *)
 
 val search_within :
   ?k:int ->
@@ -48,13 +60,15 @@ val search_within :
   Pj_core.Scoring.t ->
   Pj_matching.Query.t ->
   (hit list, [ `Timeout ]) result
-(** [search] with a wall-clock budget: [deadline] is an absolute time
-    (as returned by [Pj_util.Timing.now]) after which evaluation stops.
-    The deadline is checked before each candidate document, so the
-    overrun is bounded by one document's solve. Returns
-    [Error `Timeout] when the deadline passes before the candidate list
-    is exhausted — partial results are discarded, since an incomplete
-    top-k is not the true top-k. A deadline already in the past times
-    out immediately (before any solving). *)
+(** [search] with a wall-clock budget: [deadline] is an absolute time on
+    the monotonic clock (as returned by [Pj_util.Timing.monotonic_now] —
+    immune to NTP steps) after which evaluation stops. The deadline is
+    checked on every cursor-alignment round and before each candidate
+    solve, so the overrun is bounded by one document's work even when
+    the intersection crosses long barren stretches of the posting
+    lists. Returns [Error `Timeout] when the deadline passes before the
+    candidate list is exhausted — partial results are discarded, since
+    an incomplete top-k is not the true top-k. A deadline already in
+    the past times out immediately (before any solving). *)
 
 val index : t -> Pj_index.Inverted_index.t

@@ -56,4 +56,23 @@ let document_frequency t token =
 
 let vocabulary_size t = Array.length t.lists
 
+type stats = {
+  n_tokens : int;
+  n_postings : int;
+  n_positions : int;
+}
+
+let stats t =
+  let n_postings = ref 0 and n_positions = ref 0 in
+  Array.iter
+    (fun pl ->
+      n_postings := !n_postings + Posting_list.document_frequency pl;
+      n_positions := !n_positions + Posting_list.collection_frequency pl)
+    t.lists;
+  {
+    n_tokens = Array.length t.lists;
+    n_postings = !n_postings;
+    n_positions = !n_positions;
+  }
+
 let corpus t = t.corpus

@@ -25,4 +25,16 @@ val document_frequency : t -> int -> int
 val vocabulary_size : t -> int
 (** Number of distinct indexed tokens. *)
 
+type stats = {
+  n_tokens : int;    (** distinct indexed tokens *)
+  n_postings : int;  (** (token, document) pairs across all lists *)
+  n_positions : int; (** total stored occurrence locations *)
+}
+
+val stats : t -> stats
+(** Size accounting over every posting list — the denominator for
+    per-query traversal-cost reporting (a set-based candidate pass
+    touches all [n_postings] of the query's terms; the DAAT cursor pass
+    is sublinear in it). O(vocabulary) per call. *)
+
 val corpus : t -> Corpus.t

@@ -62,3 +62,47 @@ let union (a : t) (b : t) : t =
   of_postings (Array.to_list a @ Array.to_list b)
 
 let to_list (t : t) = Array.to_list t
+
+(* --- cursors ----------------------------------------------------------- *)
+
+type cursor = {
+  list : t;
+  mutable pos : int;
+}
+
+let cursor (t : t) = { list = t; pos = 0 }
+
+let current c =
+  if c.pos >= Array.length c.list then None else Some c.list.(c.pos)
+
+let current_doc c =
+  if c.pos >= Array.length c.list then -1 else c.list.(c.pos).Posting.doc_id
+
+let next c = if c.pos < Array.length c.list then c.pos <- c.pos + 1
+
+(* Galloping (exponential) advance: double a probe offset until the
+   posting there reaches the target, then binary-search the bracketed
+   range. O(log gap) comparisons whatever the jump size, so a seek
+   driven by a sparse list across a dense one never degrades to a
+   linear scan of the dense list. *)
+let seek c target =
+  let n = Array.length c.list in
+  let doc i = c.list.(i).Posting.doc_id in
+  if c.pos < n && doc c.pos < target then begin
+    let bound = ref 1 in
+    while c.pos + !bound < n && doc (c.pos + !bound) < target do
+      bound := !bound * 2
+    done;
+    (* Invariant: doc (pos + bound/2) < target <= doc (pos + bound)
+       when in range; binary search in (pos + bound/2, pos + bound]. *)
+    let lo = ref (c.pos + (!bound / 2) + 1)
+    and hi = ref (min (c.pos + !bound) (n - 1)) in
+    if c.pos + !bound >= n && doc (n - 1) < target then c.pos <- n
+    else begin
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if doc mid < target then lo := mid + 1 else hi := mid
+      done;
+      c.pos <- !lo
+    end
+  end

@@ -32,3 +32,34 @@ val union : t -> t -> t
     unioned) — the match-list merging primitive of footnote 1. *)
 
 val to_list : t -> Posting.t list
+
+(** {1 Cursors}
+
+    Document-at-a-time traversal: a cursor walks the postings in
+    increasing document id and supports a galloping [seek], so a
+    conjunctive intersection of several lists costs O(min list length ×
+    log max list length) comparisons instead of materializing any
+    per-term document set (the substrate for
+    [Pj_engine.Searcher]'s DAAT candidate generation). *)
+
+type cursor
+
+val cursor : t -> cursor
+(** A fresh cursor positioned on the first posting. *)
+
+val current : cursor -> Posting.t option
+(** The posting under the cursor; [None] once exhausted. *)
+
+val current_doc : cursor -> int
+(** Document id under the cursor, or [-1] once exhausted — the
+    allocation-free fast path of [current] for the intersection loop
+    (document ids are non-negative). *)
+
+val next : cursor -> unit
+(** Advance by one posting; no-op once exhausted. *)
+
+val seek : cursor -> int -> unit
+(** [seek c target] advances to the first posting with
+    [doc_id >= target] (exhausting the cursor when none remains), by
+    galloping search from the current position. Never moves backwards:
+    a [target] at or before the current document id is a no-op. *)

@@ -13,7 +13,7 @@ type t = {
 let create () =
   {
     mutex = Mutex.create ();
-    started_at = Pj_util.Timing.now ();
+    started_at = Pj_util.Timing.monotonic_now ();
     searches = 0;
     pings = 0;
     stats_calls = 0;
@@ -59,7 +59,7 @@ let snapshot t =
       let ms f = 1000. *. f in
       let h = t.latency in
       {
-        uptime_s = Pj_util.Timing.now () -. t.started_at;
+        uptime_s = Pj_util.Timing.monotonic_now () -. t.started_at;
         requests = t.searches + t.pings + t.stats_calls + t.errors;
         searches = t.searches;
         pings = t.pings;

@@ -34,8 +34,10 @@ let parse_search = function
       else begin
         match float_of_string_opt alpha with
         | None -> Error (Printf.sprintf "bad alpha %S (want a float)" alpha)
-        | Some a when Float.is_nan a || a < 0. ->
-            Error (Printf.sprintf "bad alpha %S (want a float >= 0)" alpha)
+        | Some a when (not (Float.is_finite a)) || a < 0. ->
+            (* Non-finite alpha (nan, inf) would poison the exponential
+               scoring closures — every score becomes nan/0. *)
+            Error (Printf.sprintf "bad alpha %S (want a finite float >= 0)" alpha)
         | Some alpha -> begin
             match int_of_string_opt k with
             | None -> Error (Printf.sprintf "bad k %S (want an integer)" k)

@@ -74,7 +74,11 @@ let handle_search t (sr : Protocol.search_request) =
                       query.Pj_matching.Query.matchers;
                 }
               in
-              let deadline = Pj_util.Timing.now () +. t.config.deadline_s in
+              (* Monotonic clock: an NTP step must not expire (or
+                 extend) every in-flight query's budget. *)
+              let deadline =
+                Pj_util.Timing.monotonic_now () +. t.config.deadline_s
+              in
               begin
                 match
                   Worker_pool.run t.pool ~scoring ~k:sr.Protocol.k ~deadline
@@ -112,10 +116,10 @@ let respond t line =
       (stats_line t, true)
   | Ok (Protocol.Search sr) ->
       Metrics.record_search t.metrics;
-      let t0 = Pj_util.Timing.now () in
+      let t0 = Pj_util.Timing.monotonic_now () in
       let response = handle_search t sr in
       if String.length response >= 4 && String.sub response 0 4 = "HITS" then
-        Metrics.observe_latency t.metrics (Pj_util.Timing.now () -. t0);
+        Metrics.observe_latency t.metrics (Pj_util.Timing.monotonic_now () -. t0);
       (response, true)
 
 let register_conn t id fd =

@@ -35,7 +35,7 @@ let execute searcher job =
     (* A job that sat in the queue past its deadline is not worth
        starting — the client's budget is wall-clock, queueing
        included. *)
-    if Pj_util.Timing.now () > job.deadline then Timed_out
+    if Pj_util.Timing.monotonic_now () > job.deadline then Timed_out
     else
       match
         Pj_engine.Searcher.search_within ~k:job.k ~deadline:job.deadline

@@ -28,7 +28,8 @@ val run :
   [ `Busy | `Done of outcome ]
 (** Submit a job and block until its outcome. [`Busy] — without
     blocking — when the queue is full (backpressure) or the pool is
-    shut down. [deadline] is absolute wall-clock time; a job still
+    shut down. [deadline] is an absolute time on the monotonic clock
+    ([Pj_util.Timing.monotonic_now]); a job still
     queued at its deadline is answered [Timed_out] without starting. *)
 
 val domains : t -> int

@@ -1,9 +1,11 @@
 let now () = Unix.gettimeofday ()
 
+external monotonic_now : unit -> float = "pj_monotonic_now"
+
 let time f =
-  let t0 = now () in
+  let t0 = monotonic_now () in
   let result = f () in
-  (result, now () -. t0)
+  (result, monotonic_now () -. t0)
 
 type measurement = {
   mean_s : float;

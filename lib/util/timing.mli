@@ -6,10 +6,21 @@
     protocol. *)
 
 val now : unit -> float
-(** Monotonic-enough wall clock in seconds. *)
+(** Wall clock in seconds since the epoch ([Unix.gettimeofday]).
+    Subject to NTP steps; use only for timestamps, never for deadlines
+    or elapsed-time measurement. *)
+
+val monotonic_now : unit -> float
+(** Monotonic clock in seconds from an arbitrary origin
+    ([CLOCK_MONOTONIC]). Immune to wall-clock adjustments — the time
+    source for per-query deadlines ([Pj_engine.Searcher.search_within],
+    the server's deadline bookkeeping) and for all elapsed-time
+    measurement in this module. Values are only comparable within one
+    process. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** Run a thunk and return its result together with the elapsed seconds. *)
+(** Run a thunk and return its result together with the elapsed seconds
+    (measured on the monotonic clock). *)
 
 type measurement = {
   mean_s : float;       (** mean elapsed seconds over repetitions *)

@@ -1,0 +1,37 @@
+/* Monotonic clock for deadline bookkeeping.
+
+   CLOCK_MONOTONIC is immune to wall-clock steps (NTP corrections,
+   manual date changes), which matters for per-query deadlines: a
+   backwards step under gettimeofday would let queries run unbounded,
+   and a forwards step would spuriously time out every in-flight
+   query. Falls back to gettimeofday only where no monotonic clock
+   exists. */
+
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+#ifdef CLOCK_MONOTONIC
+
+CAMLprim value pj_monotonic_now(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  CAMLreturn(caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec));
+}
+
+#else
+
+#include <sys/time.h>
+
+CAMLprim value pj_monotonic_now(value unit)
+{
+  CAMLparam1(unit);
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  CAMLreturn(caml_copy_double((double)tv.tv_sec + 1e-6 * (double)tv.tv_usec));
+}
+
+#endif

@@ -4,5 +4,6 @@ let () =
       ("idf", Test_idf.suite);
       ("searcher", Test_searcher.suite);
       ("search_oracle", Test_search_oracle.suite);
+      ("daat_oracle", Test_daat_oracle.suite);
       ("snippet", Test_snippet.suite);
     ]

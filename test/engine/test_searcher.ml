@@ -136,9 +136,35 @@ let test_prune_equals_unpruned () =
     then Alcotest.failf "trial %d: pruned search differs" trial
   done
 
+let test_zero_matcher_query () =
+  (* A query with no matchers (constructible directly as a record, even
+     though Query.make forbids it) used to crash candidate generation
+     with Invalid_argument ("index out of bounds"); it must mean "no
+     hits". *)
+  let s = setup () in
+  let q = { Pj_matching.Query.label = "empty"; matchers = [||] } in
+  Alcotest.(check (array int)) "no candidates" [||] (Searcher.candidates s q);
+  Alcotest.(check int) "no hits" 0 (List.length (Searcher.search s scoring q))
+
+let test_k_zero_short_circuits () =
+  let s = setup () in
+  (* k=0 returns [] without touching the index: a matcher with no
+     finite expansions would make any candidate scan raise, so a clean
+     [] proves no scan happened. *)
+  let q =
+    Pj_matching.Query.make "pred"
+      [ Pj_matching.Matcher.predicate ~name:"any" (fun _ -> true) ]
+  in
+  Alcotest.(check int) "k=0 is defined" 0
+    (List.length (Searcher.search ~k:0 s scoring q));
+  (* k>0 on the same query still reports the missing expansions. *)
+  Alcotest.check_raises "k>0 still raises"
+    (Invalid_argument "Searcher: matcher any has no finite expansions")
+    (fun () -> ignore (Searcher.search ~k:1 s scoring q))
+
 let test_search_within_generous_deadline () =
   let s = setup () in
-  let deadline = Pj_util.Timing.now () +. 60. in
+  let deadline = Pj_util.Timing.monotonic_now () +. 60. in
   match Searcher.search_within ~deadline s scoring query with
   | Error `Timeout -> Alcotest.fail "timed out with a 60s budget"
   | Ok hits ->
@@ -154,7 +180,7 @@ let test_search_within_generous_deadline () =
 
 let test_search_within_expired_deadline () =
   let s = setup () in
-  let deadline = Pj_util.Timing.now () -. 1. in
+  let deadline = Pj_util.Timing.monotonic_now () -. 1. in
   match Searcher.search_within ~deadline s scoring query with
   | Error `Timeout -> ()
   | Ok _ -> Alcotest.fail "a deadline in the past must time out"
@@ -168,6 +194,8 @@ let suite =
     ("searcher: ranking", `Quick, test_search_ranking);
     ("searcher: k limits", `Quick, test_search_k_limits);
     ("searcher: no candidates", `Quick, test_no_candidates);
+    ("searcher: zero matchers", `Quick, test_zero_matcher_query);
+    ("searcher: k=0 short-circuit", `Quick, test_k_zero_short_circuits);
     ("searcher: dedup flag", `Quick, test_search_respects_dedup);
     ("searcher: heap eviction", `Quick, test_heap_eviction_order);
   ]

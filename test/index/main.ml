@@ -2,6 +2,7 @@ let () =
   Alcotest.run "proxjoin.index"
     [
       ("posting", Test_posting.suite);
+      ("cursor", Test_cursor.suite);
       ("inverted_index", Test_inverted_index.suite);
       ("storage", Test_storage.suite);
     ]

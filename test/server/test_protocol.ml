@@ -54,6 +54,12 @@ let test_search_malformed () =
   check_error "bad alpha" "SEARCH win fast 5 a";
   check_error "negative alpha" "SEARCH win -0.5 5 a";
   check_error "nan alpha" "SEARCH win nan 5 a";
+  (* Non-finite alpha poisons the exponential scoring closures (every
+     score becomes nan or 0), so it must be rejected at the parser. *)
+  check_error "inf alpha" "SEARCH win inf 5 a";
+  check_error "spelled-out infinity" "SEARCH med infinity 3 a";
+  check_error "signed inf" "SEARCH max +inf 3 a";
+  check_error "negative inf" "SEARCH win -inf 5 a";
   check_error "bad k" "SEARCH win 0.2 many a";
   check_error "negative k" "SEARCH win 0.2 -1 a";
   check_error "huge k" "SEARCH win 0.2 1000000 a";

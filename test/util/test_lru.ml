@@ -84,8 +84,89 @@ let test_churn_keeps_capacity () =
   (* The most recent insertion is always present. *)
   Alcotest.(check bool) "latest present" true (Lru.mem c (1000 mod 37))
 
+(* --- model-based property tests ---------------------------------------- *)
+
+(* Reference model: an MRU-first association list bounded by the
+   capacity. Every Lru operation must agree with it, and [to_list] must
+   reproduce it exactly (recency order included). *)
+
+type op = Add of int * int | Find of int | Remove of int | Mem of int
+
+let pp_op = function
+  | Add (k, v) -> Printf.sprintf "add %d %d" k v
+  | Find k -> Printf.sprintf "find %d" k
+  | Remove k -> Printf.sprintf "remove %d" k
+  | Mem k -> Printf.sprintf "mem %d" k
+
+let op_gen =
+  QCheck.Gen.(
+    let key = int_range 0 7 in
+    frequency
+      [
+        (4, map2 (fun k v -> Add (k, v)) key (int_range 0 99));
+        (3, map (fun k -> Find k) key);
+        (1, map (fun k -> Remove k) key);
+        (1, map (fun k -> Mem k) key);
+      ])
+
+let scenario_gen =
+  QCheck.Gen.(pair (int_range 1 5) (list_size (int_range 1 60) op_gen))
+
+let scenario_print (cap, ops) =
+  Printf.sprintf "capacity %d: %s" cap
+    (String.concat "; " (List.map pp_op ops))
+
+let scenario_arb = QCheck.make ~print:scenario_print scenario_gen
+
+let truncate cap l =
+  List.filteri (fun i _ -> i < cap) l
+
+let model_apply cap model = function
+  | Add (k, v) -> truncate cap ((k, v) :: List.remove_assoc k model)
+  | Find k ->
+      if List.mem_assoc k model then
+        (k, List.assoc k model) :: List.remove_assoc k model
+      else model
+  | Remove k -> List.remove_assoc k model
+  | Mem _ -> model
+
+let run_scenario (cap, ops) =
+  let c = Lru.create ~capacity:cap in
+  let model = ref [] in
+  List.for_all
+    (fun op ->
+      let results_agree =
+        match op with
+        | Add (k, v) ->
+            Lru.add c k v;
+            true
+        | Find k ->
+            let expected =
+              if List.mem_assoc k !model then Some (List.assoc k !model)
+              else None
+            in
+            Lru.find c k = expected
+        | Remove k ->
+            Lru.remove c k;
+            true
+        | Mem k -> Lru.mem c k = List.mem_assoc k !model
+      in
+      model := model_apply cap !model op;
+      results_agree
+      && Lru.to_list c = !model
+      && Lru.length c = List.length !model
+      && Lru.length c <= cap)
+    ops
+
+let test_model =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500
+       ~name:"lru: random op sequences match the assoc-list model"
+       scenario_arb run_scenario)
+
 let suite =
   [
+    test_model;
     ("lru: invalid capacity", `Quick, test_invalid_capacity);
     ("lru: add/find", `Quick, test_add_find);
     ("lru: eviction order", `Quick, test_eviction_order);

@@ -1,0 +1,205 @@
+(* bench-shard: single-query latency of the scatter-gather sharded
+   searcher against the monolithic one, at 1/2/4/8 shards.
+
+   Two corpus layouts are measured, because they isolate the two
+   effects sharding has:
+
+   - "quality_ordered": documents carry ids in descending static
+     quality — the strong expansion forms live in the low doc-id
+     range, later documents only contain degraded forms (the standard
+     quality-ordered id assignment of web indexes). Here sharding wins
+     even on a single core: each shard's score ceiling is computed
+     from *its own* posting lists, so once the first shard fills the
+     top-k and publishes the shared threshold, the weak shards'
+     ceilings fall strictly below it and their whole scans early-stop
+     before aligning a single candidate. The monolithic searcher owns
+     one global ceiling that includes the strong forms, so it must
+     leapfrog the full intersection.
+
+   - "uniform": the same planted occurrences spread evenly over the
+     ids. Per-shard ceilings equal the global one, so single-core
+     sharding can only break even (the fan-out itself is the measured
+     overhead); with real parallelism (PROXJOIN_DOMAINS > 1 on a
+     multi-core box) this layout is where the domains carry the win.
+
+   Reported per point: mean wall-clock latency and allocated bytes on
+   the submitting domain, one query at a time (no pipelining), plus
+   the speedup over unsharded. Results land in BENCH_shard.json. *)
+
+open Pj_workload
+
+let query =
+  Pj_matching.Query.make "bench"
+    [
+      Pj_matching.Matcher.of_table ~name:"t1" [ ("alpha", 1.0); ("alfa", 0.35) ];
+      Pj_matching.Matcher.of_table ~name:"t2" [ ("bravo", 0.9); ("brav", 0.3) ];
+      Pj_matching.Matcher.of_table ~name:"t3"
+        [ ("charlie", 0.8); ("charli", 0.25) ];
+    ]
+
+let scoring = Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha:0.1)
+let k = 10
+
+let plant rng tokens form p =
+  if Pj_util.Prng.float rng 1. < p then begin
+    let n = 1 + Pj_util.Prng.int rng 3 in
+    for _ = 1 to n do
+      tokens.(Pj_util.Prng.int rng (Array.length tokens)) <- form
+    done
+  end
+
+(* One document: filler plus planted forms. A strong document carries
+   one tight run of the full-score forms — high sum, small window — so
+   its score clears the degraded forms' proximity-free ceiling
+   (0.35 + 0.3 + 0.25 = 0.9) by a wide margin. *)
+let add_doc corpus rng ~strong =
+  let len = 80 + Pj_util.Prng.int rng 120 in
+  let tokens = Array.init len (fun _ -> Textgen.random_filler rng) in
+  (* Degraded forms are dense — most documents are conjunctive
+     candidates the searcher must at least align and upper-bound. The
+     monolithic searcher pays that for the whole corpus; a shard whose
+     ceiling falls below the shared threshold skips it wholesale. *)
+  plant rng tokens "alfa" 0.9;
+  plant rng tokens "brav" 0.85;
+  plant rng tokens "charli" 0.8;
+  if strong then begin
+    let pos = Pj_util.Prng.int rng (len - 3) in
+    tokens.(pos) <- "alpha";
+    tokens.(pos + 1) <- "bravo";
+    tokens.(pos + 2) <- "charlie"
+  end;
+  ignore (Pj_index.Corpus.add_tokens corpus tokens)
+
+let build_corpus ~n_docs ~layout rng =
+  let corpus = Pj_index.Corpus.create () in
+  (match layout with
+  | `Quality_ordered ->
+      (* Strong documents first: ids are assigned by quality, so the
+         strong forms' postings all live at the head of the id
+         space. *)
+      let n_strong = n_docs / 25 in
+      for _ = 1 to n_strong do
+        add_doc corpus rng ~strong:true
+      done;
+      for _ = n_strong + 1 to n_docs do
+        add_doc corpus rng ~strong:false
+      done
+  | `Uniform ->
+      for _ = 1 to n_docs do
+        add_doc corpus rng ~strong:(Pj_util.Prng.float rng 1. < 0.04)
+      done);
+  corpus
+
+type point = {
+  mean_s : float;
+  alloc_bytes : float; (* per query, on the submitting domain *)
+}
+
+(* One query is sub-millisecond, so the harness-wide repetition count
+   (2–3, sized for whole-corpus experiments) is far too few samples —
+   scale it up and warm up first, or scheduler noise drowns the
+   signal. *)
+let measure_point ~repetitions f =
+  f ();
+  let repetitions = repetitions * 20 in
+  let m = Runs.log_cov (Pj_util.Timing.measure ~repetitions f) in
+  let a0 = Gc.allocated_bytes () in
+  f ();
+  let alloc_bytes = Gc.allocated_bytes () -. a0 in
+  { mean_s = m.Pj_util.Timing.mean_s; alloc_bytes }
+
+let json_point { mean_s; alloc_bytes } =
+  Printf.sprintf "{\"mean_s\": %.9f, \"alloc_bytes\": %.0f}" mean_s alloc_bytes
+
+let hit_key (h : Pj_engine.Searcher.hit) =
+  (h.Pj_engine.Searcher.doc_id, h.Pj_engine.Searcher.score)
+
+let run_layout ~repetitions ~n_docs ~name layout =
+  let rng = Pj_util.Prng.create 2024 in
+  let corpus = build_corpus ~n_docs ~layout rng in
+  let mono = Pj_engine.Searcher.create (Pj_index.Inverted_index.build corpus) in
+  let baseline_hits = Pj_engine.Searcher.search ~k mono scoring query in
+  Runs.print_header
+    (Printf.sprintf "bench-shard (%s): single-query latency, %d docs" name
+       n_docs)
+    [ "latency"; "speedup"; "alloc B" ];
+  let baseline =
+    measure_point ~repetitions (fun () ->
+        ignore (Sys.opaque_identity (Pj_engine.Searcher.search ~k mono scoring query)))
+  in
+  Runs.print_row "unsharded"
+    [ Runs.seconds baseline.mean_s; "1.00x";
+      Printf.sprintf "%.0f" baseline.alloc_bytes ];
+  let shard_points =
+    List.map
+      (fun shards ->
+        let searcher =
+          Pj_engine.Shard_searcher.create
+            (Pj_index.Sharded_index.build ~shards corpus)
+        in
+        (* The knob must stay a pure performance knob: identical hits. *)
+        let hits = Pj_engine.Shard_searcher.search ~k searcher scoring query in
+        if List.map hit_key hits <> List.map hit_key baseline_hits then
+          failwith
+            (Printf.sprintf
+               "bench-shard: %d-shard results diverge from unsharded" shards);
+        let p =
+          measure_point ~repetitions (fun () ->
+              ignore
+                (Sys.opaque_identity
+                   (Pj_engine.Shard_searcher.search ~k searcher scoring query)))
+        in
+        Runs.print_row
+          (Printf.sprintf "%d shards" shards)
+          [
+            Runs.seconds p.mean_s;
+            Printf.sprintf "%.2fx" (baseline.mean_s /. Float.max 1e-12 p.mean_s);
+            Printf.sprintf "%.0f" p.alloc_bytes;
+          ];
+        (shards, p))
+      [ 1; 2; 4; 8 ]
+  in
+  let json =
+    String.concat ",\n"
+      (Printf.sprintf "      \"unsharded\": %s" (json_point baseline)
+      :: List.map
+           (fun (shards, p) ->
+             Printf.sprintf
+               "      \"shards_%d\": {\"point\": %s, \"speedup\": %.3f, \
+                \"alloc_ratio\": %.3f}"
+               shards (json_point p)
+               (baseline.mean_s /. Float.max 1e-12 p.mean_s)
+               (baseline.alloc_bytes /. Float.max 1. p.alloc_bytes))
+           shard_points)
+  in
+  let speedup_at shards =
+    let p = List.assoc shards shard_points in
+    baseline.mean_s /. Float.max 1e-12 p.mean_s
+  in
+  (Printf.sprintf "    %S: {\n%s\n    }" name json, speedup_at 4)
+
+let run ~quick ~repetitions =
+  let n_docs = if quick then 500 else 2000 in
+  let quality_json, quality_speedup4 =
+    run_layout ~repetitions ~n_docs ~name:"quality_ordered" `Quality_ordered
+  in
+  let uniform_json, _ =
+    run_layout ~repetitions ~n_docs ~name:"uniform" `Uniform
+  in
+  let path = "BENCH_shard.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"n_docs\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"speedup_4_shards\": %.3f,\n\
+    \  \"layouts\": {\n\
+     %s,\n\
+     %s\n\
+    \  }\n\
+     }\n"
+    n_docs
+    (Pj_util.Parallel.recommended_domains ())
+    quality_speedup4 quality_json uniform_json;
+  close_out oc;
+  Printf.printf "[bench-shard] wrote %s\n" path

@@ -124,7 +124,7 @@ let run_extract file terms family alpha threshold =
 
 (* --- isearch: index-driven engine search with snippets ---------------- *)
 
-let run_isearch file terms family alpha top_k =
+let run_isearch file terms family alpha top_k shards =
   let graph = Pj_ontology.Mini_wordnet.create () in
   let query = build_query graph terms in
   (* The index path matches expansion forms against indexed tokens, so
@@ -147,14 +147,34 @@ let run_isearch file terms family alpha top_k =
       in
       ignore (Pj_index.Corpus.add_tokens corpus stems))
     (read_documents file);
-  let index = Pj_index.Inverted_index.build corpus in
-  let searcher = Pj_engine.Searcher.create index in
   let vocab = Pj_index.Corpus.vocab corpus in
-  let hits = Pj_engine.Searcher.search ~k:top_k searcher scoring query in
-  Printf.printf "%d candidate documents, %d hits, scoring %s\n"
-    (Array.length (Pj_engine.Searcher.candidates searcher query))
-    (List.length hits)
-    (Pj_core.Scoring.name scoring);
+  (* Candidate counts are additive across shards (the shards partition
+     the documents), so both paths report the same number. *)
+  let hits, n_candidates =
+    if shards <= 1 then begin
+      let index = Pj_index.Inverted_index.build corpus in
+      let searcher = Pj_engine.Searcher.create index in
+      ( Pj_engine.Searcher.search ~k:top_k searcher scoring query,
+        Array.length (Pj_engine.Searcher.candidates searcher query) )
+    end
+    else begin
+      let sharded = Pj_index.Sharded_index.build ~shards corpus in
+      let searcher = Pj_engine.Shard_searcher.create sharded in
+      let n = ref 0 in
+      for i = 0 to Pj_index.Sharded_index.n_shards sharded - 1 do
+        let fragment =
+          Pj_engine.Searcher.create (Pj_index.Sharded_index.shard sharded i)
+        in
+        n := !n + Array.length (Pj_engine.Searcher.candidates fragment query)
+      done;
+      (Pj_engine.Shard_searcher.search ~k:top_k searcher scoring query, !n)
+    end
+  in
+  Printf.printf "%d candidate documents, %d hits, scoring %s, %d shard%s\n"
+    n_candidates (List.length hits)
+    (Pj_core.Scoring.name scoring)
+    (Stdlib.max 1 shards)
+    (if Stdlib.max 1 shards = 1 then "" else "s");
   List.iteri
     (fun i hit ->
       let doc = Pj_index.Corpus.document corpus hit.Pj_engine.Searcher.doc_id in
@@ -266,11 +286,21 @@ let stemmed_corpus_of_file file =
     (read_documents file);
   corpus
 
-let run_serve file host port domains queue cache deadline_ms log_every =
+let run_serve file host port domains queue cache deadline_ms log_every shards =
   let graph = Pj_ontology.Mini_wordnet.create () in
   let corpus = stemmed_corpus_of_file file in
-  let index = Pj_index.Inverted_index.build corpus in
-  let searcher = Pj_engine.Searcher.create index in
+  let search, n_shards =
+    if shards <= 1 then
+      ( Pj_server.Worker_pool.of_searcher
+          (Pj_engine.Searcher.create (Pj_index.Inverted_index.build corpus)),
+        1 )
+    else begin
+      let sharded = Pj_index.Sharded_index.build ~shards corpus in
+      ( Pj_server.Worker_pool.of_shard_searcher
+          (Pj_engine.Shard_searcher.create sharded),
+        Pj_index.Sharded_index.n_shards sharded )
+    end
+  in
   let config =
     {
       Pj_server.Server.host;
@@ -282,13 +312,15 @@ let run_serve file host port domains queue cache deadline_ms log_every =
       log_every_s = log_every;
     }
   in
-  let server = Pj_server.Server.start ~config ~graph searcher in
+  let server = Pj_server.Server.start ~config ~graph search in
   Printf.printf
-    "proxjoin serving %d documents on %s:%d (%d domains, queue %d, cache %d, \
-     deadline %.0f ms)\n\
+    "proxjoin serving %d documents on %s:%d (%d shard%s, %d domains, queue \
+     %d, cache %d, deadline %.0f ms)\n\
      %!"
     (Pj_index.Corpus.size corpus) host
     (Pj_server.Server.port server)
+    n_shards
+    (if n_shards = 1 then "" else "s")
     config.Pj_server.Server.domains queue cache deadline_ms;
   Pj_server.Server.wait server
 
@@ -417,15 +449,28 @@ let extract_cmd =
     Term.(
       ret (const run $ file_arg $ terms_arg $ family_arg $ alpha_arg $ threshold))
 
+let shards_arg =
+  Arg.(
+    value
+    & opt int (Pj_util.Parallel.recommended_shards ())
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the index into N doc-id-range shards searched \
+           scatter-gather (default honors \\$PROXJOIN_SHARDS; 1 disables \
+           sharding). Results are identical either way.")
+
 let isearch_cmd =
   let top_k = Arg.(value & opt int 5 & info [ "top" ] ~doc:"Results shown.") in
-  let run file terms family alpha k =
-    wrap (fun () -> run_isearch file terms family alpha k)
+  let run file terms family alpha k shards =
+    wrap (fun () -> run_isearch file terms family alpha k shards)
   in
   Cmd.v
     (Cmd.info "isearch"
        ~doc:"Index-driven top-k search with highlighted snippets.")
-    Term.(ret (const run $ file_arg $ terms_arg $ family_arg $ alpha_arg $ top_k))
+    Term.(
+      ret
+        (const run $ file_arg $ terms_arg $ family_arg $ alpha_arg $ top_k
+       $ shards_arg))
 
 let ask_cmd =
   let question =
@@ -487,9 +532,9 @@ let serve_cmd =
       & opt (some float) None
       & info [ "log-every" ] ~docv:"SECONDS" ~doc:"Periodic stats line on stderr.")
   in
-  let run file host port domains queue cache deadline log_every =
+  let run file host port domains queue cache deadline log_every shards =
     wrap (fun () ->
-        run_serve file host port domains queue cache deadline log_every)
+        run_serve file host port domains queue cache deadline log_every shards)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -499,7 +544,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ file_arg $ host_arg $ port_arg ~default:7070 $ domains
-       $ queue $ cache $ deadline $ log_every))
+       $ queue $ cache $ deadline $ log_every $ shards_arg))
 
 let bench_serve_cmd =
   let clients =

@@ -133,7 +133,14 @@ let candidates t q =
 exception Expired
 exception Early_stop
 
-let search_impl ?deadline ~k ~dedup ~prune t scoring q =
+(* Raise a shared threshold to [v] (monotone: only ever increases).
+   [compare_and_set] on the freshly read box retries cleanly under
+   contention from sibling shard domains. *)
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let search_impl ?deadline ?threshold ~k ~dedup ~prune t scoring q =
   if k < 0 then invalid_arg "Searcher.search: negative k";
   let check_deadline =
     match deadline with
@@ -165,6 +172,20 @@ let search_impl ?deadline ~k ~dedup ~prune t scoring q =
             (Pj_core.Scoring.upper_bound scoring
                (Array.map (fun tc -> tc.max_score) terms))
         in
+        (* Once this fragment holds k hits, its weakest score is a
+           lower bound on the *global* k-th score (a subset's k-th best
+           never exceeds the union's), so it is safe to publish into
+           the shared threshold for sibling shards to prune against. *)
+        let publish () =
+          match threshold with
+          | None -> ()
+          | Some tau ->
+              if Pj_util.Heap.length heap = k then begin
+                match Pj_util.Heap.peek heap with
+                | Some weakest -> atomic_max tau weakest.score
+                | None -> ()
+              end
+        in
         let solve doc_id =
           let problem = Pj_matching.Match_builder.from_index t.index ~doc_id q in
           match Pj_core.Best_join.solve ~dedup scoring problem with
@@ -177,7 +198,10 @@ let search_impl ?deadline ~k ~dedup ~prune t scoring q =
                   matchset = r.Pj_core.Naive.matchset;
                 }
               in
-              if Pj_util.Heap.length heap < k then Pj_util.Heap.push heap hit
+              if Pj_util.Heap.length heap < k then begin
+                Pj_util.Heap.push heap hit;
+                publish ()
+              end
               else begin
                 match Pj_util.Heap.peek heap with
                 | Some weakest
@@ -185,35 +209,65 @@ let search_impl ?deadline ~k ~dedup ~prune t scoring q =
                        || (hit.score = weakest.score
                           && hit.doc_id < weakest.doc_id) ->
                     ignore (Pj_util.Heap.pop heap);
-                    Pj_util.Heap.push heap hit
+                    Pj_util.Heap.push heap hit;
+                    publish ()
                 | Some _ | None -> ()
               end
         in
+        (* The cross-shard prunes are *strict*: the shared threshold
+           comes from hits whose doc ids may be smaller than this
+           fragment's candidates, so — unlike the within-fragment
+           checks — a tied bound could still win the global tiebreak
+           and must be solved. *)
+        let shared () =
+          match threshold with
+          | None -> Float.neg_infinity
+          | Some tau -> Atomic.get tau
+        in
         let on_candidate doc_id =
           check_deadline ();
-          if (not prune) || Pj_util.Heap.length heap < k then solve doc_id
+          if not prune then solve doc_id
           else begin
-            match Pj_util.Heap.peek heap with
-            | None -> solve doc_id
-            | Some weakest ->
-                if Lazy.force global_bound <= weakest.score then
-                  (* Candidates arrive in increasing doc id, so a tied
-                     bound can never win the tiebreak either. *)
-                  raise Early_stop
-                else begin
-                  (* Per-document upper bound from the forms actually
-                     present — the proximity-free prune of
-                     [Scoring.upper_bound], now without building the
-                     match-list problem first. *)
-                  let best =
-                    Array.map (fun tc -> term_best_at tc doc_id) terms
-                  in
-                  let bound = Pj_core.Scoring.upper_bound scoring best in
-                  if
-                    bound > weakest.score
-                    || (bound = weakest.score && doc_id < weakest.doc_id)
-                  then solve doc_id
-                end
+            let tau = shared () in
+            if Lazy.force global_bound < tau then
+              (* No document of this fragment can reach the global
+                 top-k: even the proximity-free per-term ceilings fall
+                 strictly short of a score k hits already beat. *)
+              raise Early_stop;
+            if Pj_util.Heap.length heap < k then begin
+              if tau = Float.neg_infinity then solve doc_id
+              else begin
+                let best =
+                  Array.map (fun tc -> term_best_at tc doc_id) terms
+                in
+                let bound = Pj_core.Scoring.upper_bound scoring best in
+                if bound >= tau then solve doc_id
+              end
+            end
+            else begin
+              match Pj_util.Heap.peek heap with
+              | None -> solve doc_id
+              | Some weakest ->
+                  if Lazy.force global_bound <= weakest.score then
+                    (* Candidates arrive in increasing doc id, so a tied
+                       bound can never win the tiebreak either. *)
+                    raise Early_stop
+                  else begin
+                    (* Per-document upper bound from the forms actually
+                       present — the proximity-free prune of
+                       [Scoring.upper_bound], now without building the
+                       match-list problem first. *)
+                    let best =
+                      Array.map (fun tc -> term_best_at tc doc_id) terms
+                    in
+                    let bound = Pj_core.Scoring.upper_bound scoring best in
+                    if bound < tau then ()
+                    else if
+                      bound > weakest.score
+                      || (bound = weakest.score && doc_id < weakest.doc_id)
+                    then solve doc_id
+                  end
+            end
           end
         in
         (try daat_iter ~check:check_deadline terms on_candidate
@@ -237,4 +291,9 @@ let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
 let search_within ?(k = 10) ?(dedup = true) ?(prune = true) ~deadline t scoring
     q =
   try Ok (search_impl ~deadline ~k ~dedup ~prune t scoring q)
+  with Expired -> Error `Timeout
+
+let search_fragment ?deadline ?threshold ?(k = 10) ?(dedup = true)
+    ?(prune = true) t scoring q =
+  try Ok (search_impl ?deadline ?threshold ~k ~dedup ~prune t scoring q)
   with Expired -> Error `Timeout

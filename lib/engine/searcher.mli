@@ -71,4 +71,32 @@ val search_within :
     an incomplete top-k is not the true top-k. A deadline already in
     the past times out immediately (before any solving). *)
 
+val search_fragment :
+  ?deadline:float ->
+  ?threshold:float Atomic.t ->
+  ?k:int ->
+  ?dedup:bool ->
+  ?prune:bool ->
+  t ->
+  Pj_core.Scoring.t ->
+  Pj_matching.Query.t ->
+  (hit list, [ `Timeout ]) result
+(** One shard's leg of a scatter-gather search (see
+    {!Shard_searcher}): [search_within] over this index, with an
+    optional [threshold] shared between concurrent fragments of one
+    query. Whenever this fragment holds [k] hits, it publishes its
+    weakest score into [threshold] (monotonically, with a
+    compare-and-set maximum); every fragment prunes candidates — and
+    stops its whole scan — whose upper bound falls *strictly* below
+    the shared value. Strictness is what keeps the merge
+    byte-identical to the monolithic search: the shared threshold may
+    come from hits with smaller doc ids in another shard, so a tied
+    bound could still win the global smaller-id tiebreak and must be
+    solved (the within-fragment prunes keep their tie-aware checks,
+    where increasing-doc-id order makes ties safe). A fragment's k-th
+    best score never exceeds the global k-th best (its documents are a
+    subset), so pruning strictly below the shared threshold can never
+    discard a global top-k hit. Without [threshold] this is exactly
+    [search_within]; without [deadline] it cannot time out. *)
+
 val index : t -> Pj_index.Inverted_index.t

@@ -1,0 +1,71 @@
+type t = {
+  index : Pj_index.Sharded_index.t;
+  fragments : Searcher.t array;
+}
+
+let create index =
+  {
+    index;
+    fragments =
+      Array.init (Pj_index.Sharded_index.n_shards index) (fun i ->
+          Searcher.create (Pj_index.Sharded_index.shard index i));
+  }
+
+let sharded_index t = t.index
+let n_shards t = Array.length t.fragments
+
+(* Global order on hits: score descending, ties toward smaller doc id —
+   the same order [Searcher.search] drains its heap in. *)
+let compare_hits (a : Searcher.hit) (b : Searcher.hit) =
+  match compare b.Searcher.score a.Searcher.score with
+  | 0 -> compare a.Searcher.doc_id b.Searcher.doc_id
+  | c -> c
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(* Each fragment returns its own top-k; the global top-k is a subset of
+   the union (at most S*k hits), so one sort of the concatenation
+   merges exactly. *)
+let merge ~k per_shard =
+  List.concat per_shard |> List.sort compare_hits |> take k
+
+let search_impl ?deadline ~k ~dedup ~prune t scoring q =
+  if k < 0 then invalid_arg "Shard_searcher.search: negative k";
+  if k = 0 then Ok []
+  else begin
+    let threshold = Atomic.make Float.neg_infinity in
+    (* One domain per shard, but never more than the machine offers:
+       surplus shards run sequentially inside a chunk, where the shared
+       threshold cascades — a finished shard's k-th score lets the next
+       one prune (often early-stop) from its very first candidate. *)
+    let domains =
+      Stdlib.min (Array.length t.fragments)
+        (Pj_util.Parallel.recommended_domains ())
+    in
+    let results =
+      Pj_util.Parallel.map_array ~domains
+        (fun fragment ->
+          Searcher.search_fragment ?deadline ~threshold ~k ~dedup ~prune
+            fragment scoring q)
+        t.fragments
+    in
+    if Array.exists (function Error `Timeout -> true | Ok _ -> false) results
+    then Error `Timeout
+    else
+      Ok
+        (merge ~k
+           (Array.to_list results
+           |> List.map (function Ok hits -> hits | Error `Timeout -> [])))
+  end
+
+let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
+  match search_impl ~k ~dedup ~prune t scoring q with
+  | Ok hits -> hits
+  | Error `Timeout -> assert false (* no deadline given *)
+
+let search_within ?(k = 10) ?(dedup = true) ?(prune = true) ~deadline t scoring
+    q =
+  search_impl ~deadline ~k ~dedup ~prune t scoring q

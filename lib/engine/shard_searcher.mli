@@ -1,0 +1,55 @@
+(** Scatter-gather top-k search over a sharded index.
+
+    One query fans out across the shards of a
+    {!Pj_index.Sharded_index.t}, each shard running the full DAAT +
+    max-score search ({!Searcher.search_fragment}) on
+    {!Pj_util.Parallel} domains. The fragments cooperate through one
+    [Atomic.t] threshold — the best known lower bound on the global
+    k-th score, in the spirit of Fagin-style threshold algorithms — so
+    every shard prunes against the *global* weakest held hit, not just
+    its own. Per-shard top-k lists then merge by (score desc, doc id
+    asc) into a final top-k that is byte-identical to
+    {!Searcher.search} over the monolithic index: same hits, same
+    scores, same order, same smaller-doc-id tie-breaks (enforced by
+    [test/engine/test_shard_oracle.ml] across all three scoring
+    families).
+
+    Why the merge is exact: shards share the corpus vocabulary and
+    keep global doc ids ({!Pj_index.Corpus.sub}), so each candidate's
+    match-list problem — hence its score and matchset — is computed
+    from the same data the monolithic searcher sees; the shared
+    threshold only discards documents *strictly* below a proven lower
+    bound on the global k-th score; and a fragment's local heap only
+    evicts documents beaten by k same-shard documents that also beat
+    them globally. *)
+
+type t
+
+val create : Pj_index.Sharded_index.t -> t
+
+val n_shards : t -> int
+val sharded_index : t -> Pj_index.Sharded_index.t
+
+val search :
+  ?k:int ->
+  ?dedup:bool ->
+  ?prune:bool ->
+  t ->
+  Pj_core.Scoring.t ->
+  Pj_matching.Query.t ->
+  Searcher.hit list
+(** Same contract (and same result, bit for bit) as
+    {!Searcher.search} on the unsharded index. *)
+
+val search_within :
+  ?k:int ->
+  ?dedup:bool ->
+  ?prune:bool ->
+  deadline:float ->
+  t ->
+  Pj_core.Scoring.t ->
+  Pj_matching.Query.t ->
+  (Searcher.hit list, [ `Timeout ]) result
+(** Same contract as {!Searcher.search_within}; the deadline applies to
+    every fragment, and any fragment expiring times the query out
+    (a partial scatter is as unsound as a partial scan). *)

@@ -15,6 +15,15 @@ let add_tokens t tokens =
 
 let add_text t text = add_tokens t (Pj_text.Tokenizer.tokenize_array text)
 
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Pj_util.Vec.length t.docs then
+    invalid_arg "Corpus.sub";
+  let docs = Pj_util.Vec.create () in
+  for i = pos to pos + len - 1 do
+    Pj_util.Vec.push docs (Pj_util.Vec.get t.docs i)
+  done;
+  { vocab = t.vocab; docs }
+
 let size t = Pj_util.Vec.length t.docs
 let document t i = Pj_util.Vec.get t.docs i
 let iter f t = Pj_util.Vec.iter f t.docs

@@ -12,6 +12,16 @@ val add_text : t -> string -> Pj_text.Document.t
 
 val add_tokens : t -> string array -> Pj_text.Document.t
 
+val sub : t -> pos:int -> len:int -> t
+(** A view of documents [pos, pos + len) sharing the parent's
+    vocabulary object and keeping every document's original id — the
+    substrate for doc-id-range index shards, whose postings must carry
+    global ids and whose token ids must agree with the full corpus.
+    In the view, [document v i] is the [i]-th *held* document, so its
+    [id] is [pos + i], not [i]. Adding documents to a view also
+    interns into the shared vocabulary; views are meant to be read.
+    Raises [Invalid_argument] when the range is out of bounds. *)
+
 val size : t -> int
 val document : t -> int -> Pj_text.Document.t
 val iter : (Pj_text.Document.t -> unit) -> t -> unit

@@ -1,5 +1,5 @@
 let magic = "PJIX"
-let version = 2
+let version = 3
 
 (* Standard CRC-32 (polynomial 0xEDB88320, reflected), as used by zlib
    and PNG — implemented here so the format needs no C bindings. *)
@@ -62,7 +62,7 @@ let read_string s ~pos =
   pos := !pos + len;
   v
 
-let save_corpus corpus path =
+let save_with_counts corpus counts path =
   let buf = Buffer.create (64 * 1024) in
   Buffer.add_string buf magic;
   write_varint buf version;
@@ -79,8 +79,13 @@ let save_corpus corpus path =
       write_varint buf (Pj_text.Document.length d);
       Array.iter (write_varint buf) d.Pj_text.Document.tokens)
     corpus;
-  (* v2 integrity footer: CRC-32 of the payload (everything between the
-     header and the footer), little-endian. *)
+  (* v3 shard layout: the number of doc-id-range shards followed by the
+     per-shard document counts (contiguous, in shard order). Part of
+     the CRC-protected payload. *)
+  write_varint buf (Array.length counts);
+  Array.iter (write_varint buf) counts;
+  (* Integrity footer (since v2): CRC-32 of the payload (everything
+     between the header and the footer), little-endian. *)
   let contents = Buffer.contents buf in
   let crc =
     crc32 ~pos:payload_start ~len:(String.length contents - payload_start)
@@ -94,26 +99,35 @@ let save_corpus corpus path =
     ~finally:(fun () -> close_out oc)
     (fun () -> Buffer.output_buffer oc buf)
 
+let save_corpus corpus path =
+  save_with_counts corpus [| Corpus.size corpus |] path
+
+let save_sharded sharded path =
+  save_with_counts (Sharded_index.corpus sharded) (Sharded_index.counts sharded)
+    path
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load_corpus path =
+(* Core loader: the corpus plus the persisted shard layout. v1/v2 files
+   predate shard layouts and load as one shard covering everything. *)
+let load_with_counts path =
   let s = read_file path in
   let pos = ref 0 in
   if String.length s < 4 || String.sub s 0 4 <> magic then
     failwith "Storage: not a proxjoin corpus file";
   pos := 4;
   let v = read_varint s ~pos in
-  (* v2 appends a CRC-32 footer over the payload; verify it and strip it
-     so the body parser sees exactly the payload. v1 files (no footer)
-     keep loading unchanged. *)
+  (* v2+ appends a CRC-32 footer over the payload; verify it and strip
+     it so the body parser sees exactly the payload. v1 files (no
+     footer) keep loading unchanged. *)
   let s =
     match v with
     | 1 -> s
-    | 2 ->
+    | 2 | 3 ->
         let payload_start = !pos in
         if String.length s < payload_start + 4 then
           failwith "Storage: truncated file (missing CRC footer)";
@@ -147,9 +161,27 @@ let load_corpus path =
     in
     ignore (Corpus.add_tokens corpus tokens)
   done;
+  let counts =
+    if v < 3 then [| n_docs |]
+    else begin
+      let n_shards = read_varint s ~pos in
+      if n_shards < 1 then failwith "Storage: shard layout with no shards";
+      let counts = Array.init n_shards (fun _ -> read_varint s ~pos) in
+      if Array.fold_left ( + ) 0 counts <> n_docs then
+        failwith "Storage: shard layout does not cover the documents";
+      counts
+    end
+  in
   if !pos <> String.length s then failwith "Storage: trailing bytes";
-  corpus
+  (corpus, counts)
+
+let load_corpus path = fst (load_with_counts path)
 
 let save idx path = save_corpus (Inverted_index.corpus idx) path
 
 let load path = Inverted_index.build (load_corpus path)
+
+let load_sharded path =
+  let corpus, counts = load_with_counts path in
+  Sharded_index.build_with_counts corpus counts
+

@@ -3,13 +3,17 @@
 
     Layout: a magic header and version, the vocabulary as
     length-prefixed strings, then each document's token ids — integers
-    throughout are LEB128 varints. Version 2 appends a little-endian
+    throughout are LEB128 varints. Version 2 appended a little-endian
     CRC-32 footer over the payload, so a truncated or bit-flipped file
-    fails with a clear error instead of decoding garbage; version 1
-    files (no footer) still load. The inverted index is rebuilt on
-    load (it is a deterministic function of the corpus and loads at
-    disk speed anyway). The format is independent of OCaml's [Marshal]
-    so files are stable across compiler versions. *)
+    fails with a clear error instead of decoding garbage. Version 3
+    additionally records the shard layout (shard count, then per-shard
+    document counts of the contiguous doc-id ranges) at the end of the
+    CRC-protected payload, so a sharded deployment reopens with the
+    same partitioning it was saved with; v1/v2 files (no layout) load
+    as a single shard. The inverted index is rebuilt on load (it is a
+    deterministic function of the corpus and loads at disk speed
+    anyway). The format is independent of OCaml's [Marshal] so files
+    are stable across compiler versions. *)
 
 val save_corpus : Corpus.t -> string -> unit
 (** Write the corpus (vocabulary + documents) to the path. Raises
@@ -23,7 +27,15 @@ val save : Inverted_index.t -> string -> unit
 (** [save idx path] persists the index's corpus. *)
 
 val load : string -> Inverted_index.t
-(** Load a corpus and rebuild its inverted index. *)
+(** Load a corpus and rebuild its inverted index as one monolithic
+    index, whatever shard layout the file records. *)
+
+val save_sharded : Sharded_index.t -> string -> unit
+(** Persist the corpus together with its shard layout (format v3). *)
+
+val load_sharded : string -> Sharded_index.t
+(** Reopen with the persisted shard layout; v1/v2 files load as one
+    shard covering every document. *)
 
 (** {1 Varint encoding (exposed for tests)} *)
 

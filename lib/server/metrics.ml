@@ -4,7 +4,8 @@ type t = {
   mutable searches : int;
   mutable pings : int;
   mutable stats_calls : int;
-  mutable errors : int;
+  mutable parse_errors : int;
+  mutable search_errors : int;
   mutable busy : int;
   mutable timeouts : int;
   latency : Pj_util.Histogram.t;
@@ -17,7 +18,8 @@ let create () =
     searches = 0;
     pings = 0;
     stats_calls = 0;
-    errors = 0;
+    parse_errors = 0;
+    search_errors = 0;
     busy = 0;
     timeouts = 0;
     latency = Pj_util.Histogram.create ();
@@ -30,7 +32,13 @@ let with_lock t f =
 let record_search t = with_lock t (fun () -> t.searches <- t.searches + 1)
 let record_ping t = with_lock t (fun () -> t.pings <- t.pings + 1)
 let record_stats t = with_lock t (fun () -> t.stats_calls <- t.stats_calls + 1)
-let record_error t = with_lock t (fun () -> t.errors <- t.errors + 1)
+
+let record_parse_error t =
+  with_lock t (fun () -> t.parse_errors <- t.parse_errors + 1)
+
+let record_search_error t =
+  with_lock t (fun () -> t.search_errors <- t.search_errors + 1)
+
 let record_busy t = with_lock t (fun () -> t.busy <- t.busy + 1)
 let record_timeout t = with_lock t (fun () -> t.timeouts <- t.timeouts + 1)
 
@@ -43,6 +51,8 @@ type snapshot = {
   searches : int;
   pings : int;
   stats_calls : int;
+  parse_errors : int;
+  search_errors : int;
   errors : int;
   busy : int;
   timeouts : int;
@@ -60,11 +70,17 @@ let snapshot t =
       let h = t.latency in
       {
         uptime_s = Pj_util.Timing.monotonic_now () -. t.started_at;
-        requests = t.searches + t.pings + t.stats_calls + t.errors;
+        (* A search that fails inside handle_search was already counted
+           in [searches]; only requests that never parsed into a
+           command add to the total here. Summing [errors] instead
+           would double-count every failed SEARCH. *)
+        requests = t.searches + t.pings + t.stats_calls + t.parse_errors;
         searches = t.searches;
         pings = t.pings;
         stats_calls = t.stats_calls;
-        errors = t.errors;
+        parse_errors = t.parse_errors;
+        search_errors = t.search_errors;
+        errors = t.parse_errors + t.search_errors;
         busy = t.busy;
         timeouts = t.timeouts;
         served = Pj_util.Histogram.count h;
@@ -79,10 +95,11 @@ let render t ~cache_hits ~cache_misses ~cache_len ~queue_len ~domains =
   let s = snapshot t in
   Printf.sprintf
     "STATS uptime_s=%.1f requests=%d searches=%d served=%d pings=%d \
-     errors=%d busy=%d timeouts=%d cache_hits=%d cache_misses=%d \
-     cache_len=%d queue_len=%d domains=%d lat_mean_ms=%.3f p50_ms=%.3f \
-     p95_ms=%.3f p99_ms=%.3f max_ms=%.3f"
-    s.uptime_s s.requests s.searches s.served s.pings s.errors s.busy
-    s.timeouts cache_hits cache_misses cache_len queue_len domains
-    s.latency_mean_ms s.latency_p50_ms s.latency_p95_ms s.latency_p99_ms
-    s.latency_max_ms
+     stats=%d errors=%d parse_errors=%d search_errors=%d busy=%d \
+     timeouts=%d cache_hits=%d cache_misses=%d cache_len=%d queue_len=%d \
+     domains=%d lat_mean_ms=%.3f p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f \
+     max_ms=%.3f"
+    s.uptime_s s.requests s.searches s.served s.pings s.stats_calls s.errors
+    s.parse_errors s.search_errors s.busy s.timeouts cache_hits cache_misses
+    cache_len queue_len domains s.latency_mean_ms s.latency_p50_ms
+    s.latency_p95_ms s.latency_p99_ms s.latency_max_ms

@@ -4,7 +4,18 @@
 
     All operations are mutex-protected; recording is O(1) (the
     histogram is {!Pj_util.Histogram}, constant-memory log buckets), so
-    metrics never become the hot path they are measuring. *)
+    metrics never become the hot path they are measuring.
+
+    Errors are counted at two distinct levels and never mixed:
+    a {e parse} error is a request line that never became a command
+    (malformed, unknown verb, over-long line) — it is a request in its
+    own right; a {e search} error is a SEARCH that parsed fine but
+    failed during evaluation (bad scoring family, unknown term, worker
+    exception) — that request is already counted in [searches].
+    Keeping the two apart is what makes the invariant
+    [requests = searches + pings + stats + parse_errors] hold exactly;
+    the previous single counter put failed SEARCHes in both terms of
+    the sum. *)
 
 type t
 
@@ -13,7 +24,14 @@ val create : unit -> t
 val record_search : t -> unit
 val record_ping : t -> unit
 val record_stats : t -> unit
-val record_error : t -> unit
+
+val record_parse_error : t -> unit
+(** A request line that parsed into no command at all. Counted as a
+    request; never overlaps [record_search]. *)
+
+val record_search_error : t -> unit
+(** A SEARCH (already counted by [record_search]) that failed during
+    evaluation. Not counted as an extra request. *)
 
 val record_busy : t -> unit
 (** Also counted as a search; tracks queue-full rejections. *)
@@ -27,11 +45,13 @@ val observe_latency : t -> float -> unit
 
 type snapshot = {
   uptime_s : float;
-  requests : int;  (** searches + pings + stats + parse errors *)
+  requests : int;  (** searches + pings + stats + parse errors, exactly *)
   searches : int;
   pings : int;
   stats_calls : int;
-  errors : int;
+  parse_errors : int;
+  search_errors : int;
+  errors : int;  (** parse_errors + search_errors *)
   busy : int;
   timeouts : int;
   served : int;  (** searches answered with a HITS line *)

@@ -10,6 +10,7 @@ type request = Ping | Stats | Quit | Search of search_request
 let families = [ "win"; "med"; "max" ]
 let max_k = 10_000
 let max_terms = 16
+let max_line_bytes = 4096
 
 let scoring_of ~family ~alpha =
   match family with
@@ -54,7 +55,7 @@ let parse_search = function
   | _ -> Error "usage: SEARCH <win|med|max> <alpha> <k> <term> ..."
 
 let parse_request line =
-  if String.length line > 4096 then Error "request line too long"
+  if String.length line > max_line_bytes then Error "request line too long"
   else
     match tokenize line with
     | [] -> Error "empty request"

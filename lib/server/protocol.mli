@@ -56,3 +56,10 @@ val err : string -> string
 
 val max_k : int
 val max_terms : int
+
+val max_line_bytes : int
+(** Longest request line accepted, in bytes, newline excluded (4096).
+    {!parse_request} rejects longer strings, and the server's
+    connection reader stops buffering at this cap — a client streaming
+    an endless line costs at most this much memory before the
+    connection is failed. *)

@@ -19,6 +19,19 @@ let default_config =
     log_every_s = None;
   }
 
+(* One live connection. The handler thread is stored next to the fd so
+   [stop] can join exactly the threads still running: entries are
+   removed by [handle_connection] on exit, so the table never outgrows
+   the set of open connections (the old [conn_threads] list kept every
+   thread ever accepted alive for the server's lifetime). *)
+type conn = {
+  fd : Unix.file_descr;
+  mutable thread : Thread.t option;
+      (* [None] only in the window between accept and [Thread.create]
+         returning; a conn observed without a thread at [stop] time has
+         nothing running to join. *)
+}
+
 type t = {
   config : config;
   listen_fd : Unix.file_descr;
@@ -30,9 +43,8 @@ type t = {
   running : bool Atomic.t;
   mutable accept_thread : Thread.t option;
   mutable log_thread : Thread.t option;
-  conns : (int, Unix.file_descr) Hashtbl.t;
+  conns : (int, conn) Hashtbl.t;
   conns_mutex : Mutex.t;
-  mutable conn_threads : Thread.t list;
 }
 
 let port t = t.port
@@ -55,12 +67,12 @@ let handle_search t (sr : Protocol.search_request) =
   | None -> begin
       match Protocol.scoring_of ~family:sr.Protocol.family ~alpha:sr.Protocol.alpha with
       | Error msg ->
-          Metrics.record_error t.metrics;
+          Metrics.record_search_error t.metrics;
           Protocol.err msg
       | Ok scoring -> begin
           match Pj_matching.Query_parser.parse t.graph sr.Protocol.terms with
           | Error msg ->
-              Metrics.record_error t.metrics;
+              Metrics.record_search_error t.metrics;
               Protocol.err msg
           | Ok query ->
               (* The served index is built over Porter stems (see the
@@ -95,7 +107,7 @@ let handle_search t (sr : Protocol.search_request) =
                     Metrics.record_timeout t.metrics;
                     Protocol.timeout
                 | `Done (Worker_pool.Failed msg) ->
-                    Metrics.record_error t.metrics;
+                    Metrics.record_search_error t.metrics;
                     Protocol.err msg
               end
         end
@@ -105,7 +117,7 @@ let handle_search t (sr : Protocol.search_request) =
 let respond t line =
   match Protocol.parse_request line with
   | Error msg ->
-      Metrics.record_error t.metrics;
+      Metrics.record_parse_error t.metrics;
       (Protocol.err msg, true)
   | Ok Protocol.Ping ->
       Metrics.record_ping t.metrics;
@@ -122,9 +134,20 @@ let respond t line =
         Metrics.observe_latency t.metrics (Pj_util.Timing.monotonic_now () -. t0);
       (response, true)
 
-let register_conn t id fd =
+let register_conn t id conn =
   Mutex.lock t.conns_mutex;
-  Hashtbl.replace t.conns id fd;
+  Hashtbl.replace t.conns id conn;
+  Mutex.unlock t.conns_mutex
+
+let set_conn_thread t id thread =
+  Mutex.lock t.conns_mutex;
+  (match Hashtbl.find_opt t.conns id with
+  | Some conn -> conn.thread <- Some thread
+  | None ->
+      (* The handler already ran to completion and unregistered itself;
+         the thread is (as good as) done, so there is nothing for
+         [stop] to join. *)
+      ());
   Mutex.unlock t.conns_mutex
 
 let unregister_conn t id =
@@ -132,13 +155,51 @@ let unregister_conn t id =
   Hashtbl.remove t.conns id;
   Mutex.unlock t.conns_mutex
 
+let connections t =
+  Mutex.lock t.conns_mutex;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_mutex;
+  n
+
+(* Read one newline-terminated request, never buffering more than
+   [Protocol.max_line_bytes] of it. [input_line] would buffer the
+   whole line before the parser's length check ever saw it, so a
+   client streaming bytes without a newline could grow the heap
+   without bound; here the line is abandoned the moment it exceeds
+   the cap. Trailing bytes before EOF count as a line, as with
+   [input_line]. *)
+let read_line_bounded ic =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match input_char ic with
+    | exception End_of_file ->
+        if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+    | '\n' -> `Line (Buffer.contents buf)
+    | c ->
+        if Buffer.length buf >= Protocol.max_line_bytes then `Too_long
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+  in
+  go ()
+
 let handle_connection t id fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let rec loop () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
-    | line ->
+    match read_line_bounded ic with
+    | exception Sys_error _ -> ()
+    | `Eof -> ()
+    | `Too_long ->
+        (* One diagnostic, then the connection is failed: the rest of
+           the over-long line is unread, so the stream can no longer
+           be parsed at request boundaries. *)
+        Metrics.record_parse_error t.metrics;
+        output_string oc (Protocol.err "request line too long");
+        output_char oc '\n';
+        flush oc
+    | `Line line ->
         let response, continue = respond t line in
         output_string oc response;
         output_char oc '\n';
@@ -160,9 +221,9 @@ let accept_loop t =
         Unix.setsockopt fd Unix.TCP_NODELAY true;
         let id = !next_id in
         incr next_id;
-        register_conn t id fd;
+        register_conn t id { fd; thread = None };
         let thread = Thread.create (fun () -> handle_connection t id fd) () in
-        t.conn_threads <- thread :: t.conn_threads
+        set_conn_thread t id thread
     | exception Unix.Unix_error _ ->
         (* [stop] closes the listening socket to break us out; anything
            else (EMFILE, ECONNABORTED) is transient — keep accepting. *)
@@ -182,7 +243,7 @@ let log_loop t period =
       Printf.eprintf "[pj_server] %s\n%!" (stats_line t)
   done
 
-let start ?(config = default_config) ~graph searcher =
+let start ?(config = default_config) ~graph search =
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
@@ -198,7 +259,7 @@ let start ?(config = default_config) ~graph searcher =
   in
   let pool =
     Worker_pool.create ~domains:config.domains
-      ~queue_capacity:config.queue_capacity searcher
+      ~queue_capacity:config.queue_capacity search
   in
   let t =
     {
@@ -214,7 +275,6 @@ let start ?(config = default_config) ~graph searcher =
       log_thread = None;
       conns = Hashtbl.create 64;
       conns_mutex = Mutex.create ();
-      conn_threads = [];
     }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
@@ -231,17 +291,24 @@ let stop t =
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
      with Unix.Unix_error _ -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* Join the accept loop first: once it is gone, no new conns can
+       appear and every registered conn has had [set_conn_thread] run,
+       so the snapshot below is complete. *)
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
     (* Nudge open connections: a shutdown makes their next read see
-       end-of-file, so handler threads drain and exit. *)
+       end-of-file, so handler threads drain and exit. Only the
+       threads of still-registered conns are joined — finished
+       handlers already removed themselves. *)
     Mutex.lock t.conns_mutex;
-    let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+    let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
     Mutex.unlock t.conns_mutex;
     List.iter
-      (fun fd ->
-        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-      fds;
-    List.iter Thread.join t.conn_threads;
+      (fun c ->
+        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter
+      (fun c -> match c.thread with Some th -> Thread.join th | None -> ())
+      conns;
     Worker_pool.shutdown t.pool;
     (match t.log_thread with Some th -> Thread.join th | None -> ())
   end

@@ -1,5 +1,8 @@
 (** The concurrent query-serving loop: a TCP server speaking
-    {!Protocol} over a hot, immutable {!Pj_engine.Searcher.t}.
+    {!Protocol} over a hot, immutable search function (a monolithic
+    {!Pj_engine.Searcher.t} or a sharded
+    {!Pj_engine.Shard_searcher.t}, via the {!Worker_pool.search}
+    constructors).
 
     Architecture: one accept loop hands each connection to a
     lightweight thread that parses requests and consults the
@@ -25,15 +28,24 @@ val default_config : config
 
 type t
 
-val start : ?config:config -> graph:Pj_ontology.Graph.t -> Pj_engine.Searcher.t -> t
+val start :
+  ?config:config -> graph:Pj_ontology.Graph.t -> Worker_pool.search -> t
 (** Bind, listen, spawn the worker pool and the accept thread, and
-    return immediately. The searcher must be fully built (its index is
-    shared read-only across domains); [graph] is the lemma graph query
-    terms are parsed against. Raises [Unix.Unix_error] when the
-    address cannot be bound. *)
+    return immediately. The search function must close over a fully
+    built index shared read-only across domains (use
+    {!Worker_pool.of_searcher} or {!Worker_pool.of_shard_searcher});
+    [graph] is the lemma graph query terms are parsed against. Raises
+    [Unix.Unix_error] when the address cannot be bound. *)
 
 val port : t -> int
 (** The actual bound port (useful with [port = 0]). *)
+
+val connections : t -> int
+(** Number of currently open client connections — i.e. the size of the
+    internal connection table, which handler threads remove themselves
+    from on exit. Steady at 0 after all clients disconnect; grows only
+    with concurrently open connections, never with connection
+    turnover. *)
 
 val stop : t -> unit
 (** Graceful shutdown: stop accepting, close open connections, finish

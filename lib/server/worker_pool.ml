@@ -3,6 +3,19 @@ type outcome =
   | Timed_out
   | Failed of string
 
+type search =
+  scoring:Pj_core.Scoring.t ->
+  k:int ->
+  deadline:float ->
+  Pj_matching.Query.t ->
+  (Pj_engine.Searcher.hit list, [ `Timeout ]) result
+
+let of_searcher searcher ~scoring ~k ~deadline query =
+  Pj_engine.Searcher.search_within ~k ~deadline searcher scoring query
+
+let of_shard_searcher sharded ~scoring ~k ~deadline query =
+  Pj_engine.Shard_searcher.search_within ~k ~deadline sharded scoring query
+
 (* A one-shot result cell the submitting thread blocks on. *)
 type cell = {
   m : Mutex.t;
@@ -30,7 +43,7 @@ let fill cell outcome =
   Condition.signal cell.c;
   Mutex.unlock cell.m
 
-let execute searcher job =
+let execute (search : search) job =
   let outcome =
     (* A job that sat in the queue past its deadline is not worth
        starting — the client's budget is wall-clock, queueing
@@ -38,8 +51,7 @@ let execute searcher job =
     if Pj_util.Timing.monotonic_now () > job.deadline then Timed_out
     else
       match
-        Pj_engine.Searcher.search_within ~k:job.k ~deadline:job.deadline
-          searcher job.scoring job.query
+        search ~scoring:job.scoring ~k:job.k ~deadline:job.deadline job.query
       with
       | Ok hits -> Hits hits
       | Error `Timeout -> Timed_out
@@ -47,22 +59,22 @@ let execute searcher job =
   in
   fill job.cell outcome
 
-let worker_loop searcher queue =
+let worker_loop search queue =
   let rec go () =
     match Work_queue.pop queue with
     | None -> ()
     | Some job ->
-        execute searcher job;
+        execute search job;
         go ()
   in
   go ()
 
-let create ~domains ~queue_capacity searcher =
+let create ~domains ~queue_capacity search =
   let domains = Stdlib.max 1 domains in
   let queue = Work_queue.create ~capacity:queue_capacity in
   let workers =
     Array.init domains (fun _ ->
-        Domain.spawn (fun () -> worker_loop searcher queue))
+        Domain.spawn (fun () -> worker_loop search queue))
   in
   { queue; workers; domains }
 

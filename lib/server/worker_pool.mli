@@ -1,8 +1,10 @@
 (** A fixed pool of OCaml 5 worker domains executing searches against
-    one shared, immutable {!Pj_engine.Searcher.t}.
+    one shared, immutable search function.
 
-    The searcher and its index are built before the pool starts and
-    never mutated afterwards, so the domains race on nothing; the only
+    The function closes over a searcher (monolithic
+    {!Pj_engine.Searcher.t} or sharded {!Pj_engine.Shard_searcher.t})
+    whose index is built before the pool starts and never mutated
+    afterwards, so the domains race on nothing; the only
     synchronization is the bounded {!Work_queue} in front of the pool
     and a per-job result cell. Parallelism therefore scales with
     domains up to memory bandwidth, exactly like
@@ -14,9 +16,27 @@ type outcome =
   | Failed of string
       (** the search raised, e.g. a matcher without finite expansions *)
 
+type search =
+  scoring:Pj_core.Scoring.t ->
+  k:int ->
+  deadline:float ->
+  Pj_matching.Query.t ->
+  (Pj_engine.Searcher.hit list, [ `Timeout ]) result
+(** What a worker runs per job. Must be safe to call from several
+    domains at once (both provided constructors are: they only read an
+    immutable index). *)
+
+val of_searcher : Pj_engine.Searcher.t -> search
+(** [Pj_engine.Searcher.search_within] over one monolithic index. *)
+
+val of_shard_searcher : Pj_engine.Shard_searcher.t -> search
+(** [Pj_engine.Shard_searcher.search_within] — scatter-gather over the
+    shards, byte-identical results to {!of_searcher} on the same
+    corpus. *)
+
 type t
 
-val create : domains:int -> queue_capacity:int -> Pj_engine.Searcher.t -> t
+val create : domains:int -> queue_capacity:int -> search -> t
 (** Spawn [max 1 domains] workers sharing a bounded queue. *)
 
 val run :

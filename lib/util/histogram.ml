@@ -33,7 +33,14 @@ let bucket_upper i =
 
 let observe t v =
   let v = if Float.is_nan v || v < 0. then 0. else v in
-  let i = bucket_of v in
+  (* [+infinity] survives the clamp above, and [bucket_of] would feed
+     it through [int_of_float] — an unspecified conversion that lands
+     on [min_int] and indexes the array negatively. Pin every
+     non-finite value to the overflow bucket (and to its boundary for
+     [sum]/[max], so [mean]/[percentile] stay finite). *)
+  let finite = Float.is_finite v in
+  let v = if finite then v else bucket_upper (n_buckets + 1) in
+  let i = if finite then bucket_of v else n_buckets + 1 in
   t.counts.(i) <- t.counts.(i) + 1;
   t.n <- t.n + 1;
   t.sum <- t.sum +. v;

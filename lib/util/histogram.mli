@@ -10,7 +10,10 @@ type t
 
 val create : unit -> t
 val observe : t -> float -> unit
-(** Record one observation. Negative and NaN values count as 0. *)
+(** Record one observation. Negative and NaN values count as 0;
+    [+infinity] counts in the overflow bucket at its (finite)
+    boundary, so [mean], [max_value] and every percentile stay
+    finite. *)
 
 val count : t -> int
 val mean : t -> float

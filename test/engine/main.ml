@@ -4,6 +4,7 @@ let () =
       ("idf", Test_idf.suite);
       ("searcher", Test_searcher.suite);
       ("search_oracle", Test_search_oracle.suite);
+      ("shard_oracle", Test_shard_oracle.suite);
       ("daat_oracle", Test_daat_oracle.suite);
       ("snippet", Test_snippet.suite);
     ]

@@ -4,5 +4,6 @@ let () =
       ("posting", Test_posting.suite);
       ("cursor", Test_cursor.suite);
       ("inverted_index", Test_inverted_index.suite);
+      ("sharded_index", Test_sharded_index.suite);
       ("storage", Test_storage.suite);
     ]

@@ -173,23 +173,106 @@ let test_truncation_detected () =
       write_bytes path (String.sub s 0 6);
       check_load_fails ~msg_contains:"truncated" path)
 
-let test_v1_still_loads () =
+(* Byte length of the trailing shard section [Storage.save_corpus]
+   writes for an unsharded corpus: varint 1 followed by varint n_docs. *)
+let shard_section_bytes c =
+  let buf = Buffer.create 8 in
+  Storage.write_varint buf 1;
+  Storage.write_varint buf (Corpus.size c);
+  Buffer.length buf
+
+(* Rebuild the historic formats out of a freshly saved v3 file: v2 is
+   the payload without the shard section under version byte 2 (CRC
+   recomputed); v1 additionally drops the CRC footer. *)
+let downgrade_file c path ~to_version =
+  Storage.save_corpus c path;
+  let s = read_bytes path in
+  Alcotest.(check char) "v3 version byte" '\003' s.[4];
+  let payload =
+    String.sub s 5 (String.length s - 5 - 4 - shard_section_bytes c)
+  in
+  let old =
+    match to_version with
+    | 1 -> String.sub s 0 4 ^ "\001" ^ payload
+    | 2 ->
+        let body = String.sub s 0 4 ^ "\002" ^ payload in
+        let crc = Storage.crc32 ~pos:5 body in
+        let footer = Bytes.create 4 in
+        Bytes.set_int32_le footer 0 crc;
+        body ^ Bytes.to_string footer
+    | v -> Alcotest.failf "no downgrade to version %d" v
+  in
+  write_bytes path old
+
+let test_old_versions_still_load () =
+  let c = sample_corpus () in
+  List.iter
+    (fun v ->
+      let path = temp_path () in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          downgrade_file c path ~to_version:v;
+          let c' = Storage.load_corpus path in
+          Alcotest.(check bool)
+            (Printf.sprintf "v%d roundtrip" v)
+            true (corpora_equal c c');
+          (* Pre-layout files open as a single shard over everything. *)
+          let sharded = Storage.load_sharded path in
+          Alcotest.(check int)
+            (Printf.sprintf "v%d loads as one shard" v)
+            1
+            (Sharded_index.n_shards sharded);
+          Alcotest.(check int)
+            (Printf.sprintf "v%d shard covers the corpus" v)
+            (Corpus.size c)
+            (Sharded_index.counts sharded).(0)))
+    [ 1; 2 ]
+
+let test_sharded_roundtrip () =
+  let c = sample_corpus () in
+  let sharded = Sharded_index.build ~shards:3 c in
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Storage.save_sharded sharded path;
+      let sharded' = Storage.load_sharded path in
+      Alcotest.(check (array int)) "shard layout survives"
+        (Sharded_index.counts sharded)
+        (Sharded_index.counts sharded');
+      Alcotest.(check bool) "documents identical" true
+        (corpora_equal c (Sharded_index.corpus sharded'));
+      (* An unsharded save reopens as exactly one shard. *)
+      Storage.save_corpus c path;
+      Alcotest.(check (array int)) "plain corpus is one shard"
+        [| Corpus.size c |]
+        (Sharded_index.counts (Storage.load_sharded path)))
+
+let test_bad_shard_layout_rejected () =
   let c = sample_corpus () in
   let path = temp_path () in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
+      (* Regenerate the file with a shard section claiming more
+         documents than the corpus holds; the CRC is valid, so only
+         the layout validation can catch it. *)
       Storage.save_corpus c path;
       let s = read_bytes path in
-      (* A v1 file is the same payload with version byte 1 and no CRC
-         footer. *)
-      Alcotest.(check char) "v2 version byte" '\002' s.[4];
-      let v1 =
-        String.sub s 0 4 ^ "\001" ^ String.sub s 5 (String.length s - 5 - 4)
-      in
-      write_bytes path v1;
-      let c' = Storage.load_corpus path in
-      Alcotest.(check bool) "v1 roundtrip" true (corpora_equal c c'))
+      let body_end = String.length s - 4 - shard_section_bytes c in
+      let buf = Buffer.create (String.length s) in
+      Buffer.add_string buf (String.sub s 0 body_end);
+      Storage.write_varint buf 2;
+      Storage.write_varint buf (Corpus.size c);
+      Storage.write_varint buf (Corpus.size c);
+      let contents = Buffer.contents buf in
+      let crc = Storage.crc32 ~pos:5 contents in
+      let footer = Bytes.create 4 in
+      Bytes.set_int32_le footer 0 crc;
+      Buffer.add_bytes buf footer;
+      write_bytes path (Buffer.contents buf);
+      check_load_fails ~msg_contains:"shard layout" path)
 
 let test_crc32_known_value () =
   (* The standard check value: CRC-32 of "123456789". *)
@@ -211,6 +294,8 @@ let suite =
     ("storage: trailing bytes", `Quick, test_trailing_bytes);
     ("storage: bit flip detected", `Quick, test_bit_flip_detected);
     ("storage: truncation detected", `Quick, test_truncation_detected);
-    ("storage: v1 still loads", `Quick, test_v1_still_loads);
+    ("storage: v1/v2 still load", `Quick, test_old_versions_still_load);
+    ("storage: sharded roundtrip", `Quick, test_sharded_roundtrip);
+    ("storage: bad shard layout rejected", `Quick, test_bad_shard_layout_rejected);
     ("storage: crc32 check value", `Quick, test_crc32_known_value);
   ]

@@ -24,7 +24,7 @@ let build () =
       ignore (Pj_index.Corpus.add_tokens corpus stems))
     texts;
   let index = Pj_index.Inverted_index.build corpus in
-  (Pj_engine.Searcher.create index, Pj_ontology.Mini_wordnet.create ())
+  (corpus, Pj_engine.Searcher.create index, Pj_ontology.Mini_wordnet.create ())
 
 (* What the server must answer for a SEARCH line: the same parse +
    stem + search pipeline, rendered by the same formatter. *)
@@ -62,9 +62,19 @@ let request conn line =
 
 let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
-let with_server ?config f =
-  let searcher, graph = build () in
-  let server = Server.start ?config ~graph searcher in
+(* [shards > 1] serves the same corpus through the scatter-gather
+   [Shard_searcher]; every test's expectations stay valid because the
+   sharded results are identical to the monolithic ones. *)
+let with_server ?config ?(shards = 1) f =
+  let corpus, searcher, graph = build () in
+  let search =
+    if shards <= 1 then Worker_pool.of_searcher searcher
+    else
+      Worker_pool.of_shard_searcher
+        (Pj_engine.Shard_searcher.create
+           (Pj_index.Sharded_index.build ~shards corpus))
+  in
+  let server = Server.start ?config ~graph search in
   Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server searcher graph)
 
 let queries =
@@ -227,6 +237,84 @@ let test_stats_reports () =
           Alcotest.(check bool) "pings counted" true (has "pings=1");
           Alcotest.(check bool) "latency percentiles" true (has "p99_ms=")))
 
+let test_sharded_server_matches_direct () =
+  (* The full query list over a 2-shard server must produce byte-for-
+     byte the responses the monolithic searcher computes directly. *)
+  with_server ~shards:2 (fun server searcher graph ->
+      let conn = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () ->
+          List.iter
+            (fun ((family, alpha, k, terms) as q) ->
+              Alcotest.(check string)
+                (Printf.sprintf "sharded response for %s" (search_line q))
+                (expected_response searcher graph ~family ~alpha ~k terms)
+                (request conn (search_line q)))
+            queries;
+          Alcotest.(check string) "quit" "BYE" (request conn "QUIT")))
+
+let test_overlong_line_fails_connection () =
+  (* A line past Protocol.max_line_bytes must cost the server O(cap)
+     memory, draw exactly one ERR, and close the connection — while
+     other (and future) connections keep working. *)
+  with_server (fun server _ _ ->
+      let conn = connect (Server.port server) in
+      let closed =
+        Fun.protect
+          ~finally:(fun () -> close conn)
+          (fun () ->
+            output_string conn.oc (String.make (4 * Protocol.max_line_bytes) 'a');
+            output_char conn.oc '\n';
+            flush conn.oc;
+            Alcotest.(check string) "one diagnostic"
+              "ERR request line too long" (input_line conn.ic);
+            (* Then the server hangs up: no second response ever comes. *)
+            match input_line conn.ic with
+            | exception (End_of_file | Sys_error _) -> true
+            | _ -> false)
+      in
+      Alcotest.(check bool) "connection closed after ERR" true closed;
+      (* The abuse was per-connection: a fresh client is served. *)
+      let conn2 = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> close conn2)
+        (fun () ->
+          Alcotest.(check string) "server still alive" "PONG"
+            (request conn2 "PING")))
+
+let test_connection_table_drains () =
+  (* Regression for the handler-thread leak: the server used to append
+     every connection's thread to a list joined only at [stop], so the
+     list — and each thread's stack — grew with connection *turnover*.
+     Now the conns table is the only record, and handlers remove
+     themselves: after clients hang up it must drain back to zero. *)
+  with_server (fun server _ _ ->
+      let wave () =
+        let conns = List.init 5 (fun _ -> connect (Server.port server)) in
+        List.iter
+          (fun c -> Alcotest.(check string) "ping" "PONG" (request c "PING"))
+          conns;
+        Alcotest.(check bool) "open connections are tracked" true
+          (Server.connections server >= 5);
+        List.iter
+          (fun c -> Alcotest.(check string) "bye" "BYE" (request c "QUIT"))
+          conns;
+        List.iter close conns;
+        (* Handlers unregister asynchronously after BYE; give them a
+           bounded moment. *)
+        let deadline = Unix.gettimeofday () +. 5. in
+        while Server.connections server > 0 && Unix.gettimeofday () < deadline do
+          Thread.yield ();
+          Thread.delay 0.01
+        done;
+        Alcotest.(check int) "table drains to zero" 0
+          (Server.connections server)
+      in
+      (* Two waves: turnover must not accumulate anything. *)
+      wave ();
+      wave ())
+
 let suite =
   [
     ("e2e: concurrent clients = direct search", `Quick, test_concurrent_clients_match_direct);
@@ -234,4 +322,7 @@ let suite =
     ("e2e: deadline timeout", `Quick, test_deadline_timeout);
     ("e2e: malformed requests", `Quick, test_malformed_requests_keep_connection);
     ("e2e: stats", `Quick, test_stats_reports);
+    ("e2e: sharded server = direct search", `Quick, test_sharded_server_matches_direct);
+    ("e2e: over-long line fails connection", `Quick, test_overlong_line_fails_connection);
+    ("e2e: connection table drains", `Quick, test_connection_table_drains);
   ]

@@ -92,6 +92,39 @@ let test_renderers () =
   Alcotest.(check string) "err is one line" "ERR a b"
     (Protocol.err "a\nb")
 
+let test_stats_request_accounting () =
+  (* Regression for the STATS double-count: a failed SEARCH used to be
+     added to both [searches] and [errors], and [requests] summed the
+     two — so one request line counted twice. Replay a mixed workload
+     and hold the invariant the snapshot documents. *)
+  let m = Metrics.create () in
+  (* 3 searches: one served, one failing at evaluation, one timing out. *)
+  Metrics.record_search m;
+  Metrics.observe_latency m 0.001;
+  Metrics.record_search m;
+  Metrics.record_search_error m;
+  Metrics.record_search m;
+  Metrics.record_timeout m;
+  (* 2 request lines that never parsed into a command. *)
+  Metrics.record_parse_error m;
+  Metrics.record_parse_error m;
+  (* And some chatter. *)
+  Metrics.record_ping m;
+  Metrics.record_stats m;
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "requests = searches + pings + stats + parse errors"
+    (s.Metrics.searches + s.Metrics.pings + s.Metrics.stats_calls
+   + s.Metrics.parse_errors)
+    s.Metrics.requests;
+  Alcotest.(check int) "exactly the 7 request lines" 7 s.Metrics.requests;
+  Alcotest.(check int) "searches" 3 s.Metrics.searches;
+  Alcotest.(check int) "parse errors" 2 s.Metrics.parse_errors;
+  Alcotest.(check int) "search errors" 1 s.Metrics.search_errors;
+  Alcotest.(check int) "errors = parse + search errors"
+    (s.Metrics.parse_errors + s.Metrics.search_errors)
+    s.Metrics.errors;
+  Alcotest.(check int) "served only counts HITS responses" 1 s.Metrics.served
+
 let suite =
   [
     ("protocol: simple commands", `Quick, test_simple_commands);
@@ -100,4 +133,5 @@ let suite =
     ("protocol: cache key", `Quick, test_cache_key_normalization);
     ("protocol: scoring_of", `Quick, test_scoring_of);
     ("protocol: renderers", `Quick, test_renderers);
+    ("protocol: stats request accounting", `Quick, test_stats_request_accounting);
   ]

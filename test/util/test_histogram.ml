@@ -49,6 +49,32 @@ let test_outliers_and_garbage () =
   Alcotest.(check (float 1e-3)) "p100 clamps to max" 1e9
     (Histogram.percentile h 100.)
 
+let test_non_finite_observations () =
+  (* Regression: [observe h infinity] used to send infinity through
+     [int_of_float] (unspecified — lands on min_int) and index the
+     bucket array at a negative offset. Non-finite values must land in
+     the overflow bucket and keep every aggregate finite. *)
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ Float.infinity; Float.nan; -1.; 0. ];
+  Alcotest.(check int) "all four retained" 4 (Histogram.count h);
+  Alcotest.(check bool) "mean finite" true (Float.is_finite (Histogram.mean h));
+  Alcotest.(check bool) "max finite" true
+    (Float.is_finite (Histogram.max_value h));
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g finite" p)
+        true
+        (Float.is_finite (Histogram.percentile h p)))
+    [ 0.; 50.; 99.; 100. ];
+  (* The infinity dominates: it must be the (finite, overflow-boundary)
+     maximum, above everything the nan/-1./0. clamps produced. *)
+  Alcotest.(check bool) "overflow boundary is the max" true
+    (Histogram.max_value h > 0.);
+  Alcotest.(check (float 1e-9)) "p100 = that boundary"
+    (Histogram.max_value h)
+    (Histogram.percentile h 100.)
+
 let test_invalid_percentile () =
   let h = Histogram.create () in
   Alcotest.check_raises "p > 100"
@@ -78,6 +104,7 @@ let suite =
     ("histogram: percentile accuracy", `Quick, test_percentile_accuracy);
     ("histogram: single observation", `Quick, test_single_observation);
     ("histogram: outliers", `Quick, test_outliers_and_garbage);
+    ("histogram: non-finite observations", `Quick, test_non_finite_observations);
     ("histogram: invalid p", `Quick, test_invalid_percentile);
     ("histogram: merge/reset", `Quick, test_merge_and_reset);
   ]

@@ -286,7 +286,8 @@ let stemmed_corpus_of_file file =
     (read_documents file);
   corpus
 
-let run_serve file host port domains queue cache deadline_ms log_every shards =
+let run_serve file host port domains queue cache deadline_ms drain_ms log_every
+    shards =
   let graph = Pj_ontology.Mini_wordnet.create () in
   let corpus = stemmed_corpus_of_file file in
   let search, n_shards =
@@ -309,20 +310,63 @@ let run_serve file host port domains queue cache deadline_ms log_every shards =
       queue_capacity = queue;
       cache_capacity = cache;
       deadline_s = deadline_ms /. 1000.;
+      drain_s = drain_ms /. 1000.;
       log_every_s = log_every;
     }
   in
   let server = Pj_server.Server.start ~config ~graph search in
+  (* SIGTERM/SIGINT trigger a graceful drain. The handler hands the
+     (blocking) [Server.stop] to a fresh thread — a handler must not
+     block. Subtlety: OCaml only runs signal handlers when some thread
+     executes OCaml code, and on an idle server every thread is parked
+     in a blocking syscall (accept, condition wait, read) — a pending
+     SIGTERM would sit unhandled forever. The heartbeat thread below
+     exists solely to return to OCaml a few times a second so pending
+     handlers always run. (Blocking the signals and sigwait-ing them
+     in a watcher thread does not work instead: runtime service
+     threads created before main — domain 0's backup thread — keep
+     them unblocked at default disposition, and delivery there kills
+     the process.) *)
+  let stopper = ref None in
+  let stop_started = Atomic.make false in
+  let on_signal _ =
+    if not (Atomic.exchange stop_started true) then
+      stopper :=
+        Some (Thread.create (fun () -> Pj_server.Server.stop server) ())
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  let _heartbeat =
+    Thread.create
+      (fun () ->
+        while true do
+          Thread.delay 0.1
+        done)
+      ()
+  in
   Printf.printf
     "proxjoin serving %d documents on %s:%d (%d shard%s, %d domains, queue \
-     %d, cache %d, deadline %.0f ms)\n\
+     %d, cache %d, deadline %.0f ms, drain %.0f ms)\n\
      %!"
     (Pj_index.Corpus.size corpus) host
     (Pj_server.Server.port server)
     n_shards
     (if n_shards = 1 then "" else "s")
-    config.Pj_server.Server.domains queue cache deadline_ms;
-  Pj_server.Server.wait server
+    config.Pj_server.Server.domains queue cache deadline_ms drain_ms;
+  Pj_server.Server.wait server;
+  (* The accept loop only dies via [stop], so the handler has run; its
+     [stopper] assignment races only the few milliseconds stop takes.
+     Joining it means drain and worker shutdown are complete before
+     the process exits 0. *)
+  let rec join_stopper () =
+    match !stopper with
+    | Some th -> Thread.join th
+    | None ->
+        Thread.delay 0.01;
+        join_stopper ()
+  in
+  join_stopper ();
+  Printf.printf "proxjoin: shut down cleanly\n%!"
 
 (* --- bench-serve: loopback load generator ------------------------------ *)
 
@@ -526,15 +570,24 @@ let serve_cmd =
       value & opt float 2000.
       & info [ "deadline-ms" ] ~doc:"Per-query wall-clock budget (ms).")
   in
+  let drain =
+    Arg.(
+      value & opt float 5000.
+      & info [ "drain-ms" ]
+          ~doc:
+            "On SIGTERM/SIGINT, how long in-flight requests may finish \
+             before connections are force-closed (ms).")
+  in
   let log_every =
     Arg.(
       value
       & opt (some float) None
       & info [ "log-every" ] ~docv:"SECONDS" ~doc:"Periodic stats line on stderr.")
   in
-  let run file host port domains queue cache deadline log_every shards =
+  let run file host port domains queue cache deadline drain log_every shards =
     wrap (fun () ->
-        run_serve file host port domains queue cache deadline log_every shards)
+        run_serve file host port domains queue cache deadline drain log_every
+          shards)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -544,7 +597,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ file_arg $ host_arg $ port_arg ~default:7070 $ domains
-       $ queue $ cache $ deadline $ log_every $ shards_arg))
+       $ queue $ cache $ deadline $ drain $ log_every $ shards_arg))
 
 let bench_serve_cmd =
   let clients =
@@ -587,4 +640,13 @@ let main =
       bench_serve_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Fault injection is armed before any subcommand touches the index
+     or the network, so storage load/save sites fire too. A bad spec
+     is an operator error: report it and refuse to start. *)
+  (match Pj_util.Failpoint.init_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "proxjoin: bad $PROXJOIN_FAILPOINTS: %s\n%!" msg;
+      exit 2);
+  exit (Cmd.eval main)

@@ -1,14 +1,20 @@
 type t = {
   index : Pj_index.Sharded_index.t;
   fragments : Searcher.t array;
+  sites : string array;
+      (* Pre-built failpoint site names ("shard.0", "shard.1", ...):
+         the degraded path hits one per shard per query, and the
+         disabled fast path must not allocate. *)
 }
 
 let create index =
+  let n = Pj_index.Sharded_index.n_shards index in
   {
     index;
     fragments =
-      Array.init (Pj_index.Sharded_index.n_shards index) (fun i ->
+      Array.init n (fun i ->
           Searcher.create (Pj_index.Sharded_index.shard index i));
+    sites = Array.init n (Printf.sprintf "shard.%d");
   }
 
 let sharded_index t = t.index
@@ -60,6 +66,61 @@ let search_impl ?deadline ~k ~dedup ~prune t scoring q =
            (Array.to_list results
            |> List.map (function Ok hits -> hits | Error `Timeout -> [])))
   end
+
+type degraded = { hits : Searcher.hit list; failed : int list }
+
+(* Fault-isolated scatter-gather: every per-shard leg runs under a
+   catch-all (plus its failpoint site), so a raising or deadline-blown
+   shard contributes nothing instead of poisoning the whole query. The
+   healthy path is byte-identical to [search_impl]: same fragments,
+   same shared threshold, same merge.
+
+   Soundness note on the shared threshold: a shard that fails at entry
+   (the failpoint site fires before its scan starts) never publishes,
+   so the surviving shards' merged top-k equals the monolithic top-k
+   over the surviving doc ranges exactly — the oracle the degradation
+   tests assert. A shard dying mid-scan may already have published a
+   bound from its own (now discarded) documents; surviving hits are
+   still genuine documents with exact scores, but documents weaker
+   than the dead shard's bound may have been pruned, so the guarantee
+   degrades from "exact top-k of survivors" to "genuine, exactly
+   scored hits in order". *)
+let search_degraded_impl ?deadline ~k ~dedup ~prune t scoring q =
+  if k < 0 then invalid_arg "Shard_searcher.search_degraded: negative k";
+  if k = 0 then Ok { hits = []; failed = [] }
+  else begin
+    let threshold = Atomic.make Float.neg_infinity in
+    let n = Array.length t.fragments in
+    let domains = Stdlib.min n (Pj_util.Parallel.recommended_domains ()) in
+    let legs =
+      Pj_util.Parallel.map_array ~domains
+        (fun i ->
+          match
+            Pj_util.Failpoint.hit t.sites.(i);
+            Searcher.search_fragment ?deadline ~threshold ~k ~dedup ~prune
+              t.fragments.(i) scoring q
+          with
+          | Ok hits -> `Hits hits
+          | Error `Timeout -> `Expired
+          | exception _ -> `Raised)
+        (Array.init n Fun.id)
+    in
+    let all_expired = Array.for_all (fun leg -> leg = `Expired) legs in
+    if all_expired then Error `Timeout
+    else begin
+      let failed = ref [] and per_shard = ref [] in
+      for i = n - 1 downto 0 do
+        match legs.(i) with
+        | `Hits hits -> per_shard := hits :: !per_shard
+        | `Expired | `Raised -> failed := i :: !failed
+      done;
+      Ok { hits = merge ~k !per_shard; failed = !failed }
+    end
+  end
+
+let search_degraded ?(k = 10) ?(dedup = true) ?(prune = true) ~deadline t
+    scoring q =
+  search_degraded_impl ~deadline ~k ~dedup ~prune t scoring q
 
 let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
   match search_impl ~k ~dedup ~prune t scoring q with

@@ -53,3 +53,35 @@ val search_within :
 (** Same contract as {!Searcher.search_within}; the deadline applies to
     every fragment, and any fragment expiring times the query out
     (a partial scatter is as unsound as a partial scan). *)
+
+type degraded = {
+  hits : Searcher.hit list;  (** merged top-k of the surviving shards *)
+  failed : int list;
+      (** shard indexes that raised or blew the deadline, ascending;
+          [[]] means the result is complete and byte-identical to
+          {!search_within}'s [Ok] *)
+}
+
+val search_degraded :
+  ?k:int ->
+  ?dedup:bool ->
+  ?prune:bool ->
+  deadline:float ->
+  t ->
+  Pj_core.Scoring.t ->
+  Pj_matching.Query.t ->
+  (degraded, [ `Timeout ]) result
+(** Fault-isolated {!search_within}: a per-shard leg that raises (any
+    exception, including an armed ["shard.<i>"]
+    {!Pj_util.Failpoint}) or misses the deadline is dropped from the
+    merge and reported in [failed] instead of propagating. When no
+    shard fails the result is byte-identical to {!search_within} —
+    the healthy path is the same fragments, shared prune threshold,
+    and merge. [Error `Timeout] only when {e every} shard blew the
+    deadline (the degenerate case indistinguishable from a monolithic
+    timeout). When a shard fails before publishing into the shared
+    threshold — e.g. at its entry failpoint — the surviving merge
+    equals the monolithic top-k over exactly the surviving doc
+    ranges; a shard dying mid-scan may have published a bound that
+    pruned survivors, in which case hits remain genuine and exactly
+    scored but the list may be shorter than that oracle. *)

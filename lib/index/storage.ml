@@ -94,10 +94,29 @@ let save_with_counts corpus counts path =
   let footer = Bytes.create 4 in
   Bytes.set_int32_le footer 0 crc;
   Buffer.add_bytes buf footer;
-  let oc = open_out_bin path in
+  (* Crash-safe publish: the bytes go to [path.tmp], reach the disk
+     (fsync), and only then replace [path] with an atomic rename — a
+     crash at any point leaves either the old complete file or the old
+     file plus a stale [.tmp] that the next save overwrites. The
+     failpoints bracket the vulnerable window for the chaos tests. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf)
+    (fun () ->
+      Pj_util.Failpoint.hit "storage.save.write";
+      Buffer.output_buffer oc buf;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Pj_util.Failpoint.hit "storage.save.rename";
+  Sys.rename tmp path;
+  (* Durability of the rename itself: fsync the directory when the
+     platform allows opening one (best-effort — the data file is
+     already safe either way). *)
+  try
+    let dir = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+    Fun.protect ~finally:(fun () -> Unix.close dir) (fun () -> Unix.fsync dir)
+  with Unix.Unix_error _ | Sys_error _ -> ()
 
 let save_corpus corpus path =
   save_with_counts corpus [| Corpus.size corpus |] path
@@ -114,8 +133,7 @@ let read_file path =
 
 (* Core loader: the corpus plus the persisted shard layout. v1/v2 files
    predate shard layouts and load as one shard covering everything. *)
-let load_with_counts path =
-  let s = read_file path in
+let parse_with_counts s =
   let pos = ref 0 in
   if String.length s < 4 || String.sub s 0 4 <> magic then
     failwith "Storage: not a proxjoin corpus file";
@@ -174,6 +192,20 @@ let load_with_counts path =
   in
   if !pos <> String.length s then failwith "Storage: trailing bytes";
   (corpus, counts)
+
+let load_with_counts path =
+  Pj_util.Failpoint.hit "storage.load";
+  let s = read_file path in
+  (* Every malformation the parser detects is a [Failure "Storage:
+     ..."]; anything else a corrupt file manages to trigger is wrapped
+     so no raw exception ([Invalid_argument], [Out_of_memory] from an
+     absurd length, ...) escapes to callers. *)
+  try parse_with_counts s with
+  | Failure _ as e -> raise e
+  | e ->
+      failwith
+        (Printf.sprintf "Storage: corrupt index file %s (%s)" path
+           (Printexc.to_string e))
 
 let load_corpus path = fst (load_with_counts path)
 

@@ -16,12 +16,19 @@
     are stable across compiler versions. *)
 
 val save_corpus : Corpus.t -> string -> unit
-(** Write the corpus (vocabulary + documents) to the path. Raises
+(** Write the corpus (vocabulary + documents) to the path. The write
+    is crash-safe: bytes land in [path.tmp], are fsynced, and replace
+    [path] via an atomic rename — a crash (or a
+    [storage.save.write]/[storage.save.rename] failpoint) at any
+    moment leaves any pre-existing file at [path] intact, at worst
+    alongside a stale [.tmp] the next save overwrites. Raises
     [Sys_error] on I/O failure. *)
 
 val load_corpus : string -> Corpus.t
-(** Read a corpus back. Raises [Failure] on a malformed or
-    wrong-version file, [Sys_error] on I/O failure. *)
+(** Read a corpus back. Raises [Failure] with a ["Storage: ..."]
+    message on any malformed, truncated or wrong-version file (the
+    CRC footer catches silent corruption; no raw decoding exception
+    escapes), [Sys_error] on I/O failure. *)
 
 val save : Inverted_index.t -> string -> unit
 (** [save idx path] persists the index's corpus. *)

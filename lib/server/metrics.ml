@@ -8,7 +8,10 @@ type t = {
   mutable search_errors : int;
   mutable busy : int;
   mutable timeouts : int;
+  mutable degraded : int;
+  mutable shard_failures : int;
   latency : Pj_util.Histogram.t;
+  degraded_latency : Pj_util.Histogram.t;
 }
 
 let create () =
@@ -22,7 +25,10 @@ let create () =
     search_errors = 0;
     busy = 0;
     timeouts = 0;
+    degraded = 0;
+    shard_failures = 0;
     latency = Pj_util.Histogram.create ();
+    degraded_latency = Pj_util.Histogram.create ();
   }
 
 let with_lock t f =
@@ -42,8 +48,20 @@ let record_search_error t =
 let record_busy t = with_lock t (fun () -> t.busy <- t.busy + 1)
 let record_timeout t = with_lock t (fun () -> t.timeouts <- t.timeouts + 1)
 
+(* One degraded response lost [n_failed_shards] shard legs; both the
+   response count and the per-leg count are tracked, so "how often do
+   users see partial answers" and "how flaky are the shards" read off
+   separately. *)
+let record_degraded t ~n_failed_shards =
+  with_lock t (fun () ->
+      t.degraded <- t.degraded + 1;
+      t.shard_failures <- t.shard_failures + n_failed_shards)
+
 let observe_latency t seconds =
   with_lock t (fun () -> Pj_util.Histogram.observe t.latency seconds)
+
+let observe_degraded_latency t seconds =
+  with_lock t (fun () -> Pj_util.Histogram.observe t.degraded_latency seconds)
 
 type snapshot = {
   uptime_s : float;
@@ -56,6 +74,8 @@ type snapshot = {
   errors : int;
   busy : int;
   timeouts : int;
+  degraded : int;
+  shard_failures : int;
   served : int;
   latency_mean_ms : float;
   latency_p50_ms : float;
@@ -83,6 +103,8 @@ let snapshot t =
         errors = t.parse_errors + t.search_errors;
         busy = t.busy;
         timeouts = t.timeouts;
+        degraded = t.degraded;
+        shard_failures = t.shard_failures;
         served = Pj_util.Histogram.count h;
         latency_mean_ms = ms (Pj_util.Histogram.mean h);
         latency_p50_ms = ms (Pj_util.Histogram.percentile h 50.);
@@ -91,15 +113,18 @@ let snapshot t =
         latency_max_ms = ms (Pj_util.Histogram.max_value h);
       })
 
-let render t ~cache_hits ~cache_misses ~cache_len ~queue_len ~domains =
+let render t ~cache_hits ~cache_misses ~cache_len ~queue_len ~domains
+    ~worker_panics ~worker_respawns =
   let s = snapshot t in
   Printf.sprintf
     "STATS uptime_s=%.1f requests=%d searches=%d served=%d pings=%d \
      stats=%d errors=%d parse_errors=%d search_errors=%d busy=%d \
-     timeouts=%d cache_hits=%d cache_misses=%d cache_len=%d queue_len=%d \
-     domains=%d lat_mean_ms=%.3f p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f \
-     max_ms=%.3f"
+     timeouts=%d degraded=%d shard_failures=%d worker_panics=%d \
+     worker_respawns=%d cache_hits=%d cache_misses=%d cache_len=%d \
+     queue_len=%d domains=%d lat_mean_ms=%.3f p50_ms=%.3f p95_ms=%.3f \
+     p99_ms=%.3f max_ms=%.3f"
     s.uptime_s s.requests s.searches s.served s.pings s.stats_calls s.errors
-    s.parse_errors s.search_errors s.busy s.timeouts cache_hits cache_misses
+    s.parse_errors s.search_errors s.busy s.timeouts s.degraded
+    s.shard_failures worker_panics worker_respawns cache_hits cache_misses
     cache_len queue_len domains s.latency_mean_ms s.latency_p50_ms
     s.latency_p95_ms s.latency_p99_ms s.latency_max_ms

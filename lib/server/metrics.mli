@@ -39,9 +39,21 @@ val record_busy : t -> unit
 val record_timeout : t -> unit
 (** Also counted as a search; tracks deadline expiries. *)
 
+val record_degraded : t -> n_failed_shards:int -> unit
+(** An OK-DEGRADED response (already counted as a search): bumps the
+    degraded-response count by one and the cumulative shard-failure
+    count by [n_failed_shards] — the first says how often clients see
+    partial answers, the second how flaky the shards are. *)
+
 val observe_latency : t -> float -> unit
 (** Seconds from request receipt to response for a served search
     (cache hits included). *)
+
+val observe_degraded_latency : t -> float -> unit
+(** Same clock, but for OK-DEGRADED responses — kept in a separate
+    histogram so degraded requests (which often burn the whole
+    deadline on a failed leg) don't skew the healthy-path
+    percentiles. *)
 
 type snapshot = {
   uptime_s : float;
@@ -54,6 +66,8 @@ type snapshot = {
   errors : int;  (** parse_errors + search_errors *)
   busy : int;
   timeouts : int;
+  degraded : int;  (** OK-DEGRADED responses *)
+  shard_failures : int;  (** total failed shard legs across them *)
   served : int;  (** searches answered with a HITS line *)
   latency_mean_ms : float;
   latency_p50_ms : float;
@@ -71,5 +85,9 @@ val render :
   cache_len:int ->
   queue_len:int ->
   domains:int ->
+  worker_panics:int ->
+  worker_respawns:int ->
   string
-(** The single-line key=value [STATS] response. *)
+(** The single-line key=value [STATS] response. [worker_panics] and
+    [worker_respawns] come from {!Worker_pool} (they live in the pool,
+    not here, because the supervisor owns them). *)

@@ -89,8 +89,30 @@ let string_of_hits hits =
   in
   String.concat " " (Printf.sprintf "HITS %d" (List.length hits) :: body)
 
+(* A degraded answer is a complete HITS line prefixed with which
+   shards are missing, so clients that only want best-effort results
+   can strip everything up to "HITS" and proceed. *)
+let ok_degraded ~failed_shards hits =
+  Printf.sprintf "OK-DEGRADED shards=%s %s"
+    (String.concat "," (List.map string_of_int failed_shards))
+    (string_of_hits hits)
+
 let pong = "PONG"
 let bye = "BYE"
 let busy = "BUSY"
 let timeout = "TIMEOUT"
 let err msg = "ERR " ^ one_line msg
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Only complete results may be replayed from the cache: a TIMEOUT is
+   a statement about one request's wall clock, a degraded line about
+   one request's shard luck — neither is a property of the query. *)
+let cacheable response = has_prefix "HITS " response
+
+(* Responses that answer a search with hits (complete or degraded),
+   as opposed to an error/backpressure outcome — what the latency
+   histogram observes. *)
+let is_search_success response =
+  has_prefix "HITS " response || has_prefix "OK-DEGRADED " response

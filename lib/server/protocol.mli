@@ -14,10 +14,13 @@
     term     ::= a Pj_matching.Query_parser spec (no spaces)
     v}
 
-    Responses: ["HITS n doc:score ..."], ["PONG"], ["BYE"], ["BUSY"]
-    (queue full), ["TIMEOUT"] (deadline exceeded), ["ERR reason"], or a
-    single ["STATS ..."] key=value line. A malformed request yields
-    [ERR] and leaves the connection open. *)
+    Responses: ["HITS n doc:score ..."], ["OK-DEGRADED shards=i,j HITS
+    n doc:score ..."] (a complete answer from the surviving shards
+    when shards [i,j] failed or blew the deadline — see
+    {!Pj_engine.Shard_searcher.search_degraded}), ["PONG"], ["BYE"],
+    ["BUSY"] (queue full), ["TIMEOUT"] (deadline exceeded),
+    ["ERR reason"], or a single ["STATS ..."] key=value line. A
+    malformed request yields [ERR] and leaves the connection open. *)
 
 type search_request = {
   family : string;  (** "win", "med" or "max" — validated by the parser *)
@@ -44,6 +47,22 @@ val cache_key : search_request -> string
 val string_of_hits : Pj_engine.Searcher.hit list -> string
 (** ["HITS n doc:score ..."], scores rendered with 9 significant
     digits — the canonical SEARCH response line. *)
+
+val ok_degraded :
+  failed_shards:int list -> Pj_engine.Searcher.hit list -> string
+(** ["OK-DEGRADED shards=1,3 HITS n doc:score ..."]: the surviving
+    shards' merged top-k plus which shard indexes are missing from
+    it. Never cached (see {!cacheable}). *)
+
+val cacheable : string -> bool
+(** Whether a response line may be stored in (and replayed from) the
+    {!Result_cache}: only complete ["HITS ..."] lines are — [TIMEOUT],
+    [OK-DEGRADED], [BUSY] and [ERR] describe one request's luck, not
+    the query's answer. *)
+
+val is_search_success : string -> bool
+(** The response carries hits (complete or degraded) — what latency
+    metrics observe. *)
 
 val pong : string
 val bye : string

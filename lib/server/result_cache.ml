@@ -27,8 +27,13 @@ let find t key =
           t.misses <- t.misses + 1;
           None)
 
+(* Last line of defense, independent of the server's own filtering: a
+   response that is not a complete answer (TIMEOUT, OK-DEGRADED, BUSY,
+   ERR) describes one request's luck — replaying it to healthy
+   clients would be wrong, so such lines are never stored. *)
 let add t key response =
-  with_lock t (fun () -> Pj_util.Lru.add t.lru key response)
+  if Protocol.cacheable response then
+    with_lock t (fun () -> Pj_util.Lru.add t.lru key response)
 
 let stats t =
   with_lock t (fun () -> (t.hits, t.misses, Pj_util.Lru.length t.lru))

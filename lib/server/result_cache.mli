@@ -15,6 +15,10 @@ val find : t -> string -> string option
 (** Counts a hit or a miss, and refreshes recency on hits. *)
 
 val add : t -> string -> string -> unit
+(** Store a response line — but only when {!Protocol.cacheable} says
+    it is a complete answer. [TIMEOUT], [OK-DEGRADED], [BUSY] and
+    [ERR] lines are silently refused: a degraded or timed-out request
+    must never be replayed to healthy clients. *)
 
 val stats : t -> int * int * int
 (** [(hits, misses, current length)]. *)

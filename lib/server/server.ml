@@ -5,6 +5,7 @@ type config = {
   queue_capacity : int;
   cache_capacity : int;
   deadline_s : float;
+  drain_s : float;
   log_every_s : float option;
 }
 
@@ -16,6 +17,7 @@ let default_config =
     queue_capacity = 64;
     cache_capacity = 1024;
     deadline_s = 2.0;
+    drain_s = 5.0;
     log_every_s = None;
   }
 
@@ -41,6 +43,10 @@ type t = {
   cache : Result_cache.t;
   metrics : Metrics.t;
   running : bool Atomic.t;
+  inflight : int Atomic.t;
+      (* Requests between line-read and response-flush; what [stop]'s
+         drain phase waits on. Handler threads parked in [read] don't
+         count — they have nothing half-answered to lose. *)
   mutable accept_thread : Thread.t option;
   mutable log_thread : Thread.t option;
   conns : (int, conn) Hashtbl.t;
@@ -50,12 +56,15 @@ type t = {
 let port t = t.port
 let metrics t = t.metrics
 let cache t = t.cache
+let inflight t = Atomic.get t.inflight
 
 let stats_line t =
   let cache_hits, cache_misses, cache_len = Result_cache.stats t.cache in
   Metrics.render t.metrics ~cache_hits ~cache_misses ~cache_len
     ~queue_len:(Worker_pool.queue_length t.pool)
     ~domains:(Worker_pool.domains t.pool)
+    ~worker_panics:(Worker_pool.panics t.pool)
+    ~worker_respawns:(Worker_pool.respawns t.pool)
 
 (* Answer one SEARCH. The cache is consulted before the worker pool, so
    a repeated query costs one hash lookup and no queue slot; live
@@ -103,6 +112,14 @@ let handle_search t (sr : Protocol.search_request) =
                     let response = Protocol.string_of_hits hits in
                     Result_cache.add t.cache key response;
                     response
+                | `Done (Worker_pool.Degraded (hits, failed)) ->
+                    (* A partial answer is this request's shard luck,
+                       not the query's answer — flag it, count it, and
+                       keep it out of the cache so the next attempt
+                       gets a fresh scatter-gather. *)
+                    Metrics.record_degraded t.metrics
+                      ~n_failed_shards:(List.length failed);
+                    Protocol.ok_degraded ~failed_shards:failed hits
                 | `Done Worker_pool.Timed_out ->
                     Metrics.record_timeout t.metrics;
                     Protocol.timeout
@@ -130,8 +147,13 @@ let respond t line =
       Metrics.record_search t.metrics;
       let t0 = Pj_util.Timing.monotonic_now () in
       let response = handle_search t sr in
-      if String.length response >= 4 && String.sub response 0 4 = "HITS" then
-        Metrics.observe_latency t.metrics (Pj_util.Timing.monotonic_now () -. t0);
+      let dt = Pj_util.Timing.monotonic_now () -. t0 in
+      (* Separate histograms: a degraded request often burns its whole
+         deadline on the failed leg, which would smear the healthy-path
+         percentiles. *)
+      if Protocol.cacheable response then Metrics.observe_latency t.metrics dt
+      else if Protocol.is_search_success response then
+        Metrics.observe_degraded_latency t.metrics dt;
       (response, true)
 
 let register_conn t id conn =
@@ -200,10 +222,24 @@ let handle_connection t id fd =
         output_char oc '\n';
         flush oc
     | `Line line ->
-        let response, continue = respond t line in
-        output_string oc response;
-        output_char oc '\n';
-        flush oc;
+        (* In-flight from line-read to response-flush, exception-safe:
+           [stop]'s drain phase must never wait on a request whose
+           handler already died. *)
+        Atomic.incr t.inflight;
+        let continue =
+          Fun.protect
+            ~finally:(fun () -> Atomic.decr t.inflight)
+            (fun () ->
+              (* Chaos site for connection handling itself: an injected
+                 error (or panic) here tears down this connection only
+                 — the catch-all below owns the cleanup. *)
+              Pj_util.Failpoint.hit "server.conn";
+              let response, continue = respond t line in
+              output_string oc response;
+              output_char oc '\n';
+              flush oc;
+              continue)
+        in
         if continue then loop ()
   in
   (* Any per-connection failure (client gone mid-write, etc.) closes
@@ -271,6 +307,7 @@ let start ?(config = default_config) ~graph search =
       cache = Result_cache.create ~capacity:config.cache_capacity;
       metrics = Metrics.create ();
       running = Atomic.make true;
+      inflight = Atomic.make 0;
       accept_thread = None;
       log_thread = None;
       conns = Hashtbl.create 64;
@@ -295,6 +332,17 @@ let stop t =
        appear and every registered conn has had [set_conn_thread] run,
        so the snapshot below is complete. *)
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (* Drain: requests already read off a socket get up to [drain_s]
+       to finish and flush their response before connections are
+       forced closed. Handler threads parked in [read] hold no
+       half-answered request and are not waited for. *)
+    let drain_deadline = Pj_util.Timing.monotonic_now () +. t.config.drain_s in
+    while
+      Atomic.get t.inflight > 0
+      && Pj_util.Timing.monotonic_now () < drain_deadline
+    do
+      Thread.delay 0.002
+    done;
     (* Nudge open connections: a shutdown makes their next read see
        end-of-file, so handler threads drain and exit. Only the
        threads of still-registered conns are joined — finished

@@ -10,7 +10,9 @@
     OCaml 5 domains through a bounded {!Work_queue}. Failure semantics
     per request: queue full → [BUSY]; per-query wall-clock deadline
     exceeded → [TIMEOUT]; malformed request or failing query → [ERR]
-    with the connection left open. {!Metrics} aggregates counters and
+    with the connection left open; a sharded search that lost some
+    (but not all) shard legs → [OK-DEGRADED] carrying the surviving
+    shards' merged top-k, never cached. {!Metrics} aggregates counters and
     latency percentiles for [STATS] and the optional periodic log
     line on stderr. *)
 
@@ -21,6 +23,9 @@ type config = {
   queue_capacity : int;  (** pending searches before [BUSY], default 64 *)
   cache_capacity : int;  (** LRU entries, default 1024 *)
   deadline_s : float;  (** per-query wall-clock budget, default 2.0 *)
+  drain_s : float;
+      (** how long {!stop} lets in-flight requests finish before
+          force-closing their connections, default 5.0 *)
   log_every_s : float option;  (** stderr stats period, default [None] *)
 }
 
@@ -48,8 +53,15 @@ val connections : t -> int
     turnover. *)
 
 val stop : t -> unit
-(** Graceful shutdown: stop accepting, close open connections, finish
-    queued jobs, join every thread and domain. Idempotent. *)
+(** Graceful shutdown in three phases: stop accepting (close the
+    listening socket, join the accept loop); drain — requests already
+    read off a socket get up to [drain_s] seconds to finish and flush
+    their response; then force-close remaining connections, finish
+    queued jobs, and join every thread and domain. Idempotent. *)
+
+val inflight : t -> int
+(** Requests currently between line-read and response-flush — what the
+    drain phase of {!stop} waits on. *)
 
 val wait : t -> unit
 (** Block until the accept loop exits (i.e. until {!stop}). *)

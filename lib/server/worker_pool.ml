@@ -1,5 +1,6 @@
 type outcome =
   | Hits of Pj_engine.Searcher.hit list
+  | Degraded of Pj_engine.Searcher.hit list * int list
   | Timed_out
   | Failed of string
 
@@ -8,13 +9,19 @@ type search =
   k:int ->
   deadline:float ->
   Pj_matching.Query.t ->
-  (Pj_engine.Searcher.hit list, [ `Timeout ]) result
+  (Pj_engine.Searcher.hit list * int list, [ `Timeout ]) result
 
 let of_searcher searcher ~scoring ~k ~deadline query =
-  Pj_engine.Searcher.search_within ~k ~deadline searcher scoring query
+  (* A monolithic index has no shards to lose: complete or timed out. *)
+  Result.map
+    (fun hits -> (hits, []))
+    (Pj_engine.Searcher.search_within ~k ~deadline searcher scoring query)
 
 let of_shard_searcher sharded ~scoring ~k ~deadline query =
-  Pj_engine.Shard_searcher.search_within ~k ~deadline sharded scoring query
+  Result.map
+    (fun { Pj_engine.Shard_searcher.hits; failed } -> (hits, failed))
+    (Pj_engine.Shard_searcher.search_degraded ~k ~deadline sharded scoring
+       query)
 
 (* A one-shot result cell the submitting thread blocks on. *)
 type cell = {
@@ -33,31 +40,49 @@ type job = {
 
 type t = {
   queue : job Work_queue.t;
-  workers : unit Domain.t array;
+  search : search;
   domains : int;
+  workers : unit Domain.t option array;
+      (* [None] after the supervisor reclaimed a panicked domain it did
+         not replace (shutdown); otherwise the slot's current domain. *)
+  m : Mutex.t;
+  c : Condition.t;  (* wakes the supervisor: dead slot, exit, or stop *)
+  dead : int Queue.t;  (* slots whose domain died on a panic *)
+  mutable live : int;  (* worker domains that have not terminated *)
+  mutable stopping : bool;
+  panics : int Atomic.t;
+  respawns : int Atomic.t;
+  mutable supervisor : Thread.t option;
 }
 
-let fill cell outcome =
+let fill (cell : cell) outcome =
   Mutex.lock cell.m;
   cell.result <- Some outcome;
   Condition.signal cell.c;
   Mutex.unlock cell.m
 
 let execute (search : search) job =
-  let outcome =
-    (* A job that sat in the queue past its deadline is not worth
-       starting — the client's budget is wall-clock, queueing
-       included. *)
-    if Pj_util.Timing.monotonic_now () > job.deadline then Timed_out
-    else
-      match
-        search ~scoring:job.scoring ~k:job.k ~deadline:job.deadline job.query
-      with
-      | Ok hits -> Hits hits
-      | Error `Timeout -> Timed_out
-      | exception e -> Failed (Printexc.to_string e)
-  in
-  fill job.cell outcome
+  (* A job that sat in the queue past its deadline is not worth
+     starting — the client's budget is wall-clock, queueing
+     included. *)
+  if Pj_util.Timing.monotonic_now () > job.deadline then
+    fill job.cell Timed_out
+  else
+    match
+      Pj_util.Failpoint.hit "worker.job";
+      search ~scoring:job.scoring ~k:job.k ~deadline:job.deadline job.query
+    with
+    | Ok (hits, []) -> fill job.cell (Hits hits)
+    | Ok (hits, failed) -> fill job.cell (Degraded (hits, failed))
+    | Error `Timeout -> fill job.cell Timed_out
+    | exception (Pj_util.Failpoint.Panicked site as e) ->
+        (* A panic models a crash of this worker: answer the waiting
+           client (it must never hang on a dead domain), then let the
+           exception kill the worker loop — the supervisor respawns. *)
+        fill job.cell
+          (Failed (Printf.sprintf "worker panicked (failpoint %s)" site));
+        raise e
+    | exception e -> fill job.cell (Failed (Printexc.to_string e))
 
 let worker_loop search queue =
   let rec go () =
@@ -69,17 +94,99 @@ let worker_loop search queue =
   in
   go ()
 
+let rec worker_body t slot () =
+  match worker_loop t.search t.queue with
+  | () ->
+      (* Normal exit: the queue closed and drained. *)
+      Mutex.lock t.m;
+      t.live <- t.live - 1;
+      Condition.broadcast t.c;
+      Mutex.unlock t.m
+  | exception _ ->
+      (* Only a panic escapes [execute]; this domain is done for.
+         Report the slot so the supervisor can reclaim and replace
+         it. *)
+      Atomic.incr t.panics;
+      Mutex.lock t.m;
+      Queue.push slot t.dead;
+      Condition.broadcast t.c;
+      Mutex.unlock t.m
+
+(* Supervision: join each panicked domain and spawn a replacement into
+   its slot, so the pool never silently shrinks. During shutdown a
+   replacement is still spawned while jobs remain queued (their
+   submitters are blocked on result cells and must not deadlock);
+   once the queue is empty the slot is retired instead. The loop ends
+   only when a stop was requested, every dead slot is reclaimed, and
+   every worker domain has terminated — so after [Thread.join
+   supervisor] the [workers] array is stable and fully joinable. *)
+and supervisor_loop t () =
+  Mutex.lock t.m;
+  let rec go () =
+    if Queue.is_empty t.dead && not (t.stopping && t.live = 0) then begin
+      Condition.wait t.c t.m;
+      go ()
+    end
+    else if not (Queue.is_empty t.dead) then begin
+      let slot = Queue.pop t.dead in
+      let dead_domain =
+        match t.workers.(slot) with Some d -> d | None -> assert false
+      in
+      let respawn = (not t.stopping) || Work_queue.length t.queue > 0 in
+      if not respawn then begin
+        t.workers.(slot) <- None;
+        t.live <- t.live - 1
+      end;
+      Mutex.unlock t.m;
+      Domain.join dead_domain;
+      if respawn then begin
+        let d = Domain.spawn (worker_body t slot) in
+        Atomic.incr t.respawns;
+        Mutex.lock t.m;
+        t.workers.(slot) <- Some d
+      end
+      else Mutex.lock t.m;
+      go ()
+    end
+  in
+  go ();
+  Mutex.unlock t.m
+
 let create ~domains ~queue_capacity search =
   let domains = Stdlib.max 1 domains in
   let queue = Work_queue.create ~capacity:queue_capacity in
-  let workers =
-    Array.init domains (fun _ ->
-        Domain.spawn (fun () -> worker_loop search queue))
+  let t =
+    {
+      queue;
+      search;
+      domains;
+      workers = Array.make domains None;
+      m = Mutex.create ();
+      c = Condition.create ();
+      dead = Queue.create ();
+      live = domains;
+      stopping = false;
+      panics = Atomic.make 0;
+      respawns = Atomic.make 0;
+      supervisor = None;
+    }
   in
-  { queue; workers; domains }
+  for slot = 0 to domains - 1 do
+    t.workers.(slot) <- Some (Domain.spawn (worker_body t slot))
+  done;
+  t.supervisor <- Some (Thread.create (supervisor_loop t) ());
+  t
 
 let domains t = t.domains
 let queue_length t = Work_queue.length t.queue
+let panics t = Atomic.get t.panics
+let respawns t = Atomic.get t.respawns
+
+let live t =
+  Mutex.lock t.m;
+  let n = t.live in
+  Mutex.unlock t.m;
+  n
 
 let run t ~scoring ~k ~deadline query =
   let cell = { m = Mutex.create (); c = Condition.create (); result = None } in
@@ -97,4 +204,22 @@ let run t ~scoring ~k ~deadline query =
 
 let shutdown t =
   Work_queue.close t.queue;
-  Array.iter Domain.join t.workers
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m;
+  (match t.supervisor with
+  | Some th ->
+      Thread.join th;
+      t.supervisor <- None
+  | None -> ());
+  (* Every remaining slot holds a terminated domain (the supervisor
+     only returns once live = 0); join reclaims them. *)
+  Array.iteri
+    (fun slot d ->
+      match d with
+      | Some d ->
+          Domain.join d;
+          t.workers.(slot) <- None
+      | None -> ())
+    t.workers

@@ -1,5 +1,5 @@
-(** A fixed pool of OCaml 5 worker domains executing searches against
-    one shared, immutable search function.
+(** A supervised pool of OCaml 5 worker domains executing searches
+    against one shared, immutable search function.
 
     The function closes over a searcher (monolithic
     {!Pj_engine.Searcher.t} or sharded {!Pj_engine.Shard_searcher.t})
@@ -8,36 +8,54 @@
     synchronization is the bounded {!Work_queue} in front of the pool
     and a per-job result cell. Parallelism therefore scales with
     domains up to memory bandwidth, exactly like
-    {!Pj_util.Parallel.map_array} over documents. *)
+    {!Pj_util.Parallel.map_array} over documents.
+
+    Supervision: a worker that {e panics} (a
+    {!Pj_util.Failpoint.Panicked} escaping a job — modelling a crash
+    rather than an ordinary error) first answers its waiting client
+    with [Failed] (no submitter ever hangs on a dead domain), then
+    dies; a supervisor thread detects the death, reclaims the domain,
+    and spawns a replacement into the same slot, so the pool returns
+    to full strength within one respawn cycle instead of silently
+    shrinking. Ordinary exceptions never kill a worker — they are
+    caught per job and reported as [Failed]. *)
 
 type outcome =
-  | Hits of Pj_engine.Searcher.hit list
+  | Hits of Pj_engine.Searcher.hit list  (** complete result *)
+  | Degraded of Pj_engine.Searcher.hit list * int list
+      (** hits from the surviving shards plus the failed shard
+          indexes (ascending, non-empty) — see
+          {!Pj_engine.Shard_searcher.search_degraded} *)
   | Timed_out  (** the per-query deadline passed (queueing included) *)
   | Failed of string
-      (** the search raised, e.g. a matcher without finite expansions *)
+      (** the search raised, e.g. a matcher without finite expansions,
+          or the worker executing it panicked *)
 
 type search =
   scoring:Pj_core.Scoring.t ->
   k:int ->
   deadline:float ->
   Pj_matching.Query.t ->
-  (Pj_engine.Searcher.hit list, [ `Timeout ]) result
-(** What a worker runs per job. Must be safe to call from several
-    domains at once (both provided constructors are: they only read an
-    immutable index). *)
+  (Pj_engine.Searcher.hit list * int list, [ `Timeout ]) result
+(** What a worker runs per job: [Ok (hits, failed_shards)] where an
+    empty [failed_shards] means the result is complete. Must be safe
+    to call from several domains at once (both provided constructors
+    are: they only read an immutable index). *)
 
 val of_searcher : Pj_engine.Searcher.t -> search
-(** [Pj_engine.Searcher.search_within] over one monolithic index. *)
+(** [Pj_engine.Searcher.search_within] over one monolithic index;
+    never degraded. *)
 
 val of_shard_searcher : Pj_engine.Shard_searcher.t -> search
-(** [Pj_engine.Shard_searcher.search_within] — scatter-gather over the
-    shards, byte-identical results to {!of_searcher} on the same
-    corpus. *)
+(** [Pj_engine.Shard_searcher.search_degraded] — fault-isolated
+    scatter-gather over the shards, byte-identical results to
+    {!of_searcher} on the same corpus when every shard answers. *)
 
 type t
 
 val create : domains:int -> queue_capacity:int -> search -> t
-(** Spawn [max 1 domains] workers sharing a bounded queue. *)
+(** Spawn [max 1 domains] workers sharing a bounded queue, plus the
+    supervisor thread. *)
 
 val run :
   t ->
@@ -55,6 +73,20 @@ val run :
 val domains : t -> int
 val queue_length : t -> int
 
+val panics : t -> int
+(** Worker domains lost to a panic since {!create}. *)
+
+val respawns : t -> int
+(** Replacement domains the supervisor has spawned. Steady state:
+    [panics = respawns] and {!live} [= domains]. *)
+
+val live : t -> int
+(** Worker domains currently running (i.e. not yet terminated). Equal
+    to [domains] except in the window between a panic and its
+    respawn, or during {!shutdown}. *)
+
 val shutdown : t -> unit
-(** Stop accepting jobs, finish the ones already queued, and join
-    every worker domain. *)
+(** Stop accepting jobs, finish the ones already queued (respawning
+    panicked workers as long as jobs remain, so no submitter
+    deadlocks), then join every worker domain and the supervisor.
+    Idempotent; concurrent {!run} calls race benignly into [`Busy]. *)

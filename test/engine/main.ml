@@ -5,6 +5,7 @@ let () =
       ("searcher", Test_searcher.suite);
       ("search_oracle", Test_search_oracle.suite);
       ("shard_oracle", Test_shard_oracle.suite);
+      ("degraded", Test_degraded.suite);
       ("daat_oracle", Test_daat_oracle.suite);
       ("snippet", Test_snippet.suite);
     ]

@@ -1,0 +1,222 @@
+(* Degradation oracle: with the shards in [kill] failing at entry
+   (armed "shard.<i>" failpoints), [Shard_searcher.search_degraded]
+   must return exactly the monolithic top-k over the surviving shards'
+   doc ranges — same ids (mapped through the survivors' positions),
+   same scores — and [failed] must list exactly the killed shards. *)
+
+open Pj_engine
+
+let rng = Pj_util.Prng.create 20260805
+
+let alphabet = [| "aa"; "bb"; "cc"; "dd"; "ee" |]
+
+let gen_docs () =
+  List.init
+    (Pj_util.Prng.int_in rng 6 30)
+    (fun _ ->
+      List.init
+        (Pj_util.Prng.int_in rng 1 15)
+        (fun _ -> Pj_util.Prng.choose rng alphabet))
+
+let build docs =
+  let corpus = Pj_index.Corpus.create () in
+  List.iter
+    (fun tokens ->
+      ignore (Pj_index.Corpus.add_tokens corpus (Array.of_list tokens)))
+    docs;
+  corpus
+
+let queries =
+  [
+    Pj_matching.Query.make "a" [ Pj_matching.Matcher.exact "aa" ];
+    Pj_matching.Query.make "ab"
+      [ Pj_matching.Matcher.exact "aa"; Pj_matching.Matcher.exact "bb" ];
+    Pj_matching.Query.make "abc"
+      [
+        Pj_matching.Matcher.exact "aa";
+        Pj_matching.Matcher.exact "bb";
+        Pj_matching.Matcher.exact "cc";
+      ];
+  ]
+
+let scorings =
+  [
+    ("win", Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha:0.3));
+    ("med", Pj_core.Scoring.Med (Pj_core.Scoring.med_exponential ~alpha:0.2));
+    ("max", Pj_core.Scoring.Max (Pj_core.Scoring.max_sum ~alpha:0.25));
+  ]
+
+let far_deadline () = Pj_util.Timing.monotonic_now () +. 60.
+
+(* The monolithic oracle over the survivors: a fresh corpus holding
+   only the surviving shards' documents (in global id order), searched
+   whole, with its local doc ids mapped back to global ones. Scores
+   are bit-comparable because each document's tokens — hence its match
+   positions and expansion scores — are unchanged. *)
+let surviving_oracle docs sharded ~kill ~k scoring q =
+  let keep = Array.make (List.length docs) false in
+  for s = 0 to Pj_index.Sharded_index.n_shards sharded - 1 do
+    if not (List.mem s kill) then begin
+      let first, count = Pj_index.Sharded_index.range sharded s in
+      for d = first to first + count - 1 do
+        keep.(d) <- true
+      done
+    end
+  done;
+  let surviving_ids =
+    List.filteri (fun i _ -> keep.(i)) (List.mapi (fun i _ -> i) docs)
+  in
+  let surviving_docs = List.filteri (fun i _ -> keep.(i)) docs in
+  let id_of_local = Array.of_list surviving_ids in
+  let mono =
+    Searcher.create (Pj_index.Inverted_index.build (build surviving_docs))
+  in
+  Searcher.search ~k mono scoring q
+  |> List.map (fun (h : Searcher.hit) ->
+         (id_of_local.(h.Searcher.doc_id), h.Searcher.score))
+
+let pp_pairs pairs =
+  String.concat "; "
+    (List.map (fun (d, s) -> Printf.sprintf "%d:%.17g" d s) pairs)
+
+let check_case docs ~shards ~kill ~k (family, scoring) q =
+  let corpus = build docs in
+  let sharded_index = Pj_index.Sharded_index.build ~shards corpus in
+  let sharded = Shard_searcher.create sharded_index in
+  Fun.protect
+    ~finally:(fun () -> Pj_util.Failpoint.clear ())
+    (fun () ->
+      Pj_util.Failpoint.configure
+        (List.map
+           (fun i ->
+             {
+               Pj_util.Failpoint.site = Printf.sprintf "shard.%d" i;
+               action = Pj_util.Failpoint.Fail;
+               prob = 1.0;
+             })
+           kill);
+      match
+        Shard_searcher.search_degraded ~k ~deadline:(far_deadline ()) sharded
+          scoring q
+      with
+      | Error `Timeout -> Alcotest.fail "unexpected timeout"
+      | Ok { Shard_searcher.hits; failed } ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "S=%d kill=[%s] %s k=%d: failed list" shards
+               (String.concat ","
+                  (List.map string_of_int kill))
+               family k)
+            (List.sort compare kill) failed;
+          let got =
+            List.map
+              (fun (h : Searcher.hit) -> (h.Searcher.doc_id, h.Searcher.score))
+              hits
+          in
+          let want = surviving_oracle docs sharded_index ~kill ~k scoring q in
+          if got <> want then
+            Alcotest.failf
+              "S=%d kill=[%s] %s k=%d:\nwant [%s]\ngot  [%s]" shards
+              (String.concat "," (List.map string_of_int kill))
+              family k (pp_pairs want) (pp_pairs got))
+
+let test_oracle () =
+  for _round = 1 to 12 do
+    let docs = gen_docs () in
+    List.iter
+      (fun shards ->
+        (* Every proper non-empty subset size: 1 .. shards-1 killed. *)
+        List.iter
+          (fun n_kill ->
+            let all = List.init shards Fun.id in
+            let arr = Array.of_list all in
+            Pj_util.Prng.shuffle rng arr;
+            let kill = Array.to_list (Array.sub arr 0 n_kill) in
+            List.iter
+              (fun sc ->
+                List.iter
+                  (fun q -> check_case docs ~shards ~kill ~k:5 sc q)
+                  queries)
+              scorings)
+          (List.init (shards - 1) (fun i -> i + 1)))
+      [ 2; 3; 5 ]
+  done
+
+let test_no_faults_is_byte_identical () =
+  for _round = 1 to 8 do
+    let docs = gen_docs () in
+    let corpus = build docs in
+    let sharded =
+      Shard_searcher.create (Pj_index.Sharded_index.build ~shards:3 corpus)
+    in
+    List.iter
+      (fun (family, scoring) ->
+        List.iter
+          (fun q ->
+            let want =
+              match
+                Shard_searcher.search_within ~k:5 ~deadline:(far_deadline ())
+                  sharded scoring q
+              with
+              | Ok hits -> hits
+              | Error `Timeout -> Alcotest.fail "unexpected timeout"
+            in
+            match
+              Shard_searcher.search_degraded ~k:5 ~deadline:(far_deadline ())
+                sharded scoring q
+            with
+            | Error `Timeout -> Alcotest.fail "unexpected timeout"
+            | Ok { Shard_searcher.hits; failed } ->
+                Alcotest.(check (list int))
+                  (family ^ ": nothing failed") [] failed;
+                Alcotest.(check bool)
+                  (family ^ ": structurally identical to search_within")
+                  true (hits = want))
+          queries)
+      scorings
+  done
+
+let test_all_shards_dead () =
+  let docs = gen_docs () in
+  let corpus = build docs in
+  let sharded =
+    Shard_searcher.create (Pj_index.Sharded_index.build ~shards:3 corpus)
+  in
+  Fun.protect
+    ~finally:(fun () -> Pj_util.Failpoint.clear ())
+    (fun () ->
+      Pj_util.Failpoint.arm "shard.*" Pj_util.Failpoint.Fail;
+      match
+        Shard_searcher.search_degraded ~k:5 ~deadline:(far_deadline ()) sharded
+          (snd (List.hd scorings))
+          (List.hd queries)
+      with
+      | Error `Timeout -> Alcotest.fail "raising shards are not a timeout"
+      | Ok { Shard_searcher.hits; failed } ->
+          Alcotest.(check (list int)) "all shards failed" [ 0; 1; 2 ] failed;
+          Alcotest.(check int) "no hits survive" 0 (List.length hits))
+
+let test_expired_deadline_times_out () =
+  let docs = gen_docs () in
+  let corpus = build docs in
+  let sharded =
+    Shard_searcher.create (Pj_index.Sharded_index.build ~shards:3 corpus)
+  in
+  (* A deadline in the past expires every shard: that degenerate case
+     must surface as Timeout, exactly like the monolithic searcher. *)
+  match
+    Shard_searcher.search_degraded ~k:5
+      ~deadline:(Pj_util.Timing.monotonic_now () -. 1.)
+      sharded
+      (snd (List.hd scorings))
+      (List.hd queries)
+  with
+  | Error `Timeout -> ()
+  | Ok _ -> Alcotest.fail "past deadline must time out"
+
+let suite =
+  [
+    ("degraded: survivors = monolithic oracle", `Quick, test_oracle);
+    ("degraded: fault-free path byte-identical", `Quick, test_no_faults_is_byte_identical);
+    ("degraded: every shard dead", `Quick, test_all_shards_dead);
+    ("degraded: all-expired is timeout", `Quick, test_expired_deadline_times_out);
+  ]

@@ -274,6 +274,84 @@ let test_bad_shard_layout_rejected () =
       write_bytes path (Buffer.contents buf);
       check_load_fails ~msg_contains:"shard layout" path)
 
+(* A panic failpoint anywhere inside [save_corpus] must model a crash:
+   whatever was at [path] before stays loadable, byte for byte. *)
+let test_crashed_save_leaves_old_file () =
+  let c1 = sample_corpus () in
+  let c2 = Corpus.create () in
+  ignore (Corpus.add_text c2 "a completely different corpus");
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () ->
+      Pj_util.Failpoint.clear ();
+      Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () ->
+      Storage.save_corpus c1 path;
+      let before = read_bytes path in
+      List.iter
+        (fun site ->
+          Pj_util.Failpoint.clear ();
+          Pj_util.Failpoint.arm site Pj_util.Failpoint.Panic;
+          (match Storage.save_corpus c2 path with
+          | () -> Alcotest.failf "save survived %s panic" site
+          | exception Pj_util.Failpoint.Panicked _ -> ());
+          Alcotest.(check string)
+            (site ^ ": target file untouched")
+            before (read_bytes path);
+          Alcotest.(check bool)
+            (site ^ ": old corpus still loads")
+            true
+            (corpora_equal c1 (Storage.load_corpus path)))
+        [ "storage.save.write"; "storage.save.rename" ];
+      (* After the "crash", a clean save goes through and wins. *)
+      Pj_util.Failpoint.clear ();
+      Storage.save_corpus c2 path;
+      Alcotest.(check bool) "new corpus after recovery" true
+        (corpora_equal c2 (Storage.load_corpus path)))
+
+(* A half-written temp file must never shadow the real index, and a
+   partial file at the final path is rejected by the CRC (exercised by
+   test_truncation_detected) with a [Failure], never a raw decoder
+   exception. *)
+let test_garbage_never_escapes_as_raw_exception () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* A header that lies about its sizes: valid magic + version 1
+         (no CRC to catch it), then a varint promising a vocabulary so
+         large the string reader runs off the end. *)
+      let buf = Buffer.create 32 in
+      Buffer.add_string buf "PJIX\001";
+      Storage.write_varint buf 3;
+      Storage.write_varint buf 1_000_000;
+      write_bytes path (Buffer.contents buf);
+      match Storage.load_corpus path with
+      | _ -> Alcotest.fail "bogus file loaded"
+      | exception Failure msg ->
+          Alcotest.(check bool) "clear Storage error" true
+            (String.length msg >= 8 && String.sub msg 0 8 = "Storage:")
+      | exception e ->
+          Alcotest.failf "raw exception escaped: %s" (Printexc.to_string e))
+
+let test_load_failpoint_injects () =
+  let c = sample_corpus () in
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () ->
+      Pj_util.Failpoint.clear ();
+      Sys.remove path)
+    (fun () ->
+      Storage.save_corpus c path;
+      Pj_util.Failpoint.arm "storage.load" Pj_util.Failpoint.Fail;
+      (match Storage.load_corpus path with
+      | _ -> Alcotest.fail "failpoint did not fire"
+      | exception Pj_util.Failpoint.Injected "storage.load" -> ());
+      Pj_util.Failpoint.clear ();
+      Alcotest.(check bool) "loads once cleared" true
+        (corpora_equal c (Storage.load_corpus path)))
+
 let test_crc32_known_value () =
   (* The standard check value: CRC-32 of "123456789". *)
   Alcotest.(check int32) "check value" 0xCBF43926l (Storage.crc32 "123456789");
@@ -298,4 +376,7 @@ let suite =
     ("storage: sharded roundtrip", `Quick, test_sharded_roundtrip);
     ("storage: bad shard layout rejected", `Quick, test_bad_shard_layout_rejected);
     ("storage: crc32 check value", `Quick, test_crc32_known_value);
+    ("storage: crashed save leaves old file", `Quick, test_crashed_save_leaves_old_file);
+    ("storage: no raw exception on garbage", `Quick, test_garbage_never_escapes_as_raw_exception);
+    ("storage: load failpoint", `Quick, test_load_failpoint_injects);
   ]

@@ -90,7 +90,37 @@ let test_scoring_of () =
 let test_renderers () =
   Alcotest.(check string) "no hits" "HITS 0" (Protocol.string_of_hits []);
   Alcotest.(check string) "err is one line" "ERR a b"
-    (Protocol.err "a\nb")
+    (Protocol.err "a\nb");
+  Alcotest.(check string) "degraded wraps the hits line"
+    "OK-DEGRADED shards=1,3 HITS 0"
+    (Protocol.ok_degraded ~failed_shards:[ 1; 3 ] [])
+
+let test_response_classes () =
+  let cases =
+    (* (response, cacheable, search success) *)
+    [
+      ("HITS 0", true, true);
+      ("HITS 2 1:0.5 2:0.25", true, true);
+      ("OK-DEGRADED shards=0 HITS 1 7:0.5", false, true);
+      ("TIMEOUT", false, false);
+      ("BUSY", false, false);
+      ("ERR boom", false, false);
+      ("PONG", false, false);
+      ("HITS", false, false);
+      (* truncated, not a well-formed response *)
+      ("", false, false);
+    ]
+  in
+  List.iter
+    (fun (r, want_cache, want_success) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cacheable %S" r)
+        want_cache (Protocol.cacheable r);
+      Alcotest.(check bool)
+        (Printf.sprintf "is_search_success %S" r)
+        want_success
+        (Protocol.is_search_success r))
+    cases
 
 let test_stats_request_accounting () =
   (* Regression for the STATS double-count: a failed SEARCH used to be
@@ -105,6 +135,12 @@ let test_stats_request_accounting () =
   Metrics.record_search_error m;
   Metrics.record_search m;
   Metrics.record_timeout m;
+  (* ... and one answered degraded: 2 of its shard legs failed. Its
+     latency goes to the separate degraded histogram, so it must not
+     bump [served]. *)
+  Metrics.record_search m;
+  Metrics.record_degraded m ~n_failed_shards:2;
+  Metrics.observe_degraded_latency m 0.5;
   (* 2 request lines that never parsed into a command. *)
   Metrics.record_parse_error m;
   Metrics.record_parse_error m;
@@ -116,14 +152,16 @@ let test_stats_request_accounting () =
     (s.Metrics.searches + s.Metrics.pings + s.Metrics.stats_calls
    + s.Metrics.parse_errors)
     s.Metrics.requests;
-  Alcotest.(check int) "exactly the 7 request lines" 7 s.Metrics.requests;
-  Alcotest.(check int) "searches" 3 s.Metrics.searches;
+  Alcotest.(check int) "exactly the 8 request lines" 8 s.Metrics.requests;
+  Alcotest.(check int) "searches" 4 s.Metrics.searches;
   Alcotest.(check int) "parse errors" 2 s.Metrics.parse_errors;
   Alcotest.(check int) "search errors" 1 s.Metrics.search_errors;
   Alcotest.(check int) "errors = parse + search errors"
     (s.Metrics.parse_errors + s.Metrics.search_errors)
     s.Metrics.errors;
-  Alcotest.(check int) "served only counts HITS responses" 1 s.Metrics.served
+  Alcotest.(check int) "served only counts HITS responses" 1 s.Metrics.served;
+  Alcotest.(check int) "degraded responses" 1 s.Metrics.degraded;
+  Alcotest.(check int) "failed shard legs" 2 s.Metrics.shard_failures
 
 let suite =
   [
@@ -133,5 +171,6 @@ let suite =
     ("protocol: cache key", `Quick, test_cache_key_normalization);
     ("protocol: scoring_of", `Quick, test_scoring_of);
     ("protocol: renderers", `Quick, test_renderers);
+    ("protocol: response classes", `Quick, test_response_classes);
     ("protocol: stats request accounting", `Quick, test_stats_request_accounting);
   ]

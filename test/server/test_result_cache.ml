@@ -14,19 +14,53 @@ let test_hit_miss_counters () =
 
 let test_eviction () =
   let c = Result_cache.create ~capacity:2 in
-  Result_cache.add c "a" "1";
-  Result_cache.add c "b" "2";
-  Result_cache.add c "c" "3";
+  Result_cache.add c "a" "HITS 1 1:1";
+  Result_cache.add c "b" "HITS 1 2:1";
+  Result_cache.add c "c" "HITS 1 3:1";
   Alcotest.(check (option string)) "a evicted" None (Result_cache.find c "a");
-  Alcotest.(check (option string)) "c kept" (Some "3") (Result_cache.find c "c")
+  Alcotest.(check (option string))
+    "c kept" (Some "HITS 1 3:1") (Result_cache.find c "c")
 
 let test_clear_resets () =
   let c = Result_cache.create ~capacity:2 in
-  Result_cache.add c "a" "1";
+  Result_cache.add c "a" "HITS 0";
   ignore (Result_cache.find c "a");
   Result_cache.clear c;
   let hits, misses, len = Result_cache.stats c in
   Alcotest.(check (list int)) "reset" [ 0; 0; 0 ] [ hits; misses; len ]
+
+(* Regression for the degradation work: a response that describes one
+   request's luck — TIMEOUT, OK-DEGRADED, BUSY, ERR — must never be
+   replayed from the cache, however it got offered to [add]. *)
+let test_never_caches_partial_responses () =
+  let c = Result_cache.create ~capacity:8 in
+  let refused =
+    [
+      Protocol.timeout;
+      Protocol.busy;
+      Protocol.err "boom";
+      Protocol.ok_degraded ~failed_shards:[ 1; 3 ] [];
+      "OK-DEGRADED shards=0 HITS 1 7:0.5";
+      "HITS";
+      (* no trailing space: not a well-formed HITS line *)
+      "";
+    ]
+  in
+  List.iteri
+    (fun i r ->
+      let key = Printf.sprintf "k%d" i in
+      Result_cache.add c key r;
+      Alcotest.(check (option string))
+        (Printf.sprintf "refused %S" r)
+        None (Result_cache.find c key))
+    refused;
+  let _, _, len = Result_cache.stats c in
+  Alcotest.(check int) "nothing stored" 0 len;
+  (* ... while a complete answer is stored as before. *)
+  Result_cache.add c "good" "HITS 2 1:0.5 2:0.25";
+  Alcotest.(check (option string))
+    "complete answer cached" (Some "HITS 2 1:0.5 2:0.25")
+    (Result_cache.find c "good")
 
 let test_concurrent_access () =
   (* Hammer one cache from several domains; the test passes when no
@@ -39,7 +73,7 @@ let test_concurrent_access () =
           let key = Printf.sprintf "k%d" ((i + seed) mod 64) in
           match Result_cache.find c key with
           | Some _ -> ()
-          | None -> Result_cache.add c key "v"
+          | None -> Result_cache.add c key "HITS 0"
         done)
   in
   let domains = List.init 4 worker in
@@ -53,5 +87,8 @@ let suite =
     ("result_cache: counters", `Quick, test_hit_miss_counters);
     ("result_cache: eviction", `Quick, test_eviction);
     ("result_cache: clear", `Quick, test_clear_resets);
+    ( "result_cache: partial responses refused",
+      `Quick,
+      test_never_caches_partial_responses );
     ("result_cache: concurrent", `Quick, test_concurrent_access);
   ]

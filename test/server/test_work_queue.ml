@@ -64,6 +64,72 @@ let test_cross_domain_transfer () =
   Alcotest.(check int) "all items" n count;
   Alcotest.(check int) "no corruption" !pushed sum
 
+(* Stress the close/drain race: producers hammering [try_push] while
+   consumers drain and a third party calls [close] mid-stream. Every
+   item a producer saw accepted must be popped exactly once (counted
+   and summed — nothing lost in the closing window, nothing
+   duplicated), and every blocked consumer must wake with [None] —
+   termination of the joins below is that assertion. *)
+let test_close_drain_race () =
+  let consumers = 4 and producers = 4 and per_producer = 2000 in
+  for round = 0 to 9 do
+    let q = Work_queue.create ~capacity:8 in
+    let closed_flag = Atomic.make false in
+    let accepted_sum = Atomic.make 0 and accepted_count = Atomic.make 0 in
+    let consumer_domains =
+      List.init consumers (fun _ ->
+          Domain.spawn (fun () ->
+              let sum = ref 0 and count = ref 0 in
+              let rec go () =
+                match Work_queue.pop q with
+                | None -> (!sum, !count)
+                | Some v ->
+                    sum := !sum + v;
+                    incr count;
+                    go ()
+              in
+              go ()))
+    in
+    let producer_threads =
+      List.init producers (fun p ->
+          Thread.create
+            (fun () ->
+              for i = 1 to per_producer do
+                let item = (p * per_producer) + i in
+                let rec attempt () =
+                  if Work_queue.try_push q item then begin
+                    (* Only items the queue accepted are owed to a
+                       consumer; an item abandoned because the queue
+                       closed under us is not. *)
+                    ignore (Atomic.fetch_and_add accepted_sum item);
+                    Atomic.incr accepted_count
+                  end
+                  else if not (Atomic.get closed_flag) then begin
+                    Thread.yield ();
+                    attempt ()
+                  end
+                in
+                attempt ()
+              done)
+            ())
+    in
+    (* Close somewhere in the middle of the stream; vary the window a
+       little between rounds so the race lands at different points. *)
+    Thread.delay (0.002 +. (0.001 *. float_of_int round));
+    Atomic.set closed_flag true;
+    Work_queue.close q;
+    List.iter Thread.join producer_threads;
+    let popped = List.map Domain.join consumer_domains in
+    let popped_sum = List.fold_left (fun a (s, _) -> a + s) 0 popped in
+    let popped_count = List.fold_left (fun a (_, c) -> a + c) 0 popped in
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: accepted = popped (count)" round)
+      (Atomic.get accepted_count) popped_count;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: accepted = popped (sum)" round)
+      (Atomic.get accepted_sum) popped_sum
+  done
+
 let suite =
   [
     ("work_queue: fifo", `Quick, test_fifo);
@@ -71,4 +137,5 @@ let suite =
     ("work_queue: close drains", `Quick, test_close_drains_then_none);
     ("work_queue: close wakes", `Quick, test_close_wakes_blocked_consumer);
     ("work_queue: cross-domain", `Quick, test_cross_domain_transfer);
+    ("work_queue: close/drain race", `Quick, test_close_drain_race);
   ]

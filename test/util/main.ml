@@ -11,4 +11,5 @@ let () =
       ("subset", Test_subset.suite);
       ("timing", Test_timing.suite);
       ("parallel", Test_parallel.suite);
+      ("failpoint", Test_failpoint.suite);
     ]

@@ -1,0 +1,134 @@
+open Pj_util
+
+(* Every test disarms on exit so later suites (and reruns) start from
+   the zero-cost disabled state. *)
+let with_failpoints f =
+  Fun.protect ~finally:(fun () -> Failpoint.clear ()) f
+
+let test_disabled_is_noop () =
+  Failpoint.clear ();
+  Alcotest.(check bool) "inactive" false (Failpoint.active ());
+  Failpoint.hit "nowhere";
+  Failpoint.hit "storage.save";
+  Alcotest.(check int) "nothing fired" 0 (Failpoint.fired_total ())
+
+let test_parse_grammar () =
+  let ok spec = match Failpoint.parse spec with Ok rs -> rs | Error e -> Alcotest.fail e in
+  (match ok "a=error,b=delay:250@0.5,c=panic@0.1" with
+  | [ a; b; c ] ->
+      Alcotest.(check string) "site a" "a" a.Failpoint.site;
+      Alcotest.(check bool) "a is fail" true (a.Failpoint.action = Failpoint.Fail);
+      Alcotest.(check (float 1e-9)) "a prob" 1.0 a.Failpoint.prob;
+      Alcotest.(check bool) "b is 0.25s delay" true
+        (b.Failpoint.action = Failpoint.Delay 0.25);
+      Alcotest.(check (float 1e-9)) "b prob" 0.5 b.Failpoint.prob;
+      Alcotest.(check bool) "c is panic" true (c.Failpoint.action = Failpoint.Panic);
+      Alcotest.(check (float 1e-9)) "c prob" 0.1 c.Failpoint.prob
+  | rs -> Alcotest.failf "expected 3 rules, got %d" (List.length rs));
+  Alcotest.(check int) "empty spec" 0 (List.length (ok ""));
+  Alcotest.(check int) "spaces tolerated" 2
+    (List.length (ok " a=error , b=panic "));
+  let fails spec =
+    match Failpoint.parse spec with
+    | Ok _ -> Alcotest.failf "spec %S should not parse" spec
+    | Error msg -> Alcotest.(check bool) "error names rule" true (String.length msg > 0)
+  in
+  fails "a";
+  fails "=error";
+  fails "a=explode";
+  fails "a=delay:x";
+  fails "a=delay:-5";
+  fails "a=error@0";
+  fails "a=error@1.5";
+  fails "a=error@nan"
+
+let test_fail_and_panic_raise () =
+  with_failpoints (fun () ->
+      Failpoint.configure
+        [
+          { Failpoint.site = "x"; action = Failpoint.Fail; prob = 1.0 };
+          { Failpoint.site = "y"; action = Failpoint.Panic; prob = 1.0 };
+        ];
+      Alcotest.check_raises "fail raises Injected" (Failpoint.Injected "x")
+        (fun () -> Failpoint.hit "x");
+      Alcotest.check_raises "panic raises Panicked" (Failpoint.Panicked "y")
+        (fun () -> Failpoint.hit "y");
+      Failpoint.hit "z" (* unarmed site is untouched *);
+      Alcotest.(check int) "x fired once" 1 (Failpoint.fired "x");
+      Alcotest.(check int) "two total" 2 (Failpoint.fired_total ()))
+
+let test_delay_sleeps () =
+  with_failpoints (fun () ->
+      Failpoint.configure
+        [ { Failpoint.site = "slow"; action = Failpoint.Delay 0.05; prob = 1.0 } ];
+      let t0 = Timing.monotonic_now () in
+      Failpoint.hit "slow";
+      let dt = Timing.monotonic_now () -. t0 in
+      Alcotest.(check bool) "slept >= 40ms" true (dt >= 0.04))
+
+let test_prefix_wildcard () =
+  with_failpoints (fun () ->
+      Failpoint.configure
+        [
+          { Failpoint.site = "shard.*"; action = Failpoint.Fail; prob = 1.0 };
+          { Failpoint.site = "shard.1"; action = Failpoint.Delay 0.0; prob = 1.0 };
+        ];
+      Alcotest.check_raises "wildcard matches" (Failpoint.Injected "shard.0")
+        (fun () -> Failpoint.hit "shard.0");
+      (* Exact rule overrides the wildcard: shard.1 only delays. *)
+      Failpoint.hit "shard.1";
+      Alcotest.(check int) "exact rule fired" 1 (Failpoint.fired "shard.1");
+      Failpoint.hit "other.site";
+      Alcotest.(check int) "unrelated site untouched" 0 (Failpoint.fired "other.site"))
+
+let test_probability_deterministic () =
+  let run seed =
+    with_failpoints (fun () ->
+        Failpoint.configure ~seed
+          [ { Failpoint.site = "p"; action = Failpoint.Fail; prob = 0.3 } ];
+        List.init 200 (fun _ ->
+            match Failpoint.hit "p" with
+            | () -> false
+            | exception Failpoint.Injected _ -> true))
+  in
+  let a = run 7 and b = run 7 and c = run 8 in
+  Alcotest.(check bool) "same seed, same schedule" true (a = b);
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  let fired l = List.length (List.filter Fun.id l) in
+  (* 200 draws at p=0.3: both tails astronomically unlikely. *)
+  Alcotest.(check bool) "rate plausible" true (fired a > 20 && fired a < 120)
+
+let test_arm_and_env () =
+  with_failpoints (fun () ->
+      Failpoint.arm "one" Failpoint.Fail;
+      Alcotest.(check bool) "armed" true (Failpoint.active ());
+      Failpoint.arm ~prob:1.0 "one" (Failpoint.Delay 0.0) (* replace in place *);
+      Failpoint.hit "one";
+      Alcotest.(check int) "replacement fired" 1 (Failpoint.fired "one"));
+  Alcotest.(check bool) "cleared" false (Failpoint.active ());
+  (* init_from_env without the variable set is a no-op Ok. *)
+  Unix.putenv "PROXJOIN_FAILPOINTS" "";
+  (match Failpoint.init_from_env () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Unix.putenv "PROXJOIN_FAILPOINTS" "a=notanaction";
+  (match Failpoint.init_from_env () with
+  | Ok () -> Alcotest.fail "bad spec must be rejected"
+  | Error _ -> ());
+  Unix.putenv "PROXJOIN_FAILPOINTS" "a=error@0.5";
+  with_failpoints (fun () ->
+      match Failpoint.init_from_env () with
+      | Ok () -> Alcotest.(check bool) "env armed" true (Failpoint.active ())
+      | Error e -> Alcotest.fail e);
+  Unix.putenv "PROXJOIN_FAILPOINTS" ""
+
+let suite =
+  [
+    ("failpoint: disabled is a no-op", `Quick, test_disabled_is_noop);
+    ("failpoint: grammar", `Quick, test_parse_grammar);
+    ("failpoint: fail and panic raise", `Quick, test_fail_and_panic_raise);
+    ("failpoint: delay sleeps", `Quick, test_delay_sleeps);
+    ("failpoint: prefix wildcard", `Quick, test_prefix_wildcard);
+    ("failpoint: seeded determinism", `Quick, test_probability_deterministic);
+    ("failpoint: arm/env", `Quick, test_arm_and_env);
+  ]

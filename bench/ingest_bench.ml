@@ -1,0 +1,164 @@
+(* bench-ingest: what live ingestion costs, and what it costs the
+   readers. Three numbers matter:
+
+   - ingest throughput (docs/s through [Live_index.add], auto-flush
+     included): the write path's budget. Each add rebuilds the
+     memtable's sparse index — O(memtable tokens) — so throughput is
+     governed by [memtable_capacity], not corpus size.
+   - search latency over the quiesced index (p50/p99): the read path
+     with no writers, directly comparable to bench-shard.
+   - search latency under concurrent ingest (p50/p99): a second
+     domain streams adds (flushing and merging as it goes) while the
+     measuring domain searches. Since queries read one immutable
+     snapshot per call and never take the writer lock, the gap between
+     the two columns bounds the real cost of snapshot churn (cache
+     dilution, allocator pressure) rather than lock contention.
+
+   A final sanity assertion checks the quiesced live index returns
+   structurally identical hits to a from-scratch build over the same
+   surviving documents. Results land in BENCH_ingest.json. *)
+
+let gen_doc rng ~strong =
+  let len = 80 + Pj_util.Prng.int rng 120 in
+  let tokens =
+    Array.init len (fun _ -> Pj_workload.Textgen.random_filler rng)
+  in
+  let plant form p =
+    if Pj_util.Prng.float rng 1. < p then begin
+      let n = 1 + Pj_util.Prng.int rng 3 in
+      for _ = 1 to n do
+        tokens.(Pj_util.Prng.int rng len) <- form
+      done
+    end
+  in
+  plant "alfa" 0.9;
+  plant "brav" 0.85;
+  plant "charli" 0.8;
+  if strong then begin
+    let pos = Pj_util.Prng.int rng (len - 3) in
+    tokens.(pos) <- "alpha";
+    tokens.(pos + 1) <- "bravo";
+    tokens.(pos + 2) <- "charlie"
+  end;
+  tokens
+
+let gen_docs rng n =
+  List.init n (fun i -> gen_doc rng ~strong:(i mod 25 = 0))
+
+let percentile_ms latencies p =
+  1000. *. Pj_util.Stats.percentile latencies p
+
+let search_once live =
+  Pj_live.Live_index.search ~k:Shard_bench.k live Shard_bench.scoring
+    Shard_bench.query
+
+let run ~quick ~repetitions =
+  ignore repetitions;
+  let n_docs = if quick then 400 else 2000 in
+  let n_concurrent = if quick then 400 else 2000 in
+  let idle_searches = if quick then 200 else 1000 in
+  let rng = Pj_util.Prng.create 77 in
+  let docs = gen_docs rng n_docs in
+  let config =
+    {
+      Pj_live.Live_index.default_config with
+      Pj_live.Live_index.memtable_capacity = 64;
+      merge_threshold = 4;
+      background_merge = true;
+    }
+  in
+  let live = Pj_live.Live_index.create ~config () in
+  (* --- ingest throughput (one writer, background merger running) --- *)
+  let t0 = Pj_util.Timing.monotonic_now () in
+  List.iter (fun doc -> ignore (Pj_live.Live_index.add live doc)) docs;
+  ignore (Pj_live.Live_index.flush live);
+  let ingest_s = Pj_util.Timing.monotonic_now () -. t0 in
+  let docs_per_s = float_of_int n_docs /. ingest_s in
+  Pj_live.Live_index.quiesce live;
+  Runs.print_header
+    (Printf.sprintf "bench-ingest: %d docs, memtable %d" n_docs
+       config.Pj_live.Live_index.memtable_capacity)
+    [ "total"; "docs/s" ];
+  Runs.print_row "ingest"
+    [ Runs.seconds ingest_s; Printf.sprintf "%.0f" docs_per_s ];
+  (* --- sanity: quiesced live results == from-scratch build --------- *)
+  let scratch = Pj_index.Corpus.create () in
+  let scratch_vocab = Pj_index.Corpus.vocab scratch in
+  List.iter
+    (fun doc -> Array.iter (fun w -> ignore (Pj_text.Vocab.intern scratch_vocab w)) doc)
+    docs;
+  List.iter (fun doc -> ignore (Pj_index.Corpus.add_tokens scratch doc)) docs;
+  let scratch_searcher =
+    Pj_engine.Searcher.create (Pj_index.Inverted_index.build scratch)
+  in
+  let live_hits = search_once live in
+  let scratch_hits =
+    Pj_engine.Searcher.search ~k:Shard_bench.k scratch_searcher
+      Shard_bench.scoring Shard_bench.query
+  in
+  assert (live_hits = scratch_hits);
+  (* --- search latency, idle ---------------------------------------- *)
+  let observe () =
+    let t0 = Pj_util.Timing.monotonic_now () in
+    ignore (search_once live);
+    Pj_util.Timing.monotonic_now () -. t0
+  in
+  ignore (observe ());
+  let idle = Array.init idle_searches (fun _ -> observe ()) in
+  (* --- search latency, under concurrent ingest --------------------- *)
+  let stream = gen_docs rng n_concurrent in
+  let ingesting = Atomic.make true in
+  let writer =
+    Domain.spawn (fun () ->
+        List.iter (fun doc -> ignore (Pj_live.Live_index.add live doc)) stream;
+        ignore (Pj_live.Live_index.flush live);
+        Atomic.set ingesting false)
+  in
+  let during = ref [] in
+  while Atomic.get ingesting do
+    during := observe () :: !during
+  done;
+  Domain.join writer;
+  (* On a fast box the stream can drain before the first poll. *)
+  if !during = [] then during := [ observe () ];
+  let during = Array.of_list !during in
+  let stats = Pj_live.Live_index.stats live in
+  Runs.print_header "bench-ingest: search latency" [ "p50"; "p99"; "n" ];
+  Runs.print_row "idle"
+    [
+      Printf.sprintf "%.3f ms" (percentile_ms idle 50.);
+      Printf.sprintf "%.3f ms" (percentile_ms idle 99.);
+      string_of_int (Array.length idle);
+    ];
+  Runs.print_row "concurrent ingest"
+    [
+      Printf.sprintf "%.3f ms" (percentile_ms during 50.);
+      Printf.sprintf "%.3f ms" (percentile_ms during 99.);
+      string_of_int (Array.length during);
+    ];
+  Pj_live.Live_index.close live;
+  let path = "BENCH_ingest.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"docs\": %d,\n\
+    \  \"memtable_capacity\": %d,\n\
+    \  \"ingest_s\": %.6f,\n\
+    \  \"ingest_docs_per_s\": %.1f,\n\
+    \  \"search_idle_p50_ms\": %.6f,\n\
+    \  \"search_idle_p99_ms\": %.6f,\n\
+    \  \"search_ingest_p50_ms\": %.6f,\n\
+    \  \"search_ingest_p99_ms\": %.6f,\n\
+    \  \"searches_during_ingest\": %d,\n\
+    \  \"final_generation\": %d,\n\
+    \  \"final_segments\": %d,\n\
+    \  \"merges\": %d\n\
+     }\n"
+    n_docs config.Pj_live.Live_index.memtable_capacity ingest_s docs_per_s
+    (percentile_ms idle 50.) (percentile_ms idle 99.)
+    (percentile_ms during 50.)
+    (percentile_ms during 99.)
+    (Array.length during) stats.Pj_live.Live_index.generation
+    stats.Pj_live.Live_index.segments stats.Pj_live.Live_index.merges;
+  close_out oc;
+  Printf.printf "[bench-ingest] wrote %s\n" path

@@ -286,21 +286,61 @@ let stemmed_corpus_of_file file =
     (read_documents file);
   corpus
 
+let stemmed_tokens text =
+  Array.map Pj_text.Porter.stem (Pj_text.Tokenizer.tokenize_array text)
+
 let run_serve file host port domains queue cache deadline_ms drain_ms log_every
-    shards =
+    shards live live_dir memtable =
   let graph = Pj_ontology.Mini_wordnet.create () in
-  let corpus = stemmed_corpus_of_file file in
-  let search, n_shards =
-    if shards <= 1 then
-      ( Pj_server.Worker_pool.of_searcher
-          (Pj_engine.Searcher.create (Pj_index.Inverted_index.build corpus)),
-        1 )
+  let live_index =
+    if not (live || live_dir <> None) then None
     else begin
-      let sharded = Pj_index.Sharded_index.build ~shards corpus in
-      ( Pj_server.Worker_pool.of_shard_searcher
-          (Pj_engine.Shard_searcher.create sharded),
-        Pj_index.Sharded_index.n_shards sharded )
+      let config =
+        {
+          Pj_live.Live_index.dir = live_dir;
+          memtable_capacity = memtable;
+          merge_threshold =
+            Pj_live.Live_index.default_config
+              .Pj_live.Live_index.merge_threshold;
+          background_merge = true;
+        }
+      in
+      let index =
+        match live_dir with
+        | Some dir -> Pj_live.Live_index.open_dir ~config dir
+        | None -> Pj_live.Live_index.create ~config ()
+      in
+      (* Seed from FILE only when the index holds nothing — a recovered
+         index already contains its documents, and re-adding the file
+         would duplicate them under fresh ids. *)
+      if (Pj_live.Live_index.stats index).Pj_live.Live_index.total_docs = 0
+      then begin
+        Pj_live.Live_index.add_batch index
+          (List.map stemmed_tokens (read_documents file));
+        ignore (Pj_live.Live_index.flush index)
+      end;
+      Some index
     end
+  in
+  let corpus =
+    match live_index with
+    | Some index -> Pj_live.Live_index.corpus index
+    | None -> stemmed_corpus_of_file file
+  in
+  let search, n_shards =
+    match live_index with
+    | Some index -> (Pj_server.Worker_pool.of_live index, 1)
+    | None ->
+        if shards <= 1 then
+          ( Pj_server.Worker_pool.of_searcher
+              (Pj_engine.Searcher.create (Pj_index.Inverted_index.build corpus)),
+            1 )
+        else begin
+          let sharded = Pj_index.Sharded_index.build ~shards corpus in
+          ( Pj_server.Worker_pool.of_shard_searcher
+              (Pj_engine.Shard_searcher.create sharded),
+            Pj_index.Sharded_index.n_shards sharded )
+        end
   in
   let config =
     {
@@ -314,7 +354,7 @@ let run_serve file host port domains queue cache deadline_ms drain_ms log_every
       log_every_s = log_every;
     }
   in
-  let server = Pj_server.Server.start ~config ~graph search in
+  let server = Pj_server.Server.start ~config ?live:live_index ~graph search in
   (* SIGTERM/SIGINT trigger a graceful drain. The handler hands the
      (blocking) [Server.stop] to a fresh thread — a handler must not
      block. Subtlety: OCaml only runs signal handlers when some thread
@@ -345,11 +385,14 @@ let run_serve file host port domains queue cache deadline_ms drain_ms log_every
       ()
   in
   Printf.printf
-    "proxjoin serving %d documents on %s:%d (%d shard%s, %d domains, queue \
+    "proxjoin serving %d documents on %s:%d (%s%d shard%s, %d domains, queue \
      %d, cache %d, deadline %.0f ms, drain %.0f ms)\n\
      %!"
     (Pj_index.Corpus.size corpus) host
     (Pj_server.Server.port server)
+    (match live_index with
+    | Some _ -> "live, "
+    | None -> "")
     n_shards
     (if n_shards = 1 then "" else "s")
     config.Pj_server.Server.domains queue cache deadline_ms drain_ms;
@@ -366,6 +409,11 @@ let run_serve file host port domains queue cache deadline_ms drain_ms log_every
         join_stopper ()
   in
   join_stopper ();
+  (* The server does not own the live index; stop its merger only once
+     no worker can submit another write. *)
+  (match live_index with
+  | Some index -> Pj_live.Live_index.close index
+  | None -> ());
   Printf.printf "proxjoin: shut down cleanly\n%!"
 
 (* --- bench-serve: loopback load generator ------------------------------ *)
@@ -584,20 +632,48 @@ let serve_cmd =
       & opt (some float) None
       & info [ "log-every" ] ~docv:"SECONDS" ~doc:"Periodic stats line on stderr.")
   in
-  let run file host port domains queue cache deadline drain log_every shards =
+  let live =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:
+            "Serve a writable live index: ADDDOC/DELDOC/FLUSH ingest \
+             documents while searches run. Implied by $(b,--live-dir). \
+             Sharding is ignored in live mode (segments play that role).")
+  in
+  let live_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "live-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the live index (segments + manifest) here and recover \
+             from it on start; FILE seeds the index only when DIR is empty. \
+             Implies $(b,--live).")
+  in
+  let memtable =
+    Arg.(
+      value & opt int 256
+      & info [ "memtable" ] ~docv:"N"
+          ~doc:"Live mode: auto-flush the memtable at N documents.")
+  in
+  let run file host port domains queue cache deadline drain log_every shards
+      live live_dir memtable =
     wrap (fun () ->
         run_serve file host port domains queue cache deadline drain log_every
-          shards)
+          shards live live_dir memtable)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve top-k queries over TCP (SEARCH/PING/STATS/QUIT line \
-          protocol) from a hot in-memory index.")
+          protocol) from a hot in-memory index; with --live, also \
+          ADDDOC/DELDOC/FLUSH ingestion.")
     Term.(
       ret
         (const run $ file_arg $ host_arg $ port_arg ~default:7070 $ domains
-       $ queue $ cache $ deadline $ drain $ log_every $ shards_arg))
+       $ queue $ cache $ deadline $ drain $ log_every $ shards_arg $ live
+       $ live_dir $ memtable))
 
 let bench_serve_cmd =
   let clients =

@@ -140,8 +140,11 @@ let rec atomic_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
 
-let search_impl ?deadline ?threshold ~k ~dedup ~prune t scoring q =
+let search_impl ?deadline ?threshold ?accept ~k ~dedup ~prune t scoring q =
   if k < 0 then invalid_arg "Searcher.search: negative k";
+  let accepted =
+    match accept with None -> fun _ -> true | Some f -> f
+  in
   let check_deadline =
     match deadline with
     | None -> fun () -> ()
@@ -226,7 +229,11 @@ let search_impl ?deadline ?threshold ~k ~dedup ~prune t scoring q =
         in
         let on_candidate doc_id =
           check_deadline ();
-          if not prune then solve doc_id
+          (* Tombstoned documents are invisible: skipped before any
+             solving or threshold publication, exactly as if their
+             postings were absent. *)
+          if not (accepted doc_id) then ()
+          else if not prune then solve doc_id
           else begin
             let tau = shared () in
             if Lazy.force global_bound < tau then
@@ -293,7 +300,7 @@ let search_within ?(k = 10) ?(dedup = true) ?(prune = true) ~deadline t scoring
   try Ok (search_impl ~deadline ~k ~dedup ~prune t scoring q)
   with Expired -> Error `Timeout
 
-let search_fragment ?deadline ?threshold ?(k = 10) ?(dedup = true)
+let search_fragment ?deadline ?threshold ?accept ?(k = 10) ?(dedup = true)
     ?(prune = true) t scoring q =
-  try Ok (search_impl ?deadline ?threshold ~k ~dedup ~prune t scoring q)
+  try Ok (search_impl ?deadline ?threshold ?accept ~k ~dedup ~prune t scoring q)
   with Expired -> Error `Timeout

@@ -74,6 +74,7 @@ val search_within :
 val search_fragment :
   ?deadline:float ->
   ?threshold:float Atomic.t ->
+  ?accept:(int -> bool) ->
   ?k:int ->
   ?dedup:bool ->
   ?prune:bool ->
@@ -97,6 +98,12 @@ val search_fragment :
     best score never exceeds the global k-th best (its documents are a
     subset), so pruning strictly below the shared threshold can never
     discard a global top-k hit. Without [threshold] this is exactly
-    [search_within]; without [deadline] it cannot time out. *)
+    [search_within]; without [deadline] it cannot time out.
+
+    [accept] (default: everything) filters candidate documents before
+    any scoring, threshold publication, or heap insertion — a rejected
+    document behaves exactly as if its postings were absent. This is
+    how a live index hides tombstoned documents without rewriting
+    segment posting lists (see {!Pj_live.Live_index}). *)
 
 val index : t -> Pj_index.Inverted_index.t

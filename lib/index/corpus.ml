@@ -1,19 +1,32 @@
 type t = {
   vocab : Pj_text.Vocab.t;
   docs : Pj_text.Document.t Pj_util.Vec.t;
+  view : bool;
 }
 
-let create () = { vocab = Pj_text.Vocab.create (); docs = Pj_util.Vec.create () }
+let create () =
+  {
+    vocab = Pj_text.Vocab.create ();
+    docs = Pj_util.Vec.create ();
+    view = false;
+  }
 
 let vocab t = t.vocab
 
+let check_writable t fn =
+  if t.view then
+    invalid_arg (fn ^ ": cannot add documents to a Corpus.sub view")
+
 let add_tokens t tokens =
+  check_writable t "Corpus.add_tokens";
   let id = Pj_util.Vec.length t.docs in
   let d = Pj_text.Document.of_tokens t.vocab ~id tokens in
   Pj_util.Vec.push t.docs d;
   d
 
-let add_text t text = add_tokens t (Pj_text.Tokenizer.tokenize_array text)
+let add_text t text =
+  check_writable t "Corpus.add_text";
+  add_tokens t (Pj_text.Tokenizer.tokenize_array text)
 
 let sub t ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Pj_util.Vec.length t.docs then
@@ -22,12 +35,17 @@ let sub t ~pos ~len =
   for i = pos to pos + len - 1 do
     Pj_util.Vec.push docs (Pj_util.Vec.get t.docs i)
   done;
-  { vocab = t.vocab; docs }
+  { vocab = t.vocab; docs; view = true }
 
 let size t = Pj_util.Vec.length t.docs
 let document t i = Pj_util.Vec.get t.docs i
 let iter f t = Pj_util.Vec.iter f t.docs
 let fold f acc t = Pj_util.Vec.fold_left f acc t.docs
+
+let docs_slice t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Pj_util.Vec.length t.docs then
+    invalid_arg "Corpus.docs_slice";
+  Array.init len (fun i -> Pj_util.Vec.get t.docs (pos + i))
 
 let total_tokens t =
   fold (fun acc d -> acc + Pj_text.Document.length d) 0 t

@@ -18,14 +18,23 @@ val sub : t -> pos:int -> len:int -> t
     substrate for doc-id-range index shards, whose postings must carry
     global ids and whose token ids must agree with the full corpus.
     In the view, [document v i] is the [i]-th *held* document, so its
-    [id] is [pos + i], not [i]. Adding documents to a view also
-    interns into the shared vocabulary; views are meant to be read.
+    [id] is [pos + i], not [i]. Views are read-only: [add_text] and
+    [add_tokens] on a view raise [Invalid_argument], because an added
+    document would get a view-local id that violates the [id = pos + i]
+    invariant while still interning into the shared vocabulary.
     Raises [Invalid_argument] when the range is out of bounds. *)
 
 val size : t -> int
 val document : t -> int -> Pj_text.Document.t
 val iter : (Pj_text.Document.t -> unit) -> t -> unit
 val fold : ('acc -> Pj_text.Document.t -> 'acc) -> 'acc -> t -> 'acc
+
+val docs_slice : t -> pos:int -> len:int -> Pj_text.Document.t array
+(** The documents [pos, pos + len) as a fresh array (ids untouched).
+    Unlike [sub] this copies nothing but the array spine, so it is the
+    cheap way for a live-index merger to capture a stable slice under
+    the writer lock before building outside it. Raises
+    [Invalid_argument] when the range is out of bounds. *)
 
 val total_tokens : t -> int
 val average_length : t -> float

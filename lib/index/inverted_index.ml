@@ -1,19 +1,28 @@
+(* Two storage layouts share one read interface:
+
+   - [Dense]: one slot per vocabulary token, built by [build]. Right for
+     the frozen full-corpus index where most tokens have postings.
+   - [Sparse]: a hashtable over just the tokens that occur, built by
+     [build_docs]. Right for live memtables and sealed segments, whose
+     doc ranges touch a sliver of the (global, shared) vocabulary — a
+     dense array would cost O(vocab) per memtable rebuild. *)
+type store =
+  | Dense of Posting_list.t array (* indexed by token id *)
+  | Sparse of (int, Posting_list.t) Hashtbl.t
+
 type t = {
   corpus : Corpus.t;
-  lists : Posting_list.t array;  (* indexed by token id *)
+  store : store;
 }
 
-let build corpus =
-  let vocab_size = Pj_text.Vocab.size (Corpus.vocab corpus) in
-  (* Accumulate positions per (token, doc) with one Vec per token. *)
-  let acc : (int * int Pj_util.Vec.t) Pj_util.Vec.t array =
-    Array.init vocab_size (fun _ -> Pj_util.Vec.create ())
-  in
-  Corpus.iter
-    (fun d ->
+(* Shared accumulation: positions per (token, doc), one Vec per token,
+   relying on [iter_docs] visiting documents in increasing id order so
+   each per-token Vec stays sorted. *)
+let accumulate per_tok_of iter_docs =
+  iter_docs (fun d ->
       Array.iteri
         (fun pos tok ->
-          let per_tok = acc.(tok) in
+          let per_tok = per_tok_of tok in
           let doc_id = d.Pj_text.Document.id in
           if
             Pj_util.Vec.is_empty per_tok
@@ -25,21 +34,50 @@ let build corpus =
           end
           else Pj_util.Vec.push (snd (Pj_util.Vec.last per_tok)) pos)
         d.Pj_text.Document.tokens)
-    corpus;
-  let lists =
-    Array.map
-      (fun per_tok ->
-        Pj_util.Vec.to_list per_tok
-        |> List.map (fun (doc_id, v) ->
-               Posting.make ~doc_id ~positions:(Pj_util.Vec.to_array v))
-        |> Posting_list.of_postings)
-      acc
+
+let list_of_acc per_tok =
+  Pj_util.Vec.to_list per_tok
+  |> List.map (fun (doc_id, v) ->
+         Posting.make ~doc_id ~positions:(Pj_util.Vec.to_array v))
+  |> Posting_list.of_postings
+
+let build corpus =
+  let vocab_size = Pj_text.Vocab.size (Corpus.vocab corpus) in
+  let acc : (int * int Pj_util.Vec.t) Pj_util.Vec.t array =
+    Array.init vocab_size (fun _ -> Pj_util.Vec.create ())
   in
-  { corpus; lists }
+  accumulate (fun tok -> acc.(tok)) (fun f -> Corpus.iter f corpus);
+  { corpus; store = Dense (Array.map list_of_acc acc) }
+
+let build_docs ?(skip = fun _ -> false) corpus docs =
+  let acc : (int, (int * int Pj_util.Vec.t) Pj_util.Vec.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let per_tok_of tok =
+    match Hashtbl.find_opt acc tok with
+    | Some v -> v
+    | None ->
+        let v = Pj_util.Vec.create () in
+        Hashtbl.add acc tok v;
+        v
+  in
+  accumulate per_tok_of (fun f ->
+      Array.iter
+        (fun d -> if not (skip d.Pj_text.Document.id) then f d)
+        docs);
+  let lists = Hashtbl.create (Hashtbl.length acc) in
+  Hashtbl.iter (fun tok per_tok -> Hashtbl.add lists tok (list_of_acc per_tok)) acc;
+  { corpus; store = Sparse lists }
 
 let postings t token =
-  if token < 0 || token >= Array.length t.lists then Posting_list.empty
-  else t.lists.(token)
+  match t.store with
+  | Dense lists ->
+      if token < 0 || token >= Array.length lists then Posting_list.empty
+      else lists.(token)
+  | Sparse lists -> (
+      match Hashtbl.find_opt lists token with
+      | Some pl -> pl
+      | None -> Posting_list.empty)
 
 let postings_of_word t w =
   match Pj_text.Vocab.find (Corpus.vocab t.corpus) w with
@@ -54,7 +92,15 @@ let positions_in t ~token ~doc_id =
 let document_frequency t token =
   Posting_list.document_frequency (postings t token)
 
-let vocabulary_size t = Array.length t.lists
+let iter_lists f t =
+  match t.store with
+  | Dense lists -> Array.iter f lists
+  | Sparse lists -> Hashtbl.iter (fun _ pl -> f pl) lists
+
+let vocabulary_size t =
+  match t.store with
+  | Dense lists -> Array.length lists
+  | Sparse lists -> Hashtbl.length lists
 
 type stats = {
   n_tokens : int;
@@ -64,13 +110,13 @@ type stats = {
 
 let stats t =
   let n_postings = ref 0 and n_positions = ref 0 in
-  Array.iter
+  iter_lists
     (fun pl ->
       n_postings := !n_postings + Posting_list.document_frequency pl;
       n_positions := !n_positions + Posting_list.collection_frequency pl)
-    t.lists;
+    t;
   {
-    n_tokens = Array.length t.lists;
+    n_tokens = vocabulary_size t;
     n_postings = !n_postings;
     n_positions = !n_positions;
   }

@@ -9,7 +9,20 @@
 type t
 
 val build : Corpus.t -> t
-(** Index every document of the corpus. *)
+(** Index every document of the corpus (dense layout: one posting-list
+    slot per vocabulary token). *)
+
+val build_docs : ?skip:(int -> bool) -> Corpus.t -> Pj_text.Document.t array -> t
+(** Index exactly the given documents of [corpus] — the substrate for
+    live memtables and sealed segments, which cover a contiguous doc-id
+    range of a corpus that keeps growing. Documents must be in strictly
+    increasing id order; ids and token ids are global, exactly as in
+    [Corpus.sub] shards, so per-range indexes agree with a monolithic
+    [build]. [skip id] filters documents out (tombstone compaction).
+    Uses a sparse layout keyed on the tokens that actually occur, so
+    cost is O(tokens in [docs]) rather than O(global vocabulary) —
+    [vocabulary_size] therefore reports distinct {e indexed} tokens for
+    such an index, not the corpus vocabulary size. *)
 
 val postings : t -> int -> Posting_list.t
 (** Posting list of a token id ([Posting_list.empty] when absent). *)

@@ -62,6 +62,37 @@ let read_string s ~pos =
   pos := !pos + len;
   v
 
+(* Crash-safe publish: the bytes go to [path.tmp], reach the disk
+   (fsync), and only then replace [path] with an atomic rename — a
+   crash at any point leaves either the old complete file or the old
+   file plus a stale [.tmp] that the next write overwrites. The
+   optional failpoints bracket the vulnerable windows for chaos tests.
+   Shared by corpus saves and the live index's segment/manifest
+   writers. *)
+let write_file_atomic ?fp_write ?fp_rename path buf =
+  let hit = function
+    | Some site -> Pj_util.Failpoint.hit site
+    | None -> ()
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      hit fp_write;
+      Buffer.output_buffer oc buf;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  hit fp_rename;
+  Sys.rename tmp path;
+  (* Durability of the rename itself: fsync the directory when the
+     platform allows opening one (best-effort — the data file is
+     already safe either way). *)
+  try
+    let dir = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+    Fun.protect ~finally:(fun () -> Unix.close dir) (fun () -> Unix.fsync dir)
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
 let save_with_counts corpus counts path =
   let buf = Buffer.create (64 * 1024) in
   Buffer.add_string buf magic;
@@ -94,29 +125,8 @@ let save_with_counts corpus counts path =
   let footer = Bytes.create 4 in
   Bytes.set_int32_le footer 0 crc;
   Buffer.add_bytes buf footer;
-  (* Crash-safe publish: the bytes go to [path.tmp], reach the disk
-     (fsync), and only then replace [path] with an atomic rename — a
-     crash at any point leaves either the old complete file or the old
-     file plus a stale [.tmp] that the next save overwrites. The
-     failpoints bracket the vulnerable window for the chaos tests. *)
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Pj_util.Failpoint.hit "storage.save.write";
-      Buffer.output_buffer oc buf;
-      flush oc;
-      Unix.fsync (Unix.descr_of_out_channel oc));
-  Pj_util.Failpoint.hit "storage.save.rename";
-  Sys.rename tmp path;
-  (* Durability of the rename itself: fsync the directory when the
-     platform allows opening one (best-effort — the data file is
-     already safe either way). *)
-  try
-    let dir = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
-    Fun.protect ~finally:(fun () -> Unix.close dir) (fun () -> Unix.fsync dir)
-  with Unix.Unix_error _ | Sys_error _ -> ()
+  write_file_atomic ~fp_write:"storage.save.write"
+    ~fp_rename:"storage.save.rename" path buf
 
 let save_corpus corpus path =
   save_with_counts corpus [| Corpus.size corpus |] path

@@ -44,7 +44,12 @@ val load_sharded : string -> Sharded_index.t
 (** Reopen with the persisted shard layout; v1/v2 files load as one
     shard covering every document. *)
 
-(** {1 Varint encoding (exposed for tests)} *)
+(** {1 Encoding and file primitives}
+
+    Exposed for tests and for sibling on-disk formats — the live
+    index's segment and manifest files ({!Pj_live}) share these
+    primitives so every proxjoin file gets the same varint encoding,
+    CRC-32 integrity footer, and crash-safe publication discipline. *)
 
 val write_varint : Buffer.t -> int -> unit
 (** LEB128 encoding of a non-negative integer. *)
@@ -53,6 +58,24 @@ val read_varint : string -> pos:int ref -> int
 (** Decode at [!pos], advancing it. Raises [Failure] on truncation or
     overflow. *)
 
+val write_string : Buffer.t -> string -> unit
+(** Length-prefixed (varint) string. *)
+
+val read_string : string -> pos:int ref -> string
+(** Decode at [!pos], advancing it. Raises [Failure] on truncation. *)
+
 val crc32 : ?pos:int -> ?len:int -> string -> int32
 (** Standard CRC-32 (zlib/PNG polynomial) of a substring ([pos]
     defaults to 0, [len] to the rest of the string). *)
+
+val write_file_atomic :
+  ?fp_write:string -> ?fp_rename:string -> string -> Buffer.t -> unit
+(** Crash-safe file publication: write the buffer to [path.tmp], fsync,
+    atomically rename over [path], then best-effort fsync the directory.
+    A crash at any moment leaves any pre-existing [path] intact.
+    [fp_write]/[fp_rename] name optional failpoint sites hit just
+    before the write and the rename. Raises [Sys_error] on I/O
+    failure. *)
+
+val read_file : string -> string
+(** The whole file as a string. Raises [Sys_error]. *)

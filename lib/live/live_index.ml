@@ -1,0 +1,657 @@
+module IntSet = Set.Make (Int)
+module Corpus = Pj_index.Corpus
+module Inverted_index = Pj_index.Inverted_index
+module Searcher = Pj_engine.Searcher
+
+type config = {
+  dir : string option;
+  memtable_capacity : int;
+  merge_threshold : int;
+  background_merge : bool;
+}
+
+let default_config =
+  { dir = None; memtable_capacity = 256; merge_threshold = 4;
+    background_merge = true }
+
+(* A sealed, immutable doc-id range with its own inverted index.
+   [dead] holds the ids a compaction has already purged from the
+   postings; tombstones of later deletions stay in the snapshot-level
+   set until the next merge folds them in. *)
+type segment = {
+  seg_base : int;
+  seg_len : int;
+  dead : IntSet.t;
+  file : string option; (* None in a memory-only index *)
+  searcher : Searcher.t;
+}
+
+(* What a query observes, all-or-nothing: published with one atomic
+   store, never mutated afterwards. Readers pay one [Atomic.get] and
+   are immune to every concurrent add/delete/flush/merge. *)
+type snapshot = {
+  generation : int;
+  segments : segment array; (* ascending, tiling [0, mem_base) *)
+  mem_base : int;
+  mem_len : int;
+  mem : Searcher.t option; (* None iff mem_len = 0 *)
+  tombstones : IntSet.t;   (* deleted but not yet compacted *)
+}
+
+type t = {
+  config : config;
+  corpus : Corpus.t;
+  snap : snapshot Atomic.t;
+  (* Writer lock: serializes add/delete/flush and merge installation
+     (all snapshot publications). Queries never take it. *)
+  writer : Mutex.t;
+  (* Merge lock: at most one compaction in flight; held across the
+     whole plan/build/install so segment positions stay stable. Taken
+     before [writer], never the other way. *)
+  merge_lock : Mutex.t;
+  hooks : (int -> unit) list Atomic.t;
+  file_seq : int Atomic.t;
+  adds : int Atomic.t;
+  deletes : int Atomic.t;
+  flushes : int Atomic.t;
+  merges : int Atomic.t;
+  merge_errors : int Atomic.t;
+  (* True when the on-disk manifest lags the in-memory tombstone set
+     (deletes are made durable by the next flush or merge). *)
+  mutable durable_dirty : bool;
+  (* Background merger machinery; [m] guards [stopping] and the
+     condition. *)
+  m : Mutex.t;
+  c : Condition.t;
+  mutable stopping : bool;
+  mutable merger : unit Domain.t option;
+}
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let with_writer t f = with_lock t.writer f
+
+let notify t gen = List.iter (fun f -> f gen) (Atomic.get t.hooks)
+
+let on_swap t f = Atomic.set t.hooks (Atomic.get t.hooks @ [ f ])
+
+let generation t = (Atomic.get t.snap).generation
+
+(* --- persistence ------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let segment_filename id = Printf.sprintf "seg-%06d.seg" id
+
+let segment_file_id name =
+  try Scanf.sscanf name "seg-%d.seg%!" (fun n -> Some n)
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let words_of_doc vocab (d : Pj_text.Document.t) =
+  Array.map (Pj_text.Vocab.word vocab) d.Pj_text.Document.tokens
+
+(* Write one segment's documents (dead ones as empty token sequences,
+   so recovery keeps exact live-document accounting). *)
+let write_segment_file t ~failpoint ~dir ~base ~dead docs =
+  let vocab = Corpus.vocab t.corpus in
+  let words =
+    Array.map
+      (fun (d : Pj_text.Document.t) ->
+        if IntSet.mem d.Pj_text.Document.id dead then [||]
+        else words_of_doc vocab d)
+      docs
+  in
+  let name = segment_filename (Atomic.fetch_and_add t.file_seq 1) in
+  Segment_file.write ~failpoint
+    (Filename.concat dir name)
+    { Segment_file.base; docs = words; dead = IntSet.elements dead };
+  name
+
+(* Publish a manifest naming [segments] — caller holds the writer lock,
+   so the manifest always matches the snapshot installed right after.
+   No-op for a memory-only index. *)
+let write_manifest_locked t ~generation ~segments ~tombstones =
+  match t.config.dir with
+  | None -> ()
+  | Some dir ->
+      let entries =
+        Array.to_list segments
+        |> List.map (fun sg ->
+               {
+                 Manifest.file = Option.get sg.file;
+                 base = sg.seg_base;
+                 len = sg.seg_len;
+               })
+      in
+      let vocab = Corpus.vocab t.corpus in
+      let words =
+        List.init (Pj_text.Vocab.size vocab) (Pj_text.Vocab.word vocab)
+      in
+      Manifest.write ~dir
+        { Manifest.generation; vocab = words; segments = entries;
+          tombstones = IntSet.elements tombstones };
+      t.durable_dirty <- false
+
+(* --- memtable ---------------------------------------------------------- *)
+
+(* Rebuild the memtable's searchable index from the corpus tail. The
+   corpus is the single source of truth: deriving [mem_len] from
+   [Corpus.size] (not the previous snapshot) means a failed publication
+   self-heals on the next add. Cost is O(memtable tokens) thanks to the
+   sparse [build_docs] layout, bounded by [memtable_capacity]. *)
+let rebuild_mem_locked t ~mem_base =
+  let mem_len = Corpus.size t.corpus - mem_base in
+  if mem_len = 0 then (0, None)
+  else
+    let docs = Corpus.docs_slice t.corpus ~pos:mem_base ~len:mem_len in
+    (mem_len, Some (Searcher.create (Inverted_index.build_docs t.corpus docs)))
+
+let signal_merger t =
+  with_lock t.m (fun () -> Condition.broadcast t.c)
+
+(* Seal the memtable into a segment (durably, when a directory is
+   configured) and/or persist a tombstone set the manifest lags behind.
+   Caller holds the writer lock. Any failure — injected or real —
+   leaves the snapshot unpublished, so the memtable stays intact and
+   the operation can simply be retried. *)
+let flush_locked t =
+  let s = Atomic.get t.snap in
+  if s.mem_len = 0 then begin
+    (* Nothing to seal; a manifest write may still be owed for
+       deletes since the last flush. *)
+    if t.durable_dirty then begin
+      let gen = s.generation + 1 in
+      write_manifest_locked t ~generation:gen ~segments:s.segments
+        ~tombstones:s.tombstones;
+      Atomic.set t.snap { s with generation = gen };
+      Atomic.incr t.flushes;
+      gen
+    end
+    else s.generation
+  end
+  else begin
+    let searcher = match s.mem with Some sr -> sr | None -> assert false in
+    let file =
+      match t.config.dir with
+      | None -> None
+      | Some dir ->
+          let docs =
+            Corpus.docs_slice t.corpus ~pos:s.mem_base ~len:s.mem_len
+          in
+          Some
+            (write_segment_file t ~failpoint:"live.flush" ~dir ~base:s.mem_base
+               ~dead:IntSet.empty docs)
+    in
+    let seg =
+      { seg_base = s.mem_base; seg_len = s.mem_len; dead = IntSet.empty;
+        file; searcher }
+    in
+    let segments = Array.append s.segments [| seg |] in
+    let gen = s.generation + 1 in
+    write_manifest_locked t ~generation:gen ~segments
+      ~tombstones:s.tombstones;
+    Atomic.set t.snap
+      {
+        generation = gen;
+        segments;
+        mem_base = s.mem_base + s.mem_len;
+        mem_len = 0;
+        mem = None;
+        tombstones = s.tombstones;
+      };
+    Atomic.incr t.flushes;
+    signal_merger t;
+    gen
+  end
+
+let flush t =
+  let gen = with_writer t (fun () -> flush_locked t) in
+  notify t gen;
+  gen
+
+let add_locked t tokens =
+  let s = Atomic.get t.snap in
+  let d = Corpus.add_tokens t.corpus tokens in
+  Atomic.incr t.adds;
+  let mem_len, mem = rebuild_mem_locked t ~mem_base:s.mem_base in
+  let gen = s.generation + 1 in
+  Atomic.set t.snap { s with generation = gen; mem_len; mem };
+  let gen =
+    if mem_len >= t.config.memtable_capacity then flush_locked t else gen
+  in
+  (d.Pj_text.Document.id, gen)
+
+let add t tokens =
+  let id, gen = with_writer t (fun () -> add_locked t tokens) in
+  notify t gen;
+  id
+
+let add_batch t docs =
+  match docs with
+  | [] -> ()
+  | _ ->
+      let gen =
+        with_writer t (fun () ->
+            let s = Atomic.get t.snap in
+            List.iter
+              (fun tokens ->
+                ignore (Corpus.add_tokens t.corpus tokens);
+                Atomic.incr t.adds)
+              docs;
+            let mem_len, mem = rebuild_mem_locked t ~mem_base:s.mem_base in
+            let gen = s.generation + 1 in
+            Atomic.set t.snap { s with generation = gen; mem_len; mem };
+            if mem_len >= t.config.memtable_capacity then flush_locked t
+            else gen)
+      in
+      notify t gen
+
+(* A document is gone when it was never added, is already tombstoned,
+   or was compacted away by a merge. *)
+let find_segment segments id =
+  Array.find_opt
+    (fun sg -> id >= sg.seg_base && id < sg.seg_base + sg.seg_len)
+    segments
+
+let delete t id =
+  let r =
+    with_writer t (fun () ->
+        let s = Atomic.get t.snap in
+        if id < 0 || id >= Corpus.size t.corpus then Error `Not_found
+        else if IntSet.mem id s.tombstones then Error `Not_found
+        else if
+          id < s.mem_base
+          && (match find_segment s.segments id with
+             | Some sg -> IntSet.mem id sg.dead
+             | None -> false)
+        then Error `Not_found
+        else begin
+          let gen = s.generation + 1 in
+          if t.config.dir <> None then t.durable_dirty <- true;
+          Atomic.set t.snap
+            { s with generation = gen; tombstones = IntSet.add id s.tombstones };
+          Atomic.incr t.deletes;
+          Ok gen
+        end)
+  in
+  match r with
+  | Ok gen ->
+      notify t gen;
+      Ok ()
+  | Error e -> Error e
+
+(* --- merging ----------------------------------------------------------- *)
+
+(* Compact the cheapest adjacent pair once the sealed stack exceeds the
+   threshold — a tiered policy in miniature: repeatedly folding the two
+   smallest neighbours keeps total merge work O(n log n) in documents
+   merged while preserving doc-id order. *)
+let pick_merge s threshold =
+  let n = Array.length s.segments in
+  if n <= threshold then None
+  else begin
+    let live i =
+      s.segments.(i).seg_len - IntSet.cardinal s.segments.(i).dead
+    in
+    let best = ref 0 and best_cost = ref max_int in
+    for i = 0 to n - 2 do
+      let c = live i + live (i + 1) in
+      if c < !best_cost then begin
+        best := i;
+        best_cost := c
+      end
+    done;
+    Some !best
+  end
+
+let merge_needed t =
+  pick_merge (Atomic.get t.snap) t.config.merge_threshold <> None
+
+(* One compaction step: plan under the writer lock, build and write the
+   merged segment outside every lock (queries and writers proceed
+   untouched), install under the writer lock. Deletions that land in
+   the range *during* the build stay in the tombstone set — only the
+   tombstones captured at plan time are folded into [dead] and removed.
+   Returns false when no merge is needed. *)
+let merge_step t =
+  with_lock t.merge_lock (fun () ->
+      let plan =
+        with_writer t (fun () ->
+            let s = Atomic.get t.snap in
+            match pick_merge s t.config.merge_threshold with
+            | None -> None
+            | Some i ->
+                let a = s.segments.(i) and b = s.segments.(i + 1) in
+                let base = a.seg_base in
+                let len = a.seg_len + b.seg_len in
+                let tomb =
+                  IntSet.filter
+                    (fun id -> id >= base && id < base + len)
+                    s.tombstones
+                in
+                let dead = IntSet.union (IntSet.union a.dead b.dead) tomb in
+                let docs = Corpus.docs_slice t.corpus ~pos:base ~len in
+                Some (i, base, len, dead, tomb, docs))
+      in
+      match plan with
+      | None -> false
+      | Some (i, base, len, dead, tomb, docs) ->
+          Pj_util.Failpoint.hit "live.merge";
+          let index =
+            Inverted_index.build_docs
+              ~skip:(fun id -> IntSet.mem id dead)
+              t.corpus docs
+          in
+          let searcher = Searcher.create index in
+          let file =
+            match t.config.dir with
+            | None -> None
+            | Some dir ->
+                Some
+                  (write_segment_file t ~failpoint:"live.merge" ~dir ~base
+                     ~dead docs)
+          in
+          let old_files, gen =
+            with_writer t (fun () ->
+                let s = Atomic.get t.snap in
+                let a = s.segments.(i) and b = s.segments.(i + 1) in
+                (* Only the merger replaces sealed segments and we hold
+                   the merge lock; flush only appends, so positions i
+                   and i+1 still name the planned pair. *)
+                assert (a.seg_base = base && a.seg_len + b.seg_len = len);
+                let merged =
+                  { seg_base = base; seg_len = len; dead; file; searcher }
+                in
+                let n = Array.length s.segments in
+                let segments =
+                  Array.concat
+                    [
+                      Array.sub s.segments 0 i;
+                      [| merged |];
+                      Array.sub s.segments (i + 2) (n - i - 2);
+                    ]
+                in
+                let tombstones = IntSet.diff s.tombstones tomb in
+                let gen = s.generation + 1 in
+                write_manifest_locked t ~generation:gen ~segments ~tombstones;
+                Atomic.set t.snap { s with generation = gen; segments; tombstones };
+                Atomic.incr t.merges;
+                (List.filter_map (fun sg -> sg.file) [ a; b ], gen))
+          in
+          (* The replaced files are no longer named by any manifest. *)
+          (match t.config.dir with
+          | Some dir ->
+              List.iter
+                (fun f ->
+                  try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+                old_files
+          | None -> ());
+          notify t gen;
+          true)
+
+let merge_now t = merge_step t
+
+(* Run compactions until the policy is satisfied and no background step
+   is in flight (the merge lock serializes with the merger domain). *)
+let quiesce t = while merge_step t do () done
+
+let merger_loop t =
+  let rec loop () =
+    Mutex.lock t.m;
+    while not t.stopping && not (merge_needed t) do
+      Condition.wait t.c t.m
+    done;
+    let stop = t.stopping in
+    Mutex.unlock t.m;
+    if not stop then begin
+      (try ignore (merge_step t)
+       with _ ->
+         (* Injected faults and I/O errors leave the pre-merge snapshot
+            intact; count, back off briefly (an armed failpoint would
+            otherwise hot-spin), retry on the next round. *)
+         Atomic.incr t.merge_errors;
+         Unix.sleepf 0.05);
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- construction ------------------------------------------------------ *)
+
+let make_t config corpus snap =
+  {
+    config;
+    corpus;
+    snap = Atomic.make snap;
+    writer = Mutex.create ();
+    merge_lock = Mutex.create ();
+    hooks = Atomic.make [];
+    file_seq = Atomic.make 0;
+    adds = Atomic.make 0;
+    deletes = Atomic.make 0;
+    flushes = Atomic.make 0;
+    merges = Atomic.make 0;
+    merge_errors = Atomic.make 0;
+    durable_dirty = false;
+    m = Mutex.create ();
+    c = Condition.create ();
+    stopping = false;
+    merger = None;
+  }
+
+let spawn_merger t =
+  if t.config.background_merge then
+    t.merger <- Some (Domain.spawn (fun () -> merger_loop t))
+
+let create ?(config = default_config) () =
+  (match config.dir with Some dir -> mkdir_p dir | None -> ());
+  let snap =
+    {
+      generation = 0;
+      segments = [||];
+      mem_base = 0;
+      mem_len = 0;
+      mem = None;
+      tombstones = IntSet.empty;
+    }
+  in
+  let t = make_t config (Corpus.create ()) snap in
+  spawn_merger t;
+  t
+
+let open_dir ?(config = default_config) dir =
+  mkdir_p dir;
+  let config = { config with dir = Some dir } in
+  match Manifest.read ~dir with
+  | None -> create ~config ()
+  | Some m ->
+      let corpus = Corpus.create () in
+      (* Replaying the persisted vocabulary first reproduces the very
+         token ids (hence match payloads) of the original process —
+         segment words alone would shift ids wherever a compaction
+         dropped a word's only occurrences. *)
+      let vocab = Corpus.vocab corpus in
+      List.iter
+        (fun w -> ignore (Pj_text.Vocab.intern vocab w))
+        m.Manifest.vocab;
+      let max_file = ref (-1) in
+      let segments =
+        List.map
+          (fun (e : Manifest.entry) ->
+            let sf = Segment_file.read (Filename.concat dir e.Manifest.file) in
+            if sf.Segment_file.base <> e.Manifest.base
+               || Array.length sf.Segment_file.docs <> e.Manifest.len
+            then
+              failwith
+                (Printf.sprintf "Live: segment %s disagrees with the manifest"
+                   e.Manifest.file);
+            (* Re-interning words in document order reproduces the very
+               same token ids the index was built with. *)
+            Array.iter
+              (fun words -> ignore (Corpus.add_tokens corpus words))
+              sf.Segment_file.docs;
+            (match segment_file_id e.Manifest.file with
+            | Some n -> if n > !max_file then max_file := n
+            | None -> ());
+            let dead = IntSet.of_list sf.Segment_file.dead in
+            let docs =
+              Corpus.docs_slice corpus ~pos:e.Manifest.base ~len:e.Manifest.len
+            in
+            let index =
+              Inverted_index.build_docs
+                ~skip:(fun id -> IntSet.mem id dead)
+                corpus docs
+            in
+            {
+              seg_base = e.Manifest.base;
+              seg_len = e.Manifest.len;
+              dead;
+              file = Some e.Manifest.file;
+              searcher = Searcher.create index;
+            })
+          m.Manifest.segments
+      in
+      let snap =
+        {
+          generation = m.Manifest.generation;
+          segments = Array.of_list segments;
+          mem_base = Corpus.size corpus;
+          mem_len = 0;
+          mem = None;
+          tombstones = IntSet.of_list m.Manifest.tombstones;
+        }
+      in
+      let t = make_t config corpus snap in
+      Atomic.set t.file_seq (!max_file + 1);
+      (* Orphans from interrupted flushes/merges: segment files no
+         manifest names, plus stale .tmp files. Best-effort removal. *)
+      let named =
+        List.map (fun (e : Manifest.entry) -> e.Manifest.file)
+          m.Manifest.segments
+      in
+      Array.iter
+        (fun f ->
+          let stale_tmp = Filename.check_suffix f ".tmp" in
+          let orphan_seg =
+            segment_file_id f <> None && not (List.mem f named)
+          in
+          if stale_tmp || orphan_seg then
+            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      spawn_merger t;
+      t
+
+let close t =
+  let merger =
+    with_lock t.m (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.c;
+        let d = t.merger in
+        t.merger <- None;
+        d)
+  in
+  Option.iter Domain.join merger
+
+(* --- search ------------------------------------------------------------ *)
+
+exception Frag_timeout
+
+let compare_hits (a : Searcher.hit) (b : Searcher.hit) =
+  match compare b.Searcher.score a.Searcher.score with
+  | 0 -> compare a.Searcher.doc_id b.Searcher.doc_id
+  | c -> c
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* Search one immutable snapshot: every fragment (sealed segments, then
+   the memtable) runs the full DAAT + max-score search, cascading one
+   shared threshold so later fragments prune against the best bound so
+   far; tombstones are hidden by the [accept] filter. The merge by
+   (score desc, doc id asc) is byte-identical to a monolithic search
+   over the surviving documents — same vocabulary, same global doc ids,
+   same strict cross-fragment prune as [Shard_searcher]. *)
+let search_snapshot ?deadline ~k ~dedup ~prune s scoring q =
+  if k = 0 then Ok []
+  else begin
+    let accept =
+      if IntSet.is_empty s.tombstones then None
+      else Some (fun doc_id -> not (IntSet.mem doc_id s.tombstones))
+    in
+    let threshold = Atomic.make Float.neg_infinity in
+    let fragments =
+      Array.to_list (Array.map (fun sg -> sg.searcher) s.segments)
+      @ (match s.mem with Some sr -> [ sr ] | None -> [])
+    in
+    try
+      let hits =
+        List.concat_map
+          (fun sr ->
+            match
+              Searcher.search_fragment ?deadline ~threshold ?accept ~k ~dedup
+                ~prune sr scoring q
+            with
+            | Ok hits -> hits
+            | Error `Timeout -> raise Frag_timeout)
+          fragments
+      in
+      Ok (take k (List.sort compare_hits hits))
+    with Frag_timeout -> Error `Timeout
+  end
+
+let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
+  match
+    search_snapshot ~k ~dedup ~prune (Atomic.get t.snap) scoring q
+  with
+  | Ok hits -> hits
+  | Error `Timeout -> assert false (* no deadline *)
+
+let search_within ?(k = 10) ?(dedup = true) ?(prune = true) ~deadline t scoring
+    q =
+  search_snapshot ~deadline ~k ~dedup ~prune (Atomic.get t.snap) scoring q
+
+(* --- stats ------------------------------------------------------------- *)
+
+type stats = {
+  generation : int;
+  docs : int;
+  total_docs : int;
+  segments : int;
+  segment_docs : int;
+  memtable_docs : int;
+  tombstones : int;
+  merges : int;
+  flushes : int;
+  merge_errors : int;
+}
+
+let stats t =
+  let s = Atomic.get t.snap in
+  let segment_docs =
+    Array.fold_left
+      (fun acc sg -> acc + sg.seg_len - IntSet.cardinal sg.dead)
+      0 s.segments
+  in
+  let tombstones = IntSet.cardinal s.tombstones in
+  {
+    generation = s.generation;
+    docs = segment_docs + s.mem_len - tombstones;
+    total_docs = s.mem_base + s.mem_len;
+    segments = Array.length s.segments;
+    segment_docs;
+    memtable_docs = s.mem_len;
+    tombstones;
+    merges = Atomic.get t.merges;
+    flushes = Atomic.get t.flushes;
+    merge_errors = Atomic.get t.merge_errors;
+  }
+
+let corpus t = t.corpus

@@ -1,0 +1,171 @@
+(** A writable index: in-memory memtable + stack of sealed immutable
+    segments, with tombstone deletes, background compaction, and
+    generation-swapped snapshots.
+
+    {2 Structure}
+
+    Documents append through a shared {!Pj_index.Corpus} (one growing
+    vocabulary, global doc ids). The newest documents live in a
+    {e memtable} whose positional index is rebuilt on every add (cost
+    O(memtable tokens), bounded by [memtable_capacity]); a {e flush}
+    seals the memtable into an immutable {e segment} — an
+    {!Pj_index.Inverted_index} over a contiguous doc-id range, exactly
+    like a {!Pj_index.Sharded_index} shard. Deletes only mark a
+    {e tombstone}; a background {e merger} domain compacts adjacent
+    small segments and purges the tombstones it folded in.
+
+    {2 Memory model}
+
+    Every mutation publishes a fresh immutable
+    [(segments, memtable, tombstones, generation)] snapshot with one
+    [Atomic.set]; a query reads the current snapshot with one
+    [Atomic.get] and never takes a lock (the vocabulary's internal
+    lock aside) — queries never block on writers, writers never wait
+    for queries. Over a quiesced index, search results are
+    byte-identical to {!Pj_engine.Searcher.search} on a from-scratch
+    {!Pj_index.Inverted_index.build} over the surviving documents:
+    fragments share the vocabulary and global ids, cascade one strict
+    prune threshold (as in {!Pj_engine.Shard_searcher}), and merge by
+    (score desc, doc id asc).
+
+    {2 Durability}
+
+    With a directory configured, a flush writes the sealed segment to
+    a [PJSG] file and publishes a [MANIFEST] naming every segment file,
+    the tombstones, and the generation — each write is
+    tmp+fsync+rename ({!Pj_index.Storage.write_file_atomic}), so a
+    crash (or an armed [live.flush] / [live.merge] / [live.manifest]
+    failpoint) at any moment leaves the previous manifest and segments
+    intact. Recovery ({!open_dir}) replays the manifest: memtable
+    documents added after the last flush are lost (by design — [FLUSH]
+    is the durability barrier), deletes become durable at the next
+    flush or merge. *)
+
+type t
+
+type config = {
+  dir : string option;
+      (** segment/manifest directory; [None] = memory-only *)
+  memtable_capacity : int;
+      (** auto-flush once the memtable holds this many documents *)
+  merge_threshold : int;
+      (** compact while more than this many sealed segments exist *)
+  background_merge : bool;
+      (** spawn the merger domain (disable for deterministic tests) *)
+}
+
+val default_config : config
+(** [dir = None], [memtable_capacity = 256], [merge_threshold = 4],
+    [background_merge = true]. *)
+
+val create : ?config:config -> unit -> t
+(** A fresh, empty live index (no recovery — see {!open_dir}). *)
+
+val open_dir : ?config:config -> string -> t
+(** Open (or create) a persistent live index rooted at the directory,
+    recovering to the last durable generation by replaying the
+    manifest: segment files are re-read, their words re-interned in
+    document order (reproducing the original doc and token ids), and
+    their indexes rebuilt. Orphan segment files from interrupted
+    operations are removed. [config.dir] is overridden by the
+    argument. Raises [Failure "Live: ..."] on a corrupt manifest or
+    segment, [Sys_error] on I/O failure. *)
+
+val close : t -> unit
+(** Stop and join the background merger (idempotent). In-memory state
+    remains searchable; nothing new is flushed. *)
+
+(** {1 Writing} *)
+
+val add : t -> string array -> int
+(** Append one document (pre-tokenized words), returning its global
+    doc id. Visible to queries immediately; durable only after the
+    next flush. Auto-flushes when the memtable reaches capacity. *)
+
+val add_batch : t -> string array list -> unit
+(** Append many documents with one index rebuild — the bulk-load path
+    (ids are assigned densely in list order). *)
+
+val delete : t -> int -> (unit, [ `Not_found ]) result
+(** Tombstone a document: hidden from queries immediately, purged from
+    postings by a later merge, durable at the next flush or merge.
+    [Error `Not_found] for ids never added, already deleted, or
+    already compacted away. *)
+
+val flush : t -> int
+(** Seal the memtable into an immutable segment (writing it and a new
+    manifest when persistent — the durability barrier for adds and
+    deletes) and return the new generation. No-op (returning the
+    current generation) when there is nothing to persist. Raises
+    [Sys_error] / [Pj_util.Failpoint.Injected] on failure, leaving the
+    memtable intact for retry. *)
+
+(** {1 Merging} *)
+
+val merge_now : t -> bool
+(** Run one compaction step in the caller (serialized with the
+    background merger): the cheapest adjacent segment pair is merged,
+    its tombstones purged. False when the segment stack is within
+    [merge_threshold]. *)
+
+val quiesce : t -> unit
+(** Run compactions until the merge policy is satisfied and no
+    background step is in flight — after this, state is deterministic
+    for a given operation history. *)
+
+(** {1 Searching} *)
+
+val search :
+  ?k:int ->
+  ?dedup:bool ->
+  ?prune:bool ->
+  t ->
+  Pj_core.Scoring.t ->
+  Pj_matching.Query.t ->
+  Pj_engine.Searcher.hit list
+(** Top-k over the current snapshot — same contract (and, over a
+    quiesced index, the same bytes) as {!Pj_engine.Searcher.search} on
+    a from-scratch index over the surviving documents. *)
+
+val search_within :
+  ?k:int ->
+  ?dedup:bool ->
+  ?prune:bool ->
+  deadline:float ->
+  t ->
+  Pj_core.Scoring.t ->
+  Pj_matching.Query.t ->
+  (Pj_engine.Searcher.hit list, [ `Timeout ]) result
+(** [search] under a monotonic-clock deadline, as
+    {!Pj_engine.Searcher.search_within}. *)
+
+(** {1 Observability} *)
+
+val generation : t -> int
+(** The current snapshot's generation — bumped by every add, delete,
+    flush, and merge, so equal generations imply identical results. *)
+
+val on_swap : t -> (int -> unit) -> unit
+(** Register a callback invoked (outside the writer lock) with the new
+    generation after every snapshot publication — the result-cache
+    invalidation hook. Registration is not thread-safe; register
+    before serving traffic. *)
+
+type stats = {
+  generation : int;
+  docs : int;  (** searchable documents = [segment_docs + memtable_docs - tombstones] *)
+  total_docs : int;  (** every id ever assigned, compacted or not *)
+  segments : int;
+  segment_docs : int;  (** live (non-compacted) docs across sealed segments *)
+  memtable_docs : int;
+  tombstones : int;  (** deleted but not yet compacted *)
+  merges : int;
+  flushes : int;
+  merge_errors : int;  (** background merge attempts that failed *)
+}
+
+val stats : t -> stats
+
+val corpus : t -> Pj_index.Corpus.t
+(** The shared corpus (single source of truth for documents and the
+    vocabulary). Do not mutate it directly. *)

@@ -1,0 +1,107 @@
+(* On-disk format of one sealed segment ("PJSG"): the token sequences
+   of a contiguous doc-id range, written through a file-local string
+   table, plus the ids of documents the segment has compacted away.
+   Same primitives as the corpus format: LEB128 varints, length-prefixed
+   strings, CRC-32 footer, crash-safe tmp+fsync+rename publication. *)
+
+let magic = "PJSG"
+let version = 1
+
+type t = {
+  base : int;                (* id of the first document of the range *)
+  docs : string array array; (* per document, its token words; [||] for
+                                compacted-away (and genuinely empty) docs *)
+  dead : int list;           (* absolute ids compacted away, ascending *)
+}
+
+module Storage = Pj_index.Storage
+
+let write ~failpoint path t =
+  let buf = Buffer.create (64 * 1024) in
+  Buffer.add_string buf magic;
+  Storage.write_varint buf version;
+  let payload_start = Buffer.length buf in
+  Storage.write_varint buf t.base;
+  (* File-local string table so repeated words cost one varint each. *)
+  let table = Hashtbl.create 1024 in
+  let words = ref [] and n_words = ref 0 in
+  Array.iter
+    (Array.iter (fun w ->
+         if not (Hashtbl.mem table w) then begin
+           Hashtbl.add table w !n_words;
+           words := w :: !words;
+           incr n_words
+         end))
+    t.docs;
+  Storage.write_varint buf !n_words;
+  List.iter (Storage.write_string buf) (List.rev !words);
+  Storage.write_varint buf (Array.length t.docs);
+  Array.iter
+    (fun doc ->
+      Storage.write_varint buf (Array.length doc);
+      Array.iter (fun w -> Storage.write_varint buf (Hashtbl.find table w)) doc)
+    t.docs;
+  Storage.write_varint buf (List.length t.dead);
+  List.iter (Storage.write_varint buf) t.dead;
+  let contents = Buffer.contents buf in
+  let crc =
+    Storage.crc32 ~pos:payload_start
+      ~len:(String.length contents - payload_start)
+      contents
+  in
+  let footer = Bytes.create 4 in
+  Bytes.set_int32_le footer 0 crc;
+  Buffer.add_bytes buf footer;
+  Storage.write_file_atomic ~fp_write:failpoint ~fp_rename:failpoint path buf
+
+let parse s =
+  let pos = ref 0 in
+  if String.length s < 4 || String.sub s 0 4 <> magic then
+    failwith "Live: not a proxjoin segment file";
+  pos := 4;
+  let v = Storage.read_varint s ~pos in
+  if v <> version then
+    failwith (Printf.sprintf "Live: unsupported segment version %d" v);
+  let payload_start = !pos in
+  if String.length s < payload_start + 4 then
+    failwith "Live: truncated segment file (missing CRC footer)";
+  let payload_len = String.length s - payload_start - 4 in
+  let stored = String.get_int32_le s (payload_start + payload_len) in
+  let computed = Storage.crc32 ~pos:payload_start ~len:payload_len s in
+  if stored <> computed then
+    failwith
+      (Printf.sprintf
+         "Live: segment CRC mismatch (stored %08lx, computed %08lx) — file \
+          truncated or corrupted"
+         stored computed);
+  let s = String.sub s 0 (payload_start + payload_len) in
+  let base = Storage.read_varint s ~pos in
+  let n_words = Storage.read_varint s ~pos in
+  let words = Array.init n_words (fun _ -> Storage.read_string s ~pos) in
+  let n_docs = Storage.read_varint s ~pos in
+  let docs =
+    Array.init n_docs (fun _ ->
+        let len = Storage.read_varint s ~pos in
+        Array.init len (fun _ ->
+            let id = Storage.read_varint s ~pos in
+            if id >= n_words then failwith "Live: word id out of range";
+            words.(id)))
+  in
+  let n_dead = Storage.read_varint s ~pos in
+  let dead = List.init n_dead (fun _ -> Storage.read_varint s ~pos) in
+  if !pos <> String.length s then failwith "Live: trailing bytes in segment";
+  List.iter
+    (fun id ->
+      if id < base || id >= base + n_docs then
+        failwith "Live: dead id outside segment range")
+    dead;
+  { base; docs; dead }
+
+let read path =
+  let s = Storage.read_file path in
+  try parse s with
+  | Failure _ as e -> raise e
+  | e ->
+      failwith
+        (Printf.sprintf "Live: corrupt segment file %s (%s)" path
+           (Printexc.to_string e))

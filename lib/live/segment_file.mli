@@ -1,0 +1,35 @@
+(** On-disk format of one sealed segment ("PJSG" v1).
+
+    A segment file records the token sequences of a contiguous doc-id
+    range — words, not token ids, because the global vocabulary keeps
+    growing after a segment seals and ids are only reproducible by
+    re-interning in document order at recovery. Documents a merge has
+    compacted away are written as empty token sequences and listed in
+    [dead], so recovery can tell a purged document from a genuinely
+    empty one and keep the live-document accounting exact.
+
+    The format shares [Pj_index.Storage]'s primitives: LEB128 varints,
+    length-prefixed strings through a file-local string table, a CRC-32
+    footer over the payload, and crash-safe tmp+fsync+rename
+    publication. *)
+
+type t = {
+  base : int;                (** id of the first document of the range *)
+  docs : string array array; (** per document, its token words; [[||]]
+                                 for compacted-away (and genuinely
+                                 empty) documents *)
+  dead : int list;           (** absolute ids compacted away, ascending *)
+}
+
+val write : failpoint:string -> string -> t -> unit
+(** Write a segment crash-safely. [failpoint] names the fault-injection
+    site hit before the write and before the rename ([live.flush] when
+    sealing a memtable, [live.merge] when installing a compaction).
+    Raises [Sys_error] on I/O failure, [Pj_util.Failpoint.Injected] /
+    [Panicked] under fault injection — in either case any previously
+    published file at the path is left intact. *)
+
+val read : string -> t
+(** Read a segment back. Raises [Failure] with a ["Live: ..."] message
+    on any malformed, truncated or wrong-version file; [Sys_error] on
+    I/O failure. *)

@@ -10,8 +10,13 @@ type t = {
   mutable timeouts : int;
   mutable degraded : int;
   mutable shard_failures : int;
+  mutable adds : int;
+  mutable deletes : int;
+  mutable flushes : int;
+  mutable ingest_errors : int;
   latency : Pj_util.Histogram.t;
   degraded_latency : Pj_util.Histogram.t;
+  ingest_latency : Pj_util.Histogram.t;
 }
 
 let create () =
@@ -27,8 +32,13 @@ let create () =
     timeouts = 0;
     degraded = 0;
     shard_failures = 0;
+    adds = 0;
+    deletes = 0;
+    flushes = 0;
+    ingest_errors = 0;
     latency = Pj_util.Histogram.create ();
     degraded_latency = Pj_util.Histogram.create ();
+    ingest_latency = Pj_util.Histogram.create ();
   }
 
 let with_lock t f =
@@ -57,11 +67,21 @@ let record_degraded t ~n_failed_shards =
       t.degraded <- t.degraded + 1;
       t.shard_failures <- t.shard_failures + n_failed_shards)
 
+let record_add t = with_lock t (fun () -> t.adds <- t.adds + 1)
+let record_delete t = with_lock t (fun () -> t.deletes <- t.deletes + 1)
+let record_flush t = with_lock t (fun () -> t.flushes <- t.flushes + 1)
+
+let record_ingest_error t =
+  with_lock t (fun () -> t.ingest_errors <- t.ingest_errors + 1)
+
 let observe_latency t seconds =
   with_lock t (fun () -> Pj_util.Histogram.observe t.latency seconds)
 
 let observe_degraded_latency t seconds =
   with_lock t (fun () -> Pj_util.Histogram.observe t.degraded_latency seconds)
+
+let observe_ingest_latency t seconds =
+  with_lock t (fun () -> Pj_util.Histogram.observe t.ingest_latency seconds)
 
 type snapshot = {
   uptime_s : float;
@@ -76,12 +96,18 @@ type snapshot = {
   timeouts : int;
   degraded : int;
   shard_failures : int;
+  adds : int;
+  deletes : int;
+  flushes : int;
+  ingest_errors : int;
   served : int;
   latency_mean_ms : float;
   latency_p50_ms : float;
   latency_p95_ms : float;
   latency_p99_ms : float;
   latency_max_ms : float;
+  ingest_p50_ms : float;
+  ingest_p99_ms : float;
 }
 
 let snapshot t =
@@ -93,24 +119,34 @@ let snapshot t =
         (* A search that fails inside handle_search was already counted
            in [searches]; only requests that never parsed into a
            command add to the total here. Summing [errors] instead
-           would double-count every failed SEARCH. *)
-        requests = t.searches + t.pings + t.stats_calls + t.parse_errors;
+           would double-count every failed SEARCH. The same holds for
+           the write verbs: an ADDDOC that fails in the worker was
+           already counted in [adds]. *)
+        requests =
+          t.searches + t.pings + t.stats_calls + t.parse_errors + t.adds
+          + t.deletes + t.flushes;
         searches = t.searches;
         pings = t.pings;
         stats_calls = t.stats_calls;
         parse_errors = t.parse_errors;
         search_errors = t.search_errors;
-        errors = t.parse_errors + t.search_errors;
+        errors = t.parse_errors + t.search_errors + t.ingest_errors;
         busy = t.busy;
         timeouts = t.timeouts;
         degraded = t.degraded;
         shard_failures = t.shard_failures;
+        adds = t.adds;
+        deletes = t.deletes;
+        flushes = t.flushes;
+        ingest_errors = t.ingest_errors;
         served = Pj_util.Histogram.count h;
         latency_mean_ms = ms (Pj_util.Histogram.mean h);
         latency_p50_ms = ms (Pj_util.Histogram.percentile h 50.);
         latency_p95_ms = ms (Pj_util.Histogram.percentile h 95.);
         latency_p99_ms = ms (Pj_util.Histogram.percentile h 99.);
         latency_max_ms = ms (Pj_util.Histogram.max_value h);
+        ingest_p50_ms = ms (Pj_util.Histogram.percentile t.ingest_latency 50.);
+        ingest_p99_ms = ms (Pj_util.Histogram.percentile t.ingest_latency 99.);
       })
 
 let render t ~cache_hits ~cache_misses ~cache_len ~queue_len ~domains
@@ -119,12 +155,14 @@ let render t ~cache_hits ~cache_misses ~cache_len ~queue_len ~domains
   Printf.sprintf
     "STATS uptime_s=%.1f requests=%d searches=%d served=%d pings=%d \
      stats=%d errors=%d parse_errors=%d search_errors=%d busy=%d \
-     timeouts=%d degraded=%d shard_failures=%d worker_panics=%d \
+     timeouts=%d degraded=%d shard_failures=%d adds=%d deletes=%d \
+     flushes=%d ingest_errors=%d worker_panics=%d \
      worker_respawns=%d cache_hits=%d cache_misses=%d cache_len=%d \
      queue_len=%d domains=%d lat_mean_ms=%.3f p50_ms=%.3f p95_ms=%.3f \
-     p99_ms=%.3f max_ms=%.3f"
+     p99_ms=%.3f max_ms=%.3f ingest_p50_ms=%.3f ingest_p99_ms=%.3f"
     s.uptime_s s.requests s.searches s.served s.pings s.stats_calls s.errors
     s.parse_errors s.search_errors s.busy s.timeouts s.degraded
-    s.shard_failures worker_panics worker_respawns cache_hits cache_misses
-    cache_len queue_len domains s.latency_mean_ms s.latency_p50_ms
-    s.latency_p95_ms s.latency_p99_ms s.latency_max_ms
+    s.shard_failures s.adds s.deletes s.flushes s.ingest_errors worker_panics
+    worker_respawns cache_hits cache_misses cache_len queue_len domains
+    s.latency_mean_ms s.latency_p50_ms s.latency_p95_ms s.latency_p99_ms
+    s.latency_max_ms s.ingest_p50_ms s.ingest_p99_ms

@@ -11,11 +11,12 @@
     (malformed, unknown verb, over-long line) — it is a request in its
     own right; a {e search} error is a SEARCH that parsed fine but
     failed during evaluation (bad scoring family, unknown term, worker
-    exception) — that request is already counted in [searches].
-    Keeping the two apart is what makes the invariant
-    [requests = searches + pings + stats + parse_errors] hold exactly;
-    the previous single counter put failed SEARCHes in both terms of
-    the sum. *)
+    exception) — that request is already counted in [searches], and an
+    {e ingest} error likewise in [adds]/[deletes]/[flushes]. Keeping
+    the levels apart is what makes the invariant
+    [requests = searches + pings + stats + parse_errors + adds +
+    deletes + flushes] hold exactly; a single error counter would put
+    failed requests in both terms of the sum. *)
 
 type t
 
@@ -34,7 +35,8 @@ val record_search_error : t -> unit
     evaluation. Not counted as an extra request. *)
 
 val record_busy : t -> unit
-(** Also counted as a search; tracks queue-full rejections. *)
+(** Also counted under its verb's counter; tracks queue-full
+    rejections. *)
 
 val record_timeout : t -> unit
 (** Also counted as a search; tracks deadline expiries. *)
@@ -44,6 +46,21 @@ val record_degraded : t -> n_failed_shards:int -> unit
     degraded-response count by one and the cumulative shard-failure
     count by [n_failed_shards] — the first says how often clients see
     partial answers, the second how flaky the shards are. *)
+
+val record_add : t -> unit
+(** An ADDDOC request (attempted, whatever its outcome). *)
+
+val record_delete : t -> unit
+(** A DELDOC request (attempted, whatever its outcome). *)
+
+val record_flush : t -> unit
+(** A FLUSH request (attempted, whatever its outcome). *)
+
+val record_ingest_error : t -> unit
+(** A write verb (already counted by [record_add]/[record_delete]/
+    [record_flush]) that failed during execution — including writes
+    refused because the server fronts a read-only index. Not counted
+    as an extra request. *)
 
 val observe_latency : t -> float -> unit
 (** Seconds from request receipt to response for a served search
@@ -55,25 +72,38 @@ val observe_degraded_latency : t -> float -> unit
     deadline on a failed leg) don't skew the healthy-path
     percentiles. *)
 
+val observe_ingest_latency : t -> float -> unit
+(** Seconds from request receipt to acknowledgement for a completed
+    write (ADDED/DELETED/FLUSHED). Separate histogram: a FLUSH's
+    fsync-bound latency has nothing in common with a search's. *)
+
 type snapshot = {
   uptime_s : float;
-  requests : int;  (** searches + pings + stats + parse errors, exactly *)
+  requests : int;
+      (** searches + pings + stats + parse errors + adds + deletes +
+          flushes, exactly *)
   searches : int;
   pings : int;
   stats_calls : int;
   parse_errors : int;
   search_errors : int;
-  errors : int;  (** parse_errors + search_errors *)
+  errors : int;  (** parse_errors + search_errors + ingest_errors *)
   busy : int;
   timeouts : int;
   degraded : int;  (** OK-DEGRADED responses *)
   shard_failures : int;  (** total failed shard legs across them *)
+  adds : int;
+  deletes : int;
+  flushes : int;
+  ingest_errors : int;
   served : int;  (** searches answered with a HITS line *)
   latency_mean_ms : float;
   latency_p50_ms : float;
   latency_p95_ms : float;
   latency_p99_ms : float;
   latency_max_ms : float;
+  ingest_p50_ms : float;
+  ingest_p99_ms : float;
 }
 
 val snapshot : t -> snapshot
@@ -90,4 +120,5 @@ val render :
   string
 (** The single-line key=value [STATS] response. [worker_panics] and
     [worker_respawns] come from {!Worker_pool} (they live in the pool,
-    not here, because the supervisor owns them). *)
+    not here, because the supervisor owns them). When the server
+    fronts a live index it appends the live-index fields itself. *)

@@ -5,7 +5,14 @@ type search_request = {
   terms : string list;
 }
 
-type request = Ping | Stats | Quit | Search of search_request
+type request =
+  | Ping
+  | Stats
+  | Quit
+  | Search of search_request
+  | Add_doc of string
+  | Del_doc of int
+  | Flush
 
 let families = [ "win"; "med"; "max" ]
 let max_k = 10_000
@@ -54,6 +61,22 @@ let parse_search = function
       end
   | _ -> Error "usage: SEARCH <win|med|max> <alpha> <k> <term> ..."
 
+(* ADDDOC carries raw document text, not protocol tokens: the verb is
+   the first non-blank run of the line and everything after it (minus
+   surrounding blanks and a trailing "\r") is the document — the
+   whitespace-collapsing [tokenize] must not touch it. *)
+let adddoc_text line =
+  let n = String.length line in
+  let is_blank c = c = ' ' || c = '\t' || c = '\r' in
+  let start = ref 0 in
+  while !start < n && is_blank line.[!start] do incr start done;
+  (* the caller matched the verb already, so this cannot underrun *)
+  let after = !start + String.length "ADDDOC" in
+  let b = ref after and e = ref n in
+  while !b < n && is_blank line.[!b] do incr b done;
+  while !e > !b && is_blank line.[!e - 1] do decr e done;
+  String.sub line !b (!e - !b)
+
 let parse_request line =
   if String.length line > max_line_bytes then Error "request line too long"
   else
@@ -62,12 +85,25 @@ let parse_request line =
     | [ "PING" ] -> Ok Ping
     | [ "STATS" ] -> Ok Stats
     | [ "QUIT" ] -> Ok Quit
+    | [ "FLUSH" ] -> Ok Flush
     | "SEARCH" :: rest -> parse_search rest
-    | ("PING" | "STATS" | "QUIT") :: _ :: _ ->
-        Error "PING, STATS and QUIT take no arguments"
+    | "ADDDOC" :: _ -> (
+        match adddoc_text line with
+        | "" -> Error "ADDDOC needs document text"
+        | text -> Ok (Add_doc text))
+    | [ "DELDOC"; id ] -> (
+        match int_of_string_opt id with
+        | Some id when id >= 0 -> Ok (Del_doc id)
+        | Some _ -> Error "bad doc id (want id >= 0)"
+        | None -> Error (Printf.sprintf "bad doc id %S (want an integer)" id))
+    | "DELDOC" :: _ -> Error "usage: DELDOC <id>"
+    | ("PING" | "STATS" | "QUIT" | "FLUSH") :: _ :: _ ->
+        Error "PING, STATS, QUIT and FLUSH take no arguments"
     | cmd :: _ ->
         Error
-          (Printf.sprintf "unknown command %S (want SEARCH|PING|STATS|QUIT)" cmd)
+          (Printf.sprintf
+             "unknown command %S (want SEARCH|ADDDOC|DELDOC|FLUSH|PING|STATS|QUIT)"
+             cmd)
 
 (* The key under which a search is cached: scoring parameters plus the
    terms sorted, so queries differing only in term order share an
@@ -97,6 +133,12 @@ let ok_degraded ~failed_shards hits =
     (String.concat "," (List.map string_of_int failed_shards))
     (string_of_hits hits)
 
+let added id = Printf.sprintf "ADDED %d" id
+let deleted id = Printf.sprintf "DELETED %d" id
+
+let flushed ~generation ~segments =
+  Printf.sprintf "FLUSHED gen=%d segments=%d" generation segments
+
 let pong = "PONG"
 let bye = "BYE"
 let busy = "BUSY"
@@ -116,3 +158,11 @@ let cacheable response = has_prefix "HITS " response
    histogram observes. *)
 let is_search_success response =
   has_prefix "HITS " response || has_prefix "OK-DEGRADED " response
+
+(* The response acknowledges a completed write — what the ingest
+   latency histogram observes. Never cacheable (writes are not
+   queries). *)
+let is_ingest_success response =
+  has_prefix "ADDED " response
+  || has_prefix "DELETED " response
+  || has_prefix "FLUSHED " response

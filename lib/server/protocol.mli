@@ -5,6 +5,9 @@
 
     {v
     request  ::= "SEARCH" family alpha k term+   ; top-k query
+               | "ADDDOC" text                   ; ingest one document
+               | "DELDOC" id                     ; tombstone a document
+               | "FLUSH"                         ; seal the memtable (durability barrier)
                | "PING"                          ; liveness probe
                | "STATS"                         ; metrics snapshot
                | "QUIT"                          ; close the connection
@@ -12,15 +15,20 @@
     alpha    ::= float >= 0                      ; distance decay rate
     k        ::= int in [0, 10000]
     term     ::= a Pj_matching.Query_parser spec (no spaces)
+    text     ::= the rest of the line, verbatim  ; tokenized server-side
+    id       ::= int >= 0                        ; a doc id from ADDED
     v}
 
     Responses: ["HITS n doc:score ..."], ["OK-DEGRADED shards=i,j HITS
     n doc:score ..."] (a complete answer from the surviving shards
     when shards [i,j] failed or blew the deadline — see
-    {!Pj_engine.Shard_searcher.search_degraded}), ["PONG"], ["BYE"],
+    {!Pj_engine.Shard_searcher.search_degraded}), ["ADDED id"],
+    ["DELETED id"], ["FLUSHED gen=g segments=n"], ["PONG"], ["BYE"],
     ["BUSY"] (queue full), ["TIMEOUT"] (deadline exceeded),
     ["ERR reason"], or a single ["STATS ..."] key=value line. A
-    malformed request yields [ERR] and leaves the connection open. *)
+    malformed request yields [ERR] and leaves the connection open.
+    The write verbs require a server started over a live index
+    ([--live]); a read-only server answers them with [ERR]. *)
 
 type search_request = {
   family : string;  (** "win", "med" or "max" — validated by the parser *)
@@ -29,11 +37,21 @@ type search_request = {
   terms : string list;  (** non-empty *)
 }
 
-type request = Ping | Stats | Quit | Search of search_request
+type request =
+  | Ping
+  | Stats
+  | Quit
+  | Search of search_request
+  | Add_doc of string  (** raw document text, surrounding blanks stripped *)
+  | Del_doc of int
+  | Flush
 
 val parse_request : string -> (request, string) result
 (** Parse one request line (whitespace-tolerant, ["\r"]-tolerant).
-    Errors name the offending argument and never raise. *)
+    [ADDDOC]'s document text is taken verbatim from the line (internal
+    spacing preserved — token positions matter to proximity scoring);
+    everything else is parsed word-wise. Errors name the offending
+    argument and never raise. *)
 
 val scoring_of :
   family:string -> alpha:float -> (Pj_core.Scoring.t, string) result
@@ -63,6 +81,21 @@ val cacheable : string -> bool
 val is_search_success : string -> bool
 (** The response carries hits (complete or degraded) — what latency
     metrics observe. *)
+
+val added : int -> string
+(** ["ADDED id"] — the new document's global doc id. *)
+
+val deleted : int -> string
+(** ["DELETED id"]. *)
+
+val flushed : generation:int -> segments:int -> string
+(** ["FLUSHED gen=g segments=n"] — the durable generation and sealed
+    segment count after the flush. *)
+
+val is_ingest_success : string -> bool
+(** The response acknowledges a completed write ([ADDED]/[DELETED]/
+    [FLUSHED]) — what the ingest latency histogram observes. Ingest
+    responses are never cacheable. *)
 
 val pong : string
 val bye : string

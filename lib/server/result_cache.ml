@@ -3,6 +3,7 @@ type t = {
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  mutable generation : int;
 }
 
 let create ~capacity =
@@ -11,15 +12,25 @@ let create ~capacity =
     mutex = Mutex.create ();
     hits = 0;
     misses = 0;
+    generation = 0;
   }
 
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Generation-aware keys: entries cached under an older index
+   generation can never be found again after a bump — a stale
+   pre-ingest response is structurally unreachable, with no costly
+   clear-on-swap sweep. Superseded entries age out of the LRU on
+   their own. Caller must hold the lock. *)
+let versioned t key =
+  if t.generation = 0 then key
+  else Printf.sprintf "g%d|%s" t.generation key
+
 let find t key =
   with_lock t (fun () ->
-      match Pj_util.Lru.find t.lru key with
+      match Pj_util.Lru.find t.lru (versioned t key) with
       | Some _ as v ->
           t.hits <- t.hits + 1;
           v
@@ -33,7 +44,14 @@ let find t key =
    clients would be wrong, so such lines are never stored. *)
 let add t key response =
   if Protocol.cacheable response then
-    with_lock t (fun () -> Pj_util.Lru.add t.lru key response)
+    with_lock t (fun () -> Pj_util.Lru.add t.lru (versioned t key) response)
+
+let set_generation t gen =
+  (* Monotone: concurrent swap notifications may arrive out of order;
+     moving backwards would resurrect stale entries. *)
+  with_lock t (fun () -> if gen > t.generation then t.generation <- gen)
+
+let generation t = with_lock t (fun () -> t.generation)
 
 let stats t =
   with_lock t (fun () -> (t.hits, t.misses, Pj_util.Lru.length t.lru))

@@ -5,7 +5,12 @@
     byte-identical to the response the solvers would have produced and
     costs one lock plus one hash lookup — no query parsing, no queue
     slot, no worker domain. Hit/miss counters feed the [STATS]
-    report. *)
+    report.
+
+    When the server fronts a live index, every entry is keyed under
+    the index generation it was computed against ({!set_generation});
+    bumping the generation makes all older entries unreachable, so a
+    response cached before an ingest can never be replayed after it. *)
 
 type t
 
@@ -19,6 +24,17 @@ val add : t -> string -> string -> unit
     it is a complete answer. [TIMEOUT], [OK-DEGRADED], [BUSY] and
     [ERR] lines are silently refused: a degraded or timed-out request
     must never be replayed to healthy clients. *)
+
+val set_generation : t -> int -> unit
+(** Invalidate every entry cached against an older index generation
+    by switching the key namespace. Monotone: a generation lower than
+    the current one is ignored (out-of-order swap notifications must
+    not resurrect stale entries). Superseded entries are not swept;
+    they age out of the LRU. *)
+
+val generation : t -> int
+(** The current key-namespace generation (0 until the first
+    {!set_generation}). *)
 
 val stats : t -> int * int * int
 (** [(hits, misses, current length)]. *)

@@ -40,6 +40,7 @@ type t = {
   port : int;
   graph : Pj_ontology.Graph.t;
   pool : Worker_pool.t;
+  live : Pj_live.Live_index.t option;
   cache : Result_cache.t;
   metrics : Metrics.t;
   running : bool Atomic.t;
@@ -60,11 +61,30 @@ let inflight t = Atomic.get t.inflight
 
 let stats_line t =
   let cache_hits, cache_misses, cache_len = Result_cache.stats t.cache in
-  Metrics.render t.metrics ~cache_hits ~cache_misses ~cache_len
-    ~queue_len:(Worker_pool.queue_length t.pool)
-    ~domains:(Worker_pool.domains t.pool)
-    ~worker_panics:(Worker_pool.panics t.pool)
-    ~worker_respawns:(Worker_pool.respawns t.pool)
+  let base =
+    Metrics.render t.metrics ~cache_hits ~cache_misses ~cache_len
+      ~queue_len:(Worker_pool.queue_length t.pool)
+      ~domains:(Worker_pool.domains t.pool)
+      ~worker_panics:(Worker_pool.panics t.pool)
+      ~worker_respawns:(Worker_pool.respawns t.pool)
+  in
+  match t.live with
+  | None -> base
+  | Some live ->
+      (* The live-index accounting invariant
+         [docs = segment_docs + memtable_docs - tombstones] is readable
+         straight off this line — test/server asserts it over the
+         socket. *)
+      let s = Pj_live.Live_index.stats live in
+      Printf.sprintf
+        "%s live=1 docs=%d total_docs=%d segments=%d segment_docs=%d \
+         memtable_docs=%d tombstones=%d generation=%d merges=%d \
+         index_flushes=%d"
+        base s.Pj_live.Live_index.docs s.Pj_live.Live_index.total_docs
+        s.Pj_live.Live_index.segments s.Pj_live.Live_index.segment_docs
+        s.Pj_live.Live_index.memtable_docs s.Pj_live.Live_index.tombstones
+        s.Pj_live.Live_index.generation s.Pj_live.Live_index.merges
+        s.Pj_live.Live_index.flushes
 
 (* Answer one SEARCH. The cache is consulted before the worker pool, so
    a repeated query costs one hash lookup and no queue slot; live
@@ -130,6 +150,61 @@ let handle_search t (sr : Protocol.search_request) =
         end
     end
 
+(* Answer one write verb (ADDDOC/DELDOC/FLUSH). Writes ride the same
+   worker pool and bounded queue as searches — one backpressure bound,
+   one supervision story — but through [run_task], which has no
+   deadline: a write the queue accepted is carried out, because a
+   client that has seen ADDED must find the document. The ingest verbs
+   are serialized by the live index's writer lock, so concurrent
+   clients interleave whole operations, never partial ones. *)
+let handle_ingest t request =
+  match t.live with
+  | None ->
+      Metrics.record_ingest_error t.metrics;
+      Protocol.err "not serving a live index (start with --live)"
+  | Some live ->
+      let task () =
+        match request with
+        | Protocol.Add_doc text ->
+            (* Same normalization as the corpus the server was seeded
+               from (see stemmed_corpus_of_file in the CLI): Porter
+               stems over lowercase word tokens. *)
+            let stems =
+              Array.map Pj_text.Porter.stem
+                (Pj_text.Tokenizer.tokenize_array text)
+            in
+            Protocol.added (Pj_live.Live_index.add live stems)
+        | Protocol.Del_doc id -> begin
+            match Pj_live.Live_index.delete live id with
+            | Ok () -> Protocol.deleted id
+            | Error `Not_found ->
+                Protocol.err (Printf.sprintf "no such document %d" id)
+          end
+        | Protocol.Flush ->
+            let generation = Pj_live.Live_index.flush live in
+            let stats = Pj_live.Live_index.stats live in
+            Protocol.flushed ~generation
+              ~segments:stats.Pj_live.Live_index.segments
+        | Protocol.Ping | Protocol.Stats | Protocol.Quit | Protocol.Search _ ->
+            assert false (* only write verbs are routed here *)
+      in
+      begin
+        match Worker_pool.run_task t.pool task with
+        | `Busy ->
+            Metrics.record_busy t.metrics;
+            Protocol.busy
+        | `Done (Ok line) ->
+            (* The task itself can answer ERR (e.g. DELDOC of an
+               unknown id) — an ingest error even though the worker
+               ran fine. *)
+            if not (Protocol.is_ingest_success line) then
+              Metrics.record_ingest_error t.metrics;
+            line
+        | `Done (Error msg) ->
+            Metrics.record_ingest_error t.metrics;
+            Protocol.err msg
+      end
+
 (* One response line per request line; [false] ends the connection. *)
 let respond t line =
   match Protocol.parse_request line with
@@ -154,6 +229,17 @@ let respond t line =
       if Protocol.cacheable response then Metrics.observe_latency t.metrics dt
       else if Protocol.is_search_success response then
         Metrics.observe_degraded_latency t.metrics dt;
+      (response, true)
+  | Ok ((Protocol.Add_doc _ | Protocol.Del_doc _ | Protocol.Flush) as req) ->
+      (match req with
+      | Protocol.Add_doc _ -> Metrics.record_add t.metrics
+      | Protocol.Del_doc _ -> Metrics.record_delete t.metrics
+      | _ -> Metrics.record_flush t.metrics);
+      let t0 = Pj_util.Timing.monotonic_now () in
+      let response = handle_ingest t req in
+      let dt = Pj_util.Timing.monotonic_now () -. t0 in
+      if Protocol.is_ingest_success response then
+        Metrics.observe_ingest_latency t.metrics dt;
       (response, true)
 
 let register_conn t id conn =
@@ -279,7 +365,7 @@ let log_loop t period =
       Printf.eprintf "[pj_server] %s\n%!" (stats_line t)
   done
 
-let start ?(config = default_config) ~graph search =
+let start ?(config = default_config) ?live ~graph search =
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
@@ -304,6 +390,7 @@ let start ?(config = default_config) ~graph search =
       port;
       graph;
       pool;
+      live;
       cache = Result_cache.create ~capacity:config.cache_capacity;
       metrics = Metrics.create ();
       running = Atomic.make true;
@@ -314,6 +401,18 @@ let start ?(config = default_config) ~graph search =
       conns_mutex = Mutex.create ();
     }
   in
+  (match live with
+  | Some live ->
+      (* Every generation swap (add, delete, flush, merge) switches the
+         cache's key namespace, so a response computed against an older
+         snapshot can never be replayed. Seed with the current
+         generation: the index may have been recovered from disk at
+         gen > 0. *)
+      Result_cache.set_generation t.cache
+        (Pj_live.Live_index.generation live);
+      Pj_live.Live_index.on_swap live (fun gen ->
+          Result_cache.set_generation t.cache gen)
+  | None -> ());
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   (match config.log_every_s with
   | Some period when period > 0. ->

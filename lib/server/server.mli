@@ -1,7 +1,7 @@
 (** The concurrent query-serving loop: a TCP server speaking
-    {!Protocol} over a hot, immutable search function (a monolithic
-    {!Pj_engine.Searcher.t} or a sharded
-    {!Pj_engine.Shard_searcher.t}, via the {!Worker_pool.search}
+    {!Protocol} over a hot search function (a monolithic
+    {!Pj_engine.Searcher.t}, a sharded {!Pj_engine.Shard_searcher.t},
+    or a {!Pj_live.Live_index.t}, via the {!Worker_pool.search}
     constructors).
 
     Architecture: one accept loop hands each connection to a
@@ -14,7 +14,18 @@
     (but not all) shard legs → [OK-DEGRADED] carrying the surviving
     shards' merged top-k, never cached. {!Metrics} aggregates counters and
     latency percentiles for [STATS] and the optional periodic log
-    line on stderr. *)
+    line on stderr.
+
+    Live ingestion: when started with [?live], the server additionally
+    accepts the write verbs [ADDDOC]/[DELDOC]/[FLUSH]. Writes ride the
+    same bounded queue and worker domains as searches (same [BUSY]
+    backpressure, same supervision) but carry no deadline — an
+    acknowledged write has happened. Every index generation swap
+    switches the {!Result_cache} key namespace, so a response cached
+    before an ingest is never replayed after it, and [STATS] grows the
+    live-index fields ([docs=], [segments=], [memtable_docs=],
+    [generation=], ...). Without [?live] the write verbs answer
+    [ERR]. *)
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -34,13 +45,20 @@ val default_config : config
 type t
 
 val start :
-  ?config:config -> graph:Pj_ontology.Graph.t -> Worker_pool.search -> t
+  ?config:config ->
+  ?live:Pj_live.Live_index.t ->
+  graph:Pj_ontology.Graph.t ->
+  Worker_pool.search ->
+  t
 (** Bind, listen, spawn the worker pool and the accept thread, and
-    return immediately. The search function must close over a fully
-    built index shared read-only across domains (use
-    {!Worker_pool.of_searcher} or {!Worker_pool.of_shard_searcher});
-    [graph] is the lemma graph query terms are parsed against. Raises
-    [Unix.Unix_error] when the address cannot be bound. *)
+    return immediately. The search function must be domain-safe (use
+    {!Worker_pool.of_searcher}, {!Worker_pool.of_shard_searcher} or
+    {!Worker_pool.of_live}); [graph] is the lemma graph query terms
+    are parsed against. [?live] enables the write verbs and wires the
+    index's generation swaps into the result cache — pass the same
+    index the search function closes over. The server does not own
+    the live index: close it after {!stop}. Raises [Unix.Unix_error]
+    when the address cannot be bound. *)
 
 val port : t -> int
 (** The actual bound port (useful with [port = 0]). *)

@@ -23,6 +23,13 @@ let of_shard_searcher sharded ~scoring ~k ~deadline query =
     (Pj_engine.Shard_searcher.search_degraded ~k ~deadline sharded scoring
        query)
 
+let of_live live ~scoring ~k ~deadline query =
+  (* Like a monolithic index: a snapshot search is complete or timed
+     out, never degraded. *)
+  Result.map
+    (fun hits -> (hits, []))
+    (Pj_live.Live_index.search_within ~k ~deadline live scoring query)
+
 (* A one-shot result cell the submitting thread blocks on. *)
 type cell = {
   m : Mutex.t;
@@ -30,13 +37,23 @@ type cell = {
   mutable result : outcome option;
 }
 
-type job = {
-  scoring : Pj_core.Scoring.t;
-  k : int;
-  deadline : float;
-  query : Pj_matching.Query.t;
-  cell : cell;
+type task_cell = {
+  tm : Mutex.t;
+  tc : Condition.t;
+  mutable tresult : (string, string) result option;
 }
+
+(* Searches and ingest tasks share the queue and the worker domains:
+   one pool, one backpressure bound, one supervision story. *)
+type job =
+  | Search_job of {
+      scoring : Pj_core.Scoring.t;
+      k : int;
+      deadline : float;
+      query : Pj_matching.Query.t;
+      cell : cell;
+    }
+  | Task_job of { run : unit -> string; cell : task_cell }
 
 type t = {
   queue : job Work_queue.t;
@@ -61,28 +78,48 @@ let fill (cell : cell) outcome =
   Condition.signal cell.c;
   Mutex.unlock cell.m
 
-let execute (search : search) job =
-  (* A job that sat in the queue past its deadline is not worth
-     starting — the client's budget is wall-clock, queueing
-     included. *)
-  if Pj_util.Timing.monotonic_now () > job.deadline then
-    fill job.cell Timed_out
-  else
-    match
-      Pj_util.Failpoint.hit "worker.job";
-      search ~scoring:job.scoring ~k:job.k ~deadline:job.deadline job.query
-    with
-    | Ok (hits, []) -> fill job.cell (Hits hits)
-    | Ok (hits, failed) -> fill job.cell (Degraded (hits, failed))
-    | Error `Timeout -> fill job.cell Timed_out
-    | exception (Pj_util.Failpoint.Panicked site as e) ->
-        (* A panic models a crash of this worker: answer the waiting
-           client (it must never hang on a dead domain), then let the
-           exception kill the worker loop — the supervisor respawns. *)
-        fill job.cell
-          (Failed (Printf.sprintf "worker panicked (failpoint %s)" site));
-        raise e
-    | exception e -> fill job.cell (Failed (Printexc.to_string e))
+let fill_task (cell : task_cell) r =
+  Mutex.lock cell.tm;
+  cell.tresult <- Some r;
+  Condition.signal cell.tc;
+  Mutex.unlock cell.tm
+
+let execute (search : search) = function
+  | Search_job job -> (
+      (* A job that sat in the queue past its deadline is not worth
+         starting — the client's budget is wall-clock, queueing
+         included. *)
+      if Pj_util.Timing.monotonic_now () > job.deadline then
+        fill job.cell Timed_out
+      else
+        match
+          Pj_util.Failpoint.hit "worker.job";
+          search ~scoring:job.scoring ~k:job.k ~deadline:job.deadline job.query
+        with
+        | Ok (hits, []) -> fill job.cell (Hits hits)
+        | Ok (hits, failed) -> fill job.cell (Degraded (hits, failed))
+        | Error `Timeout -> fill job.cell Timed_out
+        | exception (Pj_util.Failpoint.Panicked site as e) ->
+            (* A panic models a crash of this worker: answer the waiting
+               client (it must never hang on a dead domain), then let the
+               exception kill the worker loop — the supervisor respawns. *)
+            fill job.cell
+              (Failed (Printf.sprintf "worker panicked (failpoint %s)" site));
+            raise e
+        | exception e -> fill job.cell (Failed (Printexc.to_string e)))
+  | Task_job { run; cell } -> (
+      (* No deadline: a write the queue accepted is carried out — a
+         client that has seen ADDED must find the document. *)
+      match
+        Pj_util.Failpoint.hit "worker.job";
+        run ()
+      with
+      | line -> fill_task cell (Ok line)
+      | exception (Pj_util.Failpoint.Panicked site as e) ->
+          fill_task cell
+            (Error (Printf.sprintf "worker panicked (failpoint %s)" site));
+          raise e
+      | exception e -> fill_task cell (Error (Printexc.to_string e)))
 
 let worker_loop search queue =
   let rec go () =
@@ -190,7 +227,7 @@ let live t =
 
 let run t ~scoring ~k ~deadline query =
   let cell = { m = Mutex.create (); c = Condition.create (); result = None } in
-  let job = { scoring; k; deadline; query; cell } in
+  let job = Search_job { scoring; k; deadline; query; cell } in
   if not (Work_queue.try_push t.queue job) then `Busy
   else begin
     Mutex.lock cell.m;
@@ -199,6 +236,21 @@ let run t ~scoring ~k ~deadline query =
     done;
     let r = Option.get cell.result in
     Mutex.unlock cell.m;
+    `Done r
+  end
+
+let run_task t f =
+  let cell =
+    { tm = Mutex.create (); tc = Condition.create (); tresult = None }
+  in
+  if not (Work_queue.try_push t.queue (Task_job { run = f; cell })) then `Busy
+  else begin
+    Mutex.lock cell.tm;
+    while cell.tresult = None do
+      Condition.wait cell.tc cell.tm
+    done;
+    let r = Option.get cell.tresult in
+    Mutex.unlock cell.tm;
     `Done r
   end
 

@@ -2,11 +2,12 @@
     against one shared, immutable search function.
 
     The function closes over a searcher (monolithic
-    {!Pj_engine.Searcher.t} or sharded {!Pj_engine.Shard_searcher.t})
-    whose index is built before the pool starts and never mutated
-    afterwards, so the domains race on nothing; the only
-    synchronization is the bounded {!Work_queue} in front of the pool
-    and a per-job result cell. Parallelism therefore scales with
+    {!Pj_engine.Searcher.t}, sharded {!Pj_engine.Shard_searcher.t}, or
+    a {!Pj_live.Live_index.t} whose queries read immutable
+    generation-swapped snapshots), so the domains race on nothing; the
+    only synchronization is the bounded {!Work_queue} in front of the
+    pool and a per-job result cell. Ingest tasks ({!run_task}) ride
+    the same queue and serialize on the live index's writer lock. Parallelism therefore scales with
     domains up to memory bandwidth, exactly like
     {!Pj_util.Parallel.map_array} over documents.
 
@@ -51,6 +52,11 @@ val of_shard_searcher : Pj_engine.Shard_searcher.t -> search
     scatter-gather over the shards, byte-identical results to
     {!of_searcher} on the same corpus when every shard answers. *)
 
+val of_live : Pj_live.Live_index.t -> search
+(** [Pj_live.Live_index.search_within] over the live index's current
+    snapshot — domain-safe because each query reads one immutable
+    snapshot; never degraded. *)
+
 type t
 
 val create : domains:int -> queue_capacity:int -> search -> t
@@ -69,6 +75,16 @@ val run :
     shut down. [deadline] is an absolute time on the monotonic clock
     ([Pj_util.Timing.monotonic_now]); a job still
     queued at its deadline is answered [Timed_out] without starting. *)
+
+val run_task : t -> (unit -> string) -> [ `Busy | `Done of (string, string) result ]
+(** Submit an arbitrary task — the ingest path: ADDDOC/DELDOC/FLUSH
+    run on the worker domains through the same bounded queue as
+    searches, so writes get the same backpressure ([`Busy]) and
+    supervision story. No deadline: once queued, the task runs to
+    completion (a write the server acknowledged must have happened).
+    [Ok line] is the task's response line; [Error reason] when it
+    raised (a panic also kills the worker, which the supervisor
+    respawns, exactly as for searches). *)
 
 val domains : t -> int
 val queue_length : t -> int

@@ -3,7 +3,14 @@
 
     The index and the matchers work on token ids; ids also ride in the
     [payload] field of core matches so that applications can print which
-    token produced a match. *)
+    token produced a match.
+
+    All operations are thread-safe: a vocabulary is shared between the
+    live-index writer (which interns new tokens while ingesting) and
+    search domains (which [find] query forms concurrently), so every
+    operation takes a short internal lock. The lock is uncontended in
+    read-only workloads and its cost is a few nanoseconds next to the
+    hashtable probe it guards. *)
 
 type t
 

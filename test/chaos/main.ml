@@ -361,6 +361,142 @@ let test_drain_under_load () =
       | `Gone -> Alcotest.fail "in-flight request lost by stop"
       | `Hung -> Alcotest.fail "in-flight request hung through stop")
 
+(* --- 5. live index: every live.* failpoint fails cleanly, recovery
+       replays exactly the last durable generation --------------------- *)
+
+let stems text =
+  Array.map Pj_text.Porter.stem (Pj_text.Tokenizer.tokenize_array text)
+
+let live_scoring = Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha:0.2)
+
+let live_query =
+  let table word weight = [ (Pj_text.Porter.stem word, weight) ] in
+  Pj_matching.Query.make "chaos-live"
+    [
+      Pj_matching.Matcher.of_table ~name:"t1" (table "lenovo" 1.0);
+      Pj_matching.Matcher.of_table ~name:"t2" (table "nba" 1.0);
+      Pj_matching.Matcher.of_table ~name:"t3" (table "partnership" 0.8);
+    ]
+
+let live_hits live = Pj_live.Live_index.search ~k:10 live live_scoring live_query
+
+let live_config =
+  {
+    Pj_live.Live_index.default_config with
+    memtable_capacity = 2;
+    merge_threshold = 2;
+    background_merge = false;
+  }
+
+let fresh_live_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pj-chaos-live-%d-%d" (Unix.getpid ()) !counter)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error _ -> ()
+
+let expect_injected site f =
+  match f () with
+  | _ -> Alcotest.failf "%s: operation succeeded with failpoint armed" site
+  | exception Pj_util.Failpoint.Injected s ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: failure names the site" site)
+        site s
+
+let test_live_failpoints_recover () =
+  let strong = stems "lenovo nba partnership lenovo nba partnership" in
+  let provocations =
+    [
+      (* A failed memtable seal: the segment file never lands. *)
+      ( "live.flush",
+        fun live ->
+          ignore (Pj_live.Live_index.add live strong);
+          ignore (Pj_live.Live_index.flush live) );
+      (* The segment lands but the manifest write dies: the orphan
+         segment must be invisible (and cleaned up) on recovery. *)
+      ( "live.manifest",
+        fun live ->
+          ignore (Pj_live.Live_index.add live strong);
+          ignore (Pj_live.Live_index.flush live) );
+      (* A failed compaction: the pre-merge snapshot stays published. *)
+      ("live.merge", fun live -> ignore (Pj_live.Live_index.merge_now live));
+    ]
+  in
+  List.iter
+    (fun (site, provoke) ->
+      Pj_util.Failpoint.clear ();
+      let dir = fresh_live_dir () in
+      Fun.protect
+        ~finally:(fun () ->
+          Pj_util.Failpoint.clear ();
+          rm_rf dir)
+        (fun () ->
+          (* Ten documents, auto-flushed in pairs: five durable
+             segments, an empty memtable, more segments than the merge
+             policy tolerates. *)
+          let live = Pj_live.Live_index.open_dir ~config:live_config dir in
+          List.iter
+            (fun text -> ignore (Pj_live.Live_index.add live (stems text)))
+            texts;
+          ignore (Pj_live.Live_index.flush live);
+          let durable = live_hits live in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: baseline finds documents" site)
+            true
+            (durable <> []);
+          Pj_util.Failpoint.arm site Pj_util.Failpoint.Fail;
+          expect_injected site (fun () -> provoke live);
+          (* The in-memory index survives the failure and keeps
+             serving a coherent snapshot. *)
+          let after_failure = live_hits live in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: still serves after failure" site)
+            true
+            (after_failure <> []);
+          if site <> "live.merge" then
+            (* The provoked add is visible in memory even though its
+               flush died — readers never see a torn state. *)
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: unflushed add visible in memory" site)
+              true
+              (after_failure <> durable);
+          Pj_util.Failpoint.clear ();
+          (* Crash: abandon the instance without flushing. Recovery
+             must replay exactly the last durable generation — the
+             unflushed add is gone, the failed merge left no trace. *)
+          Pj_live.Live_index.close live;
+          let recovered = Pj_live.Live_index.open_dir ~config:live_config dir in
+          Fun.protect
+            ~finally:(fun () -> Pj_live.Live_index.close recovered)
+            (fun () ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: recovery = last durable generation" site)
+                true
+                (live_hits recovered = durable);
+              let stats = Pj_live.Live_index.stats recovered in
+              Alcotest.(check int)
+                (Printf.sprintf "%s: all durable docs recovered" site)
+                (List.length texts) stats.Pj_live.Live_index.docs;
+              (* The site is healed: the same operation now succeeds
+                 and becomes durable in turn. *)
+              ignore (Pj_live.Live_index.add recovered strong);
+              ignore (Pj_live.Live_index.flush recovered);
+              ignore (Pj_live.Live_index.merge_now recovered);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: healed index ingests again" site)
+                true
+                (live_hits recovered <> durable))))
+    provocations
+
 let () =
   Alcotest.run "proxjoin.chaos"
     [
@@ -372,5 +508,8 @@ let () =
             test_degraded_flagged_and_uncached );
           ("chaos: worker kill respawns", `Quick, test_worker_kill_respawns);
           ("chaos: drain under load", `Quick, test_drain_under_load);
+          ( "chaos: live failpoints recover",
+            `Quick,
+            test_live_failpoints_recover );
         ] );
     ]

@@ -3,6 +3,7 @@ let () =
     [
       ("idf", Test_idf.suite);
       ("searcher", Test_searcher.suite);
+      ("accept", Test_accept.suite);
       ("search_oracle", Test_search_oracle.suite);
       ("shard_oracle", Test_shard_oracle.suite);
       ("degraded", Test_degraded.suite);

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "proxjoin.index"
     [
       ("posting", Test_posting.suite);
+      ("corpus", Test_corpus.suite);
       ("cursor", Test_cursor.suite);
       ("inverted_index", Test_inverted_index.suite);
       ("sharded_index", Test_sharded_index.suite);

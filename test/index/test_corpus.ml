@@ -1,0 +1,76 @@
+(* Corpus views and slices: [sub] shares the vocabulary and keeps
+   global ids but must refuse writes; [docs_slice] hands out stable
+   document arrays; [build_docs] over a slice equals [build] over the
+   same documents. *)
+
+let filled () =
+  let corpus = Pj_index.Corpus.create () in
+  List.iter
+    (fun text -> ignore (Pj_index.Corpus.add_text corpus text))
+    [ "aa bb cc"; "bb cc dd"; "cc dd ee"; "dd ee aa" ];
+  corpus
+
+let test_sub_rejects_writes () =
+  let corpus = filled () in
+  let view = Pj_index.Corpus.sub corpus ~pos:1 ~len:2 in
+  Alcotest.check_raises "add_text on a view"
+    (Invalid_argument
+       "Corpus.add_text: cannot add documents to a Corpus.sub view")
+    (fun () -> ignore (Pj_index.Corpus.add_text view "xx yy"));
+  Alcotest.check_raises "add_tokens on a view"
+    (Invalid_argument
+       "Corpus.add_tokens: cannot add documents to a Corpus.sub view")
+    (fun () -> ignore (Pj_index.Corpus.add_tokens view [| "xx"; "yy" |]));
+  (* The parent is unaffected and still writable. *)
+  Alcotest.(check int) "view untouched" 2 (Pj_index.Corpus.size view);
+  let d = Pj_index.Corpus.add_text corpus "xx yy" in
+  Alcotest.(check int) "parent still writable" 4 d.Pj_text.Document.id
+
+let test_sub_keeps_global_ids () =
+  let corpus = filled () in
+  let view = Pj_index.Corpus.sub corpus ~pos:1 ~len:2 in
+  Alcotest.(check int) "id = pos + i" 1
+    (Pj_index.Corpus.document view 0).Pj_text.Document.id;
+  Alcotest.(check int) "id = pos + i" 2
+    (Pj_index.Corpus.document view 1).Pj_text.Document.id;
+  Alcotest.(check bool) "shared vocabulary" true
+    (Pj_index.Corpus.vocab view == Pj_index.Corpus.vocab corpus)
+
+let test_docs_slice () =
+  let corpus = filled () in
+  let slice = Pj_index.Corpus.docs_slice corpus ~pos:1 ~len:2 in
+  Alcotest.(check (list int)) "ids untouched" [ 1; 2 ]
+    (Array.to_list (Array.map (fun d -> d.Pj_text.Document.id) slice));
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Corpus.docs_slice") (fun () ->
+      ignore (Pj_index.Corpus.docs_slice corpus ~pos:3 ~len:2))
+
+let test_build_docs_equals_build () =
+  let corpus = filled () in
+  let index = Pj_index.Inverted_index.build corpus in
+  let sparse =
+    Pj_index.Inverted_index.build_docs corpus
+      (Pj_index.Corpus.docs_slice corpus ~pos:0
+         ~len:(Pj_index.Corpus.size corpus))
+  in
+  let vocab = Pj_index.Corpus.vocab corpus in
+  for tok = 0 to Pj_text.Vocab.size vocab - 1 do
+    let plist ix =
+      List.map
+        (fun (p : Pj_index.Posting.t) ->
+          (p.Pj_index.Posting.doc_id, Array.to_list p.Pj_index.Posting.positions))
+        (Pj_index.Posting_list.to_list (Pj_index.Inverted_index.postings ix tok))
+    in
+    Alcotest.(check (list (pair int (list int))))
+      (Printf.sprintf "postings of token %d" tok)
+      (plist index) (plist sparse)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "sub views reject writes" `Quick test_sub_rejects_writes;
+    Alcotest.test_case "sub keeps global ids" `Quick test_sub_keeps_global_ids;
+    Alcotest.test_case "docs_slice" `Quick test_docs_slice;
+    Alcotest.test_case "build_docs = build over all docs" `Quick
+      test_build_docs_equals_build;
+  ]

@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "proxjoin.live"
+    [
+      ("live", Test_live.suite);
+      ("persist", Test_live_persist.suite);
+      ("oracle", Test_live_oracle.suite);
+      ("concurrent", Test_live_concurrent.suite);
+    ]

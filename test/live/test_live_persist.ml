@@ -1,0 +1,144 @@
+(* Persistence roundtrips: a reopened live index must answer every
+   query with results structurally identical to the index that wrote
+   the manifest — same doc ids, same scores, same matchsets (token ids
+   included, which is what forces the manifest to carry the vocabulary
+   in interning order). *)
+
+open Pj_live
+
+let scoring = Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha:0.3)
+
+let query =
+  Pj_matching.Query.make "ab"
+    [ Pj_matching.Matcher.exact "aa"; Pj_matching.Matcher.exact "bb" ]
+
+let counter = ref 0
+
+let fresh_dir () =
+  incr counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pj_live_test_%d_%d" (Unix.getpid ()) !counter)
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  dir
+
+let config dir =
+  {
+    Live_index.dir = Some dir;
+    memtable_capacity = 4;
+    merge_threshold = 2;
+    background_merge = false;
+  }
+
+let hits live = Live_index.search ~k:max_int live scoring query
+
+let test_roundtrip () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config dir) dir in
+  for i = 0 to 9 do
+    ignore (Live_index.add live [| "aa"; Printf.sprintf "w%d" i; "bb" |])
+  done;
+  (match Live_index.delete live 3 with
+  | Ok () -> ()
+  | Error `Not_found -> Alcotest.fail "delete failed");
+  ignore (Live_index.flush live);
+  Live_index.quiesce live;
+  let want = hits live in
+  let want_stats = Live_index.stats live in
+  Live_index.close live;
+  let reopened = Live_index.open_dir ~config:(config dir) dir in
+  Alcotest.(check bool) "identical hits after recovery" true
+    (hits reopened = want);
+  let got = Live_index.stats reopened in
+  Alcotest.(check int) "generation recovered" want_stats.Live_index.generation
+    got.Live_index.generation;
+  Alcotest.(check int) "docs recovered" want_stats.Live_index.docs
+    got.Live_index.docs;
+  Alcotest.(check int) "total_docs recovered" want_stats.Live_index.total_docs
+    got.Live_index.total_docs;
+  (* The recovered index keeps working: writes resume where they left
+     off. *)
+  let id = Live_index.add reopened [| "aa"; "bb"; "fresh" |] in
+  Alcotest.(check int) "ids continue densely"
+    want_stats.Live_index.total_docs id;
+  Alcotest.(check bool) "new doc searchable" true
+    (List.exists
+       (fun h -> h.Pj_engine.Searcher.doc_id = id)
+       (hits reopened));
+  Live_index.close reopened
+
+let test_flush_is_the_durability_barrier () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config dir) dir in
+  ignore (Live_index.add live [| "aa"; "bb"; "kept" |]);
+  ignore (Live_index.flush live);
+  ignore (Live_index.add live [| "aa"; "bb"; "lost" |]);
+  (* No flush: the second document exists only in the memtable. *)
+  Live_index.close live;
+  let reopened = Live_index.open_dir ~config:(config dir) dir in
+  Alcotest.(check int) "memtable doc lost by design" 1
+    (Live_index.stats reopened).Live_index.total_docs;
+  Alcotest.(check (list int))
+    "flushed doc survived" [ 0 ]
+    (List.map (fun h -> h.Pj_engine.Searcher.doc_id) (hits reopened));
+  Live_index.close reopened
+
+let test_deletes_durable_via_manifest_only_flush () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config dir) dir in
+  ignore (Live_index.add live [| "aa"; "bb" |]);
+  ignore (Live_index.add live [| "aa"; "bb" |]);
+  ignore (Live_index.flush live);
+  (match Live_index.delete live 0 with
+  | Ok () -> ()
+  | Error `Not_found -> Alcotest.fail "delete failed");
+  (* The memtable is empty, so this flush writes no segment — only a
+     manifest carrying the tombstone. *)
+  ignore (Live_index.flush live);
+  Live_index.close live;
+  let reopened = Live_index.open_dir ~config:(config dir) dir in
+  Alcotest.(check (list int))
+    "tombstone survived recovery" [ 1 ]
+    (List.map (fun h -> h.Pj_engine.Searcher.doc_id) (hits reopened));
+  Live_index.close reopened
+
+let test_orphan_cleanup () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config dir) dir in
+  ignore (Live_index.add live [| "aa"; "bb" |]);
+  ignore (Live_index.flush live);
+  let want = hits live in
+  Live_index.close live;
+  (* Droppings of a crashed flush/merge: a temp file and a segment the
+     manifest never adopted. *)
+  let orphan_tmp = Filename.concat dir "seg-000099.seg.tmp" in
+  let orphan_seg = Filename.concat dir (Printf.sprintf "seg-%06d.seg" 98) in
+  List.iter
+    (fun p ->
+      let oc = open_out p in
+      output_string oc "junk";
+      close_out oc)
+    [ orphan_tmp; orphan_seg ];
+  let reopened = Live_index.open_dir ~config:(config dir) dir in
+  Alcotest.(check bool) "recovery unaffected by orphans" true
+    (hits reopened = want);
+  Alcotest.(check bool) "orphan tmp removed" false (Sys.file_exists orphan_tmp);
+  Alcotest.(check bool) "orphan segment removed" false
+    (Sys.file_exists orphan_seg);
+  Live_index.close reopened
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip is byte-identical" `Quick test_roundtrip;
+    Alcotest.test_case "flush is the durability barrier" `Quick
+      test_flush_is_the_durability_barrier;
+    Alcotest.test_case "deletes persist via manifest-only flush" `Quick
+      test_deletes_durable_via_manifest_only_flush;
+    Alcotest.test_case "orphan files cleaned at open" `Quick
+      test_orphan_cleanup;
+  ]

@@ -315,6 +315,159 @@ let test_connection_table_drains () =
       wave ();
       wave ())
 
+(* ---- live ingestion over the socket --------------------------------- *)
+
+let contains line sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length line && (String.sub line i n = sub || go (i + 1))
+  in
+  go 0
+
+(* Extract the integer of [" name=<int>"] from a STATS/FLUSHED line. The
+   leading space keeps ["docs"] from matching inside ["segment_docs"]. *)
+let int_field line name =
+  let pat = " " ^ name ^ "=" in
+  let n = String.length pat and len = String.length line in
+  let rec find i =
+    if i + n > len then Alcotest.failf "field %s missing in %S" name line
+    else if String.sub line i n = pat then i + n
+    else find (i + 1)
+  in
+  let start = find 0 in
+  let stop = ref start in
+  while !stop < len && line.[!stop] <> ' ' do
+    incr stop
+  done;
+  int_of_string (String.sub line start (!stop - start))
+
+let stems text =
+  Array.map Pj_text.Porter.stem (Pj_text.Tokenizer.tokenize_array text)
+
+(* Same corpus as [build ()], but held by a writable live index that the
+   server mutates through ADDDOC/DELDOC/FLUSH. *)
+let with_live_server f =
+  let config =
+    {
+      Pj_live.Live_index.default_config with
+      memtable_capacity = 4;
+      merge_threshold = 2;
+      background_merge = false;
+    }
+  in
+  let live = Pj_live.Live_index.create ~config () in
+  List.iter (fun text -> ignore (Pj_live.Live_index.add live (stems text))) texts;
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let server = Server.start ~live ~graph (Worker_pool.of_live live) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Pj_live.Live_index.close live)
+    (fun () -> f server live)
+
+let test_live_ingest_over_socket () =
+  with_live_server (fun server _live ->
+      let conn = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () ->
+          let q = search_line (List.hd queries) in
+          let before = request conn q in
+          Alcotest.(check bool) "seed docs answer" true
+            (String.length before >= 6 && String.sub before 0 5 = "HITS ");
+          (* Warm the cache, then ingest a document that dominates the
+             query: the cached pre-ingest response must become
+             unreachable the moment the generation bumps. *)
+          Alcotest.(check string) "cached" before (request conn q);
+          let added =
+            request conn "ADDDOC lenovo nba partnership lenovo nba partnership"
+          in
+          let id =
+            match String.split_on_char ' ' added with
+            | [ "ADDED"; id ] -> int_of_string id
+            | _ -> Alcotest.failf "unexpected ADDDOC reply %S" added
+          in
+          Alcotest.(check int) "ids stay dense" (List.length texts) id;
+          let after = request conn q in
+          Alcotest.(check bool) "stale pre-ingest response never served" true
+            (after <> before);
+          Alcotest.(check bool) "new document is ranked" true
+            (contains after (Printf.sprintf " %d:" id));
+          (* Deleting it restores the pre-ingest answer byte-for-byte:
+             tombstoned = never indexed. *)
+          Alcotest.(check string) "deleted"
+            (Printf.sprintf "DELETED %d" id)
+            (request conn (Printf.sprintf "DELDOC %d" id));
+          Alcotest.(check string) "delete visible immediately" before
+            (request conn q);
+          Alcotest.(check bool) "double delete refused" true
+            (contains (request conn (Printf.sprintf "DELDOC %d" id)) "ERR ");
+          (* FLUSH reports the new durable generation and segment count. *)
+          let flushed = request conn "FLUSH" in
+          Alcotest.(check bool) "flushed" true
+            (String.length flushed >= 12
+            && String.sub flushed 0 12 = "FLUSHED gen=");
+          Alcotest.(check bool) "segment count reported" true
+            (int_field flushed "segments" >= 1)))
+
+let test_live_stats_accounting () =
+  with_live_server (fun server _live ->
+      let conn = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () ->
+          ignore (request conn (search_line (List.hd queries)));
+          ignore (request conn "ADDDOC gardening weather service");
+          ignore (request conn (Printf.sprintf "DELDOC %d" (List.length texts)));
+          ignore (request conn "DELDOC 999999");
+          (* fails: ingest error *)
+          ignore (request conn "FLUSH");
+          let stats = request conn "STATS" in
+          Alcotest.(check bool) "live marker" true (contains stats " live=1 ");
+          (* The live accounting invariant, read off the socket. *)
+          Alcotest.(check int) "docs = segment + memtable - tombstones"
+            (int_field stats "docs")
+            (int_field stats "segment_docs"
+            + int_field stats "memtable_docs"
+            - int_field stats "tombstones");
+          Alcotest.(check int) "adds counted" 1 (int_field stats "adds");
+          (* Both DELDOCs are requests — the failed one additionally
+             shows up as an ingest error. *)
+          Alcotest.(check int) "deletes counted" 2 (int_field stats "deletes");
+          Alcotest.(check int) "flushes counted" 1 (int_field stats "flushes");
+          Alcotest.(check int) "failed delete is an ingest error" 1
+            (int_field stats "ingest_errors");
+          (* requests = searches + pings + stats + parse_errors
+                      + adds + deletes + flushes *)
+          Alcotest.(check int) "request accounting closes"
+            (int_field stats "requests")
+            (int_field stats "searches"
+            + int_field stats "pings"
+            + int_field stats "stats"
+            + int_field stats "parse_errors"
+            + int_field stats "adds"
+            + int_field stats "deletes"
+            + int_field stats "flushes")))
+
+let test_ingest_refused_without_live () =
+  (* A read-only server (no --live) answers every ingest verb with ERR
+     and keeps serving searches. *)
+  with_server (fun server _ _ ->
+      let conn = connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () ->
+          let is_err line =
+            String.length line >= 4 && String.sub line 0 4 = "ERR "
+          in
+          Alcotest.(check bool) "ADDDOC refused" true
+            (is_err (request conn "ADDDOC some text"));
+          Alcotest.(check bool) "DELDOC refused" true
+            (is_err (request conn "DELDOC 0"));
+          Alcotest.(check bool) "FLUSH refused" true
+            (is_err (request conn "FLUSH"));
+          Alcotest.(check string) "still serving" "PONG" (request conn "PING")))
+
 let suite =
   [
     ("e2e: concurrent clients = direct search", `Quick, test_concurrent_clients_match_direct);
@@ -325,4 +478,7 @@ let suite =
     ("e2e: sharded server = direct search", `Quick, test_sharded_server_matches_direct);
     ("e2e: over-long line fails connection", `Quick, test_overlong_line_fails_connection);
     ("e2e: connection table drains", `Quick, test_connection_table_drains);
+    ("e2e: live ingest over socket", `Quick, test_live_ingest_over_socket);
+    ("e2e: live stats accounting", `Quick, test_live_stats_accounting);
+    ("e2e: ingest refused without --live", `Quick, test_ingest_refused_without_live);
   ]

@@ -67,6 +67,60 @@ let test_search_malformed () =
     ("SEARCH win 0.2 5 " ^ String.concat " " (List.init 17 string_of_int));
   check_error "oversized line" ("SEARCH win 0.2 5 " ^ String.make 5000 'a')
 
+let test_ingest_verbs () =
+  (* ADDDOC takes the rest of the line verbatim: internal spacing is
+     document content (token positions feed proximity scoring). *)
+  Alcotest.(check bool) "adddoc" true
+    (Protocol.parse_request "ADDDOC lenovo nba deal"
+    = Ok (Protocol.Add_doc "lenovo nba deal"));
+  Alcotest.(check bool) "adddoc preserves internal spacing" true
+    (Protocol.parse_request "ADDDOC  a   b\tc "
+    = Ok (Protocol.Add_doc "a   b\tc"));
+  Alcotest.(check bool) "adddoc tolerates leading blanks and \\r" true
+    (Protocol.parse_request "  ADDDOC hello world\r"
+    = Ok (Protocol.Add_doc "hello world"));
+  check_error "adddoc without text" "ADDDOC";
+  check_error "adddoc with only blanks" "ADDDOC   \r";
+  Alcotest.(check bool) "deldoc" true
+    (Protocol.parse_request "DELDOC 12" = Ok (Protocol.Del_doc 12));
+  Alcotest.(check bool) "deldoc zero" true
+    (Protocol.parse_request "DELDOC 0" = Ok (Protocol.Del_doc 0));
+  check_error "deldoc negative" "DELDOC -3";
+  check_error "deldoc non-numeric" "DELDOC twelve";
+  check_error "deldoc missing id" "DELDOC";
+  check_error "deldoc extra args" "DELDOC 1 2";
+  Alcotest.(check bool) "flush" true
+    (Protocol.parse_request "FLUSH" = Ok Protocol.Flush);
+  Alcotest.(check bool) "padded flush" true
+    (Protocol.parse_request " FLUSH \r" = Ok Protocol.Flush);
+  check_error "flush with args" "FLUSH now"
+
+let test_ingest_renderers () =
+  Alcotest.(check string) "added" "ADDED 7" (Protocol.added 7);
+  Alcotest.(check string) "deleted" "DELETED 0" (Protocol.deleted 0);
+  Alcotest.(check string) "flushed" "FLUSHED gen=12 segments=3"
+    (Protocol.flushed ~generation:12 ~segments:3);
+  (* Write acknowledgements are per-request facts, never cacheable. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "is_ingest_success %S" r)
+        true (Protocol.is_ingest_success r);
+      Alcotest.(check bool)
+        (Printf.sprintf "not cacheable %S" r)
+        false (Protocol.cacheable r);
+      Alcotest.(check bool)
+        (Printf.sprintf "not a search success %S" r)
+        false
+        (Protocol.is_search_success r))
+    [ Protocol.added 7; Protocol.deleted 0; Protocol.flushed ~generation:1 ~segments:1 ];
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "not an ingest success %S" r)
+        false (Protocol.is_ingest_success r))
+    [ "HITS 0"; "PONG"; "ERR no such document 3"; "BUSY"; "TIMEOUT"; "" ]
+
 let test_cache_key_normalization () =
   let key family alpha k terms = Protocol.cache_key { Protocol.family; alpha; k; terms } in
   Alcotest.(check string) "term order ignored"
@@ -147,17 +201,33 @@ let test_stats_request_accounting () =
   (* And some chatter. *)
   Metrics.record_ping m;
   Metrics.record_stats m;
+  (* 3 writes: a served ADDDOC, a DELDOC failing at evaluation, and a
+     FLUSH. The failing DELDOC is already counted in [deletes], so its
+     ingest error must not add a request. *)
+  Metrics.record_add m;
+  Metrics.observe_ingest_latency m 0.002;
+  Metrics.record_delete m;
+  Metrics.record_ingest_error m;
+  Metrics.record_flush m;
+  Metrics.observe_ingest_latency m 0.010;
   let s = Metrics.snapshot m in
-  Alcotest.(check int) "requests = searches + pings + stats + parse errors"
+  Alcotest.(check int)
+    "requests = searches + pings + stats + parse errors + adds + deletes + \
+     flushes"
     (s.Metrics.searches + s.Metrics.pings + s.Metrics.stats_calls
-   + s.Metrics.parse_errors)
+   + s.Metrics.parse_errors + s.Metrics.adds + s.Metrics.deletes
+   + s.Metrics.flushes)
     s.Metrics.requests;
-  Alcotest.(check int) "exactly the 8 request lines" 8 s.Metrics.requests;
+  Alcotest.(check int) "exactly the 11 request lines" 11 s.Metrics.requests;
   Alcotest.(check int) "searches" 4 s.Metrics.searches;
   Alcotest.(check int) "parse errors" 2 s.Metrics.parse_errors;
   Alcotest.(check int) "search errors" 1 s.Metrics.search_errors;
-  Alcotest.(check int) "errors = parse + search errors"
-    (s.Metrics.parse_errors + s.Metrics.search_errors)
+  Alcotest.(check int) "adds" 1 s.Metrics.adds;
+  Alcotest.(check int) "deletes" 1 s.Metrics.deletes;
+  Alcotest.(check int) "flushes" 1 s.Metrics.flushes;
+  Alcotest.(check int) "ingest errors" 1 s.Metrics.ingest_errors;
+  Alcotest.(check int) "errors = parse + search + ingest errors"
+    (s.Metrics.parse_errors + s.Metrics.search_errors + s.Metrics.ingest_errors)
     s.Metrics.errors;
   Alcotest.(check int) "served only counts HITS responses" 1 s.Metrics.served;
   Alcotest.(check int) "degraded responses" 1 s.Metrics.degraded;
@@ -168,6 +238,8 @@ let suite =
     ("protocol: simple commands", `Quick, test_simple_commands);
     ("protocol: search ok", `Quick, test_search_ok);
     ("protocol: malformed", `Quick, test_search_malformed);
+    ("protocol: ingest verbs", `Quick, test_ingest_verbs);
+    ("protocol: ingest renderers", `Quick, test_ingest_renderers);
     ("protocol: cache key", `Quick, test_cache_key_normalization);
     ("protocol: scoring_of", `Quick, test_scoring_of);
     ("protocol: renderers", `Quick, test_renderers);

@@ -62,6 +62,44 @@ let test_never_caches_partial_responses () =
     "complete answer cached" (Some "HITS 2 1:0.5 2:0.25")
     (Result_cache.find c "good")
 
+(* Regression for live ingestion: a response cached before a document
+   was added must never be served after the index generation bumps —
+   the stale entry has to become unreachable, not merely eventually
+   evicted. *)
+let test_generation_invalidates () =
+  let c = Result_cache.create ~capacity:8 in
+  Alcotest.(check int) "starts at generation 0" 0 (Result_cache.generation c);
+  Result_cache.add c "q" "HITS 1 1:0.5";
+  Alcotest.(check (option string))
+    "served at generation 0" (Some "HITS 1 1:0.5") (Result_cache.find c "q");
+  (* An ingest bumps the generation: the pre-ingest response is gone. *)
+  Result_cache.set_generation c 1;
+  Alcotest.(check (option string))
+    "stale pre-ingest response never served" None (Result_cache.find c "q");
+  (* The fresh answer is cached under the new generation... *)
+  Result_cache.add c "q" "HITS 2 1:0.5 9:0.4";
+  Alcotest.(check (option string))
+    "fresh answer served" (Some "HITS 2 1:0.5 9:0.4")
+    (Result_cache.find c "q");
+  (* ...and invalidated by the next bump in turn. *)
+  Result_cache.set_generation c 2;
+  Alcotest.(check (option string))
+    "every bump invalidates" None (Result_cache.find c "q")
+
+let test_generation_is_monotone () =
+  let c = Result_cache.create ~capacity:8 in
+  Result_cache.set_generation c 5;
+  Result_cache.add c "q" "HITS 0";
+  (* Swap notifications can arrive out of order; an older generation
+     must not resurrect entries cached under earlier namespaces. *)
+  Result_cache.set_generation c 3;
+  Alcotest.(check int) "older generation ignored" 5 (Result_cache.generation c);
+  Alcotest.(check (option string))
+    "entry still served" (Some "HITS 0") (Result_cache.find c "q");
+  Result_cache.set_generation c 6;
+  Alcotest.(check (option string))
+    "newer generation invalidates" None (Result_cache.find c "q")
+
 let test_concurrent_access () =
   (* Hammer one cache from several domains; the test passes when no
      crash/corruption occurs and counters add up. *)
@@ -90,5 +128,7 @@ let suite =
     ( "result_cache: partial responses refused",
       `Quick,
       test_never_caches_partial_responses );
+    ("result_cache: generation invalidates", `Quick, test_generation_invalidates);
+    ("result_cache: generation monotone", `Quick, test_generation_is_monotone);
     ("result_cache: concurrent", `Quick, test_concurrent_access);
   ]

@@ -273,6 +273,106 @@ let run_ask file question k =
                (List.map string_of_int a.Pj_qa.Answerer.documents)))
         answers
 
+(* --- compact / inspect: the v4 mmap-servable on-disk format ------------ *)
+
+let sniff_magic path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = Stdlib.min 4 (in_channel_length ic) in
+      really_input_string ic n)
+
+let balanced_counts ~shards n =
+  let shards = Stdlib.max 1 shards in
+  let base = n / shards and extra = n mod shards in
+  Array.init shards (fun i -> base + if i < extra then 1 else 0)
+
+let human_bytes n =
+  let f = float_of_int n in
+  if n >= 1 lsl 20 then Printf.sprintf "%.1f MiB" (f /. float_of_int (1 lsl 20))
+  else if n >= 1 lsl 10 then
+    Printf.sprintf "%.1f KiB" (f /. float_of_int (1 lsl 10))
+  else Printf.sprintf "%d B" n
+
+let run_inspect path deep =
+  let t0 = Pj_util.Timing.monotonic_now () in
+  let mapped = Pj_ondisk.Mapped_index.open_file path in
+  let open_ms = 1000. *. (Pj_util.Timing.monotonic_now () -. t0) in
+  Pj_ondisk.Mapped_index.verify mapped;
+  if deep then Pj_ondisk.Mapped_index.check mapped;
+  let info = Pj_ondisk.Mapped_index.info mapped in
+  let vocab = Pj_ondisk.Mapped_index.vocab mapped in
+  Printf.printf "%s: proxjoin v4 index (%s, CRC ok, opened in %.2f ms)\n" path
+    (if deep then "deep-checked" else "verified")
+    open_ms;
+  Printf.printf
+    "  documents   %d in %d shard%s, %d tokens total\n"
+    info.Pj_ondisk.Mapped_index.n_docs info.Pj_ondisk.Mapped_index.n_shards
+    (if info.Pj_ondisk.Mapped_index.n_shards = 1 then "" else "s")
+    info.Pj_ondisk.Mapped_index.total_tokens;
+  Printf.printf "  vocabulary  %d terms\n" info.Pj_ondisk.Mapped_index.n_words;
+  Printf.printf
+    "  postings    %d in %d block%s (%.1f docs/block), %d positions\n"
+    info.Pj_ondisk.Mapped_index.n_postings
+    info.Pj_ondisk.Mapped_index.n_blocks
+    (if info.Pj_ondisk.Mapped_index.n_blocks = 1 then "" else "s")
+    (if info.Pj_ondisk.Mapped_index.n_blocks = 0 then 0.
+     else
+       float_of_int info.Pj_ondisk.Mapped_index.n_postings
+       /. float_of_int info.Pj_ondisk.Mapped_index.n_blocks)
+    info.Pj_ondisk.Mapped_index.n_positions;
+  Printf.printf "  file        %s = vocab %s + docs %s + dict %s + postings %s\n"
+    (human_bytes info.Pj_ondisk.Mapped_index.file_bytes)
+    (human_bytes info.Pj_ondisk.Mapped_index.vocab_bytes)
+    (human_bytes info.Pj_ondisk.Mapped_index.docs_bytes)
+    (human_bytes info.Pj_ondisk.Mapped_index.dict_bytes)
+    (human_bytes info.Pj_ondisk.Mapped_index.postings_bytes);
+  if info.Pj_ondisk.Mapped_index.postings_bytes > 0 then
+    Printf.printf
+      "  compression postings %s on disk vs ~%s as in-memory arrays (%.1fx \
+       smaller)\n"
+      (human_bytes info.Pj_ondisk.Mapped_index.postings_bytes)
+      (human_bytes info.Pj_ondisk.Mapped_index.mem_postings_bytes)
+      (float_of_int info.Pj_ondisk.Mapped_index.mem_postings_bytes
+      /. float_of_int info.Pj_ondisk.Mapped_index.postings_bytes);
+  (* Per-block skip/max summaries for the heaviest terms: how full the
+     blocks run and how the quantized block-max impacts spread. *)
+  let heavy = ref [] in
+  for tok = 0 to info.Pj_ondisk.Mapped_index.n_words - 1 do
+    match Pj_ondisk.Mapped_index.term_reader mapped tok with
+    | None -> ()
+    | Some r -> heavy := (tok, r) :: !heavy
+  done;
+  let heavy =
+    List.sort (fun (_, a) (_, b) -> compare b.Pj_ondisk.Codec.df a.Pj_ondisk.Codec.df) !heavy
+  in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  (match take 5 heavy with
+  | [] -> ()
+  | top ->
+      Printf.printf "  heaviest terms (df, blocks, block-max impact range):\n";
+      List.iter
+        (fun (tok, r) ->
+          let qmin = ref 256 and qmax = ref (-1) and last = ref (-1) in
+          Pj_ondisk.Codec.iter_blocks r
+            (fun ~block:_ ~last_doc ~doc_count:_ ~qmax:q ->
+              if q < !qmin then qmin := q;
+              if q > !qmax then qmax := q;
+              last := last_doc);
+          Printf.printf
+            "    %-16s df %-8d blocks %-6d max %.3f..%.3f  last doc %d\n"
+            (Pj_text.Vocab.word vocab tok)
+            r.Pj_ondisk.Codec.df
+            (Pj_ondisk.Codec.n_blocks ~df:r.Pj_ondisk.Codec.df)
+            (Pj_ondisk.Codec.dequantize !qmin)
+            (Pj_ondisk.Codec.dequantize !qmax)
+            !last)
+        top)
+
 (* --- serve: hold the index hot behind a TCP protocol ------------------- *)
 
 let stemmed_corpus_of_file file =
@@ -289,9 +389,75 @@ let stemmed_corpus_of_file file =
 let stemmed_tokens text =
   Array.map Pj_text.Porter.stem (Pj_text.Tokenizer.tokenize_array text)
 
-let run_serve file host port domains queue cache deadline_ms drain_ms log_every
-    shards live live_dir memtable =
+(* Compact any corpus source — raw blank-line-separated documents, a
+   legacy v1..v3 index file, or an existing v4 file — into a fresh v4
+   file. Raw text is stemmed exactly as [serve]/[isearch] stem their
+   corpora, so a compacted file answers the same queries. *)
+let run_compact src dst shards =
+  let t0 = Pj_util.Timing.monotonic_now () in
+  let source, idx, counts =
+    match sniff_magic src with
+    | "PJIX" ->
+        let sharded = Pj_index.Storage.load_sharded src in
+        let corpus = Pj_index.Sharded_index.corpus sharded in
+        let counts =
+          match shards with
+          | Some s -> balanced_counts ~shards:s (Pj_index.Corpus.size corpus)
+          | None -> Pj_index.Sharded_index.counts sharded
+        in
+        ("legacy index", Pj_index.Inverted_index.build corpus, counts)
+    | "PJX4" ->
+        let mapped = Pj_ondisk.Mapped_index.open_file src in
+        let corpus = Pj_ondisk.Mapped_index.corpus mapped in
+        let counts =
+          match shards with
+          | Some s -> balanced_counts ~shards:s (Pj_index.Corpus.size corpus)
+          | None -> Pj_ondisk.Mapped_index.counts mapped
+        in
+        ("v4 index", Pj_ondisk.Mapped_index.index mapped, counts)
+    | _ ->
+        let corpus = stemmed_corpus_of_file src in
+        let counts =
+          balanced_counts
+            ~shards:(Option.value shards ~default:1)
+            (Pj_index.Corpus.size corpus)
+        in
+        ("documents", Pj_index.Inverted_index.build corpus, counts)
+  in
+  Pj_ondisk.Writer.write ~counts idx dst;
+  let elapsed = Pj_util.Timing.monotonic_now () -. t0 in
+  let mapped = Pj_ondisk.Mapped_index.open_file dst in
+  Pj_ondisk.Mapped_index.verify mapped;
+  let info = Pj_ondisk.Mapped_index.info mapped in
+  Printf.printf
+    "compacted %s %s -> %s in %.2f s\n\
+     %d documents, %d terms, %d postings in %d blocks, %d shard%s\n\
+     file %s (postings %s on disk vs ~%s in memory, %.1fx smaller)\n"
+    source src dst elapsed info.Pj_ondisk.Mapped_index.n_docs
+    info.Pj_ondisk.Mapped_index.n_words info.Pj_ondisk.Mapped_index.n_postings
+    info.Pj_ondisk.Mapped_index.n_blocks info.Pj_ondisk.Mapped_index.n_shards
+    (if info.Pj_ondisk.Mapped_index.n_shards = 1 then "" else "s")
+    (human_bytes info.Pj_ondisk.Mapped_index.file_bytes)
+    (human_bytes info.Pj_ondisk.Mapped_index.postings_bytes)
+    (human_bytes info.Pj_ondisk.Mapped_index.mem_postings_bytes)
+    (if info.Pj_ondisk.Mapped_index.postings_bytes = 0 then 0.
+     else
+       float_of_int info.Pj_ondisk.Mapped_index.mem_postings_bytes
+       /. float_of_int info.Pj_ondisk.Mapped_index.postings_bytes)
+
+let run_serve file index_path host port domains queue cache deadline_ms
+    drain_ms log_every shards live live_dir memtable mmap_segments =
   let graph = Pj_ontology.Mini_wordnet.create () in
+  if index_path <> None && (live || live_dir <> None) then
+    failwith
+      "serve: --index and --live/--live-dir are mutually exclusive (a live \
+       index manages its own storage)";
+  let file =
+    match (file, index_path) with
+    | Some f, _ -> f
+    | None, Some _ -> "/dev/null" (* unused: everything comes from --index *)
+    | None, None -> failwith "serve: FILE is required unless --index is given"
+  in
   let live_index =
     if not (live || live_dir <> None) then None
     else begin
@@ -303,6 +469,7 @@ let run_serve file host port domains queue cache deadline_ms drain_ms log_every
             Pj_live.Live_index.default_config
               .Pj_live.Live_index.merge_threshold;
           background_merge = true;
+          mmap_segments;
         }
       in
       let index =
@@ -322,25 +489,56 @@ let run_serve file host port domains queue cache deadline_ms drain_ms log_every
       Some index
     end
   in
-  let corpus =
+  let corpus, search, n_shards =
     match live_index with
-    | Some index -> Pj_live.Live_index.corpus index
-    | None -> stemmed_corpus_of_file file
-  in
-  let search, n_shards =
-    match live_index with
-    | Some index -> (Pj_server.Worker_pool.of_live index, 1)
-    | None ->
-        if shards <= 1 then
-          ( Pj_server.Worker_pool.of_searcher
-              (Pj_engine.Searcher.create (Pj_index.Inverted_index.build corpus)),
-            1 )
-        else begin
-          let sharded = Pj_index.Sharded_index.build ~shards corpus in
-          ( Pj_server.Worker_pool.of_shard_searcher
-              (Pj_engine.Shard_searcher.create sharded),
-            Pj_index.Sharded_index.n_shards sharded )
-        end
+    | Some index ->
+        (Pj_live.Live_index.corpus index, Pj_server.Worker_pool.of_live index, 1)
+    | None -> begin
+        match index_path with
+        | Some path ->
+            (* Zero-copy serving: the index file is mapped, never
+               loaded — postings and documents decode from the page
+               cache per query. A persisted multi-shard layout is
+               honored; otherwise --shards balanced ranges apply. *)
+            let mapped = Pj_ondisk.Mapped_index.open_file path in
+            let corpus = Pj_ondisk.Mapped_index.corpus mapped in
+            let counts =
+              let persisted = Pj_ondisk.Mapped_index.counts mapped in
+              if Array.length persisted > 1 then persisted
+              else balanced_counts ~shards (Pj_index.Corpus.size corpus)
+            in
+            if Array.length counts <= 1 then
+              ( corpus,
+                Pj_server.Worker_pool.of_searcher
+                  (Pj_engine.Searcher.create (Pj_ondisk.Mapped_index.index mapped)),
+                1 )
+            else begin
+              let sharded =
+                Pj_index.Sharded_index.of_prebuilt corpus ~counts
+                  ~shard_of:(fun _ ~pos ~len ->
+                    Pj_ondisk.Mapped_index.shard_index mapped ~pos ~len)
+              in
+              ( corpus,
+                Pj_server.Worker_pool.of_shard_searcher
+                  (Pj_engine.Shard_searcher.create sharded),
+                Array.length counts )
+            end
+        | None ->
+            let corpus = stemmed_corpus_of_file file in
+            if shards <= 1 then
+              ( corpus,
+                Pj_server.Worker_pool.of_searcher
+                  (Pj_engine.Searcher.create
+                     (Pj_index.Inverted_index.build corpus)),
+                1 )
+            else begin
+              let sharded = Pj_index.Sharded_index.build ~shards corpus in
+              ( corpus,
+                Pj_server.Worker_pool.of_shard_searcher
+                  (Pj_engine.Shard_searcher.create sharded),
+                Pj_index.Sharded_index.n_shards sharded )
+            end
+      end
   in
   let config =
     {
@@ -390,9 +588,10 @@ let run_serve file host port domains queue cache deadline_ms drain_ms log_every
      %!"
     (Pj_index.Corpus.size corpus) host
     (Pj_server.Server.port server)
-    (match live_index with
-    | Some _ -> "live, "
-    | None -> "")
+    (match (live_index, index_path) with
+    | Some _, _ -> "live, "
+    | None, Some _ -> "mmap, "
+    | None, None -> "")
     n_shards
     (if n_shards = 1 then "" else "s")
     config.Pj_server.Server.domains queue cache deadline_ms drain_ms;
@@ -657,23 +856,52 @@ let serve_cmd =
       & info [ "memtable" ] ~docv:"N"
           ~doc:"Live mode: auto-flush the memtable at N documents.")
   in
-  let run file host port domains queue cache deadline drain log_every shards
-      live live_dir memtable =
+  let opt_file_arg =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Documents separated by blank lines (omit when serving a \
+             compacted index via $(b,--index)).")
+  in
+  let index_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "index" ] ~docv:"PATH"
+          ~doc:
+            "Serve a compacted v4 index file zero-copy via mmap (see \
+             $(b,proxjoin compact)): opening is O(1) and postings decode \
+             from the page cache per query. A persisted multi-shard layout \
+             is honored; otherwise $(b,--shards) balanced doc-id ranges \
+             apply. Mutually exclusive with $(b,--live).")
+  in
+  let mmap_segments =
+    Arg.(
+      value & flag
+      & info [ "mmap-segments" ]
+          ~doc:
+            "Live mode: serve sealed segments zero-copy off their own \
+             files' block-compressed postings instead of holding heap \
+             indexes (needs $(b,--live-dir)).")
+  in
+  let run file index host port domains queue cache deadline drain log_every
+      shards live live_dir memtable mmap_segments =
     wrap (fun () ->
-        run_serve file host port domains queue cache deadline drain log_every
-          shards live live_dir memtable)
+        run_serve file index host port domains queue cache deadline drain
+          log_every shards live live_dir memtable mmap_segments)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve top-k queries over TCP (SEARCH/PING/STATS/QUIT line \
-          protocol) from a hot in-memory index; with --live, also \
-          ADDDOC/DELDOC/FLUSH ingestion.")
+          protocol) from a hot in-memory index or an mmap-backed compacted \
+          index (--index); with --live, also ADDDOC/DELDOC/FLUSH ingestion.")
     Term.(
       ret
-        (const run $ file_arg $ host_arg $ port_arg ~default:7070 $ domains
-       $ queue $ cache $ deadline $ drain $ log_every $ shards_arg $ live
-       $ live_dir $ memtable))
+        (const run $ opt_file_arg $ index_arg $ host_arg
+       $ port_arg ~default:7070 $ domains $ queue $ cache $ deadline $ drain
+       $ log_every $ shards_arg $ live $ live_dir $ memtable $ mmap_segments))
 
 let bench_serve_cmd =
   let clients =
@@ -696,6 +924,59 @@ let bench_serve_cmd =
         (const run $ host_arg $ port_arg ~default:7070 $ clients $ requests
        $ terms_arg $ family_arg $ alpha_arg $ top_k))
 
+let compact_cmd =
+  let src =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"SRC"
+          ~doc:
+            "Source: raw documents separated by blank lines, a legacy \
+             v1..v3 index file, or an existing v4 file.")
+  in
+  let dst =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"DST" ~doc:"Output v4 index file.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Persist N balanced doc-id-range shards (default: keep the \
+             source's layout; 1 for raw documents).")
+  in
+  let run src dst shards = wrap (fun () -> run_compact src dst shards) in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Rewrite a corpus as a block-compressed v4 index file that \
+          $(b,serve --index) maps zero-copy.")
+    Term.(ret (const run $ src $ dst $ shards))
+
+let inspect_cmd =
+  let path =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"PATH" ~doc:"A v4 index file.")
+  in
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Additionally decode every document and posting block and audit \
+             the skip tables (slow on large files).")
+  in
+  let run path deep = wrap (fun () -> run_inspect path deep) in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Verify and summarize a v4 index file: versions, counts, section \
+          sizes, compression ratio, per-block skip/max summaries.")
+    Term.(ret (const run $ path $ deep))
+
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"The paper's Figure 1 example.")
@@ -712,6 +993,8 @@ let main =
       extract_cmd;
       ask_cmd;
       synth_cmd;
+      compact_cmd;
+      inspect_cmd;
       serve_cmd;
       bench_serve_cmd;
     ]

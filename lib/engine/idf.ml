@@ -3,9 +3,9 @@ let corpus_size idx =
 
 let idf_of_df ~n df = log (1. +. (float_of_int n /. float_of_int (1 + df)))
 
-let df idx word =
-  Pj_index.Posting_list.document_frequency
-    (Pj_index.Inverted_index.postings_of_word idx word)
+(* Dictionary lookup, not a list materialization — on a mmap-backed
+   index this reads one fixed-width dictionary entry. *)
+let df idx word = Pj_index.Inverted_index.document_frequency_of_word idx word
 
 let idf idx word =
   let n = corpus_size idx in

@@ -18,6 +18,7 @@ type hit = {
 type term_cursor = {
   forms : Pj_index.Posting_list.cursor array;
   scores : float array;
+  payloads : int array;  (** token id of each form, for match payloads *)
   max_score : float;
 }
 
@@ -28,19 +29,32 @@ let term_cursor t (m : Pj_matching.Matcher.t) =
         (Printf.sprintf "Searcher: matcher %s has no finite expansions"
            m.Pj_matching.Matcher.name)
   | Some expansions ->
-      let forms = Pj_util.Vec.create () and scores = Pj_util.Vec.create () in
+      let vocab =
+        Pj_index.Corpus.vocab (Pj_index.Inverted_index.corpus t.index)
+      in
+      let forms = Pj_util.Vec.create ()
+      and scores = Pj_util.Vec.create ()
+      and payloads = Pj_util.Vec.create () in
       List.iter
         (fun (form, score) ->
-          let pl = Pj_index.Inverted_index.postings_of_word t.index form in
-          if Pj_index.Posting_list.document_frequency pl > 0 then begin
-            Pj_util.Vec.push forms (Pj_index.Posting_list.cursor pl);
-            Pj_util.Vec.push scores score
-          end)
+          match Pj_text.Vocab.find vocab form with
+          | None -> ()
+          | Some tok ->
+              (* Cursor, not list: a mmap-backed index streams blocks on
+                 demand, so a form is "present" iff its fresh cursor
+                 sits on a first document. *)
+              let c = Pj_index.Inverted_index.cursor t.index tok in
+              if Pj_index.Posting_list.current_doc c >= 0 then begin
+                Pj_util.Vec.push forms c;
+                Pj_util.Vec.push scores score;
+                Pj_util.Vec.push payloads tok
+              end)
         expansions;
       let scores = Pj_util.Vec.to_array scores in
       {
         forms = Pj_util.Vec.to_array forms;
         scores;
+        payloads = Pj_util.Vec.to_array payloads;
         max_score = Array.fold_left Float.max 0. scores;
       }
 
@@ -189,8 +203,36 @@ let search_impl ?deadline ?threshold ?accept ~k ~dedup ~prune t scoring q =
                 | None -> ()
               end
         in
+        (* Match lists come straight off the term cursors: at candidate
+           time [daat_iter] has sought every form cursor of every term
+           to at least [doc_id], and a cursor sits exactly on [doc_id]
+           iff its form occurs there — so the positions are already in
+           hand, with no per-form re-seek through the index (which on a
+           mmap-backed index would decode blocks from scratch for every
+           solved candidate). *)
         let solve doc_id =
-          let problem = Pj_matching.Match_builder.from_index t.index ~doc_id q in
+          let problem =
+            Array.map
+              (fun tc ->
+                let matches = Pj_util.Vec.create () in
+                Array.iteri
+                  (fun i c ->
+                    if Pj_index.Posting_list.current_doc c = doc_id then
+                      match Pj_index.Posting_list.current c with
+                      | None -> ()
+                      | Some p ->
+                          let score = tc.scores.(i)
+                          and payload = tc.payloads.(i) in
+                          Array.iter
+                            (fun loc ->
+                              Pj_util.Vec.push matches
+                                (Pj_core.Match0.make ~payload ~loc ~score ()))
+                            p.Pj_index.Posting.positions)
+                  tc.forms;
+                Pj_matching.Match_builder.of_form_matches
+                  (Pj_util.Vec.to_array matches))
+              terms
+          in
           match Pj_core.Best_join.solve ~dedup scoring problem with
           | None -> ()
           | Some r ->

@@ -4,6 +4,22 @@ type t
 
 val create : unit -> t
 
+val of_paged :
+  vocab:Pj_text.Vocab.t ->
+  count:int ->
+  total_tokens:int ->
+  (int -> Pj_text.Document.t) ->
+  t
+(** A read-only corpus whose documents are fetched on demand by
+    absolute id — the substrate for mmap-backed storage, where document
+    token arrays decode straight off the page cache and the heap holds
+    only the vocabulary. The fetch function must return a document
+    whose [id] equals its argument; it is called anew on every access
+    (no memoization), so it should be cheap. [total_tokens] is the
+    precomputed sum of document lengths (kept out of band so
+    [average_length] needs no full scan). [add_text]/[add_tokens]
+    raise [Invalid_argument]. *)
+
 val vocab : t -> Pj_text.Vocab.t
 
 val add_text : t -> string -> Pj_text.Document.t

@@ -1,14 +1,37 @@
-(* Two storage layouts share one read interface:
+type stats = {
+  n_tokens : int;
+  n_postings : int;
+  n_positions : int;
+}
+
+(* External storage engines (the mmap-backed block reader of
+   [Pj_ondisk]) plug in through this record: postings stay wherever the
+   engine keeps them and are decoded on demand, per cursor block or per
+   looked-up document — never the whole index at once. *)
+type provider = {
+  pr_postings : int -> Posting_list.t;
+      (* full materialization of one term's list *)
+  pr_cursor : int -> Posting_list.cursor;
+  pr_positions : token:int -> doc_id:int -> int array;
+  pr_document_frequency : int -> int;
+  pr_n_tokens : int; (* distinct indexed tokens *)
+  pr_stats : unit -> stats;
+}
+
+(* Three storage layouts share one read interface:
 
    - [Dense]: one slot per vocabulary token, built by [build]. Right for
      the frozen full-corpus index where most tokens have postings.
    - [Sparse]: a hashtable over just the tokens that occur, built by
      [build_docs]. Right for live memtables and sealed segments, whose
      doc ranges touch a sliver of the (global, shared) vocabulary — a
-     dense array would cost O(vocab) per memtable rebuild. *)
+     dense array would cost O(vocab) per memtable rebuild.
+   - [Virtual]: reads delegated to a [provider]; nothing lives on the
+     OCaml heap beyond what a query touches. *)
 type store =
   | Dense of Posting_list.t array (* indexed by token id *)
   | Sparse of (int, Posting_list.t) Hashtbl.t
+  | Virtual of provider
 
 type t = {
   corpus : Corpus.t;
@@ -69,6 +92,8 @@ let build_docs ?(skip = fun _ -> false) corpus docs =
   Hashtbl.iter (fun tok per_tok -> Hashtbl.add lists tok (list_of_acc per_tok)) acc;
   { corpus; store = Sparse lists }
 
+let of_provider corpus provider = { corpus; store = Virtual provider }
+
 let postings t token =
   match t.store with
   | Dense lists ->
@@ -78,47 +103,74 @@ let postings t token =
       match Hashtbl.find_opt lists token with
       | Some pl -> pl
       | None -> Posting_list.empty)
+  | Virtual p -> p.pr_postings token
 
 let postings_of_word t w =
   match Pj_text.Vocab.find (Corpus.vocab t.corpus) w with
   | None -> Posting_list.empty
   | Some token -> postings t token
 
+(* The cursor entry point the DAAT searcher drives: in-memory stores
+   hand out array cursors over the materialized list; a [Virtual] store
+   answers with the engine's own streaming cursor, so the traversal
+   decodes only the blocks it lands on. *)
+let cursor t token =
+  match t.store with
+  | Virtual p -> p.pr_cursor token
+  | Dense _ | Sparse _ -> Posting_list.cursor (postings t token)
+
+let cursor_of_word t w =
+  match Pj_text.Vocab.find (Corpus.vocab t.corpus) w with
+  | None -> Posting_list.cursor Posting_list.empty
+  | Some token -> cursor t token
+
 let positions_in t ~token ~doc_id =
-  match Posting_list.find (postings t token) doc_id with
-  | None -> [||]
-  | Some p -> p.Posting.positions
+  match t.store with
+  | Virtual p -> p.pr_positions ~token ~doc_id
+  | Dense _ | Sparse _ -> (
+      match Posting_list.find (postings t token) doc_id with
+      | None -> [||]
+      | Some p -> p.Posting.positions)
 
 let document_frequency t token =
-  Posting_list.document_frequency (postings t token)
+  match t.store with
+  | Virtual p -> p.pr_document_frequency token
+  | Dense _ | Sparse _ -> Posting_list.document_frequency (postings t token)
+
+let document_frequency_of_word t w =
+  match Pj_text.Vocab.find (Corpus.vocab t.corpus) w with
+  | None -> 0
+  | Some token -> document_frequency t token
 
 let iter_lists f t =
   match t.store with
   | Dense lists -> Array.iter f lists
   | Sparse lists -> Hashtbl.iter (fun _ pl -> f pl) lists
+  | Virtual p ->
+      for token = 0 to p.pr_n_tokens - 1 do
+        f (p.pr_postings token)
+      done
 
 let vocabulary_size t =
   match t.store with
   | Dense lists -> Array.length lists
   | Sparse lists -> Hashtbl.length lists
-
-type stats = {
-  n_tokens : int;
-  n_postings : int;
-  n_positions : int;
-}
+  | Virtual p -> p.pr_n_tokens
 
 let stats t =
-  let n_postings = ref 0 and n_positions = ref 0 in
-  iter_lists
-    (fun pl ->
-      n_postings := !n_postings + Posting_list.document_frequency pl;
-      n_positions := !n_positions + Posting_list.collection_frequency pl)
-    t;
-  {
-    n_tokens = vocabulary_size t;
-    n_postings = !n_postings;
-    n_positions = !n_positions;
-  }
+  match t.store with
+  | Virtual p -> p.pr_stats ()
+  | Dense _ | Sparse _ ->
+      let n_postings = ref 0 and n_positions = ref 0 in
+      iter_lists
+        (fun pl ->
+          n_postings := !n_postings + Posting_list.document_frequency pl;
+          n_positions := !n_positions + Posting_list.collection_frequency pl)
+        t;
+      {
+        n_tokens = vocabulary_size t;
+        n_postings = !n_postings;
+        n_positions = !n_positions;
+      }
 
 let corpus t = t.corpus

@@ -24,25 +24,62 @@ val build_docs : ?skip:(int -> bool) -> Corpus.t -> Pj_text.Document.t array -> 
     [vocabulary_size] therefore reports distinct {e indexed} tokens for
     such an index, not the corpus vocabulary size. *)
 
+type stats = {
+  n_tokens : int;    (** distinct indexed tokens *)
+  n_postings : int;  (** (token, document) pairs across all lists *)
+  n_positions : int; (** total stored occurrence locations *)
+}
+
+type provider = {
+  pr_postings : int -> Posting_list.t;
+      (** full materialization of one term's list ([Posting_list.empty]
+          when the token has none) *)
+  pr_cursor : int -> Posting_list.cursor;
+      (** streaming traversal of one term's list; must visit the same
+          postings as [pr_postings], in increasing doc id *)
+  pr_positions : token:int -> doc_id:int -> int array;
+  pr_document_frequency : int -> int;
+  pr_n_tokens : int;            (** distinct indexed tokens *)
+  pr_stats : unit -> stats;
+}
+(** The plug-in surface for external storage engines: an index whose
+    postings live outside the OCaml heap (e.g. the block-compressed
+    mmap segments of [Pj_ondisk]) implements these and the rest of the
+    system — DAAT searcher, sharding, serving — runs unchanged. *)
+
+val of_provider : Corpus.t -> provider -> t
+(** An index whose reads are delegated to [provider]. The corpus
+    supplies the vocabulary (word/token mapping); it may itself be a
+    paged view served from the same storage engine. *)
+
 val postings : t -> int -> Posting_list.t
-(** Posting list of a token id ([Posting_list.empty] when absent). *)
+(** Posting list of a token id ([Posting_list.empty] when absent).
+    On a provider-backed index this materializes the whole list —
+    prefer [cursor] on hot paths. *)
 
 val postings_of_word : t -> string -> Posting_list.t
 (** Posting list of a raw token (lookup through the corpus vocabulary). *)
+
+val cursor : t -> int -> Posting_list.cursor
+(** Streaming cursor over a token's postings — the DAAT entry point.
+    In-memory stores answer with an array cursor; provider-backed
+    stores stream straight off their own layout (an exhausted cursor
+    when the token is absent). *)
+
+val cursor_of_word : t -> string -> Posting_list.cursor
 
 val positions_in : t -> token:int -> doc_id:int -> int array
 (** Occurrence locations of a token in one document (empty when absent). *)
 
 val document_frequency : t -> int -> int
 
+val document_frequency_of_word : t -> string -> int
+(** [document_frequency] through the vocabulary, without materializing
+    the posting list (provider-backed indexes answer from their
+    dictionary). *)
+
 val vocabulary_size : t -> int
 (** Number of distinct indexed tokens. *)
-
-type stats = {
-  n_tokens : int;    (** distinct indexed tokens *)
-  n_postings : int;  (** (token, document) pairs across all lists *)
-  n_positions : int; (** total stored occurrence locations *)
-}
 
 val stats : t -> stats
 (** Size accounting over every posting list — the denominator for

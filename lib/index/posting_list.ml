@@ -65,27 +65,56 @@ let to_list (t : t) = Array.to_list t
 
 (* --- cursors ----------------------------------------------------------- *)
 
-type cursor = {
+(* Two cursor implementations behind one dispatch: the in-memory array
+   walk, and an open [custom] record so storage engines (e.g. the
+   block-compressed mmap reader in [Pj_ondisk]) can stream postings
+   straight off their own layout without materializing an array. *)
+
+type mem_cursor = {
   list : t;
   mutable pos : int;
 }
 
-let cursor (t : t) = { list = t; pos = 0 }
+type custom = {
+  cu_current : unit -> Posting.t option;
+  cu_current_doc : unit -> int;
+  cu_next : unit -> unit;
+  cu_seek : int -> unit;
+  cu_block_max_score : unit -> float;
+  cu_block_last_doc : unit -> int;
+}
 
-let current c =
+type cursor =
+  | Mem of mem_cursor
+  | Custom of custom
+
+let cursor (t : t) = Mem { list = t; pos = 0 }
+
+let custom ~current ~current_doc ~next ~seek ~block_max_score ~block_last_doc =
+  Custom
+    {
+      cu_current = current;
+      cu_current_doc = current_doc;
+      cu_next = next;
+      cu_seek = seek;
+      cu_block_max_score = block_max_score;
+      cu_block_last_doc = block_last_doc;
+    }
+
+let mem_current c =
   if c.pos >= Array.length c.list then None else Some c.list.(c.pos)
 
-let current_doc c =
+let mem_current_doc c =
   if c.pos >= Array.length c.list then -1 else c.list.(c.pos).Posting.doc_id
 
-let next c = if c.pos < Array.length c.list then c.pos <- c.pos + 1
+let mem_next c = if c.pos < Array.length c.list then c.pos <- c.pos + 1
 
 (* Galloping (exponential) advance: double a probe offset until the
    posting there reaches the target, then binary-search the bracketed
    range. O(log gap) comparisons whatever the jump size, so a seek
    driven by a sparse list across a dense one never degrades to a
    linear scan of the dense list. *)
-let seek c target =
+let mem_seek c target =
   let n = Array.length c.list in
   let doc i = c.list.(i).Posting.doc_id in
   if c.pos < n && doc c.pos < target then begin
@@ -106,3 +135,33 @@ let seek c target =
       c.pos <- !lo
     end
   end
+
+let current = function Mem c -> mem_current c | Custom c -> c.cu_current ()
+
+let current_doc = function
+  | Mem c -> mem_current_doc c
+  | Custom c -> c.cu_current_doc ()
+
+let next = function Mem c -> mem_next c | Custom c -> c.cu_next ()
+
+let seek c target =
+  match c with Mem c -> mem_seek c target | Custom c -> c.cu_seek target
+
+(* Impact of one posting: the term-frequency saturation tf/(tf+1),
+   strictly increasing in tf and < 1. This is the score the on-disk
+   format quantizes per posting and maximizes per block; an in-memory
+   list reports the ceiling, which is a valid (if loose) bound. *)
+let impact_ceiling = 1.
+
+let impact ~tf = float_of_int tf /. float_of_int (tf + 1)
+
+let block_max_score = function
+  | Mem c ->
+      if c.pos >= Array.length c.list then 0. else impact_ceiling
+  | Custom c -> c.cu_block_max_score ()
+
+let block_last_doc = function
+  | Mem c ->
+      let n = Array.length c.list in
+      if c.pos >= n then -1 else c.list.(n - 1).Posting.doc_id
+  | Custom c -> c.cu_block_last_doc ()

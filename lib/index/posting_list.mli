@@ -47,6 +47,21 @@ type cursor
 val cursor : t -> cursor
 (** A fresh cursor positioned on the first posting. *)
 
+val custom :
+  current:(unit -> Posting.t option) ->
+  current_doc:(unit -> int) ->
+  next:(unit -> unit) ->
+  seek:(int -> unit) ->
+  block_max_score:(unit -> float) ->
+  block_last_doc:(unit -> int) ->
+  cursor
+(** A cursor over postings that live somewhere other than an in-memory
+    array — the extension point for storage engines (the mmap-backed
+    block reader of [Pj_ondisk] streams compressed blocks through this).
+    The closures must respect the same contract as the array cursor:
+    documents visited in strictly increasing id order, [current_doc]
+    returning [-1] once exhausted, [seek] never moving backwards. *)
+
 val current : cursor -> Posting.t option
 (** The posting under the cursor; [None] once exhausted. *)
 
@@ -63,3 +78,26 @@ val seek : cursor -> int -> unit
     [doc_id >= target] (exhausting the cursor when none remains), by
     galloping search from the current position. Never moves backwards:
     a [target] at or before the current document id is a no-op. *)
+
+(** {1 Block-max metadata}
+
+    Per-block score ceilings, the substrate for block-max (WAND-style)
+    pruning: a traversal may skip a whole block whenever the block's
+    maximum possible contribution cannot beat the current threshold.
+    The on-disk block format stores a quantized per-block maximum of
+    the posting impact [impact ~tf]; in-memory cursors report the
+    impact ceiling (1.0) — a correct, if loose, upper bound — so
+    consumers can treat every cursor uniformly. *)
+
+val impact : tf:int -> float
+(** Impact of one posting with term frequency [tf]: the saturation
+    [tf /. (tf + 1)], strictly increasing in [tf] and in [0, 1). *)
+
+val block_max_score : cursor -> float
+(** Upper bound on [impact] over the postings of the cursor's current
+    block; [0.] once exhausted. Never less than the true maximum (the
+    on-disk quantization rounds up). *)
+
+val block_last_doc : cursor -> int
+(** Last document id of the current block — the id up to which
+    [block_max_score] is the governing bound; [-1] once exhausted. *)

@@ -37,6 +37,27 @@ let build ~shards corpus =
   let shards = Stdlib.max 1 shards in
   build_with_counts corpus (balanced_counts ~shards (Corpus.size corpus))
 
+(* Assemble from already-constructed per-range indexes — the storage
+   engine's entry point, where each shard is a provider-backed index
+   over a doc-id range of one mmap file and nothing is rebuilt. *)
+let of_prebuilt corpus ~counts ~shard_of =
+  let n = Corpus.size corpus in
+  if Array.length counts = 0 then invalid_arg "Sharded_index: no shards";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total <> n then
+    invalid_arg
+      (Printf.sprintf "Sharded_index: shard layout covers %d of %d documents"
+         total n);
+  let ranges = Array.make (Array.length counts) (0, 0) in
+  let start = ref 0 in
+  Array.iteri
+    (fun i len ->
+      ranges.(i) <- (!start, len);
+      start := !start + len)
+    counts;
+  let shards = Array.mapi (fun i (pos, len) -> shard_of i ~pos ~len) ranges in
+  { corpus; shards; ranges }
+
 let n_shards t = Array.length t.shards
 let shard t i = t.shards.(i)
 let range t i = t.ranges.(i)

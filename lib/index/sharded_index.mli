@@ -23,6 +23,17 @@ val build_with_counts : Corpus.t -> int array -> t
     Raises [Invalid_argument] when [counts] is empty or does not sum to
     the corpus size. This is how [Storage] reopens a persisted layout. *)
 
+val of_prebuilt :
+  Corpus.t ->
+  counts:int array ->
+  shard_of:(int -> pos:int -> len:int -> Inverted_index.t) ->
+  t
+(** Assemble from already-constructed shard indexes: [shard_of i ~pos
+    ~len] must return an index over exactly the documents [pos, pos +
+    len) carrying global ids — e.g. a provider-backed range view of one
+    mmap segment ([Pj_ondisk.Mapped_index.shard_index]). Layout
+    validation as in [build_with_counts]; nothing is rebuilt. *)
+
 val n_shards : t -> int
 
 val shard : t -> int -> Inverted_index.t

@@ -8,11 +8,12 @@ type config = {
   memtable_capacity : int;
   merge_threshold : int;
   background_merge : bool;
+  mmap_segments : bool;
 }
 
 let default_config =
   { dir = None; memtable_capacity = 256; merge_threshold = 4;
-    background_merge = true }
+    background_merge = true; mmap_segments = false }
 
 (* A sealed, immutable doc-id range with its own inverted index.
    [dead] holds the ids a compaction has already purged from the
@@ -95,6 +96,16 @@ let segment_file_id name =
 
 let words_of_doc vocab (d : Pj_text.Document.t) =
   Array.map (Pj_text.Vocab.word vocab) d.Pj_text.Document.tokens
+
+(* With [mmap_segments], a sealed segment's searcher runs over the
+   block-compressed postings of its own file, mapped zero-copy
+   ([Pj_ondisk.Segment_codec]) — byte-identical results to the
+   in-memory [build_docs] fragment, but the postings stay on disk. The
+   mapping outlives any later unlink of the file (a compaction removing
+   a replaced segment), so in-flight snapshots stay valid. *)
+let mmap_searcher ~corpus ~dir name =
+  let ms = Pj_ondisk.Segment_codec.open_file (Filename.concat dir name) in
+  Searcher.create (Pj_ondisk.Segment_codec.index ms corpus)
 
 (* Write one segment's documents (dead ones as empty token sequences,
    so recovery keeps exact live-document accounting). *)
@@ -187,6 +198,14 @@ let flush_locked t =
           Some
             (write_segment_file t ~failpoint:"live.flush" ~dir ~base:s.mem_base
                ~dead:IntSet.empty docs)
+    in
+    (* The sealed segment can drop the memtable's heap index and serve
+       off its own freshly written file. *)
+    let searcher =
+      match (file, t.config.dir) with
+      | Some name, Some dir when t.config.mmap_segments ->
+          mmap_searcher ~corpus:t.corpus ~dir name
+      | _ -> searcher
     in
     let seg =
       { seg_base = s.mem_base; seg_len = s.mem_len; dead = IntSet.empty;
@@ -343,12 +362,6 @@ let merge_step t =
       | None -> false
       | Some (i, base, len, dead, tomb, docs) ->
           Pj_util.Failpoint.hit "live.merge";
-          let index =
-            Inverted_index.build_docs
-              ~skip:(fun id -> IntSet.mem id dead)
-              t.corpus docs
-          in
-          let searcher = Searcher.create index in
           let file =
             match t.config.dir with
             | None -> None
@@ -356,6 +369,16 @@ let merge_step t =
                 Some
                   (write_segment_file t ~failpoint:"live.merge" ~dir ~base
                      ~dead docs)
+          in
+          let searcher =
+            match (file, t.config.dir) with
+            | Some name, Some dir when t.config.mmap_segments ->
+                mmap_searcher ~corpus:t.corpus ~dir name
+            | _ ->
+                Searcher.create
+                  (Inverted_index.build_docs
+                     ~skip:(fun id -> IntSet.mem id dead)
+                     t.corpus docs)
           in
           let old_files, gen =
             with_writer t (fun () ->
@@ -500,20 +523,32 @@ let open_dir ?(config = default_config) dir =
             | Some n -> if n > !max_file then max_file := n
             | None -> ());
             let dead = IntSet.of_list sf.Segment_file.dead in
-            let docs =
-              Corpus.docs_slice corpus ~pos:e.Manifest.base ~len:e.Manifest.len
-            in
-            let index =
-              Inverted_index.build_docs
-                ~skip:(fun id -> IntSet.mem id dead)
-                corpus docs
+            let searcher =
+              (* A v1 file carries no postings section; fall back to
+                 the heap rebuild ([read] above already validated the
+                 file, so the only mmap failure mode is the version). *)
+              match
+                if config.mmap_segments then
+                  Some (mmap_searcher ~corpus ~dir e.Manifest.file)
+                else None
+              with
+              | Some sr -> sr
+              | None | (exception Failure _) ->
+                  let docs =
+                    Corpus.docs_slice corpus ~pos:e.Manifest.base
+                      ~len:e.Manifest.len
+                  in
+                  Searcher.create
+                    (Inverted_index.build_docs
+                       ~skip:(fun id -> IntSet.mem id dead)
+                       corpus docs)
             in
             {
               seg_base = e.Manifest.base;
               seg_len = e.Manifest.len;
               dead;
               file = Some e.Manifest.file;
-              searcher = Searcher.create index;
+              searcher;
             })
           m.Manifest.segments
       in

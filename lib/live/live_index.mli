@@ -52,11 +52,18 @@ type config = {
       (** compact while more than this many sealed segments exist *)
   background_merge : bool;
       (** spawn the merger domain (disable for deterministic tests) *)
+  mmap_segments : bool;
+      (** serve sealed segments zero-copy off their own files'
+          block-compressed postings ([Pj_ondisk.Segment_codec]) instead
+          of rebuilding heap indexes at flush/merge/recovery —
+          byte-identical results, postings stay on disk. Requires
+          [dir]; ignored (heap indexes) for a memory-only index, and
+          legacy v1 segment files fall back to the heap rebuild. *)
 }
 
 val default_config : config
 (** [dir = None], [memtable_capacity = 256], [merge_threshold = 4],
-    [background_merge = true]. *)
+    [background_merge = true], [mmap_segments = false]. *)
 
 val create : ?config:config -> unit -> t
 (** A fresh, empty live index (no recovery — see {!open_dir}). *)

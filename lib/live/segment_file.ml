@@ -2,7 +2,12 @@
    of a contiguous doc-id range, written through a file-local string
    table, plus the ids of documents the segment has compacted away.
    Same primitives as the corpus format: LEB128 varints, length-prefixed
-   strings, CRC-32 footer, crash-safe tmp+fsync+rename publication. *)
+   strings, CRC-32 footer, crash-safe tmp+fsync+rename publication.
+
+   New segments are written as v2 (Pj_ondisk.Segment_codec), which
+   appends a block-compressed postings section so sealed segments can
+   serve queries straight off an mmap; v1 files (recovery sections
+   only) still load. *)
 
 let magic = "PJSG"
 let version = 1
@@ -17,6 +22,10 @@ type t = {
 module Storage = Pj_index.Storage
 
 let write ~failpoint path t =
+  Pj_ondisk.Segment_codec.write ~failpoint path ~base:t.base ~docs:t.docs
+    ~dead:t.dead
+
+let write_v1 ~failpoint path t =
   let buf = Buffer.create (64 * 1024) in
   Buffer.add_string buf magic;
   Storage.write_varint buf version;
@@ -97,9 +106,31 @@ let parse s =
     dead;
   { base; docs; dead }
 
+(* Sniff the version varint after the magic: v2 parses through the
+   ondisk codec (which also validates its postings layout), v1 through
+   the legacy body above. *)
+let parse_any s =
+  if
+    String.length s > 4
+    && String.sub s 0 4 = magic
+    &&
+    let pos = ref 4 in
+    match Storage.read_varint s ~pos with
+    | v -> v = Pj_ondisk.Segment_codec.version
+    | exception Failure _ -> false
+  then begin
+    let sc = Pj_ondisk.Segment_codec.of_string s in
+    {
+      base = Pj_ondisk.Segment_codec.base sc;
+      docs = Pj_ondisk.Segment_codec.docs sc;
+      dead = Pj_ondisk.Segment_codec.dead sc;
+    }
+  end
+  else parse s
+
 let read path =
   let s = Storage.read_file path in
-  try parse s with
+  try parse_any s with
   | Failure _ as e -> raise e
   | e ->
       failwith

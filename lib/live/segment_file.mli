@@ -22,14 +22,21 @@ type t = {
 }
 
 val write : failpoint:string -> string -> t -> unit
-(** Write a segment crash-safely. [failpoint] names the fault-injection
-    site hit before the write and before the rename ([live.flush] when
-    sealing a memtable, [live.merge] when installing a compaction).
-    Raises [Sys_error] on I/O failure, [Pj_util.Failpoint.Injected] /
-    [Panicked] under fault injection — in either case any previously
-    published file at the path is left intact. *)
+(** Write a segment crash-safely — as v2 ([Pj_ondisk.Segment_codec]),
+    which carries a block-compressed postings section alongside the
+    recovery sections so the segment can also be mmap-served.
+    [failpoint] names the fault-injection site hit before the write and
+    before the rename ([live.flush] when sealing a memtable,
+    [live.merge] when installing a compaction). Raises [Sys_error] on
+    I/O failure, [Pj_util.Failpoint.Injected] / [Panicked] under fault
+    injection — in either case any previously published file at the
+    path is left intact. *)
+
+val write_v1 : failpoint:string -> string -> t -> unit
+(** Write the legacy v1 layout (recovery sections only) — kept for
+    compatibility testing; new code writes v2. *)
 
 val read : string -> t
-(** Read a segment back. Raises [Failure] with a ["Live: ..."] message
-    on any malformed, truncated or wrong-version file; [Sys_error] on
-    I/O failure. *)
+(** Read a segment back, either version. Raises [Failure] (["Live:
+    ..."] or ["Ondisk: ..."]) on any malformed, truncated or
+    wrong-version file; [Sys_error] on I/O failure. *)

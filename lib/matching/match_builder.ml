@@ -27,6 +27,27 @@ let scan vocab (doc : Pj_text.Document.t) (q : Query.t) =
     doc.Pj_text.Document.tokens;
   Array.map Pj_util.Vec.to_array lists
 
+let of_form_matches arr =
+  (* Several expansion forms can share a location only if two distinct
+     lexicon forms intern to the same token, which the vocabulary
+     forbids; still, sort defensively and keep one match per location
+     (the best-scoring). *)
+  Array.sort
+    (fun a b ->
+      let c = compare a.Pj_core.Match0.loc b.Pj_core.Match0.loc in
+      if c <> 0 then c
+      else compare b.Pj_core.Match0.score a.Pj_core.Match0.score)
+    arr;
+  let out = Pj_util.Vec.create () in
+  Array.iter
+    (fun m ->
+      if
+        Pj_util.Vec.is_empty out
+        || (Pj_util.Vec.last out).Pj_core.Match0.loc <> m.Pj_core.Match0.loc
+      then Pj_util.Vec.push out m)
+    arr;
+  Pj_core.Match_list.of_unsorted (Pj_util.Vec.to_array out)
+
 let from_index idx ~doc_id (q : Query.t) =
   let vocab = Pj_index.Corpus.vocab (Pj_index.Inverted_index.corpus idx) in
   Array.map
@@ -51,27 +72,7 @@ let from_index idx ~doc_id (q : Query.t) =
                     (Pj_index.Inverted_index.positions_in idx ~token:tok
                        ~doc_id))
             expansions;
-          (* Several expansion forms can share a location only if two
-             distinct lexicon forms intern to the same token, which the
-             vocabulary forbids; still, sort defensively and keep one
-             match per location (the best-scoring). *)
-          let arr = Pj_util.Vec.to_array matches in
-          Array.sort
-            (fun a b ->
-              let c = compare a.Pj_core.Match0.loc b.Pj_core.Match0.loc in
-              if c <> 0 then c
-              else compare b.Pj_core.Match0.score a.Pj_core.Match0.score)
-            arr;
-          let out = Pj_util.Vec.create () in
-          Array.iter
-            (fun m ->
-              if
-                Pj_util.Vec.is_empty out
-                || (Pj_util.Vec.last out).Pj_core.Match0.loc
-                   <> m.Pj_core.Match0.loc
-              then Pj_util.Vec.push out m)
-            arr;
-          Pj_core.Match_list.of_unsorted (Pj_util.Vec.to_array out))
+          of_form_matches (Pj_util.Vec.to_array matches))
     q.Query.matchers
 
 let scan_corpus corpus q =

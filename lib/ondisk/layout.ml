@@ -1,0 +1,85 @@
+type buf = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let map_file path : buf =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      if size = 0 then
+        failwith (Printf.sprintf "Ondisk: %s is empty" path);
+      Bigarray.array1_of_genarray
+        (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| size |]))
+
+let of_string s : buf =
+  Bigarray.Array1.init Bigarray.char Bigarray.c_layout (String.length s)
+    (String.get s)
+
+let length (b : buf) = Bigarray.Array1.dim b
+
+let check b pos len what =
+  if pos < 0 || len < 0 || pos + len > length b then
+    failwith
+      (Printf.sprintf
+         "Ondisk: truncated file (%s at offset %d needs %d bytes of %d)" what
+         pos len (length b))
+
+let u8 b pos =
+  check b pos 1 "byte";
+  Char.code (Bigarray.Array1.unsafe_get b pos)
+
+let u32le b pos =
+  check b pos 4 "u32";
+  let g i = Char.code (Bigarray.Array1.unsafe_get b (pos + i)) in
+  g 0 lor (g 1 lsl 8) lor (g 2 lsl 16) lor (g 3 lsl 24)
+
+let u64le b pos =
+  check b pos 8 "u64";
+  let g i = Char.code (Bigarray.Array1.unsafe_get b (pos + i)) in
+  if g 7 land 0xc0 <> 0 then failwith "Ondisk: u64 overflows OCaml int";
+  g 0 lor (g 1 lsl 8) lor (g 2 lsl 16) lor (g 3 lsl 24) lor (g 4 lsl 32)
+  lor (g 5 lsl 40) lor (g 6 lsl 48) lor (g 7 lsl 56)
+
+let read_varint b ~pos =
+  let value = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !pos >= length b then failwith "Ondisk: truncated varint";
+    if !shift > 56 then failwith "Ondisk: varint overflow";
+    let byte = Char.code (Bigarray.Array1.unsafe_get b !pos) in
+    incr pos;
+    value := !value lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then continue := false
+  done;
+  !value
+
+let sub_string b ~pos ~len =
+  check b pos len "string";
+  String.init len (fun i -> Bigarray.Array1.unsafe_get b (pos + i))
+
+(* Same polynomial/table as [Pj_index.Storage.crc32]; reimplemented so
+   checksumming a mapped region never copies it onto the heap. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 b ~pos ~len =
+  check b pos len "crc range";
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (Bigarray.Array1.unsafe_get b i) in
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int byte)) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl

@@ -1,0 +1,56 @@
+(** v2 of the live segment format ("PJSG"): v1's recovery sections —
+    base, file-local string table, per-document token runs, dead ids —
+    plus a precomputed postings section in the v4 block-compressed
+    layout ({!Codec}), so a sealed segment can serve queries straight
+    off an [mmap] instead of rebuilding its inverted index on the
+    heap. Posting doc ids are absolute (global corpus ids); dictionary
+    keys are local string-table ids, resolved per query through the
+    growing global vocabulary by word. Written crash-safely with the
+    same CRC-32 footer discipline as v1. *)
+
+val magic : string
+val version : int
+
+val write :
+  failpoint:string ->
+  string ->
+  base:int ->
+  docs:string array array ->
+  dead:int list ->
+  unit
+(** Write a v2 segment crash-safely ([Storage.write_file_atomic]).
+    [docs] holds each document's token words in id order starting at
+    [base]; dead (and genuinely empty) documents are [[||]] and
+    contribute no postings. Raises [Sys_error] on I/O failure,
+    [Pj_util.Failpoint.Injected] / [Panicked] under fault injection. *)
+
+type t
+
+val open_file : string -> t
+(** Map a v2 segment and validate it: magic, version, CRC-32 of the
+    whole payload, then every recovery section. Raises
+    [Failure "Ondisk: ..."] on any malformed, truncated or
+    wrong-version file. *)
+
+val of_string : string -> t
+(** Same validation over bytes already read conventionally. *)
+
+val base : t -> int
+val n_docs : t -> int
+val dead : t -> int list
+
+val docs : t -> string array array
+(** Decode every document's token words — the recovery path
+    (re-interning into the global corpus in document order). *)
+
+val index : t -> Pj_index.Corpus.t -> Pj_index.Inverted_index.t
+(** A provider-backed index over the mapped postings, keyed by the
+    {e global} token ids of [corpus]'s vocabulary — observationally an
+    [Inverted_index.build_docs ~skip:dead] over the segment's
+    documents, with postings decoding from the page cache per query.
+    The vocabulary may keep growing (and the file may even be
+    unlinked by a later compaction) while the index is in use. *)
+
+val check : t -> unit
+(** Deep structural audit of the postings section (every blob
+    well-formed, totals match the trailer). Raises [Failure]. *)

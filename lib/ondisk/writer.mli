@@ -1,0 +1,20 @@
+(** Producing v4 index files.
+
+    [write idx path] persists the index's corpus, vocabulary and
+    block-compressed postings in the mmap-servable v4 format (see
+    [Format] / DESIGN.md §11). The write is crash-safe — bytes land in
+    [path.tmp], are fsynced and atomically renamed over [path]
+    ([Pj_index.Storage.write_file_atomic], failpoints
+    ["ondisk.save.write"] / ["ondisk.save.rename"]).
+
+    [counts] records a shard layout (contiguous doc-id ranges, as in
+    [Storage.save_sharded]); it defaults to one shard. Raises
+    [Invalid_argument] when [counts] does not cover the corpus,
+    [Sys_error] on I/O failure. *)
+
+val write : ?counts:int array -> Pj_index.Inverted_index.t -> string -> unit
+
+val write_sharded : Pj_index.Sharded_index.t -> string -> unit
+(** Persist a sharded index with its layout. Postings are written once
+    from a merged traversal (they are global-doc-id lists, so the
+    monolithic section serves every shard through range cursors). *)

@@ -15,11 +15,11 @@ let test_sub_rejects_writes () =
   let view = Pj_index.Corpus.sub corpus ~pos:1 ~len:2 in
   Alcotest.check_raises "add_text on a view"
     (Invalid_argument
-       "Corpus.add_text: cannot add documents to a Corpus.sub view")
+       "Corpus.add_text: cannot add documents to a read-only corpus view")
     (fun () -> ignore (Pj_index.Corpus.add_text view "xx yy"));
   Alcotest.check_raises "add_tokens on a view"
     (Invalid_argument
-       "Corpus.add_tokens: cannot add documents to a Corpus.sub view")
+       "Corpus.add_tokens: cannot add documents to a read-only corpus view")
     (fun () -> ignore (Pj_index.Corpus.add_tokens view [| "xx"; "yy" |]));
   (* The parent is unaffected and still writable. *)
   Alcotest.(check int) "view untouched" 2 (Pj_index.Corpus.size view);

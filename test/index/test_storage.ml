@@ -352,6 +352,35 @@ let test_load_failpoint_injects () =
       Alcotest.(check bool) "loads once cleared" true
         (corpora_equal c (Storage.load_corpus path)))
 
+(* Truncate-at-every-offset fuzz: whatever the cut point and whatever
+   the format version, [load] fails with a descriptive [Failure
+   "Storage: ..."] — never a raw decoder exception, never a successful
+   load of a partial file. (v1 has no CRC, so its parser must catch
+   every truncation structurally.) *)
+let test_truncation_fuzz_all_versions () =
+  let c = sample_corpus () in
+  List.iter
+    (fun v ->
+      let path = temp_path () in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          if v = 3 then Storage.save_corpus c path
+          else downgrade_file c path ~to_version:v;
+          let s = read_bytes path in
+          for cut = 0 to String.length s - 1 do
+            write_bytes path (String.sub s 0 cut);
+            match Storage.load_corpus path with
+            | _ -> Alcotest.failf "v%d: truncation at %d loaded" v cut
+            | exception Failure msg ->
+                if not (String.length msg >= 8 && String.sub msg 0 8 = "Storage:")
+                then Alcotest.failf "v%d cut %d: unexpected message %S" v cut msg
+            | exception e ->
+                Alcotest.failf "v%d cut %d: raw exception escaped: %s" v cut
+                  (Printexc.to_string e)
+          done))
+    [ 1; 2; 3 ]
+
 let test_crc32_known_value () =
   (* The standard check value: CRC-32 of "123456789". *)
   Alcotest.(check int32) "check value" 0xCBF43926l (Storage.crc32 "123456789");
@@ -373,6 +402,7 @@ let suite =
     ("storage: bit flip detected", `Quick, test_bit_flip_detected);
     ("storage: truncation detected", `Quick, test_truncation_detected);
     ("storage: v1/v2 still load", `Quick, test_old_versions_still_load);
+    ("storage: truncation fuzz v1/v2/v3", `Quick, test_truncation_fuzz_all_versions);
     ("storage: sharded roundtrip", `Quick, test_sharded_roundtrip);
     ("storage: bad shard layout rejected", `Quick, test_bad_shard_layout_rejected);
     ("storage: crc32 check value", `Quick, test_crc32_known_value);

@@ -91,10 +91,38 @@ let check_equal ~ctx live docs deleted =
         [ 1; 10 ])
     scorings
 
-let run_seed seed =
-  Printf.printf "live oracle seed %d (replay: LIVE_SEED=%d)\n%!" seed seed;
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pj_live_oracle_%d_%d" (Unix.getpid ()) !counter)
+    in
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+    dir
+
+(* [mmap] runs the same op sequence against a persistent index whose
+   sealed segments serve off their own mapped files — the live-segment
+   arm of the on-disk/in-memory equivalence oracle. *)
+let run_seed ?(mmap = false) seed =
+  Printf.printf "live oracle seed %d (replay: LIVE_SEED=%d)%s\n%!" seed seed
+    (if mmap then " [mmap segments]" else "");
   let rng = Pj_util.Prng.create seed in
-  let live = Live_index.create ~config () in
+  let live =
+    if mmap then begin
+      let dir = fresh_dir () in
+      let config =
+        { config with Live_index.dir = Some dir; mmap_segments = true }
+      in
+      Live_index.open_dir ~config dir
+    end
+    else Live_index.create ~config ()
+  in
   let docs = ref [] (* reverse id order *) and total = ref 0 in
   let deleted = ref IntSet.empty in
   for op = 1 to 150 do
@@ -143,8 +171,11 @@ let seeds () =
   | None -> [ 11; 42; 2024 ]
 
 let test_oracle () = List.iter run_seed (seeds ())
+let test_oracle_mmap () = List.iter (run_seed ~mmap:true) (seeds ())
 
 let suite =
   [
     Alcotest.test_case "random ops = from-scratch build" `Quick test_oracle;
+    Alcotest.test_case "random ops = from-scratch build (mmap segments)"
+      `Quick test_oracle_mmap;
   ]

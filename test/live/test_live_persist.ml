@@ -27,12 +27,13 @@ let fresh_dir () =
       (Sys.readdir dir);
   dir
 
-let config dir =
+let config ?(mmap = false) dir =
   {
     Live_index.dir = Some dir;
     memtable_capacity = 4;
     merge_threshold = 2;
     background_merge = false;
+    mmap_segments = mmap;
   }
 
 let hits live = Live_index.search ~k:max_int live scoring query
@@ -107,6 +108,68 @@ let test_deletes_durable_via_manifest_only_flush () =
     (List.map (fun h -> h.Pj_engine.Searcher.doc_id) (hits reopened));
   Live_index.close reopened
 
+(* A writer with heap-served segments and a reader serving them off
+   mmap (and vice versa) must agree hit-for-hit: the segment file is
+   one format, the serving mode a pure runtime choice. *)
+let test_mmap_recovery_identical () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config dir) dir in
+  for i = 0 to 9 do
+    ignore (Live_index.add live [| "aa"; Printf.sprintf "w%d" i; "bb" |])
+  done;
+  (match Live_index.delete live 3 with
+  | Ok () -> ()
+  | Error `Not_found -> Alcotest.fail "delete failed");
+  ignore (Live_index.flush live);
+  Live_index.quiesce live;
+  let want = hits live in
+  Live_index.close live;
+  let mapped = Live_index.open_dir ~config:(config ~mmap:true dir) dir in
+  Alcotest.(check bool) "mmap-served recovery identical" true
+    (hits mapped = want);
+  (* Keeps working: adds land in the heap memtable, flushes seal into
+     mapped segments. *)
+  ignore (Live_index.add mapped [| "aa"; "bb"; "fresh" |]);
+  ignore (Live_index.flush mapped);
+  Live_index.quiesce mapped;
+  let want_more = hits mapped in
+  Live_index.close mapped;
+  let plain = Live_index.open_dir ~config:(config dir) dir in
+  Alcotest.(check bool) "heap-served recovery identical" true
+    (hits plain = want_more);
+  Live_index.close plain
+
+(* Legacy v1 segment files (no postings section) still recover — and
+   under [mmap_segments] fall back to the heap rebuild per segment. *)
+let test_v1_segments_still_load () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config dir) dir in
+  for i = 0 to 9 do
+    ignore (Live_index.add live [| "aa"; Printf.sprintf "w%d" i; "bb" |])
+  done;
+  ignore (Live_index.flush live);
+  Live_index.quiesce live;
+  let want = hits live in
+  Live_index.close live;
+  (* Downgrade every segment file in place to the v1 layout. *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".seg" then begin
+        let path = Filename.concat dir f in
+        let sf = Segment_file.read path in
+        Segment_file.write_v1 ~failpoint:"test.downgrade" path sf
+      end)
+    (Sys.readdir dir);
+  List.iter
+    (fun mmap ->
+      let reopened = Live_index.open_dir ~config:(config ~mmap dir) dir in
+      Alcotest.(check bool)
+        (Printf.sprintf "v1 recovery identical (mmap=%b)" mmap)
+        true
+        (hits reopened = want);
+      Live_index.close reopened)
+    [ false; true ]
+
 let test_orphan_cleanup () =
   let dir = fresh_dir () in
   let live = Live_index.open_dir ~config:(config dir) dir in
@@ -141,4 +204,8 @@ let suite =
       test_deletes_durable_via_manifest_only_flush;
     Alcotest.test_case "orphan files cleaned at open" `Quick
       test_orphan_cleanup;
+    Alcotest.test_case "mmap-served segments recover identically" `Quick
+      test_mmap_recovery_identical;
+    Alcotest.test_case "v1 segment files still load" `Quick
+      test_v1_segments_still_load;
   ]

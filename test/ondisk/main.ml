@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "proxjoin.ondisk"
+    [ ("codec", Test_codec.suite); ("mapped", Test_mapped.suite) ]

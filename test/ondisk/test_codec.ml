@@ -1,0 +1,328 @@
+(* Property tests of the v4 block codec: delta+varint round trips,
+   impact quantization bounds, skip-table navigation. *)
+
+open Pj_ondisk
+
+(* --- generators -------------------------------------------------------- *)
+
+(* A sorted postings array: random positive doc-id gaps (occasionally
+   huge, up to the u32 ceiling) and random position lists. Sizes cross
+   the 128-doc block boundary so multi-block lists are routine. *)
+let postings_gen =
+  QCheck.Gen.(
+    let posting_positions =
+      list_size (int_range 1 6) (int_range 0 5_000) >|= fun l ->
+      Array.of_list (List.sort_uniq compare l)
+    in
+    let* df = oneof [ int_range 0 4; int_range 120 140; int_range 250 300 ] in
+    let* gaps =
+      list_repeat df (oneof [ int_range 1 3; int_range 1 10_000 ])
+    in
+    let* positions = list_repeat df posting_positions in
+    let doc = ref (-1) in
+    return
+      (Array.of_list
+         (List.map2
+            (fun gap positions ->
+              doc := !doc + gap;
+              Pj_index.Posting.make ~doc_id:!doc ~positions)
+            gaps positions)))
+
+let postings_print posts =
+  String.concat ";"
+    (Array.to_list
+       (Array.map
+          (fun p ->
+            Printf.sprintf "%d(tf %d)" p.Pj_index.Posting.doc_id
+              (Array.length p.Pj_index.Posting.positions))
+          posts))
+
+let postings_arb = QCheck.make ~print:postings_print postings_gen
+
+(* Encode into a buffer and hand back a reader as if the blob had been
+   mapped from disk (a bigstring copy of the encoded bytes). *)
+let reader_of posts =
+  let buf = Buffer.create 256 in
+  Codec.encode buf posts;
+  let s = Buffer.contents buf in
+  let big =
+    Bigarray.Array1.init Bigarray.char Bigarray.c_layout (String.length s)
+      (String.get s)
+  in
+  { Codec.buf = big; blob = 0; df = Array.length posts }
+
+let decode_all r =
+  Array.of_list (Pj_index.Posting_list.to_list (Codec.decode r))
+
+let posting_equal a b =
+  a.Pj_index.Posting.doc_id = b.Pj_index.Posting.doc_id
+  && a.Pj_index.Posting.positions = b.Pj_index.Posting.positions
+
+(* --- round trips ------------------------------------------------------- *)
+
+let roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"encode/decode round trip" postings_arb
+       (fun posts ->
+         let back = decode_all (reader_of posts) in
+         Array.length back = Array.length posts
+         && Array.for_all2 posting_equal posts back))
+
+let test_empty_list () =
+  let r = reader_of [||] in
+  Alcotest.(check int) "no blocks" 0 (Codec.n_blocks ~df:0);
+  Alcotest.(check int) "decodes empty" 0 (Array.length (decode_all r));
+  let c = Codec.cursor r in
+  Alcotest.(check int) "cursor exhausted" (-1)
+    (Pj_index.Posting_list.current_doc c);
+  Alcotest.(check (float 0.)) "block max 0" 0.
+    (Pj_index.Posting_list.block_max_score c)
+
+let test_single_posting_blocks () =
+  (* One document exactly fills the degenerate single-entry block. *)
+  List.iter
+    (fun doc_id ->
+      let posts = [| Pj_index.Posting.make ~doc_id ~positions:[| 0; 7 |] |] in
+      let back = decode_all (reader_of posts) in
+      Alcotest.(check int) "df" 1 (Array.length back);
+      Alcotest.(check bool) "posting" true (posting_equal posts.(0) back.(0)))
+    [ 0; 1; 127; 128; 0xFFFFFFFF ]
+
+let test_u32_ceiling_enforced () =
+  let posts =
+    [| Pj_index.Posting.make ~doc_id:0x1_0000_0000 ~positions:[| 0 |] |]
+  in
+  Alcotest.check_raises "doc id too large"
+    (Invalid_argument "Ondisk.Codec.encode: doc id exceeds u32") (fun () ->
+      Codec.encode (Buffer.create 16) posts)
+
+let test_unsorted_rejected () =
+  let posts =
+    [|
+      Pj_index.Posting.make ~doc_id:5 ~positions:[| 0 |];
+      Pj_index.Posting.make ~doc_id:5 ~positions:[| 1 |];
+    |]
+  in
+  Alcotest.check_raises "duplicate doc id"
+    (Invalid_argument "Ondisk.Codec.encode: doc ids not strictly increasing")
+    (fun () -> Codec.encode (Buffer.create 16) posts)
+
+(* Block boundaries: exactly block_size, one less, one more. *)
+let test_block_boundaries () =
+  List.iter
+    (fun df ->
+      let posts =
+        Array.init df (fun i ->
+            Pj_index.Posting.make ~doc_id:(i * 3) ~positions:[| i |])
+      in
+      let r = reader_of posts in
+      Alcotest.(check int)
+        (Printf.sprintf "n_blocks of %d" df)
+        ((df + Codec.block_size - 1) / Codec.block_size)
+        (Codec.n_blocks ~df);
+      let back = decode_all r in
+      Alcotest.(check bool)
+        (Printf.sprintf "round trip at df %d" df)
+        true
+        (Array.for_all2 posting_equal posts back))
+    [ Codec.block_size - 1; Codec.block_size; Codec.block_size + 1; 2 * Codec.block_size ]
+
+(* --- quantization ------------------------------------------------------ *)
+
+let quantization_error =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:1000
+       ~name:"quantize error within declared bound" QCheck.(float_range 0. 1.)
+       (fun v ->
+         Float.abs (Codec.dequantize (Codec.quantize v) -. v)
+         <= Codec.quantization_error_bound +. 1e-12))
+
+let quantize_monotone =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:1000 ~name:"quantize is monotone"
+       QCheck.(pair (float_range 0. 1.) (float_range 0. 1.))
+       (fun (a, b) ->
+         let a, b = (Float.min a b, Float.max a b) in
+         Codec.quantize a <= Codec.quantize b
+         && Codec.quantize_up a <= Codec.quantize_up b))
+
+let quantize_up_dominates =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:1000
+       ~name:"dequantize (quantize_up v) >= v (lossless block bounds)"
+       QCheck.(float_range 0. 1.)
+       (fun v -> Codec.dequantize (Codec.quantize_up v) >= v))
+
+let test_impact_monotone () =
+  for tf = 0 to 100 do
+    Alcotest.(check bool)
+      (Printf.sprintf "impact %d < impact %d" tf (tf + 1))
+      true
+      (Pj_index.Posting_list.impact ~tf
+      < Pj_index.Posting_list.impact ~tf:(tf + 1))
+  done;
+  Alcotest.(check bool) "impact below ceiling" true
+    (Pj_index.Posting_list.impact ~tf:1_000_000 < 1.)
+
+(* The scorer-facing tolerance: a decoded per-posting impact is within
+   the declared bound of the true impact, for every tf. *)
+let test_quantized_impact_bound () =
+  for tf = 0 to 2000 do
+    let v = Pj_index.Posting_list.impact ~tf in
+    let err = Float.abs (Codec.dequantize (Codec.quantize v) -. v) in
+    if err > Codec.quantization_error_bound +. 1e-12 then
+      Alcotest.failf "tf %d: error %g above bound %g" tf err
+        Codec.quantization_error_bound
+  done
+
+(* --- cursor navigation ------------------------------------------------- *)
+
+(* The codec cursor must agree with the in-memory array cursor under
+   an arbitrary interleaving of next and (monotone) seek. *)
+let cursor_agrees =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"codec cursor = array cursor"
+       QCheck.(pair postings_arb (small_list (int_bound 30)))
+       (fun (posts, steps) ->
+         let r = reader_of posts in
+         let mem =
+           Pj_index.Posting_list.cursor
+             (Pj_index.Posting_list.of_postings (Array.to_list posts))
+         in
+         let disk = Codec.cursor r in
+         let ok = ref true in
+         let check_here () =
+           if
+             Pj_index.Posting_list.current_doc mem
+             <> Pj_index.Posting_list.current_doc disk
+           then ok := false;
+           match
+             ( Pj_index.Posting_list.current mem,
+               Pj_index.Posting_list.current disk )
+           with
+           | None, None -> ()
+           | Some a, Some b when posting_equal a b -> ()
+           | _ -> ok := false
+         in
+         check_here ();
+         List.iter
+           (fun step ->
+             if step mod 3 = 0 then begin
+               Pj_index.Posting_list.next mem;
+               Pj_index.Posting_list.next disk
+             end
+             else begin
+               let target = Pj_index.Posting_list.current_doc mem + step in
+               Pj_index.Posting_list.seek mem target;
+               Pj_index.Posting_list.seek disk target
+             end;
+             check_here ())
+           steps;
+         !ok))
+
+(* Block-max metadata: at every cursor position the decoded ceiling
+   dominates the true max impact of the current block, and
+   block_last_doc names that block's final document. *)
+let block_max_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"block max dominates true block max"
+       postings_arb (fun posts ->
+         QCheck.assume (Array.length posts > 0);
+         let r = reader_of posts in
+         let c = Codec.cursor r in
+         let ok = ref true in
+         let visited = ref 0 in
+         while Pj_index.Posting_list.current_doc c >= 0 do
+           let i = !visited in
+           let block = i / Codec.block_size in
+           let lo = block * Codec.block_size
+           and hi =
+             Stdlib.min (Array.length posts) ((block + 1) * Codec.block_size)
+           in
+           let true_max = ref 0. in
+           for j = lo to hi - 1 do
+             true_max :=
+               Float.max !true_max
+                 (Pj_index.Posting_list.impact
+                    ~tf:(Array.length posts.(j).Pj_index.Posting.positions))
+           done;
+           if Pj_index.Posting_list.block_max_score c < !true_max then
+             ok := false;
+           if
+             Pj_index.Posting_list.block_last_doc c
+             <> posts.(hi - 1).Pj_index.Posting.doc_id
+           then ok := false;
+           incr visited;
+           Pj_index.Posting_list.next c
+         done;
+         !ok && !visited = Array.length posts))
+
+let count_in_range_agrees =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"count_in_range = naive count"
+       QCheck.(pair postings_arb (pair (int_bound 60_000) (int_bound 60_000)))
+       (fun (posts, (a, b)) ->
+         let lo, hi = (Stdlib.min a b, Stdlib.max a b) in
+         let r = reader_of posts in
+         let naive =
+           Array.fold_left
+             (fun acc p ->
+               if p.Pj_index.Posting.doc_id >= lo && p.Pj_index.Posting.doc_id < hi
+               then acc + 1
+               else acc)
+             0 posts
+         in
+         Codec.count_in_range r ~lo ~hi = naive))
+
+let range_cursor_agrees =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300
+       ~name:"cursor_in_range visits exactly the range"
+       QCheck.(pair postings_arb (pair (int_bound 60_000) (int_bound 60_000)))
+       (fun (posts, (a, b)) ->
+         let lo, hi = (Stdlib.min a b, Stdlib.max a b) in
+         let r = reader_of posts in
+         let c = Codec.cursor_in_range r ~lo ~hi in
+         let expect =
+           Array.to_list posts
+           |> List.filter (fun p ->
+                  p.Pj_index.Posting.doc_id >= lo
+                  && p.Pj_index.Posting.doc_id < hi)
+         in
+         let got = ref [] in
+         while Pj_index.Posting_list.current_doc c >= 0 do
+           (match Pj_index.Posting_list.current c with
+           | Some p -> got := p :: !got
+           | None -> ());
+           Pj_index.Posting_list.next c
+         done;
+         let got = List.rev !got in
+         List.length got = List.length expect
+         && List.for_all2 posting_equal got expect))
+
+let check_blob_accepts =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"check_blob accepts every encoding"
+       postings_arb (fun posts ->
+         Codec.check_blob (reader_of posts);
+         true))
+
+let suite =
+  [
+    roundtrip;
+    ("codec: empty list", `Quick, test_empty_list);
+    ("codec: single posting blocks", `Quick, test_single_posting_blocks);
+    ("codec: u32 doc-id ceiling", `Quick, test_u32_ceiling_enforced);
+    ("codec: unsorted rejected", `Quick, test_unsorted_rejected);
+    ("codec: block boundaries", `Quick, test_block_boundaries);
+    quantization_error;
+    quantize_monotone;
+    quantize_up_dominates;
+    ("codec: impact monotone", `Quick, test_impact_monotone);
+    ("codec: quantized impact bound", `Quick, test_quantized_impact_bound);
+    cursor_agrees;
+    block_max_sound;
+    count_in_range_agrees;
+    range_cursor_agrees;
+    check_blob_accepts;
+  ]

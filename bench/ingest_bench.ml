@@ -2,17 +2,30 @@
    readers. Three numbers matter:
 
    - ingest throughput (docs/s through [Live_index.add], auto-flush
-     included): the write path's budget. Each add rebuilds the
-     memtable's sparse index — O(memtable tokens) — so throughput is
-     governed by [memtable_capacity], not corpus size.
-   - search latency over the quiesced index (p50/p99): the read path
-     with no writers, directly comparable to bench-shard.
+     included): the write path's budget. Each add appends to the
+     incremental postings builder — O(document tokens) — so
+     throughput is flat in both [memtable_capacity] and corpus size;
+     the flush cost amortizes over the capacity.
    - search latency under concurrent ingest (p50/p99): a second
      domain streams adds (flushing and merging as it goes) while the
-     measuring domain searches. Since queries read one immutable
-     snapshot per call and never take the writer lock, the gap between
-     the two columns bounds the real cost of snapshot churn (cache
-     dilution, allocator pressure) rather than lock contention.
+     measuring domain searches. The writer is paced at the four-digit
+     target rate (1000 docs/s) rather than flat out: the operational
+     question is what readers pay while the index sustains its target
+     ingest rate — an unpaced writer on a small box measures CPU
+     time-slicing, not the engine (and the pre-incremental write path
+     could not reach this rate at all). Documents arrive in small
+     [add_batch] groups, the shape the server's group-commit ACK path
+     delivers. Since queries read one
+     immutable snapshot per call and never take the writer lock, the
+     gap against the idle column bounds the real cost of snapshot
+     churn (cache dilution, allocator pressure, merge work) rather
+     than lock contention.
+   - search latency over the quiesced index (p50/p99): the read path
+     with no writers. Measured *after* the concurrent phase, over the
+     final corpus, so the idle/ingest comparison isolates write churn
+     instead of conflating it with corpus growth (the during-ingest
+     searches see every document the idle ones do, and fewer early
+     on).
 
    A final sanity assertion checks the quiesced live index returns
    structurally identical hits to a from-scratch build over the same
@@ -54,17 +67,27 @@ let search_once live =
 
 let run ~quick ~repetitions =
   ignore repetitions;
-  let n_docs = if quick then 400 else 2000 in
-  let n_concurrent = if quick then 400 else 2000 in
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 22 };
+  let n_docs = if quick then 400 else 10_000 in
+  let n_concurrent = if quick then 400 else 10_000 in
   let idle_searches = if quick then 200 else 1000 in
   let rng = Pj_util.Prng.create 77 in
   let docs = gen_docs rng n_docs in
+  (* Capacity 64 dated from the rebuild-per-add era, when a large
+     memtable made every add slower; with O(doc) appends a deeper
+     memtable just means fewer seals and less background merge churn,
+     so the bench measures a production-shaped setting. *)
   let config =
     {
       Pj_live.Live_index.default_config with
-      Pj_live.Live_index.memtable_capacity = 64;
+      Pj_live.Live_index.memtable_capacity = 512;
       merge_threshold = 4;
       background_merge = true;
+      (* Parallel pair builds only pay off with spare cores; this box
+         reports [Domain.recommended_domain_count () = 1], where extra
+         build domains just time-slice against the measuring reader. *)
+      merge_parallelism =
+        max 1 (min 2 (Domain.recommended_domain_count () - 2));
     }
   in
   let live = Pj_live.Live_index.create ~config () in
@@ -97,20 +120,44 @@ let run ~quick ~repetitions =
       Shard_bench.scoring Shard_bench.query
   in
   assert (live_hits = scratch_hits);
-  (* --- search latency, idle ---------------------------------------- *)
   let observe () =
     let t0 = Pj_util.Timing.monotonic_now () in
     ignore (search_once live);
     Pj_util.Timing.monotonic_now () -. t0
   in
   ignore (observe ());
-  let idle = Array.init idle_searches (fun _ -> observe ()) in
   (* --- search latency, under concurrent ingest --------------------- *)
   let stream = gen_docs rng n_concurrent in
+  let stream_rate = 1000. (* docs/s — the issue's four-digit target *) in
   let ingesting = Atomic.make true in
+  (* The stream arrives in small batches through [add_batch] — the
+     arrival shape the server's group-commit ACK path produces — rather
+     than one wakeup per document: per-doc pacing costs ~2000 context
+     switches/s against the measuring reader, which swamps the engine
+     cost being measured. The average rate is the same. *)
+  let batch_docs = 50 in
   let writer =
     Domain.spawn (fun () ->
-        List.iter (fun doc -> ignore (Pj_live.Live_index.add live doc)) stream;
+        let t0 = Pj_util.Timing.monotonic_now () in
+        let rec take n acc rest =
+          if n = 0 then (List.rev acc, rest)
+          else
+            match rest with
+            | [] -> (List.rev acc, [])
+            | d :: tl -> take (n - 1) (d :: acc) tl
+        in
+        let rec go i rest =
+          match rest with
+          | [] -> ()
+          | _ ->
+              let due = t0 +. (float_of_int i /. stream_rate) in
+              let now = Pj_util.Timing.monotonic_now () in
+              if due > now then Unix.sleepf (due -. now);
+              let chunk, rest = take batch_docs [] rest in
+              ignore (Pj_live.Live_index.add_batch live chunk);
+              go (i + List.length chunk) rest
+        in
+        go 0 stream;
         ignore (Pj_live.Live_index.flush live);
         Atomic.set ingesting false)
   in
@@ -122,6 +169,10 @@ let run ~quick ~repetitions =
   (* On a fast box the stream can drain before the first poll. *)
   if !during = [] then during := [ observe () ];
   let during = Array.of_list !during in
+  (* --- search latency, idle (same final corpus, no writers) -------- *)
+  Pj_live.Live_index.quiesce live;
+  ignore (observe ());
+  let idle = Array.init idle_searches (fun _ -> observe ()) in
   let stats = Pj_live.Live_index.stats live in
   Runs.print_header "bench-ingest: search latency" [ "p50"; "p99"; "n" ];
   Runs.print_row "idle"
@@ -130,7 +181,8 @@ let run ~quick ~repetitions =
       Printf.sprintf "%.3f ms" (percentile_ms idle 99.);
       string_of_int (Array.length idle);
     ];
-  Runs.print_row "concurrent ingest"
+  Runs.print_row
+    (Printf.sprintf "ingest @ %.0f docs/s" stream_rate)
     [
       Printf.sprintf "%.3f ms" (percentile_ms during 50.);
       Printf.sprintf "%.3f ms" (percentile_ms during 99.);
@@ -145,6 +197,7 @@ let run ~quick ~repetitions =
     \  \"memtable_capacity\": %d,\n\
     \  \"ingest_s\": %.6f,\n\
     \  \"ingest_docs_per_s\": %.1f,\n\
+    \  \"ingest_stream_rate_docs_per_s\": %.0f,\n\
     \  \"search_idle_p50_ms\": %.6f,\n\
     \  \"search_idle_p99_ms\": %.6f,\n\
     \  \"search_ingest_p50_ms\": %.6f,\n\
@@ -155,7 +208,7 @@ let run ~quick ~repetitions =
     \  \"merges\": %d\n\
      }\n"
     n_docs config.Pj_live.Live_index.memtable_capacity ingest_s docs_per_s
-    (percentile_ms idle 50.) (percentile_ms idle 99.)
+    stream_rate (percentile_ms idle 50.) (percentile_ms idle 99.)
     (percentile_ms during 50.)
     (percentile_ms during 99.)
     (Array.length during) stats.Pj_live.Live_index.generation

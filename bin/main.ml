@@ -446,7 +446,7 @@ let run_compact src dst shards =
        /. float_of_int info.Pj_ondisk.Mapped_index.postings_bytes)
 
 let run_serve file index_path host port domains queue cache deadline_ms
-    drain_ms log_every shards live live_dir memtable mmap_segments =
+    drain_ms log_every shards live live_dir memtable mmap_segments merge_par =
   let graph = Pj_ontology.Mini_wordnet.create () in
   if index_path <> None && (live || live_dir <> None) then
     failwith
@@ -470,6 +470,7 @@ let run_serve file index_path host port domains queue cache deadline_ms
               .Pj_live.Live_index.merge_threshold;
           background_merge = true;
           mmap_segments;
+          merge_parallelism = merge_par;
         }
       in
       let index =
@@ -482,8 +483,9 @@ let run_serve file index_path host port domains queue cache deadline_ms
          would duplicate them under fresh ids. *)
       if (Pj_live.Live_index.stats index).Pj_live.Live_index.total_docs = 0
       then begin
-        Pj_live.Live_index.add_batch index
-          (List.map stemmed_tokens (read_documents file));
+        ignore
+          (Pj_live.Live_index.add_batch index
+             (List.map stemmed_tokens (read_documents file)));
         ignore (Pj_live.Live_index.flush index)
       end;
       Some index
@@ -885,11 +887,22 @@ let serve_cmd =
              files' block-compressed postings instead of holding heap \
              indexes (needs $(b,--live-dir)).")
   in
+  let merge_par =
+    Arg.(
+      value
+      & opt int
+          Pj_live.Live_index.default_config
+            .Pj_live.Live_index.merge_parallelism
+      & info [ "merge-par" ] ~docv:"N"
+          ~doc:
+            "Live mode: merge up to N disjoint adjacent segment pairs \
+             concurrently per compaction step.")
+  in
   let run file index host port domains queue cache deadline drain log_every
-      shards live live_dir memtable mmap_segments =
+      shards live live_dir memtable mmap_segments merge_par =
     wrap (fun () ->
         run_serve file index host port domains queue cache deadline drain
-          log_every shards live live_dir memtable mmap_segments)
+          log_every shards live live_dir memtable mmap_segments merge_par)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -901,7 +914,8 @@ let serve_cmd =
       ret
         (const run $ opt_file_arg $ index_arg $ host_arg
        $ port_arg ~default:7070 $ domains $ queue $ cache $ deadline $ drain
-       $ log_every $ shards_arg $ live $ live_dir $ memtable $ mmap_segments))
+       $ log_every $ shards_arg $ live $ live_dir $ memtable $ mmap_segments
+       $ merge_par))
 
 let bench_serve_cmd =
   let clients =

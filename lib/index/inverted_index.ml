@@ -16,6 +16,11 @@ type provider = {
   pr_document_frequency : int -> int;
   pr_n_tokens : int; (* distinct indexed tokens *)
   pr_stats : unit -> stats;
+  pr_iter : ((int -> Posting_list.t -> unit) -> unit) option;
+      (* enumerate every (token, list) pair with postings, arbitrary
+         order, each token once. [None] when the engine can't afford
+         enumeration (e.g. fully on-disk layouts) — [concat_adjacent]
+         then declines and compaction falls back to a rebuild. *)
 }
 
 (* Three storage layouts share one read interface:
@@ -172,5 +177,45 @@ let stats t =
         n_postings = !n_postings;
         n_positions = !n_positions;
       }
+
+(* Term enumeration, when the layout supports it: (token, list) pairs
+   in arbitrary order, tokens without postings omitted. *)
+let iter_token_lists t =
+  match t.store with
+  | Dense lists ->
+      Some
+        (fun f ->
+          Array.iteri
+            (fun tok pl ->
+              if Posting_list.document_frequency pl > 0 then f tok pl)
+            lists)
+  | Sparse lists -> Some (fun f -> Hashtbl.iter f lists)
+  | Virtual p -> p.pr_iter
+
+let concat_adjacent ?skip a b =
+  match (iter_token_lists a, iter_token_lists b) with
+  | Some iter_a, Some iter_b ->
+      (* No [skip] means no per-posting scan at all — the common case
+         (merging segments with no deletions) is pure array splicing. *)
+      let filter =
+        match skip with
+        | None -> fun pl -> pl
+        | Some f -> Posting_list.reject f
+      in
+      let acc = Hashtbl.create 1024 in
+      let add tok pl =
+        let pl = filter pl in
+        if Posting_list.document_frequency pl > 0 then
+          match Hashtbl.find_opt acc tok with
+          | None -> Hashtbl.replace acc tok pl
+          | Some prev ->
+              Hashtbl.replace acc tok (Posting_list.append_disjoint prev pl)
+      in
+      (* [a] wholly before [b], so a shared term's postings stay sorted
+         by splicing [a]'s run first. *)
+      iter_a add;
+      iter_b add;
+      Some { corpus = a.corpus; store = Sparse acc }
+  | _ -> None
 
 let corpus t = t.corpus

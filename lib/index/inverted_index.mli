@@ -41,6 +41,11 @@ type provider = {
   pr_document_frequency : int -> int;
   pr_n_tokens : int;            (** distinct indexed tokens *)
   pr_stats : unit -> stats;
+  pr_iter : ((int -> Posting_list.t -> unit) -> unit) option;
+      (** enumerate every (token, list) pair with postings — arbitrary
+          order, each token once — or [None] when the engine cannot
+          afford enumeration (fully on-disk layouts); [concat_adjacent]
+          then declines *)
 }
 (** The plug-in surface for external storage engines: an index whose
     postings live outside the OCaml heap (e.g. the block-compressed
@@ -88,3 +93,14 @@ val stats : t -> stats
     is sublinear in it). O(vocabulary) per call. *)
 
 val corpus : t -> Corpus.t
+
+val concat_adjacent : ?skip:(int -> bool) -> t -> t -> t option
+(** Merge two indexes over adjacent, disjoint doc-id ranges — every
+    document of the first strictly below every document of the second,
+    over the same corpus — by per-term posting-list splicing:
+    O(surviving postings) array appends, position arrays shared with
+    the sources, instead of [build_docs]'s O(tokens) re-accumulation.
+    [skip id] drops that document's postings (tombstone purge). [None]
+    when either side cannot enumerate its terms (a provider without
+    [pr_iter]); the caller falls back to [build_docs]. The result is
+    byte-equivalent to [build_docs] over the union range. *)

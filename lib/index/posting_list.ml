@@ -61,6 +61,27 @@ let doc_ids (t : t) = Array.map (fun p -> p.Posting.doc_id) t
 let union (a : t) (b : t) : t =
   of_postings (Array.to_list a @ Array.to_list b)
 
+let of_sorted_array (a : Posting.t array) : t =
+  for i = 1 to Array.length a - 1 do
+    if a.(i - 1).Posting.doc_id >= a.(i).Posting.doc_id then
+      invalid_arg "Posting_list.of_sorted_array: ids not strictly increasing"
+  done;
+  a
+
+let reject f (t : t) : t =
+  if Array.exists (fun p -> f p.Posting.doc_id) t then
+    Array.of_list
+      (List.filter (fun p -> not (f p.Posting.doc_id)) (Array.to_list t))
+  else t
+
+let append_disjoint (a : t) (b : t) : t =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then b
+  else if nb = 0 then a
+  else if a.(na - 1).Posting.doc_id >= b.(0).Posting.doc_id then
+    invalid_arg "Posting_list.append_disjoint: doc-id ranges overlap"
+  else Array.append a b
+
 let to_list (t : t) = Array.to_list t
 
 (* --- cursors ----------------------------------------------------------- *)
@@ -70,8 +91,14 @@ let to_list (t : t) = Array.to_list t
    block-compressed mmap reader in [Pj_ondisk]) can stream postings
    straight off their own layout without materializing an array. *)
 
+(* [hi] bounds the walk to a prefix of [list]: entries at index >= hi
+   are invisible. [cursor] sets hi to the full length; [cursor_prefix]
+   lets a growing array (the live memtable's per-term postings) hand
+   out cursors over just its committed, snapshot-visible prefix while
+   a writer keeps appending beyond it. *)
 type mem_cursor = {
   list : t;
+  hi : int;
   mutable pos : int;
 }
 
@@ -88,7 +115,12 @@ type cursor =
   | Mem of mem_cursor
   | Custom of custom
 
-let cursor (t : t) = Mem { list = t; pos = 0 }
+let cursor (t : t) = Mem { list = t; hi = Array.length t; pos = 0 }
+
+let cursor_prefix a ~len =
+  if len < 0 || len > Array.length a then
+    invalid_arg "Posting_list.cursor_prefix: len out of range";
+  Mem { list = a; hi = len; pos = 0 }
 
 let custom ~current ~current_doc ~next ~seek ~block_max_score ~block_last_doc =
   Custom
@@ -101,13 +133,12 @@ let custom ~current ~current_doc ~next ~seek ~block_max_score ~block_last_doc =
       cu_block_last_doc = block_last_doc;
     }
 
-let mem_current c =
-  if c.pos >= Array.length c.list then None else Some c.list.(c.pos)
+let mem_current c = if c.pos >= c.hi then None else Some c.list.(c.pos)
 
 let mem_current_doc c =
-  if c.pos >= Array.length c.list then -1 else c.list.(c.pos).Posting.doc_id
+  if c.pos >= c.hi then -1 else c.list.(c.pos).Posting.doc_id
 
-let mem_next c = if c.pos < Array.length c.list then c.pos <- c.pos + 1
+let mem_next c = if c.pos < c.hi then c.pos <- c.pos + 1
 
 (* Galloping (exponential) advance: double a probe offset until the
    posting there reaches the target, then binary-search the bracketed
@@ -115,7 +146,7 @@ let mem_next c = if c.pos < Array.length c.list then c.pos <- c.pos + 1
    driven by a sparse list across a dense one never degrades to a
    linear scan of the dense list. *)
 let mem_seek c target =
-  let n = Array.length c.list in
+  let n = c.hi in
   let doc i = c.list.(i).Posting.doc_id in
   if c.pos < n && doc c.pos < target then begin
     let bound = ref 1 in
@@ -156,12 +187,9 @@ let impact_ceiling = 1.
 let impact ~tf = float_of_int tf /. float_of_int (tf + 1)
 
 let block_max_score = function
-  | Mem c ->
-      if c.pos >= Array.length c.list then 0. else impact_ceiling
+  | Mem c -> if c.pos >= c.hi then 0. else impact_ceiling
   | Custom c -> c.cu_block_max_score ()
 
 let block_last_doc = function
-  | Mem c ->
-      let n = Array.length c.list in
-      if c.pos >= n then -1 else c.list.(n - 1).Posting.doc_id
+  | Mem c -> if c.pos >= c.hi then -1 else c.list.(c.hi - 1).Posting.doc_id
   | Custom c -> c.cu_block_last_doc ()

@@ -33,6 +33,23 @@ val union : t -> t -> t
 
 val to_list : t -> Posting.t list
 
+val of_sorted_array : Posting.t array -> t
+(** A list over postings already sorted by strictly increasing document
+    id: O(n) validation, no sort, and the array is adopted as-is (the
+    caller must not mutate it afterwards). Raises [Invalid_argument]
+    when the order does not hold. *)
+
+val reject : (int -> bool) -> t -> t
+(** [reject f t] keeps the postings whose document id does {e not}
+    satisfy [f] — the tombstone-purge primitive of segment compaction.
+    Returns [t] itself (no copy) when nothing matches. *)
+
+val append_disjoint : t -> t -> t
+(** [append_disjoint a b] splices two lists whose doc-id ranges are
+    disjoint and ordered (every id of [a] below every id of [b]) in one
+    O(df) array append — how adjacent segments merge a shared term.
+    Raises [Invalid_argument] when the ranges overlap. *)
+
 (** {1 Cursors}
 
     Document-at-a-time traversal: a cursor walks the postings in
@@ -46,6 +63,16 @@ type cursor
 
 val cursor : t -> cursor
 (** A fresh cursor positioned on the first posting. *)
+
+val cursor_prefix : Posting.t array -> len:int -> cursor
+(** A fresh array cursor over the first [len] entries of [a] only —
+    same galloping traversal as {!cursor}, but entries at index
+    [>= len] are invisible (including to [block_last_doc]). The
+    substrate for snapshot isolation over a growing postings array:
+    the live memtable hands out cursors over the committed prefix
+    while its single writer appends beyond it. The visible prefix
+    must already be sorted by strictly increasing document id.
+    Raises [Invalid_argument] when [len] is out of range. *)
 
 val custom :
   current:(unit -> Posting.t option) ->

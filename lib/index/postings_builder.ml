@@ -1,0 +1,207 @@
+(* Incremental per-term postings, single writer / many lock-free
+   readers.
+
+   Every term's state is an immutable record republished through its
+   own [Atomic.t] on each append, so a reader's [Atomic.get] (acquire)
+   observes a fully initialized [entries] prefix written before the
+   corresponding [Atomic.set] (release) — the OCaml multicore memory
+   model gives no such guarantee for plain mutable fields, which is
+   why the obvious "bump a length field" design is wrong here. The
+   slack slots of [entries] beyond [count] are never read.
+
+   Snapshot isolation is by doc-id clamp, not by copying: a consumer
+   fixes [max_doc] at snapshot time and every read binary-searches the
+   committed prefix down to the entries at or below it, so appends
+   published after the snapshot stay invisible to it. *)
+
+module IntMap = Map.Make (Int)
+
+type term_state = {
+  entries : Posting.t array; (* slots [0, count) valid, ascending doc_id *)
+  count : int;
+}
+
+type t = {
+  terms : term_state Atomic.t IntMap.t Atomic.t;
+  (* Count of keys in [terms]; an O(1) [pr_n_tokens] (Map.cardinal is
+     O(n)). Monotone, so a stale read only undercounts brand-new
+     terms — all of which live beyond any older snapshot's clamp. *)
+  n_terms : int Atomic.t;
+}
+
+let create () = { terms = Atomic.make IntMap.empty; n_terms = Atomic.make 0 }
+
+(* Find-or-create a term cell. Publishing the grown map is a plain
+   read-modify-write: the builder's contract is a single writer (the
+   live index's writer lock), so no CAS loop is needed — readers only
+   ever [Atomic.get]. *)
+let term_cell t tok =
+  let m = Atomic.get t.terms in
+  match IntMap.find_opt tok m with
+  | Some cell -> cell
+  | None ->
+      let cell = Atomic.make { entries = [||]; count = 0 } in
+      Atomic.set t.terms (IntMap.add tok cell m);
+      Atomic.incr t.n_terms;
+      cell
+
+let append cell posting =
+  let st = Atomic.get cell in
+  if
+    st.count > 0
+    && st.entries.(st.count - 1).Posting.doc_id >= posting.Posting.doc_id
+  then invalid_arg "Postings_builder: doc ids must be strictly increasing";
+  let entries =
+    if st.count = Array.length st.entries then begin
+      (* Full: grow into a fresh array (doubling), leaving the old one
+         untouched for concurrent readers of the previous state. *)
+      let cap = if st.count = 0 then 4 else 2 * st.count in
+      let a = Array.make cap posting in
+      Array.blit st.entries 0 a 0 st.count;
+      a
+    end
+    else begin
+      (* Slack slot available: fill it, then publish the larger count.
+         Readers of the old state never look past their [count]. *)
+      st.entries.(st.count) <- posting;
+      st.entries
+    end
+  in
+  Atomic.set cell { entries; count = st.count + 1 }
+
+let add_doc t (d : Pj_text.Document.t) =
+  let doc_id = d.Pj_text.Document.id in
+  (* Accumulate positions per distinct token first (documents repeat
+     terms; each term must be appended exactly once, with all its
+     positions), preserving first-occurrence order. *)
+  let occ : (int, int Pj_util.Vec.t) Hashtbl.t = Hashtbl.create 16 in
+  let order = Pj_util.Vec.create () in
+  Array.iteri
+    (fun pos tok ->
+      match Hashtbl.find_opt occ tok with
+      | Some v -> Pj_util.Vec.push v pos
+      | None ->
+          let v = Pj_util.Vec.create () in
+          Pj_util.Vec.push v pos;
+          Hashtbl.add occ tok v;
+          Pj_util.Vec.push order tok)
+    d.Pj_text.Document.tokens;
+  Pj_util.Vec.iter
+    (fun tok ->
+      let positions = Pj_util.Vec.to_array (Hashtbl.find occ tok) in
+      append (term_cell t tok) (Posting.make ~doc_id ~positions))
+    order
+
+(* First index in [entries.(0..count)] whose doc_id exceeds [max_doc] —
+   the length of the clamped prefix. The common case (snapshot taken at
+   the newest document, no later appends yet) exits on the cheap last-
+   entry check. *)
+let clamp st ~max_doc =
+  if st.count = 0 then 0
+  else if st.entries.(st.count - 1).Posting.doc_id <= max_doc then st.count
+  else begin
+    let lo = ref 0 and hi = ref st.count in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if st.entries.(mid).Posting.doc_id <= max_doc then lo := mid + 1
+      else hi := mid
+    done;
+    !lo
+  end
+
+let lookup t ~max_doc tok =
+  match IntMap.find_opt tok (Atomic.get t.terms) with
+  | None -> None
+  | Some cell ->
+      let st = Atomic.get cell in
+      let hi = clamp st ~max_doc in
+      if hi = 0 then None else Some (st, hi)
+
+let find_posting st ~hi doc_id =
+  let lo = ref 0 and up = ref (hi - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !up do
+    let mid = (!lo + !up) / 2 in
+    let p = st.entries.(mid) in
+    if p.Posting.doc_id = doc_id then found := Some p
+    else if p.Posting.doc_id < doc_id then lo := mid + 1
+    else up := mid - 1
+  done;
+  !found
+
+let index t corpus ~max_doc =
+  let pr_postings tok =
+    match lookup t ~max_doc tok with
+    | None -> Posting_list.empty
+    | Some (st, hi) ->
+        (* Entries are appended in strictly increasing doc order, so
+           the clamped prefix is already a valid list. *)
+        Posting_list.of_sorted_array (Array.sub st.entries 0 hi)
+  in
+  let pr_cursor tok =
+    match lookup t ~max_doc tok with
+    | None -> Posting_list.cursor Posting_list.empty
+    | Some (st, hi) -> Posting_list.cursor_prefix st.entries ~len:hi
+  in
+  let pr_positions ~token ~doc_id =
+    if doc_id > max_doc then [||]
+    else
+      match lookup t ~max_doc token with
+      | None -> [||]
+      | Some (st, hi) -> (
+          match find_posting st ~hi doc_id with
+          | None -> [||]
+          | Some p -> p.Posting.positions)
+  in
+  let pr_document_frequency tok =
+    match lookup t ~max_doc tok with None -> 0 | Some (_, hi) -> hi
+  in
+  let pr_stats () =
+    let n_tokens = ref 0 and n_postings = ref 0 and n_positions = ref 0 in
+    IntMap.iter
+      (fun _ cell ->
+        let st = Atomic.get cell in
+        let hi = clamp st ~max_doc in
+        if hi > 0 then begin
+          incr n_tokens;
+          n_postings := !n_postings + hi;
+          for i = 0 to hi - 1 do
+            n_positions :=
+              !n_positions + Array.length st.entries.(i).Posting.positions
+          done
+        end)
+      (Atomic.get t.terms);
+    {
+      Inverted_index.n_tokens = !n_tokens;
+      n_postings = !n_postings;
+      n_positions = !n_positions;
+    }
+  in
+  Inverted_index.of_provider corpus
+    {
+      Inverted_index.pr_postings;
+      pr_cursor;
+      pr_positions;
+      pr_document_frequency;
+      (* Counted at creation time: every term committed so far has at
+         least one entry at or below [max_doc] (the writer appends in
+         doc order and takes snapshots at the newest id), so the live
+         counter is exact here. Terms born later are invisible through
+         the clamped closures anyway. *)
+      pr_n_tokens = Atomic.get t.n_terms;
+      pr_stats;
+      (* Enumeration powers the splice-based segment merge: a sealed
+         memtable's postings are handed over per term, clamped to the
+         snapshot like every other read. *)
+      pr_iter =
+        Some
+          (fun f ->
+            IntMap.iter
+              (fun tok cell ->
+                let st = Atomic.get cell in
+                let hi = clamp st ~max_doc in
+                if hi > 0 then
+                  f tok
+                    (Posting_list.of_sorted_array (Array.sub st.entries 0 hi)))
+              (Atomic.get t.terms));
+    }

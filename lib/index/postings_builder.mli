@@ -1,0 +1,40 @@
+(** Incremental per-term postings: the live memtable's index structure.
+
+    A mutable map from token id to a growable array of positional
+    postings, appended to in O(document tokens) per added document —
+    no rebuild, ever. Reads go through the {!Inverted_index.provider}
+    seam ({!index}), so the DAAT searcher, tombstone [accept] filter
+    and fragment threshold cascade run over a memtable unchanged, and
+    quiesced results stay byte-identical to an
+    {!Inverted_index.build} from scratch.
+
+    {b Concurrency contract}: exactly one writer at a time may call
+    {!add_doc} (the live index serializes writers under its writer
+    lock); any number of concurrent readers may search through
+    indexes returned by {!index}. Every published term state is an
+    immutable record behind an [Atomic.t], so readers are lock-free
+    and never observe a partially appended posting.
+
+    {b Snapshot isolation}: [index t corpus ~max_doc] clamps every
+    read to postings with [doc_id <= max_doc]. Documents appended
+    after the snapshot was taken — including into the very same
+    arrays — stay invisible to it, so an in-flight query keeps seeing
+    exactly the memtable it started with. *)
+
+type t
+
+val create : unit -> t
+
+val add_doc : t -> Pj_text.Document.t -> unit
+(** Append one document's postings, one per distinct token, positions
+    in increasing location order. Documents must arrive in strictly
+    increasing id order ([Invalid_argument] otherwise) — the order the
+    live corpus assigns ids in. Single writer only. *)
+
+val index : t -> Corpus.t -> max_doc:int -> Inverted_index.t
+(** A read view over the postings of documents with
+    [doc_id <= max_doc], as a virtual {!Inverted_index.t} over
+    [corpus]. O(1) to create; safe to use concurrently with later
+    {!add_doc} calls (which it will not observe). The caller must
+    take [max_doc] no larger than the newest committed document id at
+    call time. *)

@@ -9,11 +9,12 @@ type config = {
   merge_threshold : int;
   background_merge : bool;
   mmap_segments : bool;
+  merge_parallelism : int;
 }
 
 let default_config =
   { dir = None; memtable_capacity = 256; merge_threshold = 4;
-    background_merge = true; mmap_segments = false }
+    background_merge = true; mmap_segments = false; merge_parallelism = 2 }
 
 (* A sealed, immutable doc-id range with its own inverted index.
    [dead] holds the ids a compaction has already purged from the
@@ -43,6 +44,12 @@ type t = {
   config : config;
   corpus : Corpus.t;
   snap : snapshot Atomic.t;
+  (* The memtable's incremental postings: appended to in O(document
+     tokens) per add under the writer lock, read lock-free through
+     doc-id-clamped provider views (see [Pj_index.Postings_builder]).
+     Swapped for a fresh builder when a flush seals the memtable — the
+     sealed segment's searcher keeps serving off the frozen one. *)
+  mutable memtable : Pj_index.Postings_builder.t;
   (* Writer lock: serializes add/delete/flush and merge installation
      (all snapshot publications). Queries never take it. *)
   writer : Mutex.t;
@@ -76,7 +83,13 @@ let with_writer t f = with_lock t.writer f
 
 let notify t gen = List.iter (fun f -> f gen) (Atomic.get t.hooks)
 
-let on_swap t f = Atomic.set t.hooks (Atomic.get t.hooks @ [ f ])
+(* Registration races with other registrations (and with [notify]'s
+   reads): a plain get-then-set would let two concurrent registrants
+   both read the same list and one overwrite the other's hook. The CAS
+   retry loop makes every registration land exactly once. *)
+let rec on_swap t f =
+  let cur = Atomic.get t.hooks in
+  if not (Atomic.compare_and_set t.hooks cur (cur @ [ f ])) then on_swap t f
 
 let generation t = (Atomic.get t.snap).generation
 
@@ -151,17 +164,23 @@ let write_manifest_locked t ~generation ~segments ~tombstones =
 
 (* --- memtable ---------------------------------------------------------- *)
 
-(* Rebuild the memtable's searchable index from the corpus tail. The
-   corpus is the single source of truth: deriving [mem_len] from
-   [Corpus.size] (not the previous snapshot) means a failed publication
-   self-heals on the next add. Cost is O(memtable tokens) thanks to the
-   sparse [build_docs] layout, bounded by [memtable_capacity]. *)
-let rebuild_mem_locked t ~mem_base =
+(* A fresh searchable view over the memtable's incremental postings,
+   clamped to the documents committed so far. O(1): the builder holds
+   the postings already (appended per add — no rebuild); the view only
+   fixes [max_doc], which is what gives in-flight queries snapshot
+   isolation against later appends into the same arrays. The corpus is
+   the single source of truth: deriving [mem_len] from [Corpus.size]
+   (not the previous snapshot) means a failed publication self-heals on
+   the next add. *)
+let refresh_mem_locked t ~mem_base =
   let mem_len = Corpus.size t.corpus - mem_base in
   if mem_len = 0 then (0, None)
   else
-    let docs = Corpus.docs_slice t.corpus ~pos:mem_base ~len:mem_len in
-    (mem_len, Some (Searcher.create (Inverted_index.build_docs t.corpus docs)))
+    let idx =
+      Pj_index.Postings_builder.index t.memtable t.corpus
+        ~max_doc:(mem_base + mem_len - 1)
+    in
+    (mem_len, Some (Searcher.create idx))
 
 let signal_merger t =
   with_lock t.m (fun () -> Condition.broadcast t.c)
@@ -224,6 +243,11 @@ let flush_locked t =
         mem = None;
         tombstones = s.tombstones;
       };
+    (* Only after the snapshot is safely published: the sealed segment
+       (in the non-mmap case) keeps serving off the now-frozen builder,
+       and the next memtable starts empty. On any failure above the
+       builder is untouched, so the flush can simply be retried. *)
+    t.memtable <- Pj_index.Postings_builder.create ();
     Atomic.incr t.flushes;
     signal_merger t;
     gen
@@ -238,7 +262,8 @@ let add_locked t tokens =
   let s = Atomic.get t.snap in
   let d = Corpus.add_tokens t.corpus tokens in
   Atomic.incr t.adds;
-  let mem_len, mem = rebuild_mem_locked t ~mem_base:s.mem_base in
+  Pj_index.Postings_builder.add_doc t.memtable d;
+  let mem_len, mem = refresh_mem_locked t ~mem_base:s.mem_base in
   let gen = s.generation + 1 in
   Atomic.set t.snap { s with generation = gen; mem_len; mem };
   let gen =
@@ -251,25 +276,55 @@ let add t tokens =
   notify t gen;
   id
 
+(* Bulk load: one snapshot publication per sealed chunk plus one for
+   the residue — but never an unbounded memtable. A batch larger than
+   [memtable_capacity] seals at every capacity boundary *inside* the
+   batch (the pre-fix code flushed only once at the end, so a big batch
+   grew the memtable arbitrarily). Returns the first assigned id; ids
+   are dense in list order. *)
 let add_batch t docs =
   match docs with
-  | [] -> ()
+  | [] -> Corpus.size t.corpus
   | _ ->
-      let gen =
+      let first, gen =
         with_writer t (fun () ->
-            let s = Atomic.get t.snap in
+            let first = Corpus.size t.corpus in
             List.iter
               (fun tokens ->
-                ignore (Corpus.add_tokens t.corpus tokens);
-                Atomic.incr t.adds)
+                let d = Corpus.add_tokens t.corpus tokens in
+                Atomic.incr t.adds;
+                Pj_index.Postings_builder.add_doc t.memtable d;
+                let s = Atomic.get t.snap in
+                if
+                  Corpus.size t.corpus - s.mem_base
+                  >= t.config.memtable_capacity
+                then begin
+                  (* Capacity reached mid-batch: publish the chunk and
+                     seal it, exactly as the per-add path would. *)
+                  let mem_len, mem =
+                    refresh_mem_locked t ~mem_base:s.mem_base
+                  in
+                  Atomic.set t.snap
+                    { s with generation = s.generation + 1; mem_len; mem };
+                  ignore (flush_locked t)
+                end)
               docs;
-            let mem_len, mem = rebuild_mem_locked t ~mem_base:s.mem_base in
-            let gen = s.generation + 1 in
-            Atomic.set t.snap { s with generation = gen; mem_len; mem };
-            if mem_len >= t.config.memtable_capacity then flush_locked t
-            else gen)
+            let s = Atomic.get t.snap in
+            let gen =
+              if Corpus.size t.corpus > s.mem_base + s.mem_len then begin
+                let mem_len, mem =
+                  refresh_mem_locked t ~mem_base:s.mem_base
+                in
+                let gen = s.generation + 1 in
+                Atomic.set t.snap { s with generation = gen; mem_len; mem };
+                gen
+              end
+              else s.generation
+            in
+            (first, gen))
       in
-      notify t gen
+      notify t gen;
+      first
 
 (* A document is gone when it was never added, is already tombstoned,
    or was compacted away by a merge. *)
@@ -307,105 +362,218 @@ let delete t id =
 
 (* --- merging ----------------------------------------------------------- *)
 
-(* Compact the cheapest adjacent pair once the sealed stack exceeds the
-   threshold — a tiered policy in miniature: repeatedly folding the two
-   smallest neighbours keeps total merge work O(n log n) in documents
-   merged while preserving doc-id order. *)
-let pick_merge s threshold =
+(* Pick up to [limit] *disjoint* adjacent pairs once the sealed stack
+   exceeds the threshold — a tiered policy in miniature: repeatedly
+   folding the smallest neighbours keeps total merge work O(n log n) in
+   documents merged while preserving doc-id order. Cheapest pairs
+   first; never more pairs than the excess over the threshold (each
+   merge shrinks the stack by one). Returns left indexes ascending. *)
+let pick_merges s threshold ~limit =
   let n = Array.length s.segments in
-  if n <= threshold then None
+  let excess = n - threshold in
+  if excess <= 0 || limit <= 0 then []
   else begin
     let live i =
       s.segments.(i).seg_len - IntSet.cardinal s.segments.(i).dead
     in
-    let best = ref 0 and best_cost = ref max_int in
-    for i = 0 to n - 2 do
-      let c = live i + live (i + 1) in
-      if c < !best_cost then begin
-        best := i;
-        best_cost := c
-      end
-    done;
-    Some !best
+    let pairs = Array.init (n - 1) (fun i -> (live i + live (i + 1), i)) in
+    Array.sort compare pairs;
+    let taken = Array.make n false in
+    let out = ref [] and count = ref 0 in
+    Array.iter
+      (fun (_, i) ->
+        if
+          !count < limit && !count < excess
+          && (not taken.(i))
+          && not taken.(i + 1)
+        then begin
+          taken.(i) <- true;
+          taken.(i + 1) <- true;
+          out := i :: !out;
+          incr count
+        end)
+      pairs;
+    List.sort compare !out
   end
 
 let merge_needed t =
-  pick_merge (Atomic.get t.snap) t.config.merge_threshold <> None
+  pick_merges (Atomic.get t.snap) t.config.merge_threshold ~limit:1 <> []
+
+type merge_plan = {
+  mp_index : int; (* left position of the pair at plan time *)
+  mp_base : int;
+  mp_len : int;
+  mp_dead : IntSet.t;
+  mp_tomb : IntSet.t; (* tombstones this merge makes durable *)
+  mp_docs : Pj_text.Document.t array;
+  mp_left : Searcher.t; (* the pair's searchers at plan time — the *)
+  mp_right : Searcher.t; (* splice inputs for [concat_adjacent] *)
+}
 
 (* One compaction step: plan under the writer lock, build and write the
-   merged segment outside every lock (queries and writers proceed
-   untouched), install under the writer lock. Deletions that land in
-   the range *during* the build stay in the tombstone set — only the
-   tombstones captured at plan time are folded into [dead] and removed.
-   Returns false when no merge is needed. *)
+   merged segments outside every lock (queries and writers proceed
+   untouched), install under the writer lock. Up to
+   [merge_parallelism] *disjoint* adjacent pairs are planned together
+   and built concurrently on their own domains — each build touches
+   only its own doc range and writes its own file, and the single
+   installation publishes one manifest and one generation for the
+   whole round. Deletions that land in a range *during* the build stay
+   in the tombstone set — only the tombstones captured at plan time are
+   folded into [dead] and removed. Returns false when no merge is
+   needed. *)
 let merge_step t =
   with_lock t.merge_lock (fun () ->
-      let plan =
+      let plans =
         with_writer t (fun () ->
             let s = Atomic.get t.snap in
-            match pick_merge s t.config.merge_threshold with
-            | None -> None
-            | Some i ->
-                let a = s.segments.(i) and b = s.segments.(i + 1) in
-                let base = a.seg_base in
-                let len = a.seg_len + b.seg_len in
-                let tomb =
-                  IntSet.filter
-                    (fun id -> id >= base && id < base + len)
-                    s.tombstones
-                in
-                let dead = IntSet.union (IntSet.union a.dead b.dead) tomb in
-                let docs = Corpus.docs_slice t.corpus ~pos:base ~len in
-                Some (i, base, len, dead, tomb, docs))
+            pick_merges s t.config.merge_threshold
+              ~limit:(max 1 t.config.merge_parallelism)
+            |> List.map (fun i ->
+                   let a = s.segments.(i) and b = s.segments.(i + 1) in
+                   let base = a.seg_base in
+                   let len = a.seg_len + b.seg_len in
+                   let tomb =
+                     IntSet.filter
+                       (fun id -> id >= base && id < base + len)
+                       s.tombstones
+                   in
+                   let dead =
+                     IntSet.union (IntSet.union a.dead b.dead) tomb
+                   in
+                   let docs = Corpus.docs_slice t.corpus ~pos:base ~len in
+                   { mp_index = i; mp_base = base; mp_len = len;
+                     mp_dead = dead; mp_tomb = tomb; mp_docs = docs;
+                     mp_left = a.searcher; mp_right = b.searcher }))
       in
-      match plan with
-      | None -> false
-      | Some (i, base, len, dead, tomb, docs) ->
+      match plans with
+      | [] -> false
+      | first :: rest ->
           Pj_util.Failpoint.hit "live.merge";
-          let file =
-            match t.config.dir with
-            | None -> None
-            | Some dir ->
-                Some
-                  (write_segment_file t ~failpoint:"live.merge" ~dir ~base
-                     ~dead docs)
+          let build p =
+            let file =
+              match t.config.dir with
+              | None -> None
+              | Some dir ->
+                  Some
+                    (write_segment_file t ~failpoint:"live.merge" ~dir
+                       ~base:p.mp_base ~dead:p.mp_dead p.mp_docs)
+            in
+            let searcher =
+              match (file, t.config.dir) with
+              | Some name, Some dir when t.config.mmap_segments ->
+                  mmap_searcher ~corpus:t.corpus ~dir name
+              | _ ->
+                  (* Adjacent segments tile disjoint ascending doc-id
+                     ranges, so merging their indexes is a per-term
+                     splice of already-sorted postings — O(surviving
+                     postings), position arrays shared by reference —
+                     instead of re-tokenizing the whole range. Sources
+                     that cannot enumerate terms (mmap segments) fall
+                     back to the rebuild. The [skip] filter also purges
+                     postings of docs that died after the source
+                     segment was built. *)
+                  let skip =
+                    if IntSet.is_empty p.mp_dead then None
+                    else Some (fun id -> IntSet.mem id p.mp_dead)
+                  in
+                  let idx =
+                    match
+                      Inverted_index.concat_adjacent ?skip
+                        (Searcher.index p.mp_left)
+                        (Searcher.index p.mp_right)
+                    with
+                    | Some idx -> idx
+                    | None ->
+                        Inverted_index.build_docs
+                          ~skip:(fun id -> IntSet.mem id p.mp_dead)
+                          t.corpus p.mp_docs
+                  in
+                  Searcher.create idx
+            in
+            ( p,
+              { seg_base = p.mp_base; seg_len = p.mp_len; dead = p.mp_dead;
+                file; searcher } )
           in
-          let searcher =
-            match (file, t.config.dir) with
-            | Some name, Some dir when t.config.mmap_segments ->
-                mmap_searcher ~corpus:t.corpus ~dir name
+          (* Result-wrap each build so every spawned domain is always
+             joined, even when a sibling fails (an unjoined domain
+             would leak); the first failure then cleans up whatever the
+             successful builds wrote and re-raises. *)
+          let wrap p = try Ok (build p) with e -> Error e in
+          let results =
+            match rest with
+            | [] -> [ wrap first ]
             | _ ->
-                Searcher.create
-                  (Inverted_index.build_docs
-                     ~skip:(fun id -> IntSet.mem id dead)
-                     t.corpus docs)
+                let handles =
+                  List.map (fun p -> Domain.spawn (fun () -> wrap p)) rest
+                in
+                let r0 = wrap first in
+                r0 :: List.map Domain.join handles
+          in
+          (match
+             List.find_opt
+               (function Error _ -> true | Ok _ -> false)
+               results
+           with
+          | Some (Error e) ->
+              (match t.config.dir with
+              | Some dir ->
+                  List.iter
+                    (function
+                      | Ok (_, sg) ->
+                          Option.iter
+                            (fun f ->
+                              try Sys.remove (Filename.concat dir f)
+                              with Sys_error _ -> ())
+                            sg.file
+                      | Error _ -> ())
+                    results
+              | None -> ());
+              raise e
+          | Some (Ok _) | None -> ());
+          let merged =
+            List.map (function Ok r -> r | Error _ -> assert false) results
           in
           let old_files, gen =
             with_writer t (fun () ->
                 let s = Atomic.get t.snap in
-                let a = s.segments.(i) and b = s.segments.(i + 1) in
+                let by_index = Hashtbl.create 8 in
+                List.iter
+                  (fun (p, sg) -> Hashtbl.replace by_index p.mp_index (p, sg))
+                  merged;
                 (* Only the merger replaces sealed segments and we hold
-                   the merge lock; flush only appends, so positions i
-                   and i+1 still name the planned pair. *)
-                assert (a.seg_base = base && a.seg_len + b.seg_len = len);
-                let merged =
-                  { seg_base = base; seg_len = len; dead; file; searcher }
-                in
+                   the merge lock; flush only appends, so the planned
+                   positions still name the planned (disjoint) pairs. *)
+                let out = Pj_util.Vec.create () in
+                let replaced = ref [] in
                 let n = Array.length s.segments in
-                let segments =
-                  Array.concat
-                    [
-                      Array.sub s.segments 0 i;
-                      [| merged |];
-                      Array.sub s.segments (i + 2) (n - i - 2);
-                    ]
+                let j = ref 0 in
+                while !j < n do
+                  (match Hashtbl.find_opt by_index !j with
+                  | Some (p, sg) ->
+                      let a = s.segments.(!j) and b = s.segments.(!j + 1) in
+                      assert (
+                        a.seg_base = p.mp_base
+                        && a.seg_len + b.seg_len = p.mp_len);
+                      replaced := b :: a :: !replaced;
+                      Pj_util.Vec.push out sg;
+                      j := !j + 2
+                  | None ->
+                      Pj_util.Vec.push out s.segments.(!j);
+                      incr j)
+                done;
+                let segments = Pj_util.Vec.to_array out in
+                let tomb_all =
+                  List.fold_left
+                    (fun acc (p, _) -> IntSet.union acc p.mp_tomb)
+                    IntSet.empty merged
                 in
-                let tombstones = IntSet.diff s.tombstones tomb in
+                let tombstones = IntSet.diff s.tombstones tomb_all in
                 let gen = s.generation + 1 in
                 write_manifest_locked t ~generation:gen ~segments ~tombstones;
-                Atomic.set t.snap { s with generation = gen; segments; tombstones };
-                Atomic.incr t.merges;
-                (List.filter_map (fun sg -> sg.file) [ a; b ], gen))
+                Atomic.set t.snap
+                  { s with generation = gen; segments; tombstones };
+                List.iter (fun _ -> Atomic.incr t.merges) merged;
+                (List.filter_map (fun sg -> sg.file) !replaced, gen))
           in
           (* The replaced files are no longer named by any manifest. *)
           (match t.config.dir with
@@ -452,6 +620,7 @@ let make_t config corpus snap =
     config;
     corpus;
     snap = Atomic.make snap;
+    memtable = Pj_index.Postings_builder.create ();
     writer = Mutex.create ();
     merge_lock = Mutex.create ();
     hooks = Atomic.make [];
@@ -524,16 +693,23 @@ let open_dir ?(config = default_config) dir =
             | None -> ());
             let dead = IntSet.of_list sf.Segment_file.dead in
             let searcher =
-              (* A v1 file carries no postings section; fall back to
-                 the heap rebuild ([read] above already validated the
-                 file, so the only mmap failure mode is the version). *)
+              (* The mmap attempt is best-effort: a v1 file carries no
+                 postings section ([Failure]), and a file whose
+                 compressed sections went bad since [read]'s CRC pass —
+                 or an I/O error from the map itself ([Unix_error],
+                 injected faults, ...) — must not abort recovery
+                 either. *Any* exception falls back to the heap
+                 rebuild, which only needs the already-validated
+                 documents. *)
               match
-                if config.mmap_segments then
+                if config.mmap_segments then begin
+                  Pj_util.Failpoint.hit "live.mmap_open";
                   Some (mmap_searcher ~corpus ~dir e.Manifest.file)
+                end
                 else None
               with
               | Some sr -> sr
-              | None | (exception Failure _) ->
+              | None | (exception _) ->
                   let docs =
                     Corpus.docs_slice corpus ~pos:e.Manifest.base
                       ~len:e.Manifest.len

@@ -6,13 +6,15 @@
 
     Documents append through a shared {!Pj_index.Corpus} (one growing
     vocabulary, global doc ids). The newest documents live in a
-    {e memtable} whose positional index is rebuilt on every add (cost
-    O(memtable tokens), bounded by [memtable_capacity]); a {e flush}
+    {e memtable} backed by {!Pj_index.Postings_builder}: an add appends
+    to per-term postings arrays in O(document tokens) — no rebuild —
+    and publishes an O(1) doc-id-clamped view of them; a {e flush}
     seals the memtable into an immutable {e segment} — an
     {!Pj_index.Inverted_index} over a contiguous doc-id range, exactly
     like a {!Pj_index.Sharded_index} shard. Deletes only mark a
-    {e tombstone}; a background {e merger} domain compacts adjacent
-    small segments and purges the tombstones it folded in.
+    {e tombstone}; a background {e merger} domain compacts disjoint
+    adjacent small segments (up to [merge_parallelism] pairs per step,
+    concurrently) and purges the tombstones it folded in.
 
     {2 Memory model}
 
@@ -58,12 +60,19 @@ type config = {
           of rebuilding heap indexes at flush/merge/recovery —
           byte-identical results, postings stay on disk. Requires
           [dir]; ignored (heap indexes) for a memory-only index, and
-          legacy v1 segment files fall back to the heap rebuild. *)
+          legacy v1 or unreadable segment files fall back to the heap
+          rebuild. *)
+  merge_parallelism : int;
+      (** how many disjoint adjacent segment pairs one compaction step
+          may merge concurrently (each on its own domain); clamped to
+          at least 1. The pairs never overlap, so results are
+          independent of the parallelism. *)
 }
 
 val default_config : config
 (** [dir = None], [memtable_capacity = 256], [merge_threshold = 4],
-    [background_merge = true], [mmap_segments = false]. *)
+    [background_merge = true], [mmap_segments = false],
+    [merge_parallelism = 2]. *)
 
 val create : ?config:config -> unit -> t
 (** A fresh, empty live index (no recovery — see {!open_dir}). *)
@@ -89,9 +98,15 @@ val add : t -> string array -> int
     doc id. Visible to queries immediately; durable only after the
     next flush. Auto-flushes when the memtable reaches capacity. *)
 
-val add_batch : t -> string array list -> unit
-(** Append many documents with one index rebuild — the bulk-load path
-    (ids are assigned densely in list order). *)
+val add_batch : t -> string array list -> int
+(** Append many documents under one writer-lock acquisition, returning
+    the first assigned id (ids are dense in list order; the next free
+    id for an empty batch). One snapshot publication — hence one
+    generation observed by queries and [on_swap] hooks — per sealed
+    chunk plus one for the residue, instead of one per document. The
+    memtable is sealed at every [memtable_capacity] boundary *inside*
+    the batch, so a batch larger than the capacity never grows the
+    memtable past it. *)
 
 val delete : t -> int -> (unit, [ `Not_found ]) result
 (** Tombstone a document: hidden from queries immediately, purged from
@@ -111,8 +126,10 @@ val flush : t -> int
 
 val merge_now : t -> bool
 (** Run one compaction step in the caller (serialized with the
-    background merger): the cheapest adjacent segment pair is merged,
-    its tombstones purged. False when the segment stack is within
+    background merger): up to [merge_parallelism] disjoint cheapest
+    adjacent segment pairs are merged concurrently, their tombstones
+    purged, and the results installed under one manifest write and one
+    generation bump. False when the segment stack is within
     [merge_threshold]. *)
 
 val quiesce : t -> unit
@@ -155,8 +172,10 @@ val generation : t -> int
 val on_swap : t -> (int -> unit) -> unit
 (** Register a callback invoked (outside the writer lock) with the new
     generation after every snapshot publication — the result-cache
-    invalidation hook. Registration is not thread-safe; register
-    before serving traffic. *)
+    invalidation hook. Registration is thread-safe (CAS retry loop) and
+    may race with other registrations and with publications; a hook
+    starts firing with the first publication after its registration
+    lands. *)
 
 type stats = {
   generation : int;

@@ -186,6 +186,7 @@ let full_provider t =
       (fun tok -> match dict_entry t tok with None -> 0 | Some r -> r.Codec.df);
     pr_n_tokens = t.n_words;
     pr_stats = (fun () -> stats t);
+    pr_iter = None (* postings stay on disk; no whole-index decode *);
   }
 
 let range_provider t ~lo ~hi =
@@ -253,6 +254,7 @@ let range_provider t ~lo ~hi =
         | Some r -> Codec.count_in_range r ~lo ~hi);
     pr_n_tokens = t.n_words;
     pr_stats = range_stats;
+    pr_iter = None (* postings stay on disk; no whole-index decode *);
   }
 
 let index t = Pj_index.Inverted_index.of_provider (corpus t) (full_provider t)

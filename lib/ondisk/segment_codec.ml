@@ -282,6 +282,9 @@ let index t corpus =
             n_postings = t.n_postings;
             n_positions = t.n_positions;
           });
+      (* Postings stay on disk; enumerating would decode the whole
+         segment, so compaction falls back to its rebuild path. *)
+      pr_iter = None;
     }
 
 let check t =

@@ -1,0 +1,100 @@
+(* Group commit for ADDDOC: concurrent connection threads submit their
+   (already stemmed) documents; one of them — the leader — drains the
+   whole pending queue into a single [Live_index.add_batch] executed
+   through one [Worker_pool.run_task], then fills in every submitter's
+   acknowledgement. One writer-lock acquisition, one snapshot
+   publication (hence one generation bump and one cache invalidation)
+   and one queue slot per batch, however many clients are appending.
+
+   Leadership is implicit: a submitter whose response is not yet filled
+   and who sees no leader elects itself, swaps out everything pending
+   (its own request included), executes, fills responses, steps down
+   and broadcasts. Threads that arrived during the execution wake up,
+   find the leadership vacant, and one of them runs the next round — so
+   every submission is answered after at most one in-flight batch, and
+   the batch size adapts to however much arrived while the previous
+   batch was committing. *)
+
+type waiter = {
+  stems : string array;
+  mutable response : string option; (* protected by [lock] *)
+}
+
+type t = {
+  live : Pj_live.Live_index.t;
+  pool : Worker_pool.t;
+  on_batch : size:int -> unit; (* success observability hook *)
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable pending : waiter list; (* newest first *)
+  mutable leading : bool;
+}
+
+let create ~on_batch pool live =
+  {
+    live;
+    pool;
+    on_batch;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    pending = [];
+    leading = false;
+  }
+
+(* Execute one batch outside [t.lock]: the worker task assigns dense
+   ids for the whole batch and each waiter is acknowledged with its
+   own. The [first] ref is written inside the task and read after
+   [run_task] returns — the pool's completion cell synchronizes the
+   two, so the read is well-ordered. Returns the per-waiter responses
+   for the caller to publish under the lock. *)
+let execute t batch =
+  let docs = List.map (fun w -> w.stems) batch in
+  let first = ref (-1) in
+  match
+    Worker_pool.run_task t.pool (fun () ->
+        first := Pj_live.Live_index.add_batch t.live docs;
+        "")
+  with
+  | `Busy -> List.map (fun w -> (w, Protocol.busy)) batch
+  | `Done (Ok _) ->
+      t.on_batch ~size:(List.length batch);
+      List.mapi (fun i w -> (w, Protocol.added (!first + i))) batch
+  | `Done (Error msg) -> List.map (fun w -> (w, Protocol.err msg)) batch
+
+let submit t stems =
+  let w = { stems; response = None } in
+  Mutex.lock t.lock;
+  t.pending <- w :: t.pending;
+  let rec await () =
+    match w.response with
+    | Some r ->
+        Mutex.unlock t.lock;
+        r
+    | None ->
+        if t.leading then begin
+          (* Someone else is committing; our request is either in their
+             batch or queued for the next round. *)
+          Condition.wait t.cond t.lock;
+          await ()
+        end
+        else begin
+          t.leading <- true;
+          let batch = List.rev t.pending in
+          t.pending <- [];
+          Mutex.unlock t.lock;
+          let filled =
+            (* A leader that dies without stepping down would deadlock
+               every waiter; answer ERR rather than wedge the server. *)
+            try execute t batch
+            with e ->
+              let line = Protocol.err (Printexc.to_string e) in
+              List.map (fun w -> (w, line)) batch
+          in
+          Mutex.lock t.lock;
+          List.iter (fun (w, r) -> w.response <- Some r) filled;
+          t.leading <- false;
+          Condition.broadcast t.cond;
+          await ()
+        end
+  in
+  await ()

@@ -14,6 +14,8 @@ type t = {
   mutable deletes : int;
   mutable flushes : int;
   mutable ingest_errors : int;
+  mutable ingest_batches : int;
+  mutable batched_adds : int;
   latency : Pj_util.Histogram.t;
   degraded_latency : Pj_util.Histogram.t;
   ingest_latency : Pj_util.Histogram.t;
@@ -36,6 +38,8 @@ let create () =
     deletes = 0;
     flushes = 0;
     ingest_errors = 0;
+    ingest_batches = 0;
+    batched_adds = 0;
     latency = Pj_util.Histogram.create ();
     degraded_latency = Pj_util.Histogram.create ();
     ingest_latency = Pj_util.Histogram.create ();
@@ -74,6 +78,11 @@ let record_flush t = with_lock t (fun () -> t.flushes <- t.flushes + 1)
 let record_ingest_error t =
   with_lock t (fun () -> t.ingest_errors <- t.ingest_errors + 1)
 
+let record_ingest_batch t ~size =
+  with_lock t (fun () ->
+      t.ingest_batches <- t.ingest_batches + 1;
+      t.batched_adds <- t.batched_adds + size)
+
 let observe_latency t seconds =
   with_lock t (fun () -> Pj_util.Histogram.observe t.latency seconds)
 
@@ -100,6 +109,8 @@ type snapshot = {
   deletes : int;
   flushes : int;
   ingest_errors : int;
+  ingest_batches : int;
+  batched_adds : int;
   served : int;
   latency_mean_ms : float;
   latency_p50_ms : float;
@@ -139,6 +150,8 @@ let snapshot t =
         deletes = t.deletes;
         flushes = t.flushes;
         ingest_errors = t.ingest_errors;
+        ingest_batches = t.ingest_batches;
+        batched_adds = t.batched_adds;
         served = Pj_util.Histogram.count h;
         latency_mean_ms = ms (Pj_util.Histogram.mean h);
         latency_p50_ms = ms (Pj_util.Histogram.percentile h 50.);
@@ -156,13 +169,15 @@ let render t ~cache_hits ~cache_misses ~cache_len ~queue_len ~domains
     "STATS uptime_s=%.1f requests=%d searches=%d served=%d pings=%d \
      stats=%d errors=%d parse_errors=%d search_errors=%d busy=%d \
      timeouts=%d degraded=%d shard_failures=%d adds=%d deletes=%d \
-     flushes=%d ingest_errors=%d worker_panics=%d \
+     flushes=%d ingest_errors=%d ingest_batches=%d batched_adds=%d \
+     worker_panics=%d \
      worker_respawns=%d cache_hits=%d cache_misses=%d cache_len=%d \
      queue_len=%d domains=%d lat_mean_ms=%.3f p50_ms=%.3f p95_ms=%.3f \
      p99_ms=%.3f max_ms=%.3f ingest_p50_ms=%.3f ingest_p99_ms=%.3f"
     s.uptime_s s.requests s.searches s.served s.pings s.stats_calls s.errors
     s.parse_errors s.search_errors s.busy s.timeouts s.degraded
-    s.shard_failures s.adds s.deletes s.flushes s.ingest_errors worker_panics
+    s.shard_failures s.adds s.deletes s.flushes s.ingest_errors
+    s.ingest_batches s.batched_adds worker_panics
     worker_respawns cache_hits cache_misses cache_len queue_len domains
     s.latency_mean_ms s.latency_p50_ms s.latency_p95_ms s.latency_p99_ms
     s.latency_max_ms s.ingest_p50_ms s.ingest_p99_ms

@@ -56,6 +56,12 @@ val record_delete : t -> unit
 val record_flush : t -> unit
 (** A FLUSH request (attempted, whatever its outcome). *)
 
+val record_ingest_batch : t -> size:int -> unit
+(** One group-commit batch of [size] ADDDOCs executed through the
+    worker pool (each ADDDOC is still counted by [record_add]); the
+    ratio [batched_adds / ingest_batches] is the achieved group-commit
+    factor. *)
+
 val record_ingest_error : t -> unit
 (** A write verb (already counted by [record_add]/[record_delete]/
     [record_flush]) that failed during execution — including writes
@@ -96,6 +102,9 @@ type snapshot = {
   deletes : int;
   flushes : int;
   ingest_errors : int;
+  ingest_batches : int;
+      (** group-commit batches executed for ADDDOC acknowledgements *)
+  batched_adds : int;  (** ADDDOCs carried by those batches *)
   served : int;  (** searches answered with a HITS line *)
   latency_mean_ms : float;
   latency_p50_ms : float;

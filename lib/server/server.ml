@@ -41,6 +41,7 @@ type t = {
   graph : Pj_ontology.Graph.t;
   pool : Worker_pool.t;
   live : Pj_live.Live_index.t option;
+  batcher : Ingest_batcher.t option; (* Some iff [live] is Some *)
   cache : Result_cache.t;
   metrics : Metrics.t;
   running : bool Atomic.t;
@@ -156,24 +157,32 @@ let handle_search t (sr : Protocol.search_request) =
    deadline: a write the queue accepted is carried out, because a
    client that has seen ADDED must find the document. The ingest verbs
    are serialized by the live index's writer lock, so concurrent
-   clients interleave whole operations, never partial ones. *)
+   clients interleave whole operations, never partial ones. ADDDOCs
+   additionally group-commit through [Ingest_batcher]: stemming runs
+   on the connection thread (parallel across clients), then concurrent
+   adds coalesce into one [add_batch] — one queue slot, one writer-lock
+   acquisition and one generation bump per batch. *)
 let handle_ingest t request =
-  match t.live with
-  | None ->
+  match (t.live, request) with
+  | None, _ ->
       Metrics.record_ingest_error t.metrics;
       Protocol.err "not serving a live index (start with --live)"
-  | Some live ->
+  | Some _, Protocol.Add_doc text ->
+      let batcher = Option.get t.batcher in
+      (* Same normalization as the corpus the server was seeded from
+         (see stemmed_corpus_of_file in the CLI): Porter stems over
+         lowercase word tokens. *)
+      let stems =
+        Array.map Pj_text.Porter.stem (Pj_text.Tokenizer.tokenize_array text)
+      in
+      let line = Ingest_batcher.submit batcher stems in
+      if line = Protocol.busy then Metrics.record_busy t.metrics
+      else if not (Protocol.is_ingest_success line) then
+        Metrics.record_ingest_error t.metrics;
+      line
+  | Some live, _ ->
       let task () =
         match request with
-        | Protocol.Add_doc text ->
-            (* Same normalization as the corpus the server was seeded
-               from (see stemmed_corpus_of_file in the CLI): Porter
-               stems over lowercase word tokens. *)
-            let stems =
-              Array.map Pj_text.Porter.stem
-                (Pj_text.Tokenizer.tokenize_array text)
-            in
-            Protocol.added (Pj_live.Live_index.add live stems)
         | Protocol.Del_doc id -> begin
             match Pj_live.Live_index.delete live id with
             | Ok () -> Protocol.deleted id
@@ -185,8 +194,9 @@ let handle_ingest t request =
             let stats = Pj_live.Live_index.stats live in
             Protocol.flushed ~generation
               ~segments:stats.Pj_live.Live_index.segments
-        | Protocol.Ping | Protocol.Stats | Protocol.Quit | Protocol.Search _ ->
-            assert false (* only write verbs are routed here *)
+        | Protocol.Add_doc _ | Protocol.Ping | Protocol.Stats | Protocol.Quit
+        | Protocol.Search _ ->
+            assert false (* ADDDOC goes through the batcher above *)
       in
       begin
         match Worker_pool.run_task t.pool task with
@@ -383,6 +393,15 @@ let start ?(config = default_config) ?live ~graph search =
     Worker_pool.create ~domains:config.domains
       ~queue_capacity:config.queue_capacity search
   in
+  let metrics = Metrics.create () in
+  let batcher =
+    Option.map
+      (fun live ->
+        Ingest_batcher.create
+          ~on_batch:(fun ~size -> Metrics.record_ingest_batch metrics ~size)
+          pool live)
+      live
+  in
   let t =
     {
       config;
@@ -391,8 +410,9 @@ let start ?(config = default_config) ?live ~graph search =
       graph;
       pool;
       live;
+      batcher;
       cache = Result_cache.create ~capacity:config.cache_capacity;
-      metrics = Metrics.create ();
+      metrics;
       running = Atomic.make true;
       inflight = Atomic.make 0;
       accept_thread = None;

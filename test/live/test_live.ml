@@ -54,9 +54,65 @@ let test_add_visible () =
 
 let test_add_batch () =
   let live = Live_index.create ~config () in
-  Live_index.add_batch live [ [| "aa"; "bb" |]; [| "cc" |]; [| "bb"; "aa" |] ];
+  let first =
+    Live_index.add_batch live [ [| "aa"; "bb" |]; [| "cc" |]; [| "bb"; "aa" |] ]
+  in
+  Alcotest.(check int) "first id" 0 first;
   Alcotest.(check (list int)) "batch visible" [ 0; 2 ] (doc_ids live);
   Alcotest.(check int) "total docs" 3 (Live_index.stats live).Live_index.docs;
+  check_invariant live;
+  Live_index.close live
+
+(* Satellite regression: a batch larger than [memtable_capacity] (4)
+   must seal at every capacity boundary inside the batch instead of
+   growing the memtable unboundedly until the end. *)
+let test_add_batch_seals_at_capacity () =
+  let live = Live_index.create ~config () in
+  let docs = List.init 10 (fun i -> [| "aa"; "bb"; Printf.sprintf "w%d" i |]) in
+  let first = Live_index.add_batch live docs in
+  Alcotest.(check int) "first id" 0 first;
+  let st = Live_index.stats live in
+  Alcotest.(check int) "all searchable" 10 st.Live_index.docs;
+  Alcotest.(check bool)
+    "memtable within capacity" true
+    (st.Live_index.memtable_docs <= 4);
+  Alcotest.(check int) "two chunks sealed" 2 st.Live_index.segments;
+  Alcotest.(check int) "residue in memtable" 2 st.Live_index.memtable_docs;
+  Alcotest.(check (list int)) "batch visible"
+    (List.init 10 Fun.id)
+    (doc_ids live);
+  check_invariant live;
+  Live_index.close live
+
+(* One merge_now over a deep segment stack compacts several disjoint
+   adjacent pairs in the same step (concurrently), installing them
+   under a single generation bump. *)
+let test_parallel_merge () =
+  let config =
+    { config with Live_index.memtable_capacity = 1; merge_parallelism = 4 }
+  in
+  let live = Live_index.create ~config () in
+  for i = 0 to 7 do
+    ignore (Live_index.add live [| "aa"; "bb"; Printf.sprintf "w%d" i |])
+  done;
+  let st = Live_index.stats live in
+  Alcotest.(check int) "eight singleton segments" 8 st.Live_index.segments;
+  let gen_before = Live_index.generation live in
+  Alcotest.(check bool) "one step ran" true (Live_index.merge_now live);
+  let st = Live_index.stats live in
+  (* excess = 8 - 2 = 6, parallelism 4 → four disjoint pairs folded. *)
+  Alcotest.(check int) "four pairs merged in one step" 4 st.Live_index.segments;
+  Alcotest.(check int) "merges counted per pair" 4 st.Live_index.merges;
+  Alcotest.(check int) "one generation bump for the whole step"
+    (gen_before + 1)
+    (Live_index.generation live);
+  Alcotest.(check (list int)) "all docs survive" (List.init 8 Fun.id)
+    (doc_ids live);
+  Live_index.quiesce live;
+  let st = Live_index.stats live in
+  Alcotest.(check bool) "policy satisfied" true (st.Live_index.segments <= 2);
+  Alcotest.(check (list int)) "quiesced results intact" (List.init 8 Fun.id)
+    (doc_ids live);
   check_invariant live;
   Live_index.close live
 
@@ -157,6 +213,10 @@ let suite =
     Alcotest.test_case "empty index" `Quick test_empty;
     Alcotest.test_case "add is visible immediately" `Quick test_add_visible;
     Alcotest.test_case "add_batch" `Quick test_add_batch;
+    Alcotest.test_case "add_batch seals at capacity" `Quick
+      test_add_batch_seals_at_capacity;
+    Alcotest.test_case "parallel merge_now compacts disjoint pairs" `Quick
+      test_parallel_merge;
     Alcotest.test_case "delete semantics" `Quick test_delete;
     Alcotest.test_case "auto-flush at capacity" `Quick test_auto_flush;
     Alcotest.test_case "flush is idempotent" `Quick test_flush_idempotent;

@@ -87,8 +87,41 @@ let test_readers_never_block () =
    - s.Live_index.tombstones);
   Live_index.close live
 
+(* Satellite regression: [on_swap] used to read-modify-write the hook
+   list without synchronization, so two racing registrations could
+   each base their new list on the same old one and silently drop the
+   other's hook. The CAS retry loop must keep every registration. *)
+let test_on_swap_concurrent_registration () =
+  let config =
+    {
+      Live_index.default_config with
+      Live_index.memtable_capacity = 8;
+      merge_threshold = 2;
+      background_merge = false;
+    }
+  in
+  let live = Live_index.create ~config () in
+  let n_domains = 4 and per_domain = 25 in
+  let calls = Atomic.make 0 in
+  let registrars =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Live_index.on_swap live (fun _ -> Atomic.incr calls)
+            done))
+  in
+  List.iter Domain.join registrars;
+  (* One mutation = one generation bump = one invocation per surviving
+     hook. Any lost registration shows up as a shortfall here. *)
+  ignore (Live_index.add live [| "aa"; "bb" |]);
+  Alcotest.(check int) "every racing registration survived"
+    (n_domains * per_domain) (Atomic.get calls);
+  Live_index.close live
+
 let suite =
   [
     Alcotest.test_case "concurrent readers and writer" `Quick
       test_readers_never_block;
+    Alcotest.test_case "on_swap registrations race-free" `Quick
+      test_on_swap_concurrent_registration;
   ]

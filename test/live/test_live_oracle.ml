@@ -127,12 +127,24 @@ let run_seed ?(mmap = false) seed =
   let deleted = ref IntSet.empty in
   for op = 1 to 150 do
     let roll = Pj_util.Prng.int rng 100 in
-    if roll < 50 || !total = 0 then begin
+    if roll < 40 || !total = 0 then begin
       let doc = random_doc rng in
       let id = Live_index.add live doc in
       Alcotest.(check int) "dense ids" !total id;
       docs := doc :: !docs;
       incr total
+    end
+    else if roll < 55 then begin
+      (* Batch sizes up to 9 cross the capacity-4 boundary, so sealing
+         mid-batch is exercised against the same oracle. *)
+      let batch = List.init (1 + Pj_util.Prng.int rng 9) (fun _ -> random_doc rng) in
+      let first = Live_index.add_batch live batch in
+      Alcotest.(check int) "dense batch ids" !total first;
+      List.iter
+        (fun doc ->
+          docs := doc :: !docs;
+          incr total)
+        batch
     end
     else if roll < 70 then begin
       let id = Pj_util.Prng.int rng !total in

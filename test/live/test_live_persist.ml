@@ -34,6 +34,7 @@ let config ?(mmap = false) dir =
     merge_threshold = 2;
     background_merge = false;
     mmap_segments = mmap;
+    merge_parallelism = 2;
   }
 
 let hits live = Live_index.search ~k:max_int live scoring query
@@ -170,6 +171,39 @@ let test_v1_segments_still_load () =
       Live_index.close reopened)
     [ false; true ]
 
+(* Satellite regression: recovery used to catch only [Failure _] around
+   the mmap attempt, so any other exception (a [Unix.Unix_error] from a
+   truncated map, a fault-injected [Failpoint.Injected], ...) crashed
+   [open_dir] even though the segment file's document log was intact
+   and a heap rebuild would have served fine. The [live.mmap_open]
+   failpoint raises exactly such a non-[Failure] exception. *)
+let test_mmap_open_failure_falls_back () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config ~mmap:true dir) dir in
+  for i = 0 to 9 do
+    ignore (Live_index.add live [| "aa"; Printf.sprintf "w%d" i; "bb" |])
+  done;
+  ignore (Live_index.flush live);
+  Live_index.quiesce live;
+  let want = hits live in
+  Live_index.close live;
+  Fun.protect
+    ~finally:(fun () -> Pj_util.Failpoint.clear ())
+    (fun () ->
+      Pj_util.Failpoint.arm "live.mmap_open" Pj_util.Failpoint.Fail;
+      let reopened = Live_index.open_dir ~config:(config ~mmap:true dir) dir in
+      Alcotest.(check bool) "every mmap attempt was injected" true
+        (Pj_util.Failpoint.fired "live.mmap_open" > 0);
+      Alcotest.(check bool) "heap-rebuild fallback identical" true
+        (hits reopened = want);
+      (* The degraded index keeps accepting writes. *)
+      let id = Live_index.add reopened [| "aa"; "bb"; "fresh" |] in
+      Alcotest.(check bool) "new doc searchable" true
+        (List.exists
+           (fun h -> h.Pj_engine.Searcher.doc_id = id)
+           (hits reopened));
+      Live_index.close reopened)
+
 let test_orphan_cleanup () =
   let dir = fresh_dir () in
   let live = Live_index.open_dir ~config:(config dir) dir in
@@ -208,4 +242,6 @@ let suite =
       test_mmap_recovery_identical;
     Alcotest.test_case "v1 segment files still load" `Quick
       test_v1_segments_still_load;
+    Alcotest.test_case "mmap open failure falls back to heap rebuild" `Quick
+      test_mmap_open_failure_falls_back;
   ]

@@ -449,6 +449,60 @@ let test_live_stats_accounting () =
             + int_field stats "deletes"
             + int_field stats "flushes")))
 
+(* Many connections appending at once: the batcher must hand every
+   client its own dense id exactly once, account every add, and group
+   the burst into fewer commits than requests (while never losing
+   one). *)
+let test_concurrent_adddoc_batched () =
+  with_live_server (fun server live ->
+      let port = Server.port server in
+      let n_clients = 6 and per_client = 5 in
+      let base = List.length texts in
+      let ids = ref [] in
+      let ids_mutex = Mutex.create () in
+      let client c =
+        let conn = connect port in
+        Fun.protect
+          ~finally:(fun () -> close conn)
+          (fun () ->
+            for i = 1 to per_client do
+              let line =
+                request conn
+                  (Printf.sprintf "ADDDOC lenovo nba partnership c%d i%d" c i)
+              in
+              match String.split_on_char ' ' line with
+              | [ "ADDED"; id ] ->
+                  Mutex.lock ids_mutex;
+                  ids := int_of_string id :: !ids;
+                  Mutex.unlock ids_mutex
+              | _ -> Alcotest.failf "unexpected ADDDOC reply %S" line
+            done)
+      in
+      let threads = List.init n_clients (fun c -> Thread.create client c) in
+      List.iter Thread.join threads;
+      let total = n_clients * per_client in
+      let got = List.sort compare !ids in
+      Alcotest.(check (list int)) "every client got its own dense id"
+        (List.init total (fun i -> base + i))
+        got;
+      Alcotest.(check int) "live index holds them all" (base + total)
+        (Pj_live.Live_index.stats live).Pj_live.Live_index.total_docs;
+      let conn = connect port in
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () ->
+          let stats = request conn "STATS" in
+          Alcotest.(check int) "adds counted" total (int_field stats "adds");
+          let batches = int_field stats "ingest_batches" in
+          Alcotest.(check bool) "acks were group-committed" true
+            (batches >= 1 && batches <= total);
+          Alcotest.(check int) "every add rode a batch" total
+            (int_field stats "batched_adds");
+          (* And the writes are searchable. *)
+          let answer = request conn (search_line (List.hd queries)) in
+          Alcotest.(check bool) "post-burst search answers" true
+            (String.length answer >= 6 && String.sub answer 0 5 = "HITS ")))
+
 let test_ingest_refused_without_live () =
   (* A read-only server (no --live) answers every ingest verb with ERR
      and keeps serving searches. *)
@@ -480,5 +534,6 @@ let suite =
     ("e2e: connection table drains", `Quick, test_connection_table_drains);
     ("e2e: live ingest over socket", `Quick, test_live_ingest_over_socket);
     ("e2e: live stats accounting", `Quick, test_live_stats_accounting);
+    ("e2e: concurrent ADDDOC group commit", `Quick, test_concurrent_adddoc_batched);
     ("e2e: ingest refused without --live", `Quick, test_ingest_refused_without_live);
   ]

@@ -1,0 +1,216 @@
+(* bench-topk: single-query latency of block-max pruned candidate
+   generation against the exhaustive DAAT traversal (the same searcher
+   with [~blockmax:false]), on three corpus layouts:
+
+   - "uniform": strong documents spread evenly over the id space. This
+     is the layout block-max pruning is for — and where whole-list
+     max-score pruning is useless: the degraded (weak, dense) forms
+     are conjunctive everywhere, so the exhaustive traversal aligns
+     nearly every document, while the block-max traversal demotes the
+     weak forms to non-essential as soon as the heap fills (their
+     proximity-free ceiling loses to the k-th strong score) and
+     leapfrogs only the sparse strong lists, region-skipping the rest
+     block by block.
+
+   - "quality_ordered": strong documents first. The whole-list
+     max-score early-stop already kills the tail here, so block-max
+     must show no regression — its extra bookkeeping has to stay in
+     the noise.
+
+   - "impact_skewed": uniform plus heavy term repetition in a few
+     documents, varying the per-block quantized impact ceilings the
+     skip metadata records.
+
+   The pruned hits are checked byte-identical to the exhaustive hits
+   before anything is timed (the knob must be a pure performance
+   knob). Results land in BENCH_topk.json. *)
+
+open Pj_workload
+
+let query =
+  Pj_matching.Query.make "bench"
+    [
+      Pj_matching.Matcher.of_table ~name:"t1" [ ("alpha", 1.0); ("alfa", 0.35) ];
+      Pj_matching.Matcher.of_table ~name:"t2" [ ("bravo", 0.9); ("brav", 0.3) ];
+      Pj_matching.Matcher.of_table ~name:"t3"
+        [ ("charlie", 0.8); ("charli", 0.25) ];
+    ]
+
+let scoring = Pj_core.Scoring.Win (Pj_core.Scoring.win_exponential ~alpha:0.1)
+let k = 10
+
+let plant rng tokens form p =
+  if Pj_util.Prng.float rng 1. < p then begin
+    let n = 1 + Pj_util.Prng.int rng 3 in
+    for _ = 1 to n do
+      tokens.(Pj_util.Prng.int rng (Array.length tokens)) <- form
+    done
+  end
+
+(* One document: filler plus planted forms. The weak forms are dense,
+   so almost every document is a conjunctive candidate; a strong
+   document carries one tight run of the full-score forms, clearing the
+   weak ceiling (0.35 + 0.3 + 0.25 = 0.9) by a wide margin. [spike]
+   additionally repeats a weak form many times — term-frequency spikes
+   that lift single blocks' quantized impact ceilings. *)
+let add_doc corpus rng ~strong ~spike =
+  let len = 80 + Pj_util.Prng.int rng 120 in
+  let tokens = Array.init len (fun _ -> Textgen.random_filler rng) in
+  plant rng tokens "alfa" 0.9;
+  plant rng tokens "brav" 0.85;
+  plant rng tokens "charli" 0.8;
+  if spike then
+    for _ = 1 to 12 do
+      tokens.(Pj_util.Prng.int rng len) <- "alfa"
+    done;
+  if strong then begin
+    let pos = Pj_util.Prng.int rng (len - 3) in
+    tokens.(pos) <- "alpha";
+    tokens.(pos + 1) <- "bravo";
+    tokens.(pos + 2) <- "charlie"
+  end;
+  ignore (Pj_index.Corpus.add_tokens corpus tokens)
+
+let build_corpus ~n_docs ~layout rng =
+  let corpus = Pj_index.Corpus.create () in
+  (match layout with
+  | `Quality_ordered ->
+      let n_strong = n_docs / 25 in
+      for _ = 1 to n_strong do
+        add_doc corpus rng ~strong:true ~spike:false
+      done;
+      for _ = n_strong + 1 to n_docs do
+        add_doc corpus rng ~strong:false ~spike:false
+      done
+  | `Uniform ->
+      for _ = 1 to n_docs do
+        add_doc corpus rng
+          ~strong:(Pj_util.Prng.float rng 1. < 0.008)
+          ~spike:false
+      done
+  | `Impact_skewed ->
+      for _ = 1 to n_docs do
+        add_doc corpus rng
+          ~strong:(Pj_util.Prng.float rng 1. < 0.008)
+          ~spike:(Pj_util.Prng.float rng 1. < 0.05)
+      done);
+  corpus
+
+type point = {
+  mean_s : float;
+  alloc_bytes : float;
+}
+
+(* Single queries are sub-millisecond; scale the repetition count up
+   and warm up first (see bench-shard). *)
+let measure_point ~repetitions f =
+  f ();
+  let repetitions = repetitions * 20 in
+  let m = Runs.log_cov (Pj_util.Timing.measure ~repetitions f) in
+  let a0 = Gc.allocated_bytes () in
+  f ();
+  let alloc_bytes = Gc.allocated_bytes () -. a0 in
+  { mean_s = m.Pj_util.Timing.mean_s; alloc_bytes }
+
+let json_point { mean_s; alloc_bytes } =
+  Printf.sprintf "{\"mean_s\": %.9f, \"alloc_bytes\": %.0f}" mean_s alloc_bytes
+
+let hit_key (h : Pj_engine.Searcher.hit) =
+  (h.Pj_engine.Searcher.doc_id, h.Pj_engine.Searcher.score)
+
+let run_layout ~repetitions ~n_docs ~name layout =
+  let rng = Pj_util.Prng.create 2024 in
+  let corpus = build_corpus ~n_docs ~layout rng in
+  let searcher =
+    Pj_engine.Searcher.create (Pj_index.Inverted_index.build corpus)
+  in
+  let search ~blockmax () =
+    Pj_engine.Searcher.search ~k ~blockmax searcher scoring query
+  in
+  (* Losslessness gate: the pruned traversal must reproduce the
+     exhaustive top-k bit for bit before any timing counts. *)
+  if
+    List.map hit_key (search ~blockmax:true ())
+    <> List.map hit_key (search ~blockmax:false ())
+  then
+    failwith
+      (Printf.sprintf "bench-topk (%s): blockmax results diverge" name);
+  (* Candidate generation in isolation: how many aligned candidates
+     reach the scoring stage (counted through the [accept] hook, which
+     sees every candidate before bounding or solving). The pruned
+     traversal never aligns the candidates it region-skips. *)
+  let visited blockmax =
+    let n = ref 0 in
+    ignore
+      (Pj_engine.Searcher.search_fragment ~k ~blockmax
+         ~accept:(fun _ ->
+           incr n;
+           true)
+         searcher scoring query);
+    !n
+  in
+  let visited_ex = visited false and visited_bm = visited true in
+  let candidate_speedup =
+    float_of_int visited_ex /. float_of_int (Stdlib.max 1 visited_bm)
+  in
+  Runs.print_header
+    (Printf.sprintf
+       "bench-topk (%s): single-query latency, %d docs, candidates %d -> %d \
+        (%.1fx)"
+       name n_docs visited_ex visited_bm candidate_speedup)
+    [ "latency"; "speedup"; "alloc B" ];
+  let exhaustive =
+    measure_point ~repetitions (fun () ->
+        ignore (Sys.opaque_identity (search ~blockmax:false ())))
+  in
+  Runs.print_row "exhaustive"
+    [ Runs.seconds exhaustive.mean_s; "1.00x";
+      Printf.sprintf "%.0f" exhaustive.alloc_bytes ];
+  let blockmax =
+    measure_point ~repetitions (fun () ->
+        ignore (Sys.opaque_identity (search ~blockmax:true ())))
+  in
+  let speedup = exhaustive.mean_s /. Float.max 1e-12 blockmax.mean_s in
+  Runs.print_row "blockmax"
+    [ Runs.seconds blockmax.mean_s; Printf.sprintf "%.2fx" speedup;
+      Printf.sprintf "%.0f" blockmax.alloc_bytes ];
+  let json =
+    Printf.sprintf
+      "    %S: {\"exhaustive\": %s, \"blockmax\": %s, \"speedup\": %.3f, \
+       \"candidates_exhaustive\": %d, \"candidates_blockmax\": %d, \
+       \"candidate_speedup\": %.3f}"
+      name (json_point exhaustive) (json_point blockmax) speedup visited_ex
+      visited_bm candidate_speedup
+  in
+  (json, speedup, candidate_speedup)
+
+let run ~quick ~repetitions =
+  let n_docs = if quick then 2000 else 10_000 in
+  let uniform_json, uniform_speedup, uniform_candidate_speedup =
+    run_layout ~repetitions ~n_docs ~name:"uniform" `Uniform
+  in
+  let quality_json, quality_speedup, _ =
+    run_layout ~repetitions ~n_docs ~name:"quality_ordered" `Quality_ordered
+  in
+  let skewed_json, _, _ =
+    run_layout ~repetitions ~n_docs ~name:"impact_skewed" `Impact_skewed
+  in
+  let path = "BENCH_topk.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"n_docs\": %d,\n\
+    \  \"k\": %d,\n\
+    \  \"uniform_speedup\": %.3f,\n\
+    \  \"uniform_candidate_speedup\": %.3f,\n\
+    \  \"quality_ordered_speedup\": %.3f,\n\
+    \  \"layouts\": {\n\
+     %s,\n\
+     %s,\n\
+     %s\n\
+    \  }\n\
+     }\n"
+    n_docs k uniform_speedup uniform_candidate_speedup quality_speedup
+    uniform_json quality_json skewed_json;
+  close_out oc;
+  Printf.printf "[bench-topk] wrote %s\n" path

@@ -154,8 +154,12 @@ let rec atomic_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
 
-let search_impl ?deadline ?threshold ?accept ~k ~dedup ~prune t scoring q =
+let search_impl ?deadline ?threshold ?accept ?(blockmax = true) ~k ~dedup
+    ~prune t scoring q =
   if k < 0 then invalid_arg "Searcher.search: negative k";
+  (* Block-max traversal is a pruning strategy; without pruning there
+     is no threshold to skip against. *)
+  let blockmax = blockmax && prune in
   let accepted =
     match accept with None -> fun _ -> true | Some f -> f
   in
@@ -211,6 +215,12 @@ let search_impl ?deadline ?threshold ?accept ~k ~dedup ~prune t scoring q =
            mmap-backed index would decode blocks from scratch for every
            solved candidate). *)
         let solve doc_id =
+          (* Under block-max traversal, non-essential form cursors are
+             not driven by the alignment; drag them up to the candidate
+             now so the match lists are complete. A cursor already at
+             or past [doc_id] makes this a no-op. *)
+          if blockmax then
+            Array.iter (fun tc -> term_seek tc doc_id) terms;
           let problem =
             Array.map
               (fun tc ->
@@ -319,7 +329,244 @@ let search_impl ?deadline ?threshold ?accept ~k ~dedup ~prune t scoring q =
             end
           end
         in
-        (try daat_iter ~check:check_deadline terms on_candidate
+        (* --- block-max traversal --------------------------------------
+           The skip metadata the cursors already carry ([block_max_score]
+           / [block_last_doc]), put to work. Two lossless accelerations
+           on top of the plain conjunction:
+
+           - Essential-form pruning (max-score over the expansion
+             banks): a form whose score ceiling cannot lift any document
+             past the current threshold — even with every *other* term
+             at its live maximum — stops driving the alignment. Its
+             postings are only dragged forward when a candidate is
+             actually solved, so dense low-scored expansions no longer
+             force the intersection to crawl their lists. Live maxima
+             are exhaustion-aware: a finished cursor's score leaves the
+             bound, which tightens the early-stop as lists drain.
+
+           - Block-granular region skips ("next-shallow" moves): at an
+             aligned candidate [d], let [h] be the shallowest
+             [block_last_doc] among the driving cursors. Within [d, h]
+             only forms whose cursor already sits at or before [h] can
+             occur, so [Scoring.upper_bound] over those per-term
+             regional maxima bounds every document in the region at
+             once; when it loses to the threshold, every driving cursor
+             skips past [h] in one galloping move — on a mmap-backed
+             index that crosses block boundaries through the skip table
+             without decoding a posting.
+
+           Both prunes are sound for the strict shared-threshold rule
+           and the tie-aware in-fragment rule (candidates arrive in
+           increasing doc id, so a tied bound always loses), keeping
+           results byte-identical to the exhaustive scan. Match scores
+           are the static expansion-form scores, so form presence — not
+           the tf-impact ceiling — is the per-block quantity these
+           bounds are built from; the impact metadata itself stays an
+           admissible ceiling for impact-weighted consumers. *)
+        let run_blockmax () =
+          let n = Array.length terms in
+          let ess =
+            Array.map (fun tc -> Array.make (Array.length tc.forms) true) terms
+          in
+          let live_max = Array.map (fun tc -> tc.max_score) terms in
+          let last_full = ref false
+          and last_root = ref Float.neg_infinity
+          and last_shared = ref Float.neg_infinity in
+          (* Could a document with upper bound [b] still enter the heap?
+             Strict against the shared threshold (a sibling shard's tied
+             hit may have a larger doc id); tie-losing against our own
+             root (later candidates have larger ids). *)
+          let could_win b =
+            b >= !last_shared && ((not !last_full) || b > !last_root)
+          in
+          let sig_changed () =
+            let full = Pj_util.Heap.length heap = k in
+            let root =
+              match Pj_util.Heap.peek heap with
+              | Some w -> w.score
+              | None -> Float.neg_infinity
+            in
+            let sh = shared () in
+            if full <> !last_full || root <> !last_root || sh <> !last_shared
+            then begin
+              last_full := full;
+              last_root := root;
+              last_shared := sh;
+              true
+            end
+            else false
+          in
+          (* Recompute live maxima and re-classify the form banks
+             against the moved threshold. Essential sets only shrink
+             (thresholds are monotone), and whenever the traversal may
+             continue, each term's top live form is essential — its
+             per-form bound *is* the global live bound. *)
+          let refresh () =
+            Array.iteri
+              (fun j tc ->
+                let m = ref 0. in
+                Array.iteri
+                  (fun i c ->
+                    if
+                      Pj_index.Posting_list.current_doc c >= 0
+                      && tc.scores.(i) > !m
+                    then m := tc.scores.(i))
+                  tc.forms;
+                live_max.(j) <- !m)
+              terms;
+            if not (could_win (Pj_core.Scoring.upper_bound scoring live_max))
+            then raise Early_stop;
+            Array.iteri
+              (fun j tc ->
+                let saved = live_max.(j) in
+                Array.iteri
+                  (fun i c ->
+                    if ess.(j).(i) then
+                      if Pj_index.Posting_list.current_doc c < 0 then
+                        ess.(j).(i) <- false
+                      else begin
+                        live_max.(j) <- tc.scores.(i);
+                        if
+                          not
+                            (could_win
+                               (Pj_core.Scoring.upper_bound scoring live_max))
+                        then ess.(j).(i) <- false
+                      end)
+                  tc.forms;
+                live_max.(j) <- saved)
+              terms
+          in
+          let ess_current j =
+            let tc = terms.(j) and e = ess.(j) in
+            let d = ref (-1) in
+            Array.iteri
+              (fun i c ->
+                if e.(i) then begin
+                  let cd = Pj_index.Posting_list.current_doc c in
+                  if cd >= 0 && (!d < 0 || cd < !d) then d := cd
+                end)
+              tc.forms;
+            !d
+          in
+          let ess_seek j target =
+            let tc = terms.(j) and e = ess.(j) in
+            Array.iteri
+              (fun i c -> if e.(i) then Pj_index.Posting_list.seek c target)
+              tc.forms
+          in
+          (* Essential-bank leapfrog, same invariant as [daat_iter]:
+             term 0's essential view sits on [start]. *)
+          let align start =
+            let target = ref start
+            and idx = ref (1 mod n)
+            and agreed = ref 1
+            and result = ref (-2) in
+            while !result = -2 do
+              check_deadline ();
+              if !agreed = n then result := !target
+              else begin
+                ess_seek !idx !target;
+                let d = ess_current !idx in
+                if d < 0 then result := -1
+                else begin
+                  if d = !target then incr agreed
+                  else begin
+                    target := d;
+                    agreed := 1
+                  end;
+                  idx := (!idx + 1) mod n
+                end
+              end
+            done;
+            !result
+          in
+          let rb = Array.make n 0. in
+          (* The next-shallow move. Only meaningful once some threshold
+             exists; returns true after skipping every driving cursor
+             past the region. *)
+          let region_skip d =
+            if not (!last_full || !last_shared > Float.neg_infinity) then
+              false
+            else begin
+              let h = ref max_int in
+              Array.iteri
+                (fun j _ ->
+                  let tc = terms.(j) and e = ess.(j) in
+                  Array.iteri
+                    (fun i c ->
+                      if
+                        e.(i) && Pj_index.Posting_list.current_doc c >= 0
+                      then begin
+                        let bl = Pj_index.Posting_list.block_last_doc c in
+                        if bl >= 0 && bl < !h then h := bl
+                      end)
+                    tc.forms)
+                terms;
+              if !h = max_int || !h < d then false
+              else begin
+                Array.iteri
+                  (fun j tc ->
+                    let e = ess.(j) in
+                    let m = ref 0. in
+                    Array.iteri
+                      (fun i c ->
+                        if e.(i) then begin
+                          let cd = Pj_index.Posting_list.current_doc c in
+                          if cd >= 0 && cd <= !h && tc.scores.(i) > !m then
+                            m := tc.scores.(i)
+                        end)
+                      tc.forms;
+                    rb.(j) <- !m)
+                  terms;
+                if could_win (Pj_core.Scoring.upper_bound scoring rb) then
+                  false
+                else begin
+                  let target = !h + 1 in
+                  for j = 0 to n - 1 do
+                    ess_seek j target
+                  done;
+                  true
+                end
+              end
+            end
+          in
+          (* Advance to the next candidate that survives the region
+             bound. The deadline is checked on every iteration: one
+             round here may gallop across an arbitrary doc-id range,
+             and must not outlive the budget doing so. *)
+          let next_candidate start =
+            let result = ref (-2) and start = ref start in
+            while !result = -2 do
+              if !start < 0 then result := -1
+              else begin
+                let d = align !start in
+                if d < 0 then result := -1
+                else begin
+                  check_deadline ();
+                  if sig_changed () then begin
+                    refresh ();
+                    (* The banks may have shrunk under [d]; realign on
+                       the surviving essential forms. *)
+                    start := ess_current 0
+                  end
+                  else if region_skip d then start := ess_current 0
+                  else result := d
+                end
+              end
+            done;
+            !result
+          in
+          let current = ref (next_candidate (ess_current 0)) in
+          while !current >= 0 do
+            let doc = !current in
+            on_candidate doc;
+            ess_seek 0 (doc + 1);
+            current := next_candidate (ess_current 0)
+          done
+        in
+        (try
+           if blockmax then run_blockmax ()
+           else daat_iter ~check:check_deadline terms on_candidate
          with Early_stop -> ());
         (* Drain the heap weakest-first, then reverse into best-first
            order. *)
@@ -334,15 +581,19 @@ let search_impl ?deadline ?threshold ?accept ~k ~dedup ~prune t scoring q =
         drain ();
         !out)
 
-let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
-  search_impl ~k ~dedup ~prune t scoring q
+let search ?(k = 10) ?(dedup = true) ?(prune = true) ?(blockmax = true) t
+    scoring q =
+  search_impl ~blockmax ~k ~dedup ~prune t scoring q
 
-let search_within ?(k = 10) ?(dedup = true) ?(prune = true) ~deadline t scoring
-    q =
-  try Ok (search_impl ~deadline ~k ~dedup ~prune t scoring q)
+let search_within ?(k = 10) ?(dedup = true) ?(prune = true) ?(blockmax = true)
+    ~deadline t scoring q =
+  try Ok (search_impl ~deadline ~blockmax ~k ~dedup ~prune t scoring q)
   with Expired -> Error `Timeout
 
 let search_fragment ?deadline ?threshold ?accept ?(k = 10) ?(dedup = true)
-    ?(prune = true) t scoring q =
-  try Ok (search_impl ?deadline ?threshold ?accept ~k ~dedup ~prune t scoring q)
+    ?(prune = true) ?(blockmax = true) t scoring q =
+  try
+    Ok
+      (search_impl ?deadline ?threshold ?accept ~blockmax ~k ~dedup ~prune t
+         scoring q)
   with Expired -> Error `Timeout

@@ -33,6 +33,7 @@ val search :
   ?k:int ->
   ?dedup:bool ->
   ?prune:bool ->
+  ?blockmax:bool ->
   t ->
   Pj_core.Scoring.t ->
   Pj_matching.Query.t ->
@@ -49,12 +50,27 @@ val search :
     hit is skipped without building its match lists, and the scan stops
     outright when even the per-term {e maximum} expansion scores cannot
     beat it — sound, since both bounds dominate every matchset score in
-    any remaining document and later candidates lose every doc-id tie. *)
+    any remaining document and later candidates lose every doc-id tie.
+
+    With [blockmax] (default true; only meaningful under [prune]), the
+    candidate generation itself turns threshold-aware, using the skip
+    metadata every cursor carries ({!Pj_index.Posting_list.block_max_score}
+    / [block_last_doc]): expansion forms whose score ceiling cannot lift
+    any document past the current threshold stop driving the alignment
+    (they are dragged forward only for solved candidates), per-term
+    ceilings shrink as cursors exhaust, and whole cursor regions up to
+    the shallowest block boundary are skipped in one move when the
+    region's [Scoring.upper_bound] cannot win ("next-shallow" moves in
+    the block-max WAND sense). All three accelerations are lossless —
+    the returned top-[k] is byte-identical to the exhaustive scan;
+    [blockmax:false] keeps the plain conjunction traversal as an escape
+    hatch and an oracle. *)
 
 val search_within :
   ?k:int ->
   ?dedup:bool ->
   ?prune:bool ->
+  ?blockmax:bool ->
   deadline:float ->
   t ->
   Pj_core.Scoring.t ->
@@ -78,6 +94,7 @@ val search_fragment :
   ?k:int ->
   ?dedup:bool ->
   ?prune:bool ->
+  ?blockmax:bool ->
   t ->
   Pj_core.Scoring.t ->
   Pj_matching.Query.t ->

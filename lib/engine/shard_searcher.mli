@@ -34,6 +34,7 @@ val search :
   ?k:int ->
   ?dedup:bool ->
   ?prune:bool ->
+  ?blockmax:bool ->
   t ->
   Pj_core.Scoring.t ->
   Pj_matching.Query.t ->
@@ -45,6 +46,7 @@ val search_within :
   ?k:int ->
   ?dedup:bool ->
   ?prune:bool ->
+  ?blockmax:bool ->
   deadline:float ->
   t ->
   Pj_core.Scoring.t ->
@@ -66,6 +68,7 @@ val search_degraded :
   ?k:int ->
   ?dedup:bool ->
   ?prune:bool ->
+  ?blockmax:bool ->
   deadline:float ->
   t ->
   Pj_core.Scoring.t ->

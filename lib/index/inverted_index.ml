@@ -64,10 +64,16 @@ let accumulate per_tok_of iter_docs =
         d.Pj_text.Document.tokens)
 
 let list_of_acc per_tok =
-  Pj_util.Vec.to_list per_tok
-  |> List.map (fun (doc_id, v) ->
-         Posting.make ~doc_id ~positions:(Pj_util.Vec.to_array v))
-  |> Posting_list.of_postings
+  let pl =
+    Pj_util.Vec.to_list per_tok
+    |> List.map (fun (doc_id, v) ->
+           Posting.make ~doc_id ~positions:(Pj_util.Vec.to_array v))
+    |> Posting_list.of_postings
+  in
+  (* Freeze/seal time: build the per-block skip sidecar up front, so
+     block-max traversal never pays the one-off build on a query. *)
+  Posting_list.seal pl;
+  pl
 
 let build corpus =
   let vocab_size = Pj_text.Vocab.size (Corpus.vocab corpus) in

@@ -48,7 +48,16 @@ val append_disjoint : t -> t -> t
 (** [append_disjoint a b] splices two lists whose doc-id ranges are
     disjoint and ordered (every id of [a] below every id of [b]) in one
     O(df) array append — how adjacent segments merge a shared term.
-    Raises [Invalid_argument] when the ranges overlap. *)
+    When [a]'s length is a whole number of blocks and both inputs carry
+    built block sidecars, the result's sidecar is spliced from theirs
+    (O(blocks)) instead of recomputed. Raises [Invalid_argument] when
+    the ranges overlap. *)
+
+val seal : t -> unit
+(** Build (and cache) the per-block skip sidecar now — the freeze/seal
+    hook for lists that will serve many queries, so the first search
+    does not pay the one-off O(df) sidecar build. Idempotent; without
+    it the sidecar is still built lazily on first use. *)
 
 (** {1 Cursors}
 
@@ -111,20 +120,32 @@ val seek : cursor -> int -> unit
     Per-block score ceilings, the substrate for block-max (WAND-style)
     pruning: a traversal may skip a whole block whenever the block's
     maximum possible contribution cannot beat the current threshold.
-    The on-disk block format stores a quantized per-block maximum of
-    the posting impact [impact ~tf]; in-memory cursors report the
-    impact ceiling (1.0) — a correct, if loose, upper bound — so
-    consumers can treat every cursor uniformly. *)
+    The on-disk block format stores a round-up-quantized per-block
+    maximum of the posting impact [impact ~tf]; in-memory lists carry
+    an equivalent [block_size]-posting sidecar (built lazily, or at
+    seal time via {!seal}), so every cursor — heap, memtable prefix, or
+    mmap-backed — reports real, block-granular bounds. *)
+
+val block_size : int
+(** Postings per metadata block (same granularity as the on-disk
+    format): 128. *)
 
 val impact : tf:int -> float
 (** Impact of one posting with term frequency [tf]: the saturation
     [tf /. (tf + 1)], strictly increasing in [tf] and in [0, 1). *)
 
+val impact_ceiling : float
+(** Least upper bound of {!impact} over every possible posting (1.0) —
+    what a bound must assume when no block metadata is available. *)
+
 val block_max_score : cursor -> float
-(** Upper bound on [impact] over the postings of the cursor's current
-    block; [0.] once exhausted. Never less than the true maximum (the
-    on-disk quantization rounds up). *)
+(** Upper bound on [impact] over the (visible) postings of the cursor's
+    current block; [0.] once exhausted. Never less than the true
+    maximum (both the on-disk and the in-memory quantization round
+    up). *)
 
 val block_last_doc : cursor -> int
-(** Last document id of the current block — the id up to which
-    [block_max_score] is the governing bound; [-1] once exhausted. *)
+(** Last (visible) document id of the cursor's current block — the id
+    up to which [block_max_score] is the governing bound, and the
+    "next-shallow" skip target of block-max traversal; [-1] once
+    exhausted. A prefix cursor clamps this to its visible prefix. *)

@@ -790,7 +790,7 @@ let rec take n = function
    (score desc, doc id asc) is byte-identical to a monolithic search
    over the surviving documents — same vocabulary, same global doc ids,
    same strict cross-fragment prune as [Shard_searcher]. *)
-let search_snapshot ?deadline ~k ~dedup ~prune s scoring q =
+let search_snapshot ?deadline ~k ~dedup ~prune ~blockmax s scoring q =
   if k = 0 then Ok []
   else begin
     let accept =
@@ -808,7 +808,7 @@ let search_snapshot ?deadline ~k ~dedup ~prune s scoring q =
           (fun sr ->
             match
               Searcher.search_fragment ?deadline ~threshold ?accept ~k ~dedup
-                ~prune sr scoring q
+                ~prune ~blockmax sr scoring q
             with
             | Ok hits -> hits
             | Error `Timeout -> raise Frag_timeout)
@@ -818,16 +818,18 @@ let search_snapshot ?deadline ~k ~dedup ~prune s scoring q =
     with Frag_timeout -> Error `Timeout
   end
 
-let search ?(k = 10) ?(dedup = true) ?(prune = true) t scoring q =
+let search ?(k = 10) ?(dedup = true) ?(prune = true) ?(blockmax = true) t
+    scoring q =
   match
-    search_snapshot ~k ~dedup ~prune (Atomic.get t.snap) scoring q
+    search_snapshot ~k ~dedup ~prune ~blockmax (Atomic.get t.snap) scoring q
   with
   | Ok hits -> hits
   | Error `Timeout -> assert false (* no deadline *)
 
-let search_within ?(k = 10) ?(dedup = true) ?(prune = true) ~deadline t scoring
-    q =
-  search_snapshot ~deadline ~k ~dedup ~prune (Atomic.get t.snap) scoring q
+let search_within ?(k = 10) ?(dedup = true) ?(prune = true) ?(blockmax = true)
+    ~deadline t scoring q =
+  search_snapshot ~deadline ~k ~dedup ~prune ~blockmax (Atomic.get t.snap)
+    scoring q
 
 (* --- stats ------------------------------------------------------------- *)
 

@@ -143,6 +143,7 @@ val search :
   ?k:int ->
   ?dedup:bool ->
   ?prune:bool ->
+  ?blockmax:bool ->
   t ->
   Pj_core.Scoring.t ->
   Pj_matching.Query.t ->
@@ -155,6 +156,7 @@ val search_within :
   ?k:int ->
   ?dedup:bool ->
   ?prune:bool ->
+  ?blockmax:bool ->
   deadline:float ->
   t ->
   Pj_core.Scoring.t ->

@@ -219,12 +219,50 @@ let cursor_in_range r ~lo ~hi =
   let c = state_create r in
   state_seek c lo;
   let live () = c.doc >= 0 && c.doc < hi in
+  (* Block-max for the range view: a block straddling [lo, hi) may owe
+     its recorded ceiling to postings the view masks, so its ceiling is
+     recomputed over just the visible postings — walked with a
+     throwaway state (the serving cursor never moves) and cached per
+     block, one O(block) walk however often the bound is consulted.
+     Interior blocks keep the O(1) skip-entry answer. Either way the
+     round-up quantization never under-reports a visible posting. *)
+  let qb = ref (-1) and qmax = ref 0. in
+  let range_block_max () =
+    let b = c.block in
+    if !qb = b then !qmax
+    else begin
+      let first_floor = if b = 0 then 0 else skip_last c.r (b - 1) + 1 in
+      let v =
+        if first_floor >= lo && skip_last c.r b < hi then state_block_max c
+        else begin
+          let w = state_create c.r in
+          enter_block w b;
+          let m = ref 0 in
+          let visit () =
+            if w.doc >= lo && w.doc < hi then
+              m :=
+                Stdlib.max !m
+                  (quantize_up (Pj_index.Posting_list.impact ~tf:w.tf))
+          in
+          visit ();
+          while w.remaining > 0 && w.doc < hi do
+            read_posting w;
+            visit ()
+          done;
+          dequantize !m
+        end
+      in
+      qb := b;
+      qmax := v;
+      v
+    end
+  in
   Pj_index.Posting_list.custom
     ~current:(fun () -> if live () then state_current c else None)
     ~current_doc:(fun () -> if live () then c.doc else -1)
     ~next:(fun () -> if live () then state_next c)
     ~seek:(fun target -> if live () then state_seek c target)
-    ~block_max_score:(fun () -> if live () then state_block_max c else 0.)
+    ~block_max_score:(fun () -> if live () then range_block_max () else 0.)
     ~block_last_doc:(fun () ->
       if live () then Stdlib.min (state_block_last c) (hi - 1) else -1)
 

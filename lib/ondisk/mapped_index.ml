@@ -186,7 +186,18 @@ let full_provider t =
       (fun tok -> match dict_entry t tok with None -> 0 | Some r -> r.Codec.df);
     pr_n_tokens = t.n_words;
     pr_stats = (fun () -> stats t);
-    pr_iter = None (* postings stay on disk; no whole-index decode *);
+    pr_iter =
+      (* Segment-merge enumeration: one term at a time, decoded off the
+         dictionary in token order — never the whole index at once, so
+         [concat_adjacent] can splice an mmap-backed segment into a
+         merge instead of forcing a full re-tokenization rebuild. *)
+      Some
+        (fun f ->
+          for tok = 0 to t.n_words - 1 do
+            match dict_entry t tok with
+            | None -> ()
+            | Some r -> f tok (Codec.decode r)
+          done);
   }
 
 let range_provider t ~lo ~hi =

@@ -282,9 +282,24 @@ let index t corpus =
             n_postings = t.n_postings;
             n_positions = t.n_positions;
           });
-      (* Postings stay on disk; enumerating would decode the whole
-         segment, so compaction falls back to its rebuild path. *)
-      pr_iter = None;
+      (* Segment-merge enumeration: each local word decoded once and
+         mapped through the global vocabulary, so [concat_adjacent] can
+         splice this segment's postings into a merge instead of forcing
+         a full re-tokenization rebuild. A word the vocabulary does not
+         know is unreachable by any query here and is skipped — exactly
+         the terms [reader] above would answer empty for. *)
+      pr_iter =
+        Some
+          (fun f ->
+            Array.iteri
+              (fun w word ->
+                match Pj_text.Vocab.find vocab word with
+                | None -> ()
+                | Some tok -> (
+                    match reader_of_local t w with
+                    | None -> ()
+                    | Some r -> f tok (Codec.decode r)))
+              t.words);
     }
 
 let check t =

@@ -8,5 +8,6 @@ let () =
       ("shard_oracle", Test_shard_oracle.suite);
       ("degraded", Test_degraded.suite);
       ("daat_oracle", Test_daat_oracle.suite);
+      ("blockmax_oracle", Test_blockmax_oracle.suite);
       ("snippet", Test_snippet.suite);
     ]

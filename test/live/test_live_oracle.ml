@@ -76,19 +76,31 @@ let check_equal ~ctx live docs deleted =
         (fun k ->
           List.iter
             (fun prune ->
-              let got = Live_index.search ~k ~prune live scoring query in
+              (* The reference is always the exhaustive traversal;
+                 [blockmax:true] exercises block-max skips over every
+                 snapshot shape (memtable prefix cursors, sealed and
+                 mmap segments, tombstone accept filters). *)
               let want =
-                Pj_engine.Searcher.search ~k ~prune scratch scoring query
+                Pj_engine.Searcher.search ~k ~prune ~blockmax:false scratch
+                  scoring query
               in
-              if got <> want then
-                Alcotest.failf
-                  "%s: %s k=%d prune=%b\nlive:    %s\nscratch: %s" ctx
-                  (Pj_core.Scoring.name scoring)
-                  k prune
-                  (String.concat "; " (List.map hit_line got))
-                  (String.concat "; " (List.map hit_line want)))
+              List.iter
+                (fun blockmax ->
+                  let got =
+                    Live_index.search ~k ~prune ~blockmax live scoring query
+                  in
+                  if got <> want then
+                    Alcotest.failf
+                      "%s: %s k=%d prune=%b blockmax=%b\n\
+                       live:    %s\n\
+                       scratch: %s" ctx
+                      (Pj_core.Scoring.name scoring)
+                      k prune blockmax
+                      (String.concat "; " (List.map hit_line got))
+                      (String.concat "; " (List.map hit_line want)))
+                [ true; false ])
             [ true; false ])
-        [ 1; 10 ])
+        [ 1; 10; 1000 ])
     scorings
 
 let fresh_dir =
@@ -108,10 +120,16 @@ let fresh_dir =
 
 (* [mmap] runs the same op sequence against a persistent index whose
    sealed segments serve off their own mapped files — the live-segment
-   arm of the on-disk/in-memory equivalence oracle. *)
-let run_seed ?(mmap = false) seed =
-  Printf.printf "live oracle seed %d (replay: LIVE_SEED=%d)%s\n%!" seed seed
-    (if mmap then " [mmap segments]" else "");
+   arm of the on-disk/in-memory equivalence oracle. [heavy] skews the
+   op mix toward deletions, so snapshots are tombstone-heavy: most
+   postings the cursors walk belong to dead documents, stressing the
+   interaction of block-max skips with the [accept] filter (a skipped
+   region must never resurrect a tombstoned doc, a surviving doc must
+   never be lost to a bound computed over mostly-dead blocks). *)
+let run_seed ?(mmap = false) ?(heavy = false) seed =
+  Printf.printf "live oracle seed %d (replay: LIVE_SEED=%d)%s%s\n%!" seed seed
+    (if mmap then " [mmap segments]" else "")
+    (if heavy then " [tombstone-heavy]" else "");
   let rng = Pj_util.Prng.create seed in
   let live =
     if mmap then begin
@@ -125,16 +143,19 @@ let run_seed ?(mmap = false) seed =
   in
   let docs = ref [] (* reverse id order *) and total = ref 0 in
   let deleted = ref IntSet.empty in
+  let add_cut = if heavy then 22 else 40
+  and batch_cut = if heavy then 32 else 55
+  and delete_cut = if heavy then 72 else 70 in
   for op = 1 to 150 do
     let roll = Pj_util.Prng.int rng 100 in
-    if roll < 40 || !total = 0 then begin
+    if roll < add_cut || !total = 0 then begin
       let doc = random_doc rng in
       let id = Live_index.add live doc in
       Alcotest.(check int) "dense ids" !total id;
       docs := doc :: !docs;
       incr total
     end
-    else if roll < 55 then begin
+    else if roll < batch_cut then begin
       (* Batch sizes up to 9 cross the capacity-4 boundary, so sealing
          mid-batch is exercised against the same oracle. *)
       let batch = List.init (1 + Pj_util.Prng.int rng 9) (fun _ -> random_doc rng) in
@@ -146,7 +167,7 @@ let run_seed ?(mmap = false) seed =
           incr total)
         batch
     end
-    else if roll < 70 then begin
+    else if roll < delete_cut then begin
       let id = Pj_util.Prng.int rng !total in
       let expect_ok = not (IntSet.mem id !deleted) in
       (match Live_index.delete live id with
@@ -185,9 +206,15 @@ let seeds () =
 let test_oracle () = List.iter run_seed (seeds ())
 let test_oracle_mmap () = List.iter (run_seed ~mmap:true) (seeds ())
 
+let test_oracle_heavy () =
+  List.iter (run_seed ~heavy:true) (seeds ());
+  List.iter (run_seed ~mmap:true ~heavy:true) (seeds ())
+
 let suite =
   [
     Alcotest.test_case "random ops = from-scratch build" `Quick test_oracle;
     Alcotest.test_case "random ops = from-scratch build (mmap segments)"
       `Quick test_oracle_mmap;
+    Alcotest.test_case "tombstone-heavy ops = from-scratch build" `Quick
+      test_oracle_heavy;
   ]

@@ -1,3 +1,7 @@
 let () =
   Alcotest.run "proxjoin.ondisk"
-    [ ("codec", Test_codec.suite); ("mapped", Test_mapped.suite) ]
+    [
+      ("codec", Test_codec.suite);
+      ("mapped", Test_mapped.suite);
+      ("merge_splice", Test_merge_splice.suite);
+    ]

@@ -300,6 +300,55 @@ let range_cursor_agrees =
          List.length got = List.length expect
          && List.for_all2 posting_equal got expect))
 
+(* Admissibility of the range-restricted view's block bounds, the
+   shard-boundary case: at every cursor position the reported ceiling
+   must dominate the true max impact of the postings {e visible} in the
+   current block (never under-report — losslessness of block-max
+   skips), and must not exceed the round-up quantization of that
+   visible maximum (a straddling block's ceiling may not leak from
+   postings the range masks — the bound a shard bound actually
+   deserves). *)
+let range_block_max_admissible =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300
+       ~name:"cursor_in_range block max: admissible and masked-tight"
+       QCheck.(pair postings_arb (pair (int_bound 60_000) (int_bound 60_000)))
+       (fun (posts, (a, b)) ->
+         let lo, hi = (Stdlib.min a b, Stdlib.max a b) in
+         let r = reader_of posts in
+         let c = Codec.cursor_in_range r ~lo ~hi in
+         let index_of doc =
+           let i = ref (-1) in
+           Array.iteri
+             (fun j p -> if p.Pj_index.Posting.doc_id = doc then i := j)
+             posts;
+           !i
+         in
+         let ok = ref true in
+         while Pj_index.Posting_list.current_doc c >= 0 do
+           let d = Pj_index.Posting_list.current_doc c in
+           let block = index_of d / Codec.block_size in
+           let blo = block * Codec.block_size
+           and bhi =
+             Stdlib.min (Array.length posts) ((block + 1) * Codec.block_size)
+           in
+           let visible_max = ref 0. in
+           for j = blo to bhi - 1 do
+             let doc = posts.(j).Pj_index.Posting.doc_id in
+             if doc >= lo && doc < hi then
+               visible_max :=
+                 Float.max !visible_max
+                   (Pj_index.Posting_list.impact
+                      ~tf:(Array.length posts.(j).Pj_index.Posting.positions))
+           done;
+           let bound = Pj_index.Posting_list.block_max_score c in
+           if bound < !visible_max then ok := false;
+           if bound > Codec.dequantize (Codec.quantize_up !visible_max) +. 1e-12
+           then ok := false;
+           Pj_index.Posting_list.next c
+         done;
+         !ok))
+
 let check_blob_accepts =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:200 ~name:"check_blob accepts every encoding"
@@ -324,5 +373,6 @@ let suite =
     block_max_sound;
     count_in_range_agrees;
     range_cursor_agrees;
+    range_block_max_admissible;
     check_blob_accepts;
   ]

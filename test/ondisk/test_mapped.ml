@@ -92,8 +92,13 @@ let compare_all_searches ~mem_index ~mapped =
         (fun k ->
           List.iter
             (fun prune ->
+              (* The reference is the exhaustive in-memory traversal;
+                 every other leg keeps block-max pruning on (the
+                 default), so the matrix doubles as the on-disk
+                 blockmax-losslessness oracle. *)
               let mem_hits =
-                Pj_engine.Searcher.search ~k ~prune mem_searcher scoring query
+                Pj_engine.Searcher.search ~k ~prune ~blockmax:false
+                  mem_searcher scoring query
               in
               let disk_hits =
                 Pj_engine.Searcher.search ~k ~prune disk_searcher scoring query

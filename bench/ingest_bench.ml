@@ -61,6 +61,63 @@ let gen_docs rng n =
 let percentile_ms latencies p =
   1000. *. Pj_util.Stats.percentile latencies p
 
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun name -> rm_rf (Filename.concat path name))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* One durability arm: ingest [docs] into a dir-backed index in
+   50-doc [add_batch] groups — the server's group-commit shape, so
+   WAL-on pays exactly one fsync per batch — then flush. Returns
+   (elapsed seconds, wal fsyncs). *)
+let durability_run ~wal docs =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pj-bench-wal-%d-%b" (Unix.getpid ()) wal)
+  in
+  rm_rf dir;
+  let config =
+    {
+      Pj_live.Live_index.default_config with
+      Pj_live.Live_index.memtable_capacity = 512;
+      merge_threshold = 4;
+      background_merge = true;
+      merge_parallelism = 1;
+      wal;
+      fsync_policy = Pj_live.Wal.Per_batch;
+    }
+  in
+  let live = Pj_live.Live_index.open_dir ~config dir in
+  let rec take n acc rest =
+    if n = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | [] -> (List.rev acc, [])
+      | d :: tl -> take (n - 1) (d :: acc) tl
+  in
+  let t0 = Pj_util.Timing.monotonic_now () in
+  let rec go rest =
+    match rest with
+    | [] -> ()
+    | _ ->
+        let chunk, rest = take 50 [] rest in
+        ignore (Pj_live.Live_index.add_batch live chunk);
+        go rest
+  in
+  go docs;
+  ignore (Pj_live.Live_index.flush live);
+  let dt = Pj_util.Timing.monotonic_now () -. t0 in
+  let stats = Pj_live.Live_index.stats live in
+  Pj_live.Live_index.close live;
+  rm_rf dir;
+  (dt, stats.Pj_live.Live_index.wal_fsyncs)
+
 let search_once live =
   Pj_live.Live_index.search ~k:Shard_bench.k live Shard_bench.scoring
     Shard_bench.query
@@ -189,6 +246,28 @@ let run ~quick ~repetitions =
       string_of_int (Array.length during);
     ];
   Pj_live.Live_index.close live;
+  (* --- durability: what the write-ahead log costs ------------------- *)
+  let n_dur = if quick then 400 else 4_000 in
+  let dur_docs = gen_docs rng n_dur in
+  let base_s, _ = durability_run ~wal:false dur_docs in
+  let wal_s, wal_fsyncs = durability_run ~wal:true dur_docs in
+  let base_rate = float_of_int n_dur /. base_s in
+  let wal_rate = float_of_int n_dur /. wal_s in
+  let wal_ratio = wal_rate /. base_rate in
+  Runs.print_header
+    (Printf.sprintf "bench-ingest: durability, %d docs, 50-doc batches"
+       n_dur)
+    [ "total"; "docs/s"; "fsyncs" ];
+  Runs.print_row "wal off"
+    [ Runs.seconds base_s; Printf.sprintf "%.0f" base_rate; "0" ];
+  Runs.print_row "wal per-batch"
+    [
+      Runs.seconds wal_s;
+      Printf.sprintf "%.0f" wal_rate;
+      string_of_int wal_fsyncs;
+    ];
+  Printf.printf "[bench-ingest] wal-on throughput = %.0f%% of wal-off\n"
+    (100. *. wal_ratio);
   let path = "BENCH_ingest.json" in
   let oc = open_out path in
   Printf.fprintf oc
@@ -205,13 +284,19 @@ let run ~quick ~repetitions =
     \  \"searches_during_ingest\": %d,\n\
     \  \"final_generation\": %d,\n\
     \  \"final_segments\": %d,\n\
-    \  \"merges\": %d\n\
+    \  \"merges\": %d,\n\
+    \  \"durability_docs\": %d,\n\
+    \  \"ingest_wal_off_docs_per_s\": %.1f,\n\
+    \  \"ingest_wal_docs_per_s\": %.1f,\n\
+    \  \"wal_fsyncs\": %d,\n\
+    \  \"wal_throughput_ratio\": %.3f\n\
      }\n"
     n_docs config.Pj_live.Live_index.memtable_capacity ingest_s docs_per_s
     stream_rate (percentile_ms idle 50.) (percentile_ms idle 99.)
     (percentile_ms during 50.)
     (percentile_ms during 99.)
     (Array.length during) stats.Pj_live.Live_index.generation
-    stats.Pj_live.Live_index.segments stats.Pj_live.Live_index.merges;
+    stats.Pj_live.Live_index.segments stats.Pj_live.Live_index.merges n_dur
+    base_rate wal_rate wal_fsyncs wal_ratio;
   close_out oc;
   Printf.printf "[bench-ingest] wrote %s\n" path

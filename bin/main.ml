@@ -449,8 +449,15 @@ let run_compact src dst shards =
 
 let run_serve file index_path host port domains queue cache deadline_ms
     drain_ms log_every shards live live_dir memtable mmap_segments merge_par
-    blockmax =
+    blockmax wal fsync_policy_s =
   let graph = Pj_ontology.Mini_wordnet.create () in
+  let fsync_policy =
+    match Pj_live.Wal.fsync_policy_of_string fsync_policy_s with
+    | Ok p -> p
+    | Error msg -> failwith ("serve: --fsync-policy: " ^ msg)
+  in
+  if wal && live_dir = None then
+    failwith "serve: --wal needs --live-dir (the log lives in that directory)";
   if index_path <> None && (live || live_dir <> None) then
     failwith
       "serve: --index and --live/--live-dir are mutually exclusive (a live \
@@ -474,6 +481,8 @@ let run_serve file index_path host port domains queue cache deadline_ms
           background_merge = true;
           mmap_segments;
           merge_parallelism = merge_par;
+          wal;
+          fsync_policy;
         }
       in
       let index =
@@ -916,12 +925,35 @@ let serve_cmd =
             "Live mode: merge up to N disjoint adjacent segment pairs \
              concurrently per compaction step.")
   in
+  let wal =
+    Arg.(
+      value & flag
+      & info [ "wal" ]
+          ~doc:
+            "Live mode: write-ahead-log every acknowledged ADDDOC/DELDOC \
+             into $(b,--live-dir) before answering, and replay the log on \
+             restart — no acknowledged write is ever lost, even to \
+             $(b,kill -9). Group-committed: one log write (and, under \
+             $(b,per-batch), one fsync) per ingest batch.")
+  in
+  let fsync_policy =
+    Arg.(
+      value & opt string "per-batch"
+      & info [ "fsync-policy" ] ~docv:"POLICY"
+          ~doc:
+            "When WAL commits reach the disk: $(b,per-batch) (fsync every \
+             ingest batch — full durability), $(b,every:MS) (fsync at most \
+             once per MS milliseconds — bounded loss), or $(b,never) (OS \
+             write-through only — survives process crashes, not power \
+             loss).")
+  in
   let run file index host port domains queue cache deadline drain log_every
-      shards live live_dir memtable mmap_segments merge_par blockmax =
+      shards live live_dir memtable mmap_segments merge_par blockmax wal
+      fsync_policy =
     wrap (fun () ->
         run_serve file index host port domains queue cache deadline drain
           log_every shards live live_dir memtable mmap_segments merge_par
-          blockmax)
+          blockmax wal fsync_policy)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -934,7 +966,7 @@ let serve_cmd =
         (const run $ opt_file_arg $ index_arg $ host_arg
        $ port_arg ~default:7070 $ domains $ queue $ cache $ deadline $ drain
        $ log_every $ shards_arg $ live $ live_dir $ memtable $ mmap_segments
-       $ merge_par $ blockmax_arg))
+       $ merge_par $ blockmax_arg $ wal $ fsync_policy))
 
 let bench_serve_cmd =
   let clients =

@@ -10,11 +10,14 @@ type config = {
   background_merge : bool;
   mmap_segments : bool;
   merge_parallelism : int;
+  wal : bool;
+  fsync_policy : Wal.fsync_policy;
 }
 
 let default_config =
   { dir = None; memtable_capacity = 256; merge_threshold = 4;
-    background_merge = true; mmap_segments = false; merge_parallelism = 2 }
+    background_merge = true; mmap_segments = false; merge_parallelism = 2;
+    wal = false; fsync_policy = Wal.Per_batch }
 
 (* A sealed, immutable doc-id range with its own inverted index.
    [dead] holds the ids a compaction has already purged from the
@@ -67,6 +70,13 @@ type t = {
   (* True when the on-disk manifest lags the in-memory tombstone set
      (deletes are made durable by the next flush or merge). *)
   mutable durable_dirty : bool;
+  (* Write-ahead log — present iff [config.wal] and [config.dir].
+     Mutated (append/commit/rotate) only under the writer lock. *)
+  mutable wal : Wal.t option;
+  (* Highest generation known durable on disk: advanced by manifest
+     publications (flush) and by WAL commits that fsynced. The STATS
+     [durable_lag] gauge is [generation - last_durable_gen]. *)
+  last_durable_gen : int Atomic.t;
   (* Background merger machinery; [m] guards [stopping] and the
      condition. *)
   m : Mutex.t;
@@ -185,6 +195,33 @@ let refresh_mem_locked t ~mem_base =
 let signal_merger t =
   with_lock t.m (fun () -> Condition.broadcast t.c)
 
+(* --- write-ahead log --------------------------------------------------- *)
+
+(* All three helpers require the writer lock (the WAL handle is
+   single-writer) and are no-ops on an index without one. *)
+
+let wal_append t r =
+  match t.wal with None -> () | Some w -> Wal.append w r
+
+(* One group commit per acknowledged operation (or per [add_batch]):
+   write the buffered records and, when the policy fsynced, advance
+   the durable horizon to the generation just published. *)
+let wal_commit_locked t =
+  match t.wal with
+  | None -> ()
+  | Some w ->
+      if Wal.commit w then
+        Atomic.set t.last_durable_gen (Atomic.get t.snap).generation
+
+(* A published manifest makes every logged record redundant — its
+   segments and tombstone list now cover them. Called between the
+   manifest write and the snapshot publication: if rotation fails the
+   flush is still retryable (memtable untouched), and recovery after
+   a crash here merely replays stale records, which the id-keyed
+   replay skips. *)
+let wal_rotate_locked t =
+  match t.wal with None -> () | Some w -> Wal.rotate w
+
 (* Seal the memtable into a segment (durably, when a directory is
    configured) and/or persist a tombstone set the manifest lags behind.
    Caller holds the writer lock. Any failure — injected or real —
@@ -199,11 +236,19 @@ let flush_locked t =
       let gen = s.generation + 1 in
       write_manifest_locked t ~generation:gen ~segments:s.segments
         ~tombstones:s.tombstones;
+      wal_rotate_locked t;
       Atomic.set t.snap { s with generation = gen };
+      Atomic.set t.last_durable_gen gen;
       Atomic.incr t.flushes;
       gen
     end
-    else s.generation
+    else begin
+      (* Nothing in the memtable and the manifest is current, so the
+         whole state is durable — FLUSH remains a durability barrier
+         even when only a merge bumped the generation since. *)
+      Atomic.set t.last_durable_gen s.generation;
+      s.generation
+    end
   end
   else begin
     let searcher = match s.mem with Some sr -> sr | None -> assert false in
@@ -234,6 +279,7 @@ let flush_locked t =
     let gen = s.generation + 1 in
     write_manifest_locked t ~generation:gen ~segments
       ~tombstones:s.tombstones;
+    wal_rotate_locked t;
     Atomic.set t.snap
       {
         generation = gen;
@@ -248,6 +294,7 @@ let flush_locked t =
        and the next memtable starts empty. On any failure above the
        builder is untouched, so the flush can simply be retried. *)
     t.memtable <- Pj_index.Postings_builder.create ();
+    Atomic.set t.last_durable_gen gen;
     Atomic.incr t.flushes;
     signal_merger t;
     gen
@@ -260,6 +307,9 @@ let flush t =
 
 let add_locked t tokens =
   let s = Atomic.get t.snap in
+  (* Log before mutating: a failed append leaves the index untouched
+     and the caller sees the error before anything was acknowledged. *)
+  wal_append t (Wal.Add { id = Corpus.size t.corpus; tokens });
   let d = Corpus.add_tokens t.corpus tokens in
   Atomic.incr t.adds;
   Pj_index.Postings_builder.add_doc t.memtable d;
@@ -267,7 +317,13 @@ let add_locked t tokens =
   let gen = s.generation + 1 in
   Atomic.set t.snap { s with generation = gen; mem_len; mem };
   let gen =
-    if mem_len >= t.config.memtable_capacity then flush_locked t else gen
+    if mem_len >= t.config.memtable_capacity then flush_locked t
+    else begin
+      (* Durable before acknowledged: the record must reach the log
+         (and, per policy, the platter) before [add] returns. *)
+      wal_commit_locked t;
+      gen
+    end
   in
   (d.Pj_text.Document.id, gen)
 
@@ -291,6 +347,7 @@ let add_batch t docs =
             let first = Corpus.size t.corpus in
             List.iter
               (fun tokens ->
+                wal_append t (Wal.Add { id = Corpus.size t.corpus; tokens });
                 let d = Corpus.add_tokens t.corpus tokens in
                 Atomic.incr t.adds;
                 Pj_index.Postings_builder.add_doc t.memtable d;
@@ -321,6 +378,11 @@ let add_batch t docs =
               end
               else s.generation
             in
+            (* Group commit: one WAL write + (per policy) one fsync
+               covers the whole batch — the ingest batcher's batch
+               boundary is the durability boundary. Chunks sealed
+               mid-batch were already rotated away by their flush. *)
+            wal_commit_locked t;
             (first, gen))
       in
       notify t gen;
@@ -347,10 +409,12 @@ let delete t id =
         then Error `Not_found
         else begin
           let gen = s.generation + 1 in
+          wal_append t (Wal.Delete id);
           if t.config.dir <> None then t.durable_dirty <- true;
           Atomic.set t.snap
             { s with generation = gen; tombstones = IntSet.add id s.tombstones };
           Atomic.incr t.deletes;
+          wal_commit_locked t;
           Ok gen
         end)
   in
@@ -631,6 +695,8 @@ let make_t config corpus snap =
     merges = Atomic.make 0;
     merge_errors = Atomic.make 0;
     durable_dirty = false;
+    wal = None;
+    last_durable_gen = Atomic.make snap.generation;
     m = Mutex.create ();
     c = Condition.create ();
     stopping = false;
@@ -641,28 +707,120 @@ let spawn_merger t =
   if t.config.background_merge then
     t.merger <- Some (Domain.spawn (fun () -> merger_loop t))
 
+(* Re-apply intact WAL records on recovery. Idempotent by document
+   id: the manifest's segments already cover every id below
+   [Corpus.size] (a crash between the manifest rename and the log
+   rotation leaves such records behind), so only the dense run of
+   fresh ids is applied; likewise a delete already tombstoned or
+   compacted is a no-op. Token ids come out identical to the
+   pre-crash process: the manifest vocabulary replays first (in id
+   order), segment documents re-intern next, and the WAL documents
+   intern last — the same first-occurrence order that assigned the
+   original ids. Runs before the index is shared, so plain stores
+   suffice. *)
+let replay_wal t w records =
+  let adds = ref 0 and dels = ref 0 in
+  let applied = ref [] in
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Add { id; tokens } ->
+          if id = Corpus.size t.corpus then begin
+            let d = Corpus.add_tokens t.corpus tokens in
+            Pj_index.Postings_builder.add_doc t.memtable d;
+            incr adds;
+            applied := r :: !applied
+          end
+      | Wal.Delete id ->
+          let s = Atomic.get t.snap in
+          let gone =
+            id < 0
+            || id >= Corpus.size t.corpus
+            || IntSet.mem id s.tombstones
+            || (match find_segment s.segments id with
+               | Some sg -> IntSet.mem id sg.dead
+               | None -> false)
+          in
+          if not gone then begin
+            Atomic.set t.snap
+              { s with tombstones = IntSet.add id s.tombstones };
+            incr dels;
+            applied := r :: !applied
+          end)
+    records;
+  let n = !adds + !dels in
+  if n > 0 then begin
+    let s = Atomic.get t.snap in
+    let mem_len, mem = refresh_mem_locked t ~mem_base:s.mem_base in
+    Atomic.set t.snap { s with generation = s.generation + n; mem_len; mem };
+    (* Replayed deletes are durable in the log but not yet in the
+       manifest; the next flush writes them there. *)
+    if !dels > 0 then t.durable_dirty <- true
+  end;
+  (* Stale (skipped) records mean a crash interrupted a rotation
+     after its manifest landed; compact the log now so it holds
+     exactly the live memtable + pending deletes again. *)
+  if List.length !applied <> List.length records then
+    Wal.rewrite w (List.rev !applied);
+  Atomic.set t.last_durable_gen (Atomic.get t.snap).generation
+
+(* Attach (or retire) the directory's write-ahead log. [replay] is
+   false for a fresh index ([create]): any log on disk belongs to a
+   previous incarnation and is discarded. With the WAL disabled an
+   existing log file is removed rather than ignored: document ids
+   restart reusing its slots, so its records must not survive into an
+   epoch that no longer maintains them — the caller has chosen flush
+   as the durability barrier. *)
+let init_wal t ~replay =
+  match t.config.dir with
+  | None -> ()
+  | Some dir ->
+      let remove_log () =
+        try Sys.remove (Filename.concat dir Wal.filename)
+        with Sys_error _ -> ()
+      in
+      if not t.config.wal then remove_log ()
+      else begin
+        if not replay then remove_log ();
+        let records, w =
+          Wal.open_dir ~dir ~fsync_policy:t.config.fsync_policy
+        in
+        t.wal <- Some w;
+        if replay then replay_wal t w records
+      end
+
+let empty_snap =
+  {
+    generation = 0;
+    segments = [||];
+    mem_base = 0;
+    mem_len = 0;
+    mem = None;
+    tombstones = IntSet.empty;
+  }
+
 let create ?(config = default_config) () =
   (match config.dir with Some dir -> mkdir_p dir | None -> ());
-  let snap =
-    {
-      generation = 0;
-      segments = [||];
-      mem_base = 0;
-      mem_len = 0;
-      mem = None;
-      tombstones = IntSet.empty;
-    }
-  in
-  let t = make_t config (Corpus.create ()) snap in
+  let t = make_t config (Corpus.create ()) empty_snap in
+  init_wal t ~replay:false;
   spawn_merger t;
   t
 
-let open_dir ?(config = default_config) dir =
-  mkdir_p dir;
-  let config = { config with dir = Some dir } in
-  match Manifest.read ~dir with
-  | None -> create ~config ()
-  | Some m ->
+(* Remove crash leftovers no manifest references: stale [.tmp] files
+   from an interrupted atomic publication (tmp-write then rename) and
+   segment files orphaned by a flush or merge that never installed.
+   The WAL is neither — it matches no pattern and is managed by
+   [init_wal]. *)
+let cleanup_orphans ~dir ~named =
+  Array.iter
+    (fun f ->
+      let stale_tmp = Filename.check_suffix f ".tmp" in
+      let orphan_seg = segment_file_id f <> None && not (List.mem f named) in
+      if stale_tmp || orphan_seg then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
+let open_with_manifest config dir (m : Manifest.t) =
       let corpus = Corpus.create () in
       (* Replaying the persisted vocabulary first reproduces the very
          token ids (hence match payloads) of the original process —
@@ -740,23 +898,27 @@ let open_dir ?(config = default_config) dir =
       in
       let t = make_t config corpus snap in
       Atomic.set t.file_seq (!max_file + 1);
-      (* Orphans from interrupted flushes/merges: segment files no
-         manifest names, plus stale .tmp files. Best-effort removal. *)
-      let named =
-        List.map (fun (e : Manifest.entry) -> e.Manifest.file)
-          m.Manifest.segments
-      in
-      Array.iter
-        (fun f ->
-          let stale_tmp = Filename.check_suffix f ".tmp" in
-          let orphan_seg =
-            segment_file_id f <> None && not (List.mem f named)
-          in
-          if stale_tmp || orphan_seg then
-            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
-        (Sys.readdir dir);
-      spawn_merger t;
       t
+
+let open_dir ?(config = default_config) dir =
+  mkdir_p dir;
+  let config = { config with dir = Some dir } in
+  let t, named =
+    match Manifest.read ~dir with
+    | None ->
+        (* No manifest yet — but the directory may still hold a WAL
+           with acknowledged pre-first-flush writes (replayed below)
+           and crash leftovers (cleaned below). *)
+        (make_t config (Corpus.create ()) empty_snap, [])
+    | Some m ->
+        ( open_with_manifest config dir m,
+          List.map (fun (e : Manifest.entry) -> e.Manifest.file)
+            m.Manifest.segments )
+  in
+  cleanup_orphans ~dir ~named;
+  init_wal t ~replay:true;
+  spawn_merger t;
+  t
 
 let close t =
   let merger =
@@ -767,7 +929,16 @@ let close t =
         t.merger <- None;
         d)
   in
-  Option.iter Domain.join merger
+  Option.iter Domain.join merger;
+  (* After the merger is gone; under the writer lock so an in-flight
+     add never races the descriptor. Close is a durability barrier:
+     anything still buffered or unsynced is flushed and fsynced. *)
+  with_writer t (fun () ->
+      match t.wal with
+      | Some w ->
+          Wal.close w;
+          t.wal <- None
+      | None -> ())
 
 (* --- search ------------------------------------------------------------ *)
 
@@ -844,6 +1015,9 @@ type stats = {
   merges : int;
   flushes : int;
   merge_errors : int;
+  wal_appends : int;
+  wal_fsyncs : int;
+  durable_lag : int;
 }
 
 let stats t =
@@ -865,6 +1039,9 @@ let stats t =
     merges = Atomic.get t.merges;
     flushes = Atomic.get t.flushes;
     merge_errors = Atomic.get t.merge_errors;
+    wal_appends = (match t.wal with Some w -> Wal.appends w | None -> 0);
+    wal_fsyncs = (match t.wal with Some w -> Wal.fsyncs w | None -> 0);
+    durable_lag = max 0 (s.generation - Atomic.get t.last_durable_gen);
   }
 
 let corpus t = t.corpus

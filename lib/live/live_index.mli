@@ -38,10 +38,24 @@
     tmp+fsync+rename ({!Pj_index.Storage.write_file_atomic}), so a
     crash (or an armed [live.flush] / [live.merge] / [live.manifest]
     failpoint) at any moment leaves the previous manifest and segments
-    intact. Recovery ({!open_dir}) replays the manifest: memtable
-    documents added after the last flush are lost (by design — [FLUSH]
-    is the durability barrier), deletes become durable at the next
-    flush or merge. *)
+    intact. Recovery ({!open_dir}) replays the manifest. Without a
+    WAL, memtable documents added after the last flush are lost (by
+    design — [FLUSH] is the durability barrier) and deletes become
+    durable at the next flush or merge.
+
+    With [wal = true] the acknowledged-write contract strengthens to:
+    {e no acknowledged write is ever lost}. Every add/delete is
+    appended to a per-directory write-ahead log ({!Wal}) before the
+    call returns, group-committed (one log write — and, under
+    [Per_batch], one fsync — per {!add_batch}), rotated away once a
+    flush makes its records redundant, and replayed into the memtable
+    by {!open_dir} up to the first torn or corrupt record. Recovery
+    is byte-identical to the pre-crash acknowledged state: same doc
+    and token ids, same search results. Operations that fail (real
+    I/O errors or armed [live.wal.append] / [live.wal.fsync] /
+    [live.wal.rotate] failpoints) raise before acknowledging, so an
+    unacknowledged document is — post-recovery — either absent or
+    fully present, never torn. *)
 
 type t
 
@@ -67,36 +81,55 @@ type config = {
           may merge concurrently (each on its own domain); clamped to
           at least 1. The pairs never overlap, so results are
           independent of the parallelism. *)
+  wal : bool;
+      (** write-ahead-log every add/delete before acknowledging it, and
+          replay the log on {!open_dir} — see {2:durability}. Requires
+          [dir] (ignored for a memory-only index). When [false], any
+          log left in the directory by a previous wal-enabled process
+          is removed on open (its records must not leak into an epoch
+          that no longer maintains them). *)
+  fsync_policy : Wal.fsync_policy;
+      (** when WAL commits reach the platter: [Per_batch] (default —
+          full durability, one fsync per batch), [Every_ms ms]
+          (bounded loss), or [Never] (OS write-through only; the log
+          still bounds loss to an OS crash, not a process crash). *)
 }
 
 val default_config : config
 (** [dir = None], [memtable_capacity = 256], [merge_threshold = 4],
     [background_merge = true], [mmap_segments = false],
-    [merge_parallelism = 2]. *)
+    [merge_parallelism = 2], [wal = false],
+    [fsync_policy = Wal.Per_batch]. *)
 
 val create : ?config:config -> unit -> t
 (** A fresh, empty live index (no recovery — see {!open_dir}). *)
 
 val open_dir : ?config:config -> string -> t
 (** Open (or create) a persistent live index rooted at the directory,
-    recovering to the last durable generation by replaying the
-    manifest: segment files are re-read, their words re-interned in
-    document order (reproducing the original doc and token ids), and
-    their indexes rebuilt. Orphan segment files from interrupted
-    operations are removed. [config.dir] is overridden by the
-    argument. Raises [Failure "Live: ..."] on a corrupt manifest or
-    segment, [Sys_error] on I/O failure. *)
+    recovering to the last durable state: the manifest is replayed
+    (segment files re-read, their words re-interned in document order,
+    reproducing the original doc and token ids, and their indexes
+    rebuilt), then — with [wal] — the write-ahead log's intact records
+    are re-applied into the memtable and its torn tail discarded.
+    Orphan segment files and stale [.tmp] files from interrupted
+    operations are removed, manifest or not. [config.dir] is
+    overridden by the argument. Raises [Failure "Live: ..."] on a
+    corrupt manifest, segment, or WAL header, [Sys_error] on I/O
+    failure. *)
 
 val close : t -> unit
-(** Stop and join the background merger (idempotent). In-memory state
-    remains searchable; nothing new is flushed. *)
+(** Stop and join the background merger (idempotent), then close the
+    WAL (final fsync — a clean shutdown is a durability barrier
+    whatever the [fsync_policy]). In-memory state remains searchable;
+    nothing new is flushed. *)
 
 (** {1 Writing} *)
 
 val add : t -> string array -> int
 (** Append one document (pre-tokenized words), returning its global
-    doc id. Visible to queries immediately; durable only after the
-    next flush. Auto-flushes when the memtable reaches capacity. *)
+    doc id. Visible to queries immediately; durable before returning
+    with a [Per_batch] WAL, otherwise at the next flush. Auto-flushes
+    when the memtable reaches capacity. *)
 
 val add_batch : t -> string array list -> int
 (** Append many documents under one writer-lock acquisition, returning
@@ -106,7 +139,8 @@ val add_batch : t -> string array list -> int
     chunk plus one for the residue, instead of one per document. The
     memtable is sealed at every [memtable_capacity] boundary *inside*
     the batch, so a batch larger than the capacity never grows the
-    memtable past it. *)
+    memtable past it. With a WAL the whole batch group-commits: one
+    log write (and one [Per_batch] fsync) covers every document. *)
 
 val delete : t -> int -> (unit, [ `Not_found ]) result
 (** Tombstone a document: hidden from queries immediately, purged from
@@ -190,6 +224,12 @@ type stats = {
   merges : int;
   flushes : int;
   merge_errors : int;  (** background merge attempts that failed *)
+  wal_appends : int;  (** records logged through this handle (0 when off) *)
+  wal_fsyncs : int;  (** log fsyncs performed through this handle *)
+  durable_lag : int;
+      (** generations between the current snapshot and the last state
+          known durable on disk — 0 means a crash right now loses
+          nothing; without a WAL it grows with every unflushed write *)
 }
 
 val stats : t -> stats

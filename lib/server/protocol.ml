@@ -112,8 +112,28 @@ let cache_key { family; alpha; k; terms } =
   Printf.sprintf "%s|%.17g|%d|%s" family alpha k
     (String.concat "\x00" (List.sort compare terms))
 
+(* Error payloads come from arbitrary exception messages
+   ([Printexc.to_string] in the ingest batcher and worker pool), so
+   they may carry newlines — a phantom protocol line to the client —
+   or other control bytes (tabs, NUL, ANSI escapes) that tear the
+   framing or smuggle terminal escapes. Collapse every run of
+   whitespace/control bytes to a single space and trim the ends, so
+   whatever the exception printed, the response is one clean line. *)
 let one_line msg =
-  String.map (function '\n' | '\r' -> ' ' | c -> c) msg
+  let buf = Buffer.create (String.length msg) in
+  let pending = ref false in
+  String.iter
+    (fun c ->
+      if c <= ' ' || c = '\x7f' then begin
+        if Buffer.length buf > 0 then pending := true
+      end
+      else begin
+        if !pending then Buffer.add_char buf ' ';
+        pending := false;
+        Buffer.add_char buf c
+      end)
+    msg;
+  Buffer.contents buf
 
 let string_of_hits hits =
   let body =

@@ -103,8 +103,10 @@ val busy : string
 val timeout : string
 
 val err : string -> string
-(** ["ERR reason"], with embedded newlines flattened so the response
-    stays one line. *)
+(** ["ERR reason"], sanitized to a single line: every run of
+    whitespace/control bytes (newlines, tabs, NUL, escapes) in the
+    reason — exception messages are arbitrary — collapses to one
+    space, leading/trailing runs are dropped. *)
 
 val max_k : int
 val max_terms : int

@@ -80,12 +80,13 @@ let stats_line t =
       Printf.sprintf
         "%s live=1 docs=%d total_docs=%d segments=%d segment_docs=%d \
          memtable_docs=%d tombstones=%d generation=%d merges=%d \
-         index_flushes=%d"
+         index_flushes=%d wal_appends=%d wal_fsyncs=%d durable_lag=%d"
         base s.Pj_live.Live_index.docs s.Pj_live.Live_index.total_docs
         s.Pj_live.Live_index.segments s.Pj_live.Live_index.segment_docs
         s.Pj_live.Live_index.memtable_docs s.Pj_live.Live_index.tombstones
         s.Pj_live.Live_index.generation s.Pj_live.Live_index.merges
-        s.Pj_live.Live_index.flushes
+        s.Pj_live.Live_index.flushes s.Pj_live.Live_index.wal_appends
+        s.Pj_live.Live_index.wal_fsyncs s.Pj_live.Live_index.durable_lag
 
 (* Answer one SEARCH. The cache is consulted before the worker pool, so
    a repeated query costs one hash lookup and no queue slot; live

@@ -497,6 +497,101 @@ let test_live_failpoints_recover () =
                 (live_hits recovered <> durable))))
     provocations
 
+(* --- 6. write-ahead log: crash at every WAL kill point, acknowledged
+       writes always recover, unacknowledged ones never tear ---------- *)
+
+let wal_live_config = { live_config with Pj_live.Live_index.wal = true }
+
+let test_live_wal_failpoints_recover () =
+  let strong = stems "lenovo nba partnership lenovo nba partnership" in
+  (* [`Unacked]: the armed site makes the add itself fail — the doc was
+     never acknowledged, so recovery must not contain it. [`Acked]: the
+     add is acknowledged first and the armed site kills the *flush*
+     mid-publication — the doc must survive recovery regardless of
+     where the flush died (WAL replay or the manifest that landed). *)
+  let sites =
+    [
+      ("live.wal.append", `Unacked);
+      ("live.wal.fsync", `Unacked);
+      ("live.wal.rotate", `Acked);
+      ("live.flush", `Acked);
+      ("live.manifest", `Acked);
+    ]
+  in
+  List.iter
+    (fun (site, mode) ->
+      Pj_util.Failpoint.clear ();
+      let dir = fresh_live_dir () in
+      Fun.protect
+        ~finally:(fun () ->
+          Pj_util.Failpoint.clear ();
+          rm_rf dir)
+        (fun () ->
+          let live = Pj_live.Live_index.open_dir ~config:wal_live_config dir in
+          (* Eight acknowledged docs, auto-flushed in pairs: the log
+             rotates at every seal along the way. *)
+          List.iter
+            (fun text -> ignore (Pj_live.Live_index.add live (stems text)))
+            texts;
+          let want, expected_docs =
+            match mode with
+            | `Unacked ->
+                let want = live_hits live in
+                Pj_util.Failpoint.arm site Pj_util.Failpoint.Fail;
+                expect_injected site (fun () ->
+                    ignore (Pj_live.Live_index.add live strong));
+                (want, List.length texts)
+            | `Acked ->
+                (* Acknowledged but unflushed: durable only via the
+                   log — until the flush below tries to seal it and
+                   dies at [site]. *)
+                ignore (Pj_live.Live_index.add live strong);
+                let want = live_hits live in
+                Pj_util.Failpoint.arm site Pj_util.Failpoint.Fail;
+                expect_injected site (fun () ->
+                    ignore (Pj_live.Live_index.flush live));
+                (want, List.length texts + 1)
+          in
+          Pj_util.Failpoint.clear ();
+          (* Crash: abandon the handle — no close, no final fsync.
+             Everything acknowledged is already on disk. *)
+          let recovered =
+            Pj_live.Live_index.open_dir ~config:wal_live_config dir
+          in
+          Fun.protect
+            ~finally:(fun () -> Pj_live.Live_index.close recovered)
+            (fun () ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: acknowledged state recovered" site)
+                true
+                (live_hits recovered = want);
+              let stats = Pj_live.Live_index.stats recovered in
+              Alcotest.(check int)
+                (Printf.sprintf "%s: exactly the acknowledged docs" site)
+                expected_docs stats.Pj_live.Live_index.docs;
+              Alcotest.(check int)
+                (Printf.sprintf "%s: recovered state is durable" site)
+                0 stats.Pj_live.Live_index.durable_lag;
+              (* Healed: the same site now works and the write sticks
+                 across one more crash. *)
+              ignore (Pj_live.Live_index.add recovered strong);
+              let richer = live_hits recovered in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: healed index ingests again" site)
+                true (richer <> want);
+              let again =
+                Pj_live.Live_index.open_dir ~config:wal_live_config dir
+              in
+              Fun.protect
+                ~finally:(fun () -> Pj_live.Live_index.close again)
+                (fun () ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s: post-heal write survives a crash"
+                       site)
+                    true
+                    (live_hits again = richer)))))
+    sites
+
 let () =
   Alcotest.run "proxjoin.chaos"
     [
@@ -511,5 +606,8 @@ let () =
           ( "chaos: live failpoints recover",
             `Quick,
             test_live_failpoints_recover );
+          ( "chaos: wal kill points recover acknowledged writes",
+            `Quick,
+            test_live_wal_failpoints_recover );
         ] );
     ]

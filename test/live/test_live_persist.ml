@@ -27,7 +27,7 @@ let fresh_dir () =
       (Sys.readdir dir);
   dir
 
-let config ?(mmap = false) dir =
+let config ?(mmap = false) ?(wal = false) dir =
   {
     Live_index.dir = Some dir;
     memtable_capacity = 4;
@@ -35,6 +35,8 @@ let config ?(mmap = false) dir =
     background_merge = false;
     mmap_segments = mmap;
     merge_parallelism = 2;
+    wal;
+    fsync_policy = Wal.Per_batch;
   }
 
 let hits live = Live_index.search ~k:max_int live scoring query
@@ -229,6 +231,367 @@ let test_orphan_cleanup () =
     (Sys.file_exists orphan_seg);
   Live_index.close reopened
 
+(* --- write-ahead log ---------------------------------------------------- *)
+
+(* "Crash" = abandon the handle without close/flush: nothing buffered
+   in the process survives except what the WAL (fsynced per batch)
+   already holds — exactly the kill -9 shape. *)
+
+(* The distinctive (non-filler) word of a recovered document. *)
+let doc_word live id =
+  let corpus = Live_index.corpus live in
+  let vocab = Pj_index.Corpus.vocab corpus in
+  let d = Pj_index.Corpus.document corpus id in
+  let words =
+    Array.map (Pj_text.Vocab.word vocab) d.Pj_text.Document.tokens
+  in
+  match Array.find_opt (fun w -> w <> "aa" && w <> "bb") words with
+  | Some w -> w
+  | None -> Alcotest.failf "doc %d has no distinctive word" id
+
+let test_wal_recovers_unflushed () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  (* Capacity is 4: three adds stay memtable-only, no segment, no
+     manifest — without the WAL every one of them would be lost. *)
+  for i = 0 to 2 do
+    ignore (Live_index.add live [| "aa"; Printf.sprintf "w%d" i; "bb" |])
+  done;
+  (match Live_index.delete live 1 with
+  | Ok () -> ()
+  | Error `Not_found -> Alcotest.fail "delete failed");
+  let want = hits live in
+  let want_gen = Live_index.generation live in
+  Alcotest.(check int) "nothing beyond the durable horizon" 0
+    (Live_index.stats live).Live_index.durable_lag;
+  (* crash *)
+  let reopened = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  Alcotest.(check bool) "acknowledged state recovered byte-identically" true
+    (hits reopened = want);
+  Alcotest.(check int) "generation recovered" want_gen
+    (Live_index.generation reopened);
+  Alcotest.(check int) "all three docs recovered" 3
+    (Live_index.stats reopened).Live_index.total_docs;
+  (* The recovered index keeps working and ids stay dense. *)
+  Alcotest.(check int) "ids continue densely" 3
+    (Live_index.add reopened [| "aa"; "bb"; "fresh" |]);
+  Live_index.close reopened
+
+let test_wal_rotation_across_flushes () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  (* 10 adds with capacity 4: two auto-flush rotations, two docs left
+     in the memtable covered only by the log. *)
+  for i = 0 to 9 do
+    ignore (Live_index.add live [| "aa"; Printf.sprintf "w%d" i; "bb" |])
+  done;
+  (match Live_index.delete live 3 with
+  | Ok () -> ()
+  | Error `Not_found -> Alcotest.fail "delete failed");
+  let want = hits live in
+  let want_gen = Live_index.generation live in
+  (* crash *)
+  let reopened = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  Alcotest.(check bool) "flushed + logged state recovered" true
+    (hits reopened = want);
+  Alcotest.(check int) "generation recovered" want_gen
+    (Live_index.generation reopened);
+  (* And the recovered state survives a second crash unchanged. *)
+  let again = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  Alcotest.(check bool) "idempotent re-recovery" true (hits again = want);
+  Live_index.close again;
+  Live_index.close reopened
+
+let test_wal_torn_tail_discarded () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  ignore (Live_index.add live [| "aa"; "bb"; "first" |]);
+  ignore (Live_index.add live [| "aa"; "bb"; "second" |]);
+  (* crash mid-append: a record's length prefix landed but its bytes
+     did not. *)
+  let path = Filename.concat dir Wal.filename in
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644 path
+  in
+  output_string oc "\x40\x00\x00\x00torn";
+  close_out oc;
+  let reopened = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  Alcotest.(check int) "intact prefix recovered" 2
+    (Live_index.stats reopened).Live_index.total_docs;
+  (* The torn bytes were truncated away: appends resume cleanly. *)
+  ignore (Live_index.add reopened [| "aa"; "bb"; "third" |]);
+  let want = hits reopened in
+  let again = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  Alcotest.(check bool) "recovery after truncation + append" true
+    (hits again = want);
+  Live_index.close again;
+  Live_index.close reopened;
+  Live_index.close live
+
+let test_wal_corrupt_record_stops_replay () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  ignore (Live_index.add live [| "aa"; "bb"; "first" |]);
+  ignore (Live_index.add live [| "aa"; "bb"; "second" |]);
+  (* Flip the last byte — inside the final record's CRC. *)
+  let path = Filename.concat dir Wal.filename in
+  let len = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd (len - 1) Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read (Unix.openfile path [ Unix.O_RDONLY ] 0o644) b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let reopened = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  Alcotest.(check int) "corrupt record and tail discarded" 1
+    (Live_index.stats reopened).Live_index.total_docs;
+  Alcotest.(check string) "surviving doc intact" "first" (doc_word reopened 0);
+  Live_index.close reopened;
+  Live_index.close live
+
+(* Crash at each WAL failpoint site: an operation that raised was
+   never acknowledged, so after recovery it must be absent or fully
+   present — never torn — while every acknowledged one survives. *)
+let test_wal_crash_sites () =
+  let expect_injected f =
+    match f () with
+    | _ -> Alcotest.fail "expected an injected fault"
+    | exception Pj_util.Failpoint.Injected _ -> ()
+  in
+  (* live.wal.append: fails before anything mutates — the doc must be
+     absent after recovery and the live process stays consistent. *)
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  ignore (Live_index.add live [| "aa"; "bb"; "acked" |]);
+  Fun.protect
+    ~finally:(fun () -> Pj_util.Failpoint.clear ())
+    (fun () ->
+      Pj_util.Failpoint.arm "live.wal.append" Pj_util.Failpoint.Fail;
+      expect_injected (fun () ->
+          Live_index.add live [| "aa"; "bb"; "unacked" |]));
+  let r = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  Alcotest.(check int) "append-crash: only the acked doc" 1
+    (Live_index.stats r).Live_index.total_docs;
+  Alcotest.(check string) "append-crash: acked doc intact" "acked"
+    (doc_word r 0);
+  Live_index.close r;
+  Live_index.close live;
+  (* live.wal.fsync: the op applied in memory but its record never
+     reached the file — after the crash it is absent; the earlier
+     acked doc survives. *)
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  ignore (Live_index.add live [| "aa"; "bb"; "acked" |]);
+  Fun.protect
+    ~finally:(fun () -> Pj_util.Failpoint.clear ())
+    (fun () ->
+      Pj_util.Failpoint.arm "live.wal.fsync" Pj_util.Failpoint.Fail;
+      expect_injected (fun () ->
+          Live_index.add live [| "aa"; "bb"; "unacked" |]));
+  let r = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  Alcotest.(check int) "fsync-crash: unacked doc absent" 1
+    (Live_index.stats r).Live_index.total_docs;
+  Alcotest.(check string) "fsync-crash: acked doc intact" "acked"
+    (doc_word r 0);
+  Live_index.close r;
+  Live_index.close live;
+  (* live.wal.rotate: fires inside flush after the manifest landed —
+     every acked doc is durable via the manifest; the stale log
+     replays as no-ops. *)
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  ignore (Live_index.add live [| "aa"; "bb"; "one" |]);
+  ignore (Live_index.add live [| "aa"; "bb"; "two" |]);
+  let want = hits live in
+  Fun.protect
+    ~finally:(fun () -> Pj_util.Failpoint.clear ())
+    (fun () ->
+      Pj_util.Failpoint.arm "live.wal.rotate" Pj_util.Failpoint.Fail;
+      expect_injected (fun () -> Live_index.flush live));
+  let r = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  Alcotest.(check bool) "rotate-crash: acked docs recovered" true
+    (hits r = want);
+  Alcotest.(check int) "rotate-crash: no duplicates from stale log" 2
+    (Live_index.stats r).Live_index.total_docs;
+  Live_index.close r;
+  Live_index.close live
+
+(* Opting out of the WAL retires the log: its records must not leak
+   into an epoch that reuses their doc ids. *)
+let test_wal_disabled_removes_log () =
+  let dir = fresh_dir () in
+  let live = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  ignore (Live_index.add live [| "aa"; "bb"; "logged" |]);
+  (* crash, then reopen with the WAL off: back to flush-barrier
+     semantics, so the unflushed doc is gone — and so is the log. *)
+  let plain = Live_index.open_dir ~config:(config dir) dir in
+  Alcotest.(check int) "unflushed doc lost without wal" 0
+    (Live_index.stats plain).Live_index.total_docs;
+  Alcotest.(check bool) "log removed" false
+    (Sys.file_exists (Filename.concat dir Wal.filename));
+  ignore (Live_index.add plain [| "aa"; "bb"; "fresh" |]);
+  ignore (Live_index.flush plain);
+  Live_index.close plain;
+  (* Re-enabling must not resurrect the old epoch's records. *)
+  let again = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+  Alcotest.(check int) "old records not resurrected" 1
+    (Live_index.stats again).Live_index.total_docs;
+  Alcotest.(check string) "the new epoch's doc" "fresh" (doc_word again 0);
+  Live_index.close again;
+  Live_index.close live
+
+(* Satellite: tmp droppings are cleaned even before the first flush
+   ever writes a manifest. *)
+let test_tmp_cleanup_without_manifest () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let planted = Filename.concat dir "MANIFEST.tmp" in
+  let oc = open_out planted in
+  output_string oc "junk";
+  close_out oc;
+  let live = Live_index.open_dir ~config:(config dir) dir in
+  Alcotest.(check bool) "tmp removed with no manifest present" false
+    (Sys.file_exists planted);
+  Live_index.close live
+
+(* The chaos oracle: a randomized op stream with kill points injected
+   at every durability-relevant site. After each simulated crash the
+   reopened index must (a) contain every acknowledged add, intact;
+   (b) hide every acknowledged delete; (c) contain nothing that was
+   never attempted — and its hit list must be byte-identical to a
+   from-scratch in-memory index over the recovered documents. *)
+let test_wal_chaos_oracle () =
+  let sites =
+    [| "live.wal.append"; "live.wal.fsync"; "live.wal.rotate";
+       "live.flush"; "live.manifest" |]
+  in
+  let rng = Random.State.make [| 0xC4A05 |] in
+  let dir = fresh_dir () in
+  let uniq = ref 0 in
+  let fresh_word () =
+    incr uniq;
+    (* letters only, so tokenization concerns never intrude *)
+    let b = Buffer.create 8 in
+    Buffer.add_string b "u";
+    let n = ref !uniq in
+    while !n > 0 do
+      Buffer.add_char b (Char.chr (Char.code 'a' + (!n mod 26)));
+      n := !n / 26
+    done;
+    Buffer.contents b
+  in
+  (* Truth as of the last crash boundary, plus this epoch's fates. *)
+  let attempted_adds = Hashtbl.create 64 in
+  let acked_adds = ref [] in
+  let acked_dels = ref [] in
+  let attempted_dels = ref [] in
+  for _epoch = 1 to 12 do
+    Pj_util.Failpoint.clear ();
+    let live = Live_index.open_dir ~config:(config ~wal:true dir) dir in
+    let corpus = Live_index.corpus live in
+    let n = Pj_index.Corpus.size corpus in
+    let word_of id = doc_word live id in
+    let present =
+      List.map (fun h -> h.Pj_engine.Searcher.doc_id) (hits live)
+    in
+    let present_words = List.map word_of present in
+    (* (a) acknowledged adds survive, unless acked-deleted (an
+       attempted-but-failed delete may legitimately have landed). *)
+    List.iter
+      (fun w ->
+        if List.mem w !acked_dels then ()
+        else if List.mem w !attempted_dels then ()
+        else
+          Alcotest.(check bool)
+            (Printf.sprintf "acked doc %s present after crash" w)
+            true (List.mem w present_words))
+      !acked_adds;
+    (* (b) acknowledged deletes stay deleted. *)
+    List.iter
+      (fun w ->
+        Alcotest.(check bool)
+          (Printf.sprintf "acked delete of %s honored" w)
+          false (List.mem w present_words))
+      !acked_dels;
+    (* (c) nothing torn or invented: every recovered doc was an
+       attempted add with exactly these tokens. *)
+    for id = 0 to n - 1 do
+      let d = Pj_index.Corpus.document corpus id in
+      let vocab = Pj_index.Corpus.vocab corpus in
+      let words =
+        Array.map (Pj_text.Vocab.word vocab) d.Pj_text.Document.tokens
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "doc %d is an attempted add, untorn" id)
+        true
+        (Array.length words = 3
+        && words.(0) = "aa" && words.(2) = "bb"
+        && Hashtbl.mem attempted_adds words.(1))
+    done;
+    (* Byte-identical to a from-scratch index over the recovered
+       state. *)
+    let oracle = Live_index.create () in
+    for id = 0 to n - 1 do
+      let d = Pj_index.Corpus.document corpus id in
+      let vocab = Pj_index.Corpus.vocab corpus in
+      ignore
+        (Live_index.add oracle
+           (Array.map (Pj_text.Vocab.word vocab) d.Pj_text.Document.tokens))
+    done;
+    for id = 0 to n - 1 do
+      if not (List.mem id present) then
+        match Live_index.delete oracle id with
+        | Ok () | Error `Not_found -> ()
+    done;
+    Alcotest.(check bool) "recovered hits = from-scratch hits" true
+      (hits live = hits oracle);
+    Live_index.close oracle;
+    (* The recovered state is the new ground truth. *)
+    acked_adds := present_words;
+    acked_dels := [];
+    attempted_dels := [];
+    (* New epoch: random ops under randomly armed kill points. *)
+    for _op = 1 to 8 do
+      let armed =
+        if Random.State.int rng 10 < 4 then begin
+          let s = sites.(Random.State.int rng (Array.length sites)) in
+          Pj_util.Failpoint.arm s Pj_util.Failpoint.Fail;
+          Some s
+        end
+        else None
+      in
+      (match Random.State.int rng 10 with
+      | 0 | 1 | 2 | 3 | 4 | 5 -> begin
+          let w = fresh_word () in
+          Hashtbl.replace attempted_adds w ();
+          match Live_index.add live [| "aa"; w; "bb" |] with
+          | _ -> acked_adds := w :: !acked_adds
+          | exception _ -> ()
+        end
+      | 6 | 7 -> begin
+          let ids =
+            List.map (fun h -> h.Pj_engine.Searcher.doc_id) (hits live)
+          in
+          match ids with
+          | [] -> ()
+          | _ -> begin
+              let id = List.nth ids (Random.State.int rng (List.length ids)) in
+              let w = word_of id in
+              attempted_dels := w :: !attempted_dels;
+              match Live_index.delete live id with
+              | Ok () -> acked_dels := w :: !acked_dels
+              | Error `Not_found -> ()
+              | exception _ -> ()
+            end
+        end
+      | _ -> ( try ignore (Live_index.flush live) with _ -> ()));
+      match armed with Some _ -> Pj_util.Failpoint.clear () | None -> ()
+    done
+    (* crash: abandon [live] without close or flush *)
+  done;
+  Pj_util.Failpoint.clear ()
+
 let suite =
   [
     Alcotest.test_case "roundtrip is byte-identical" `Quick test_roundtrip;
@@ -244,4 +607,19 @@ let suite =
       test_v1_segments_still_load;
     Alcotest.test_case "mmap open failure falls back to heap rebuild" `Quick
       test_mmap_open_failure_falls_back;
+    Alcotest.test_case "wal recovers unflushed writes" `Quick
+      test_wal_recovers_unflushed;
+    Alcotest.test_case "wal rotates across flushes" `Quick
+      test_wal_rotation_across_flushes;
+    Alcotest.test_case "wal torn tail discarded" `Quick
+      test_wal_torn_tail_discarded;
+    Alcotest.test_case "wal corrupt record stops replay" `Quick
+      test_wal_corrupt_record_stops_replay;
+    Alcotest.test_case "wal crash at every failpoint site" `Quick
+      test_wal_crash_sites;
+    Alcotest.test_case "disabling the wal retires the log" `Quick
+      test_wal_disabled_removes_log;
+    Alcotest.test_case "tmp cleanup without a manifest" `Quick
+      test_tmp_cleanup_without_manifest;
+    Alcotest.test_case "wal chaos oracle" `Quick test_wal_chaos_oracle;
   ]

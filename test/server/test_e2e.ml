@@ -503,6 +503,131 @@ let test_concurrent_adddoc_batched () =
           Alcotest.(check bool) "post-burst search answers" true
             (String.length answer >= 6 && String.sub answer 0 5 = "HITS ")))
 
+(* Satellite: the batcher's leader-crash path. A [worker.job] panic
+   kills the worker domain executing the leader's [add_batch]; the
+   pool answers the task [Error], the batcher fans ERR out to every
+   waiter — nobody hangs on a dead leader — and once the supervisor
+   respawns the worker the server keeps serving. *)
+let test_batched_ingest_leader_crash () =
+  with_live_server (fun server _live ->
+      let port = Server.port server in
+      let n_clients = 6 in
+      let replies = Array.make n_clients "" in
+      Pj_util.Failpoint.arm "worker.job" Pj_util.Failpoint.Panic;
+      Fun.protect
+        ~finally:(fun () -> Pj_util.Failpoint.clear ())
+        (fun () ->
+          let client c =
+            let conn = connect port in
+            Fun.protect
+              ~finally:(fun () -> close conn)
+              (fun () ->
+                replies.(c) <-
+                  request conn (Printf.sprintf "ADDDOC doomed batch c%d" c))
+          in
+          let threads = List.init n_clients (fun c -> Thread.create client c) in
+          List.iter Thread.join threads);
+      (* Every waiter got an answer — ERR, not a hang — and it is one
+         clean line (the panic's exception message went through the
+         sanitizer). *)
+      Array.iteri
+        (fun c line ->
+          Alcotest.(check bool)
+            (Printf.sprintf "client %d answered ERR, not a hang (got %S)" c
+               line)
+            true
+            (String.length line >= 4 && String.sub line 0 4 = "ERR ");
+          Alcotest.(check bool)
+            (Printf.sprintf "client %d got a single clean line" c)
+            false
+            (String.exists (fun ch -> ch < ' ' || ch = '\x7f') line))
+        replies;
+      (* The pool respawned: ingest and search still work. *)
+      let conn = connect port in
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () ->
+          let rec retry n =
+            let line = request conn "ADDDOC alive again after the crash" in
+            if String.length line >= 6 && String.sub line 0 6 = "ADDED " then
+              line
+            else if n = 0 then
+              Alcotest.failf "server never recovered: %S" line
+            else begin
+              Thread.delay 0.02;
+              retry (n - 1)
+            end
+          in
+          ignore (retry 100);
+          let answer = request conn (search_line (List.hd queries)) in
+          Alcotest.(check bool) "post-crash search answers" true
+            (String.length answer >= 6 && String.sub answer 0 5 = "HITS ")))
+
+(* The [try execute] guard itself: an exception raised inside the
+   leader's execution path (here: the post-commit [on_batch] hook, via
+   a printer that emits control characters) must fan out as one
+   sanitized ERR line per waiter, never escape into the leader's
+   connection thread, and never leave the batcher wedged. *)
+exception Hook_boom
+
+let () =
+  Printexc.register_printer (function
+    | Hook_boom -> Some "hook exploded\nwith a second line\tand a tab"
+    | _ -> None)
+
+let test_batcher_execute_guard () =
+  let config =
+    {
+      Pj_live.Live_index.default_config with
+      memtable_capacity = 64;
+      background_merge = false;
+    }
+  in
+  let live = Pj_live.Live_index.create ~config () in
+  let pool =
+    Worker_pool.create ~domains:2 ~queue_capacity:16
+      (Worker_pool.of_live live)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Worker_pool.shutdown pool;
+      Pj_live.Live_index.close live)
+    (fun () ->
+      let batcher =
+        Ingest_batcher.create
+          ~on_batch:(fun ~size:_ -> raise Hook_boom)
+          pool live
+      in
+      let n = 4 in
+      let replies = Array.make n "" in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () ->
+                replies.(i) <-
+                  Ingest_batcher.submit batcher [| "doc"; string_of_int i |])
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i line ->
+          Alcotest.(check bool)
+            (Printf.sprintf "waiter %d got ERR (got %S)" i line)
+            true
+            (String.length line >= 4 && String.sub line 0 4 = "ERR ");
+          Alcotest.(check bool)
+            (Printf.sprintf "waiter %d's ERR is one sanitized line" i)
+            false
+            (String.exists (fun ch -> ch < ' ' || ch = '\x7f') line))
+        replies;
+      (* Not wedged: a batcher whose hook behaves again acks normally. *)
+      let calm =
+        Ingest_batcher.create ~on_batch:(fun ~size:_ -> ()) pool live
+      in
+      let line = Ingest_batcher.submit calm [| "calm"; "doc" |] in
+      Alcotest.(check bool) "subsequent submit acks" true
+        (String.length line >= 6 && String.sub line 0 6 = "ADDED "))
+
 let test_ingest_refused_without_live () =
   (* A read-only server (no --live) answers every ingest verb with ERR
      and keeps serving searches. *)
@@ -535,5 +660,7 @@ let suite =
     ("e2e: live ingest over socket", `Quick, test_live_ingest_over_socket);
     ("e2e: live stats accounting", `Quick, test_live_stats_accounting);
     ("e2e: concurrent ADDDOC group commit", `Quick, test_concurrent_adddoc_batched);
+    ("e2e: batched ingest leader crash", `Quick, test_batched_ingest_leader_crash);
+    ("e2e: batcher execute guard", `Quick, test_batcher_execute_guard);
     ("e2e: ingest refused without --live", `Quick, test_ingest_refused_without_live);
   ]

@@ -233,8 +233,34 @@ let test_stats_request_accounting () =
   Alcotest.(check int) "degraded responses" 1 s.Metrics.degraded;
   Alcotest.(check int) "failed shard legs" 2 s.Metrics.shard_failures
 
+(* Satellite regression: ERR payloads come from arbitrary exception
+   messages — a reason containing a newline used to be flattened, but
+   other control bytes (tabs, NUL, escapes) sailed straight into the
+   one-line framing. Every run of whitespace/control bytes must
+   collapse to a single space. *)
+let test_err_sanitized () =
+  Alcotest.(check string) "plain reason untouched" "ERR no such document 5"
+    (Protocol.err "no such document 5");
+  Alcotest.(check string) "newline cannot inject a phantom line"
+    "ERR boom injected line"
+    (Protocol.err "boom\ninjected line");
+  Alcotest.(check string) "CRLF and tab runs collapse" "ERR a b c"
+    (Protocol.err "a\t\tb\r\nc");
+  Alcotest.(check string) "NUL and DEL collapse" "ERR x y"
+    (Protocol.err "x\x00\x7fy");
+  (* The ESC byte itself is neutralized; the printable remainder of an
+     ANSI sequence is harmless text. *)
+  Alcotest.(check string) "escape byte neutralized" "ERR red [31m text"
+    (Protocol.err "red\x1b[31m text");
+  Alcotest.(check string) "leading/trailing runs trimmed" "ERR inner words"
+    (Protocol.err "  \ninner words\r\n");
+  let sanitized = Protocol.err "a\nmulti\nline\nexception\n" in
+  Alcotest.(check bool) "never more than one line" false
+    (String.contains sanitized '\n' || String.contains sanitized '\r')
+
 let suite =
   [
+    ("protocol: err payloads sanitized to one line", `Quick, test_err_sanitized);
     ("protocol: simple commands", `Quick, test_simple_commands);
     ("protocol: search ok", `Quick, test_search_ok);
     ("protocol: malformed", `Quick, test_search_malformed);

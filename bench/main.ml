@@ -13,7 +13,7 @@ let available =
     "fig2_ablation"; "max_ablation"; "dedup_ablation"; "byloc_ablation";
     "switch_ablation"; "winvalid_ablation"; "stream_ablation";
     "search_ablation"; "parallel_ablation"; "alpha_ablation"; "daat";
-    "shard"; "topk"; "failpoint"; "ingest"; "storage"; "bechamel";
+    "shard"; "topk"; "failpoint"; "ingest"; "storage"; "cluster"; "bechamel";
   ]
 
 let run_experiments ~quick ~only ~csv =
@@ -61,6 +61,7 @@ let run_experiments ~quick ~only ~csv =
   if selected "failpoint" then Failpoint_bench.run ~quick ~repetitions;
   if selected "ingest" then Ingest_bench.run ~quick ~repetitions;
   if selected "storage" then Storage_bench.run ~quick ~repetitions;
+  if selected "cluster" then Load_bench.run ~quick ~repetitions;
   if selected "bechamel" then
     Bechamel_suite.run ~quota_s:(if quick then 0.1 else 0.25);
   Runs.set_csv_dir None;

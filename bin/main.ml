@@ -566,9 +566,20 @@ let run_serve file index_path host port domains queue cache deadline_ms
       deadline_s = deadline_ms /. 1000.;
       drain_s = drain_ms /. 1000.;
       log_every_s = log_every;
+      binary_inflight =
+        Pj_server.Server.default_config.Pj_server.Server.binary_inflight;
     }
   in
-  let server = Pj_server.Server.start ~config ?live:live_index ~graph search in
+  (* Static servers advertise their document count in STATS ([docs=])
+     so a router can derive doc-id bases; live servers already do. *)
+  let n_docs =
+    match live_index with
+    | None -> Some (Pj_index.Corpus.size corpus)
+    | Some _ -> None
+  in
+  let server =
+    Pj_server.Server.start ~config ?live:live_index ?n_docs ~graph search
+  in
   (* SIGTERM/SIGINT trigger a graceful drain. The handler hands the
      (blocking) [Server.stop] to a fresh thread — a handler must not
      block. Subtlety: OCaml only runs signal handlers when some thread
@@ -629,6 +640,120 @@ let run_serve file index_path host port domains queue cache deadline_ms
   (match live_index with
   | Some index -> Pj_live.Live_index.close index
   | None -> ());
+  Printf.printf "proxjoin: shut down cleanly\n%!"
+
+(* --- serve-router: scatter-gather front-end over shard servers --------- *)
+
+let run_serve_router host port backends replicas cache deadline_ms drain_ms
+    log_every binary_inflight =
+  let parse_spec s =
+    match Pj_cluster.Router.spec_of_string s with
+    | Ok spec -> spec
+    | Error msg -> failwith ("serve-router: " ^ msg)
+  in
+  if backends = [] then
+    failwith "serve-router needs at least one --backend HOST:PORT[@BASE]";
+  let primaries = List.map parse_spec backends in
+  let n = List.length primaries in
+  let replicas_per_leg = Array.make n [] in
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | None ->
+          failwith
+            (Printf.sprintf
+               "serve-router: bad --replica %S (want LEG=HOST:PORT, LEG a \
+                0-based --backend index)"
+               spec)
+      | Some i -> (
+          let leg = String.sub spec 0 i in
+          let hp = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt leg with
+          | Some l when l >= 0 && l < n ->
+              replicas_per_leg.(l) <- replicas_per_leg.(l) @ [ parse_spec hp ]
+          | _ ->
+              failwith
+                (Printf.sprintf
+                   "serve-router: --replica %S names leg %s, but there are %d \
+                    --backend legs (0..%d)"
+                   spec leg n (n - 1))))
+    replicas;
+  let legs = List.mapi (fun i p -> (p, replicas_per_leg.(i))) primaries in
+  let router =
+    match Pj_cluster.Router.create ~legs () with
+    | Ok r -> r
+    | Error msg -> failwith ("serve-router: " ^ msg)
+  in
+  let config =
+    {
+      Pj_server.Server.host;
+      port;
+      (* The router does no local scoring: its worker pool exists only
+         because a server has one. Keep it minimal. *)
+      domains = 1;
+      queue_capacity = 1;
+      cache_capacity = cache;
+      deadline_s = deadline_ms /. 1000.;
+      drain_s = drain_ms /. 1000.;
+      log_every_s = log_every;
+      binary_inflight;
+    }
+  in
+  let graph = Pj_ontology.Mini_wordnet.create () in
+  let never_searches ~scoring:_ ~k:_ ~deadline:_ _query =
+    (* Unreachable: the forward hook intercepts every SEARCH before
+       the pool, and ingest verbs answer ERR (no --live). *)
+    Ok ([], [])
+  in
+  let server =
+    Pj_server.Server.start ~config
+      ~forward:(Pj_cluster.Router.search router)
+      ~extra_stats:(fun () -> Pj_cluster.Router.stats_extra router)
+      ~graph never_searches
+  in
+  let stopper = ref None in
+  let stop_started = Atomic.make false in
+  let on_signal _ =
+    if not (Atomic.exchange stop_started true) then
+      stopper :=
+        Some (Thread.create (fun () -> Pj_server.Server.stop server) ())
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  (* Same heartbeat as serve: signal handlers only run when a thread
+     executes OCaml code. *)
+  let _heartbeat =
+    Thread.create
+      (fun () ->
+        while true do
+          Thread.delay 0.1
+        done)
+      ()
+  in
+  let n_backends =
+    List.fold_left (fun acc (_, rs) -> acc + 1 + List.length rs) 0 legs
+  in
+  Printf.printf
+    "proxjoin routing %d leg%s (%d backend%s) on %s:%d (deadline %.0f ms, \
+     drain %.0f ms, cache %d)\n\
+     %!"
+    n
+    (if n = 1 then "" else "s")
+    n_backends
+    (if n_backends = 1 then "" else "s")
+    host
+    (Pj_server.Server.port server)
+    deadline_ms drain_ms cache;
+  Pj_server.Server.wait server;
+  let rec join_stopper () =
+    match !stopper with
+    | Some th -> Thread.join th
+    | None ->
+        Thread.delay 0.01;
+        join_stopper ()
+  in
+  join_stopper ();
+  Pj_cluster.Router.close router;
   Printf.printf "proxjoin: shut down cleanly\n%!"
 
 (* --- bench-serve: loopback load generator ------------------------------ *)
@@ -968,6 +1093,77 @@ let serve_cmd =
        $ log_every $ shards_arg $ live $ live_dir $ memtable $ mmap_segments
        $ merge_par $ blockmax_arg $ wal $ fsync_policy))
 
+let serve_router_cmd =
+  let backends =
+    Arg.(
+      value & opt_all string []
+      & info [ "backend"; "b" ] ~docv:"HOST:PORT[@BASE]"
+          ~doc:
+            "A shard-server leg, in corpus order (repeatable). Each leg \
+             serves a contiguous doc-id slice; hits are rebased by BASE, \
+             which defaults to the cumulative docs= (from STATS) of the \
+             preceding legs — so N plain backends partition the corpus in \
+             the order given.")
+  in
+  let replicas =
+    Arg.(
+      value & opt_all string []
+      & info [ "replica" ] ~docv:"LEG=HOST:PORT"
+          ~doc:
+            "A replica of leg LEG (0-based $(b,--backend) index, \
+             repeatable): a backend serving the same doc slice, tried in \
+             order when the leg's primary fails, before the query degrades.")
+  in
+  let cache =
+    Arg.(value & opt int 1024 & info [ "cache" ] ~doc:"Result-cache entries.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 2000.
+      & info [ "deadline-ms" ]
+          ~doc:"Per-query wall-clock budget across scatter, retries and merge (ms).")
+  in
+  let drain =
+    Arg.(
+      value & opt float 5000.
+      & info [ "drain-ms" ]
+          ~doc:
+            "On SIGTERM/SIGINT, how long in-flight requests may finish \
+             before connections are force-closed (ms).")
+  in
+  let log_every =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "log-every" ] ~docv:"SECONDS" ~doc:"Periodic stats line on stderr.")
+  in
+  let binary_inflight =
+    Arg.(
+      value & opt int 32
+      & info [ "binary-inflight" ] ~docv:"N"
+          ~doc:
+            "Per-connection in-flight cap on the binary wire before the \
+             router stops reading that client's socket.")
+  in
+  let run host port backends replicas cache deadline drain log_every
+      binary_inflight =
+    wrap (fun () ->
+        run_serve_router host port backends replicas cache deadline drain
+          log_every binary_inflight)
+  in
+  Cmd.v
+    (Cmd.info "serve-router"
+       ~doc:
+         "Serve top-k queries by scatter-gathering over shard-server \
+          backends (pipelined binary connections), merging the exact top-k \
+          of surviving legs, and failing broken legs over to --replica \
+          backends before answering OK-DEGRADED. Speaks the same text + \
+          binary protocol as serve; STATS adds per-backend health.")
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg ~default:7080 $ backends $ replicas
+       $ cache $ deadline $ drain $ log_every $ binary_inflight))
+
 let bench_serve_cmd =
   let clients =
     Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Concurrent connections.")
@@ -1061,6 +1257,7 @@ let main =
       compact_cmd;
       inspect_cmd;
       serve_cmd;
+      serve_router_cmd;
       bench_serve_cmd;
     ]
 

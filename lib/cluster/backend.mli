@@ -1,0 +1,73 @@
+(** One shard-server backend as seen from the router: a persistent,
+    pipelined binary-protocol connection plus health accounting.
+
+    Many router threads submit concurrently; requests are written to
+    one connection tagged with fresh request ids, and a reader thread
+    demultiplexes response frames to the waiting threads — so a
+    backend connection carries as many in-flight requests as the
+    router has concurrent queries, with no per-request connect.
+
+    Failure model: any connection-level failure (connect refused,
+    write error, torn/corrupt frame, EOF) fails {e every} in-flight
+    request on that connection with [Down] and drops the connection;
+    the next submit reconnects. A request whose deadline passes
+    first resolves [Timed_out] (a response arriving later is
+    discarded by id). The failpoint site [router.connect] fires
+    before every (re)connect attempt.
+
+    A circuit breaker keeps a dead backend cheap: after 3 consecutive
+    failures, reconnects are attempted at most once per 50 ms and
+    submits inside the cooldown resolve [Down] immediately — the
+    failure path must cost less than the success path, or a dead
+    backend would serialize every request behind futile TCP connects.
+    Any success closes the breaker. *)
+
+type t
+
+type outcome =
+  | Line of string  (** the backend's response line, verbatim *)
+  | Down of string  (** connection-level failure; the reason *)
+  | Timed_out  (** deadline passed with no response *)
+
+type waiter
+(** A pending request: submitted, not yet resolved. *)
+
+val create : host:string -> port:int -> t
+(** No connection is attempted until the first {!submit}. *)
+
+val name : t -> string
+(** ["host:port"]. *)
+
+val submit : t -> line:string -> deadline:float -> waiter
+(** Write one request frame (connecting first if needed) and return
+    its waiter. A waiter is always returned: connect/write failures
+    resolve it [Down] immediately. [deadline] is absolute monotonic
+    time; a timer resolves the waiter [Timed_out] shortly after it
+    passes. Never blocks past the write itself — scatter over many
+    backends by submitting to all, then awaiting each. *)
+
+val await : waiter -> outcome
+(** Block until the waiter resolves (response, failure, or deadline —
+    the deadline guarantees this terminates). Idempotent. *)
+
+val request : t -> line:string -> deadline:float -> outcome
+(** [await (submit ...)]. *)
+
+val fetch_docs : t -> deadline:float -> (int, string) result
+(** Ask the backend for its STATS line and extract [docs=] — the
+    document count a router needs to derive doc-id bases. *)
+
+type health = {
+  up : bool;  (** a connection is currently established *)
+  requests : int;
+  failures : int;  (** requests resolved [Down] or [Timed_out] *)
+  consecutive_failures : int;  (** reset by any success *)
+  p50_ms : float;  (** round-trip latency of successful requests *)
+  p99_ms : float;
+}
+
+val health : t -> health
+
+val close : t -> unit
+(** Fail in-flight requests, drop the connection, join the reader and
+    timer threads. Subsequent submits resolve [Down]. *)

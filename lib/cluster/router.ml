@@ -1,0 +1,258 @@
+module Protocol = Pj_server.Protocol
+module Server = Pj_server.Server
+
+type spec = { host : string; port : int; base : int option }
+
+let spec_of_string s =
+  let parse_hostport hp =
+    match String.rindex_opt hp ':' with
+    | None -> Error (Printf.sprintf "bad backend %S (want HOST:PORT[@BASE])" s)
+    | Some i -> (
+        let host = String.sub hp 0 i in
+        let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+        | _ -> Error (Printf.sprintf "bad backend port in %S" s))
+  in
+  match String.index_opt s '@' with
+  | None ->
+      Result.map (fun (host, port) -> { host; port; base = None })
+        (parse_hostport s)
+  | Some i -> (
+      let hp = String.sub s 0 i in
+      let b = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt b with
+      | Some b when b >= 0 ->
+          Result.map
+            (fun (host, port) -> { host; port; base = Some b })
+            (parse_hostport hp)
+      | _ -> Error (Printf.sprintf "bad doc-id base in %S (want an int >= 0)" s))
+
+type leg = {
+  base : int;
+  backends : Backend.t array;  (* primary at 0, replicas after *)
+}
+
+type t = {
+  legs : leg array;
+  retries : int Atomic.t;
+  failovers : int Atomic.t;
+}
+
+let n_legs t = Array.length t.legs
+let backend_retries t = Atomic.get t.retries
+let failovers t = Atomic.get t.failovers
+
+let close t =
+  Array.iter (fun leg -> Array.iter Backend.close leg.backends) t.legs
+
+let create ?(connect_deadline_s = 5.) ~legs () =
+  if legs = [] then Error "a router needs at least one --backend"
+  else begin
+    let all =
+      List.map
+        (fun ((p : spec), replicas) ->
+          ( p,
+            Backend.create ~host:p.host ~port:p.port,
+            List.map
+              (fun (r : spec) -> Backend.create ~host:r.host ~port:r.port)
+              replicas ))
+        legs
+    in
+    let close_all () =
+      List.iter
+        (fun (_, b, rs) ->
+          Backend.close b;
+          List.iter Backend.close rs)
+        all
+    in
+    (* Doc-id bases: explicit @BASE wins; otherwise accumulate each
+       leg's docs= in order. Deriving needs every *predecessor's* doc
+       count, so a leg whose successors are all explicit never gets
+       asked. A leg's count may come from any of its backends — they
+       serve the same slice. *)
+    let rec resolve acc_base resolved = function
+      | [] -> Ok (List.rev resolved)
+      | ((p : spec), primary, replicas) :: rest ->
+          let base = match p.base with Some b -> b | None -> acc_base in
+          let next_needs_derived =
+            List.exists (fun ((s : spec), _, _) -> s.base = None) rest
+          in
+          let docs =
+            if not next_needs_derived then Ok 0
+            else begin
+              let deadline =
+                Pj_util.Timing.monotonic_now () +. connect_deadline_s
+              in
+              let rec first_ok errs = function
+                | [] ->
+                    Error
+                      (Printf.sprintf "cannot size leg %s: %s"
+                         (Backend.name primary)
+                         (String.concat "; " (List.rev errs)))
+                | b :: bs -> (
+                    match Backend.fetch_docs b ~deadline with
+                    | Ok n -> Ok n
+                    | Error e -> first_ok (e :: errs) bs)
+              in
+              first_ok [] (primary :: replicas)
+            end
+          in
+          (match docs with
+          | Error e -> Error e
+          | Ok n ->
+              resolve (base + n)
+                ({ base; backends = Array.of_list (primary :: replicas) }
+                :: resolved)
+                rest)
+    in
+    match resolve 0 [] all with
+    | Error e ->
+        close_all ();
+        Error e
+    | Ok legs ->
+        Ok
+          {
+            legs = Array.of_list legs;
+            retries = Atomic.make 0;
+            failovers = Atomic.make 0;
+          }
+  end
+
+(* Re-render the client's (already validated) request for the legs.
+   Alpha at exact precision so the leg scores a bit-identical query;
+   terms are forwarded as the original specs. Every leg gets the same
+   k as the client — the exactness of the merge depends on it. *)
+let leg_line (sr : Protocol.search_request) =
+  Printf.sprintf "SEARCH %s %.17g %d %s" sr.Protocol.family sr.Protocol.alpha
+    sr.Protocol.k
+    (String.concat " " sr.Protocol.terms)
+
+(* One leg attempt's verdict over a backend response line. *)
+type attempt =
+  | Hits of (int * float) list
+  | Leg_timeout
+  | Leg_failed of string
+
+let classify = function
+  | Backend.Timed_out -> Leg_timeout
+  | Backend.Down reason -> Leg_failed reason
+  | Backend.Line line -> (
+      if line = Protocol.timeout then Leg_timeout
+      else
+        match Protocol.parse_hits line with
+        | Ok pairs -> Hits pairs
+        | Error _ ->
+            (* BUSY, ERR, or a backend that is itself OK-DEGRADED: its
+               slice would be silently incomplete, which would turn our
+               "exact top-k of survivors" into a lie — fail the leg
+               (and let the replica chain try for a complete answer). *)
+            Leg_failed ("backend answered: " ^ line))
+
+let search t (sr : Protocol.search_request) ~deadline =
+  let line = leg_line sr in
+  let n = Array.length t.legs in
+  (* Scatter: one pipelined submit per leg; no thread is spawned —
+     concurrency comes from all frames being in flight before the
+     first await. [router.leg.N] can fail the attempt pre-submit. *)
+  let scattered =
+    Array.mapi
+      (fun i leg ->
+        match Pj_util.Failpoint.hit (Printf.sprintf "router.leg.%d" i) with
+        | () -> `Waiter (Backend.submit leg.backends.(0) ~line ~deadline)
+        | exception Pj_util.Failpoint.Injected site ->
+            `Failed (Printf.sprintf "failpoint %s" site))
+      t.legs
+  in
+  (* Gather, with failover: a failed attempt walks the replica chain
+     with whatever deadline budget remains. Sequential within a leg,
+     but other legs' responses are already in flight. *)
+  let gather i =
+    let leg = t.legs.(i) in
+    let first =
+      match scattered.(i) with
+      | `Waiter w -> classify (Backend.await w)
+      | `Failed reason -> Leg_failed reason
+    in
+    let rec failover attempt ri =
+      match attempt with
+      | Hits pairs -> Hits pairs
+      | Leg_timeout | Leg_failed _ ->
+          if ri >= Array.length leg.backends then attempt
+          else if Pj_util.Timing.monotonic_now () >= deadline then attempt
+          else begin
+            Atomic.incr t.retries;
+            match Pj_util.Failpoint.hit "router.retry" with
+            | exception Pj_util.Failpoint.Injected site ->
+                failover (Leg_failed (Printf.sprintf "failpoint %s" site))
+                  (ri + 1)
+            | () ->
+                let next =
+                  classify
+                    (Backend.request leg.backends.(ri) ~line ~deadline)
+                in
+                (match next with
+                | Hits _ -> Atomic.incr t.failovers
+                | _ -> ());
+                failover next (ri + 1)
+          end
+    in
+    failover first 1
+  in
+  let outcomes = Array.init n gather in
+  let survivors = ref [] and failed = ref [] and timeouts = ref 0 in
+  Array.iteri
+    (fun i -> function
+      | Hits pairs ->
+          let base = t.legs.(i).base in
+          survivors :=
+            List.rev_append
+              (List.rev_map (fun (id, score) -> (id + base, score)) pairs)
+              !survivors
+      | Leg_timeout ->
+          incr timeouts;
+          failed := i :: !failed
+      | Leg_failed _ -> failed := i :: !failed)
+    outcomes;
+  let failed = List.rev !failed in
+  if List.length failed = n && !timeouts = n then Server.Forwarded_timeout
+  else begin
+    (* Exact top-k of the survivor set: every leg returned its local
+       top-k for the same k, so one sort of the union suffices — the
+       searcher's order, score desc then doc id asc. *)
+    let merged =
+      List.sort
+        (fun (i1, s1) (i2, s2) ->
+          match compare s2 s1 with 0 -> compare i1 i2 | c -> c)
+        !survivors
+    in
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: tl -> x :: take (k - 1) tl
+    in
+    let top = take sr.Protocol.k merged in
+    if failed = [] then Server.Forwarded_hits top
+    else Server.Forwarded_degraded (top, failed)
+  end
+
+let stats_extra t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "router_legs=%d backend_retries=%d failovers=%d"
+    (Array.length t.legs) (Atomic.get t.retries) (Atomic.get t.failovers);
+  Array.iteri
+    (fun li leg ->
+      Array.iteri
+        (fun bi b ->
+          let h = Backend.health b in
+          Printf.bprintf buf
+            " backend.%d.%d=%s backend.%d.%d.up=%d backend.%d.%d.requests=%d \
+             backend.%d.%d.failures=%d backend.%d.%d.p50_ms=%.3f \
+             backend.%d.%d.p99_ms=%.3f"
+            li bi (Backend.name b) li bi
+            (if h.Backend.up then 1 else 0)
+            li bi h.Backend.requests li bi h.Backend.failures li bi
+            h.Backend.p50_ms li bi h.Backend.p99_ms)
+        leg.backends)
+    t.legs;
+  Buffer.contents buf

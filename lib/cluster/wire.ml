@@ -1,0 +1,49 @@
+type read_result = Frame of Frame.t | Closed | Bad of Frame.error
+
+(* [really_input_string] raises [End_of_file] whether zero or some
+   bytes arrived; distinguishing a clean close from a torn frame needs
+   byte-at-a-time accounting only for the first header byte. *)
+let read_exact ic n =
+  match really_input_string ic n with
+  | s -> Some s
+  | exception End_of_file -> None
+
+let read ?(max_body = Frame.max_body_bytes) ic =
+  match input_char ic with
+  | exception End_of_file -> Closed
+  | first -> begin
+      match read_exact ic (Frame.header_bytes - 1) with
+      | None -> Bad (Frame.Truncated "frame header")
+      | Some rest -> begin
+          let header = String.make 1 first ^ rest in
+          match Frame.decode_body_length header ~pos:0 with
+          | Error e -> Bad e
+          | Ok len when len > max_body -> Bad (Frame.Oversized len)
+          | Ok len -> begin
+              match read_exact ic (len + Frame.trailer_bytes) with
+              | None -> Bad (Frame.Truncated "frame body")
+              | Some body -> begin
+                  let pos = ref 0 in
+                  match Frame.decode ~max_body (header ^ body) ~pos with
+                  | Ok f -> Frame f
+                  | Error e -> Bad e
+                end
+            end
+        end
+    end
+
+let write oc f =
+  let buf = Buffer.create (String.length f.Frame.payload + 16) in
+  Frame.encode buf f;
+  Buffer.output_buffer oc buf
+
+let write_flush oc f =
+  write oc f;
+  flush oc
+
+let sniff fd =
+  let b = Bytes.create 1 in
+  match Unix.recv fd b 0 1 [ Unix.MSG_PEEK ] with
+  | 0 -> `Eof
+  | _ -> if Bytes.get b 0 = Frame.magic_byte then `Binary else `Text
+  | exception Unix.Unix_error _ -> `Eof

@@ -1,0 +1,35 @@
+(** Socket/channel IO for the binary protocol: read and write
+    {!Frame}s over the same [in_channel]/[out_channel] pairs the text
+    protocol uses, plus the first-byte sniff that lets one listening
+    socket serve both protocols.
+
+    Sniffing: the first byte of a text protocol connection is an ASCII
+    letter (every verb is uppercase ASCII), while every binary frame
+    starts with {!Frame.magic_byte} (0xB1, > 0x7f). Peeking one byte
+    ([MSG_PEEK], so the byte stays in the kernel buffer for whichever
+    reader wins) classifies the connection before any channel
+    buffering happens. *)
+
+type read_result =
+  | Frame of Frame.t
+  | Closed  (** clean EOF at a frame boundary *)
+  | Bad of Frame.error
+      (** torn, corrupt or oversized frame: the stream can no longer
+          be parsed at frame boundaries — send one {!Frame.Error_frame}
+          and close (see {!Pj_server.Protocol.max_line_bytes} for the
+          text-side analogue). *)
+
+val read : ?max_body:int -> in_channel -> read_result
+(** Read exactly one frame. [Oversized] is detected from the fixed
+    header before the body is read or allocated. *)
+
+val write : out_channel -> Frame.t -> unit
+(** Append one frame; does not flush (callers batch pipelined writes
+    and flush once). *)
+
+val write_flush : out_channel -> Frame.t -> unit
+
+val sniff : Unix.file_descr -> [ `Binary | `Text | `Eof ]
+(** Block until the connection's first byte is available and classify
+    it without consuming it. [`Eof] when the peer closed (or the peek
+    failed) before sending anything. *)

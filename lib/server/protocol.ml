@@ -135,23 +135,76 @@ let one_line msg =
     msg;
   Buffer.contents buf
 
-let string_of_hits hits =
+(* Two render precisions share one formatter: the human-facing text
+   protocol keeps 9 significant digits, while the binary wire renders
+   17 — enough for a float64 to round-trip exactly through
+   [float_of_string], which is what lets a router parse a backend's
+   scores, merge, and re-render byte-identically to a single-process
+   server. *)
+let text_precision = 9
+let exact_precision = 17
+
+let string_of_id_scores ?(precision = text_precision) pairs =
   let body =
-    List.map
-      (fun (h : Pj_engine.Searcher.hit) ->
-        Printf.sprintf "%d:%.9g" h.Pj_engine.Searcher.doc_id
-          h.Pj_engine.Searcher.score)
-      hits
+    List.map (fun (id, score) -> Printf.sprintf "%d:%.*g" id precision score) pairs
   in
-  String.concat " " (Printf.sprintf "HITS %d" (List.length hits) :: body)
+  String.concat " " (Printf.sprintf "HITS %d" (List.length pairs) :: body)
+
+let string_of_hits ?precision hits =
+  string_of_id_scores ?precision
+    (List.map
+       (fun (h : Pj_engine.Searcher.hit) ->
+         (h.Pj_engine.Searcher.doc_id, h.Pj_engine.Searcher.score))
+       hits)
 
 (* A degraded answer is a complete HITS line prefixed with which
    shards are missing, so clients that only want best-effort results
    can strip everything up to "HITS" and proceed. *)
-let ok_degraded ~failed_shards hits =
+let ok_degraded_ids ?precision ~failed_shards pairs =
   Printf.sprintf "OK-DEGRADED shards=%s %s"
     (String.concat "," (List.map string_of_int failed_shards))
-    (string_of_hits hits)
+    (string_of_id_scores ?precision pairs)
+
+let ok_degraded ?precision ~failed_shards hits =
+  ok_degraded_ids ?precision ~failed_shards
+    (List.map
+       (fun (h : Pj_engine.Searcher.hit) ->
+         (h.Pj_engine.Searcher.doc_id, h.Pj_engine.Searcher.score))
+       hits)
+
+(* Inverse of [string_of_id_scores], for router legs and test oracles.
+   Strict: the declared count must match, every token must be
+   [id:score] with a non-negative id and a finite-or-parsable score. *)
+let parse_hits line =
+  match tokenize line with
+  | "HITS" :: n :: rest -> begin
+      match int_of_string_opt n with
+      | None -> Error (Printf.sprintf "bad HITS count %S" n)
+      | Some n when n <> List.length rest ->
+          Error
+            (Printf.sprintf "HITS count mismatch (declared %d, got %d)" n
+               (List.length rest))
+      | Some _ ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | tok :: tl -> begin
+                match String.index_opt tok ':' with
+                | None -> Error (Printf.sprintf "bad hit token %S" tok)
+                | Some i -> begin
+                    let id = String.sub tok 0 i in
+                    let score =
+                      String.sub tok (i + 1) (String.length tok - i - 1)
+                    in
+                    match (int_of_string_opt id, float_of_string_opt score) with
+                    | Some id, Some score when id >= 0 ->
+                        go ((id, score) :: acc) tl
+                    | _ -> Error (Printf.sprintf "bad hit token %S" tok)
+                  end
+              end
+          in
+          go [] rest
+    end
+  | _ -> Error "not a HITS line"
 
 let added id = Printf.sprintf "ADDED %d" id
 let deleted id = Printf.sprintf "DELETED %d" id

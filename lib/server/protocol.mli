@@ -62,15 +62,43 @@ val cache_key : search_request -> string
 (** Normalized cache key: scoring family, alpha, k, and the terms
     sorted (term order does not affect scores). *)
 
-val string_of_hits : Pj_engine.Searcher.hit list -> string
-(** ["HITS n doc:score ..."], scores rendered with 9 significant
-    digits — the canonical SEARCH response line. *)
+val text_precision : int
+(** Significant digits of a score on the text wire (9): short enough
+    for humans, stable across rendering. *)
+
+val exact_precision : int
+(** Significant digits on the binary wire (17): a float64 round-trips
+    [Printf "%.17g"] → [float_of_string] exactly, so a router can
+    parse a backend's scores, merge, and re-render byte-identically
+    to a single-process server. *)
+
+val string_of_hits :
+  ?precision:int -> Pj_engine.Searcher.hit list -> string
+(** ["HITS n doc:score ..."] — the canonical SEARCH response line.
+    [precision] is the score's significant digits, default
+    {!text_precision}. *)
+
+val string_of_id_scores : ?precision:int -> (int * float) list -> string
+(** {!string_of_hits} over bare [(doc_id, score)] pairs — the form a
+    router holds after parsing backend responses. *)
+
+val parse_hits : string -> ((int * float) list, string) result
+(** Parse a ["HITS n doc:score ..."] line back into pairs (strict:
+    count must match, ids non-negative). The inverse of
+    {!string_of_id_scores} at {!exact_precision}. *)
 
 val ok_degraded :
-  failed_shards:int list -> Pj_engine.Searcher.hit list -> string
+  ?precision:int ->
+  failed_shards:int list ->
+  Pj_engine.Searcher.hit list ->
+  string
 (** ["OK-DEGRADED shards=1,3 HITS n doc:score ..."]: the surviving
     shards' merged top-k plus which shard indexes are missing from
     it. Never cached (see {!cacheable}). *)
+
+val ok_degraded_ids :
+  ?precision:int -> failed_shards:int list -> (int * float) list -> string
+(** {!ok_degraded} over bare pairs, for the router's merged legs. *)
 
 val cacheable : string -> bool
 (** Whether a response line may be stored in (and replayed from) the

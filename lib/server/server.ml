@@ -7,6 +7,7 @@ type config = {
   deadline_s : float;
   drain_s : float;
   log_every_s : float option;
+  binary_inflight : int;
 }
 
 let default_config =
@@ -19,7 +20,17 @@ let default_config =
     deadline_s = 2.0;
     drain_s = 5.0;
     log_every_s = None;
+    binary_inflight = 32;
   }
+
+type forward_outcome =
+  | Forwarded_hits of (int * float) list
+  | Forwarded_degraded of (int * float) list * int list
+  | Forwarded_timeout
+  | Forwarded_busy
+  | Forwarded_error of string
+
+type forward = Protocol.search_request -> deadline:float -> forward_outcome
 
 (* One live connection. The handler thread is stored next to the fd so
    [stop] can join exactly the threads still running: entries are
@@ -44,6 +55,17 @@ type t = {
   batcher : Ingest_batcher.t option; (* Some iff [live] is Some *)
   cache : Result_cache.t;
   metrics : Metrics.t;
+  forward : forward option;
+      (* A router's scatter-gather, replacing the worker pool for
+         SEARCH: parse/validate/cache/metrics stay here, result
+         production is remote. *)
+  extra_stats : (unit -> string) option;
+      (* Extra key=value tokens appended to the STATS line (a router's
+         per-backend health). Must render as a single line. *)
+  n_docs : int option;
+      (* Documents served, for static (non-live) indexes: rendered as
+         [docs=] in STATS so a router can derive doc-id bases. Live
+         servers render their own [docs=]. *)
   running : bool Atomic.t;
   inflight : int Atomic.t;
       (* Requests between line-read and response-flush; what [stop]'s
@@ -69,9 +91,15 @@ let stats_line t =
       ~worker_panics:(Worker_pool.panics t.pool)
       ~worker_respawns:(Worker_pool.respawns t.pool)
   in
-  match t.live with
-  | None -> base
-  | Some live ->
+  let base =
+    match (t.live, t.n_docs) with
+    | None, Some n -> Printf.sprintf "%s docs=%d" base n
+    | _ -> base
+  in
+  let line =
+    match t.live with
+    | None -> base
+    | Some live ->
       (* The live-index accounting invariant
          [docs = segment_docs + memtable_docs - tombstones] is readable
          straight off this line — test/server asserts it over the
@@ -87,14 +115,38 @@ let stats_line t =
         s.Pj_live.Live_index.generation s.Pj_live.Live_index.merges
         s.Pj_live.Live_index.flushes s.Pj_live.Live_index.wal_appends
         s.Pj_live.Live_index.wal_fsyncs s.Pj_live.Live_index.durable_lag
+  in
+  match t.extra_stats with None -> line | Some f -> line ^ " " ^ f ()
 
-(* Answer one SEARCH. The cache is consulted before the worker pool, so
-   a repeated query costs one hash lookup and no queue slot; live
-   results are rendered once and cached as the final response line. *)
-let handle_search t (sr : Protocol.search_request) =
-  let key = Protocol.cache_key sr in
-  match Result_cache.find t.cache key with
-  | Some response -> response
+(* Run one validated SEARCH to a response line, either remotely (a
+   router's scatter-gather [forward]) or on the local worker pool.
+   [precision] is the score rendering of the client's wire (text or
+   binary); either way the metrics taxonomy is identical. *)
+let execute_search t (sr : Protocol.search_request) ~precision ~key =
+  (* Monotonic clock: an NTP step must not expire (or extend) every
+     in-flight query's budget. *)
+  let deadline = Pj_util.Timing.monotonic_now () +. t.config.deadline_s in
+  match t.forward with
+  | Some forward -> begin
+      match forward sr ~deadline with
+      | Forwarded_hits pairs ->
+          let response = Protocol.string_of_id_scores ~precision pairs in
+          Result_cache.add t.cache key response;
+          response
+      | Forwarded_degraded (pairs, failed_legs) ->
+          Metrics.record_degraded t.metrics
+            ~n_failed_shards:(List.length failed_legs);
+          Protocol.ok_degraded_ids ~precision ~failed_shards:failed_legs pairs
+      | Forwarded_timeout ->
+          Metrics.record_timeout t.metrics;
+          Protocol.timeout
+      | Forwarded_busy ->
+          Metrics.record_busy t.metrics;
+          Protocol.busy
+      | Forwarded_error msg ->
+          Metrics.record_search_error t.metrics;
+          Protocol.err msg
+    end
   | None -> begin
       match Protocol.scoring_of ~family:sr.Protocol.family ~alpha:sr.Protocol.alpha with
       | Error msg ->
@@ -117,11 +169,6 @@ let handle_search t (sr : Protocol.search_request) =
                       query.Pj_matching.Query.matchers;
                 }
               in
-              (* Monotonic clock: an NTP step must not expire (or
-                 extend) every in-flight query's budget. *)
-              let deadline =
-                Pj_util.Timing.monotonic_now () +. t.config.deadline_s
-              in
               begin
                 match
                   Worker_pool.run t.pool ~scoring ~k:sr.Protocol.k ~deadline
@@ -131,7 +178,7 @@ let handle_search t (sr : Protocol.search_request) =
                     Metrics.record_busy t.metrics;
                     Protocol.busy
                 | `Done (Worker_pool.Hits hits) ->
-                    let response = Protocol.string_of_hits hits in
+                    let response = Protocol.string_of_hits ~precision hits in
                     Result_cache.add t.cache key response;
                     response
                 | `Done (Worker_pool.Degraded (hits, failed)) ->
@@ -141,7 +188,7 @@ let handle_search t (sr : Protocol.search_request) =
                        gets a fresh scatter-gather. *)
                     Metrics.record_degraded t.metrics
                       ~n_failed_shards:(List.length failed);
-                    Protocol.ok_degraded ~failed_shards:failed hits
+                    Protocol.ok_degraded ~precision ~failed_shards:failed hits
                 | `Done Worker_pool.Timed_out ->
                     Metrics.record_timeout t.metrics;
                     Protocol.timeout
@@ -151,6 +198,18 @@ let handle_search t (sr : Protocol.search_request) =
               end
         end
     end
+
+(* Answer one SEARCH. The cache is consulted before the worker pool
+   (or router legs), so a repeated query costs one hash lookup and no
+   queue slot; live results are rendered once and cached as the final
+   response line. Text and binary clients render scores at different
+   precisions, so the cache key carries the precision — the cached
+   value is a fully rendered line of one wire dialect. *)
+let handle_search t (sr : Protocol.search_request) ~precision =
+  let key = Printf.sprintf "%d|%s" precision (Protocol.cache_key sr) in
+  match Result_cache.find t.cache key with
+  | Some response -> response
+  | None -> execute_search t sr ~precision ~key
 
 (* Answer one write verb (ADDDOC/DELDOC/FLUSH). Writes ride the same
    worker pool and bounded queue as searches — one backpressure bound,
@@ -217,7 +276,7 @@ let handle_ingest t request =
       end
 
 (* One response line per request line; [false] ends the connection. *)
-let respond t line =
+let respond t ~precision line =
   match Protocol.parse_request line with
   | Error msg ->
       Metrics.record_parse_error t.metrics;
@@ -232,7 +291,7 @@ let respond t line =
   | Ok (Protocol.Search sr) ->
       Metrics.record_search t.metrics;
       let t0 = Pj_util.Timing.monotonic_now () in
-      let response = handle_search t sr in
+      let response = handle_search t sr ~precision in
       let dt = Pj_util.Timing.monotonic_now () -. t0 in
       (* Separate histograms: a degraded request often burns its whole
          deadline on the failed leg, which would smear the healthy-path
@@ -303,9 +362,7 @@ let read_line_bounded ic =
   in
   go ()
 
-let handle_connection t id fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+let handle_text t ic oc =
   let rec loop () =
     match read_line_bounded ic with
     | exception Sys_error _ -> ()
@@ -331,7 +388,9 @@ let handle_connection t id fd =
                  error (or panic) here tears down this connection only
                  — the catch-all below owns the cleanup. *)
               Pj_util.Failpoint.hit "server.conn";
-              let response, continue = respond t line in
+              let response, continue =
+                respond t ~precision:Protocol.text_precision line
+              in
               output_string oc response;
               output_char oc '\n';
               flush oc;
@@ -339,10 +398,134 @@ let handle_connection t id fd =
         in
         if continue then loop ()
   in
+  loop ()
+
+(* The binary dialect of the same request/response protocol: framed,
+   CRC-checked, and pipelined — request ids let [binary_inflight]
+   requests from one connection be answered as they complete, out of
+   order. The reader thread (this one) only frames and enqueues;
+   worker threads (spawned lazily, at most [binary_inflight]) call
+   [respond] and write response frames under a shared write lock. The
+   per-connection Work_queue is the in-flight cap: when it is full the
+   reader blocks in [push] and stops reading the socket, which is
+   exactly TCP backpressure, not request shedding. *)
+let handle_binary t fd ic oc =
+  let cap = t.config.binary_inflight in
+  let q : (int * string) Work_queue.t = Work_queue.create ~capacity:cap in
+  let write_mutex = Mutex.create () in
+  let send frame =
+    Mutex.lock write_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock write_mutex)
+      (fun () -> Pj_frame.Wire.write_flush oc frame)
+  in
+  (* A broken stream (torn/corrupt/oversized frame, or a non-request
+     frame) gets one framed diagnostic, then the connection is failed
+     — the frame boundary is lost, mirroring the text side's
+     "request line too long". *)
+  let send_fatal msg =
+    try
+      send
+        {
+          Pj_frame.Frame.kind = Pj_frame.Frame.Error_frame;
+          id = 0;
+          payload = Protocol.err msg;
+        }
+    with _ -> ()
+  in
+  let stop_reading () =
+    Work_queue.close q;
+    (* Wake the reader out of a blocking [input_char]: after QUIT the
+       client owes us nothing more. *)
+    try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ()
+  in
+  let worker () =
+    let rec wloop () =
+      match Work_queue.pop q with
+      | None -> ()
+      | Some (rid, line) ->
+          let continue =
+            Fun.protect
+              ~finally:(fun () -> Atomic.decr t.inflight)
+              (fun () ->
+                Pj_util.Failpoint.hit "server.conn";
+                let response, continue =
+                  respond t ~precision:Protocol.exact_precision line
+                in
+                send
+                  {
+                    Pj_frame.Frame.kind = Pj_frame.Frame.Response;
+                    id = rid;
+                    payload = response;
+                  };
+                continue)
+          in
+          if continue then wloop () else stop_reading ()
+    in
+    try wloop () with _ -> stop_reading ()
+  in
+  let workers = ref [] in
+  let n_workers = ref 0 in
+  let workers_mutex = Mutex.create () in
+  let spawn_if_starved () =
+    Mutex.lock workers_mutex;
+    if !n_workers < cap && Work_queue.length q > 0 then begin
+      incr n_workers;
+      workers := Thread.create worker () :: !workers
+    end;
+    Mutex.unlock workers_mutex
+  in
+  let request_cap = Protocol.max_line_bytes + 64 in
+  let rec rloop () =
+    match Pj_frame.Wire.read ~max_body:request_cap ic with
+    | exception Sys_error _ -> ()
+    | Pj_frame.Wire.Closed -> ()
+    | Pj_frame.Wire.Bad e ->
+        Metrics.record_parse_error t.metrics;
+        let msg =
+          match e with
+          | Pj_frame.Frame.Oversized n ->
+              Printf.sprintf "frame too large (%d bytes, max %d)" n request_cap
+          | Pj_frame.Frame.Truncated what -> "truncated frame: " ^ what
+          | Pj_frame.Frame.Corrupt what -> "corrupt frame: " ^ what
+        in
+        send_fatal msg
+    | Pj_frame.Wire.Frame { Pj_frame.Frame.kind = Pj_frame.Frame.Request; id; payload } ->
+        Atomic.incr t.inflight;
+        if Work_queue.push q (id, payload) then begin
+          spawn_if_starved ();
+          rloop ()
+        end
+        else (* QUIT raced us: the queue is closed, the request is
+                abandoned unread-equivalent. *)
+          Atomic.decr t.inflight
+    | Pj_frame.Wire.Frame _ ->
+        Metrics.record_parse_error t.metrics;
+        send_fatal "unexpected frame kind (want request)"
+  in
+  rloop ();
+  Work_queue.close q;
+  Mutex.lock workers_mutex;
+  let ws = !workers in
+  Mutex.unlock workers_mutex;
+  List.iter Thread.join ws
+
+let handle_connection t id fd =
   (* Any per-connection failure (client gone mid-write, etc.) closes
      this connection only; the accept loop and other connections are
-     unaffected. *)
-  (try loop () with _ -> ());
+     unaffected. One listening socket serves both protocol dialects:
+     the first byte classifies the connection (text verbs are ASCII,
+     binary frames start with 0xB1) without consuming anything. *)
+  (try
+     match Pj_frame.Wire.sniff fd with
+     | `Eof -> ()
+     | (`Text | `Binary) as sniffed ->
+         let ic = Unix.in_channel_of_descr fd in
+         let oc = Unix.out_channel_of_descr fd in
+         (match sniffed with
+         | `Text -> handle_text t ic oc
+         | `Binary -> handle_binary t fd ic oc)
+   with _ -> ());
   unregister_conn t id;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -376,7 +559,8 @@ let log_loop t period =
       Printf.eprintf "[pj_server] %s\n%!" (stats_line t)
   done
 
-let start ?(config = default_config) ?live ~graph search =
+let start ?(config = default_config) ?live ?forward ?extra_stats ?n_docs
+    ~graph search =
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
@@ -412,6 +596,9 @@ let start ?(config = default_config) ?live ~graph search =
       pool;
       live;
       batcher;
+      forward;
+      extra_stats;
+      n_docs;
       cache = Result_cache.create ~capacity:config.cache_capacity;
       metrics;
       running = Atomic.make true;
@@ -441,7 +628,7 @@ let start ?(config = default_config) ?live ~graph search =
   | Some _ | None -> ());
   t
 
-let stop t =
+let stop_with ~drain t =
   if Atomic.exchange t.running false then begin
     (* Closing the listening socket breaks the accept loop out of
        [Unix.accept]. *)
@@ -455,10 +642,16 @@ let stop t =
     (* Drain: requests already read off a socket get up to [drain_s]
        to finish and flush their response before connections are
        forced closed. Handler threads parked in [read] hold no
-       half-answered request and are not waited for. *)
-    let drain_deadline = Pj_util.Timing.monotonic_now () +. t.config.drain_s in
+       half-answered request and are not waited for. [kill] skips
+       this phase entirely — in-flight requests lose their answers,
+       as they would under kill -9. *)
+    let drain_deadline =
+      Pj_util.Timing.monotonic_now ()
+      +. (if drain then t.config.drain_s else 0.)
+    in
     while
-      Atomic.get t.inflight > 0
+      drain
+      && Atomic.get t.inflight > 0
       && Pj_util.Timing.monotonic_now () < drain_deadline
     do
       Thread.delay 0.002
@@ -480,6 +673,15 @@ let stop t =
     Worker_pool.shutdown t.pool;
     (match t.log_thread with Some th -> Thread.join th | None -> ())
   end
+
+let stop t = stop_with ~drain:true t
+
+(* Chaos support: the socket-level behaviour of kill -9 — every
+   connection dropped mid-whatever, no drain, no goodbye. (The kernel
+   of a killed process closes its sockets the same way: FIN now, RST
+   for anyone who keeps writing.) Threads and domains are still
+   joined so the *calling* test process stays leak-free. *)
+let kill t = stop_with ~drain:false t
 
 let wait t =
   match t.accept_thread with Some th -> Thread.join th | None -> ()

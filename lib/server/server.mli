@@ -38,15 +38,44 @@ type config = {
       (** how long {!stop} lets in-flight requests finish before
           force-closing their connections, default 5.0 *)
   log_every_s : float option;  (** stderr stats period, default [None] *)
+  binary_inflight : int;
+      (** per-connection in-flight cap on the binary wire: how many
+          pipelined requests one connection may have unanswered before
+          the server stops reading its socket (TCP backpressure, not
+          shedding), default 32 *)
 }
 
 val default_config : config
+
+(** The result of a forwarded (routed) search — what a {!forward}
+    hook returns in place of a local worker-pool outcome. Carries
+    bare [(doc_id, score)] pairs: the server renders them at the
+    client's wire precision and applies the same caching and metrics
+    taxonomy as local results. *)
+type forward_outcome =
+  | Forwarded_hits of (int * float) list  (** complete; cacheable *)
+  | Forwarded_degraded of (int * float) list * int list
+      (** exact top-k of the surviving legs, plus the failed leg
+          indexes — rendered as [OK-DEGRADED], never cached *)
+  | Forwarded_timeout
+  | Forwarded_busy
+  | Forwarded_error of string
+
+type forward = Protocol.search_request -> deadline:float -> forward_outcome
+(** A scatter-gather hook replacing the local worker pool for SEARCH
+    (parsing, validation, caching, metrics and both wire dialects stay
+    in the server). [deadline] is absolute monotonic time, computed
+    from [config.deadline_s]. Must be callable from many connection
+    threads at once. *)
 
 type t
 
 val start :
   ?config:config ->
   ?live:Pj_live.Live_index.t ->
+  ?forward:forward ->
+  ?extra_stats:(unit -> string) ->
+  ?n_docs:int ->
   graph:Pj_ontology.Graph.t ->
   Worker_pool.search ->
   t
@@ -58,7 +87,20 @@ val start :
     index's generation swaps into the result cache — pass the same
     index the search function closes over. The server does not own
     the live index: close it after {!stop}. Raises [Unix.Unix_error]
-    when the address cannot be bound. *)
+    when the address cannot be bound.
+
+    [?forward] turns the server into a router front-end: SEARCH is
+    answered by the hook instead of the worker pool (a pool is still
+    created — size it to 1 domain). [?extra_stats] appends extra
+    key=value tokens to the STATS line (must render one-line).
+    [?n_docs] adds a [docs=] field to STATS for static indexes, which
+    is how a router derives backend doc-id bases; ignored when
+    [?live] is given (the live index reports its own [docs=]).
+
+    Both wire dialects are served on the one socket: a connection's
+    first byte picks text ({!Protocol} lines) or binary
+    ({!Pj_frame.Frame}s, request-id pipelined, score rendering at
+    {!Protocol.exact_precision}). *)
 
 val port : t -> int
 (** The actual bound port (useful with [port = 0]). *)
@@ -76,6 +118,13 @@ val stop : t -> unit
     read off a socket get up to [drain_s] seconds to finish and flush
     their response; then force-close remaining connections, finish
     queued jobs, and join every thread and domain. Idempotent. *)
+
+val kill : t -> unit
+(** {!stop} minus the drain and the goodbyes: every connection is
+    dropped immediately, in-flight requests lose their answers — the
+    socket-level behaviour of kill -9, for chaos tests that need a
+    backend to vanish mid-stream without leaking threads in the test
+    process. Idempotent with {!stop}. *)
 
 val inflight : t -> int
 (** Requests currently between line-read and response-flush — what the

@@ -23,6 +23,15 @@
     e.g. [PROXJOIN_FAILPOINTS='shard.0=error,worker.job=panic@0.05,
     storage.save=delay:250'].
 
+    Sites wired into serving code: [storage.load],
+    [storage.save.write], [storage.save.rename], [shard.N] (per
+    scatter-gather leg), [worker.job], [server.conn], [live.flush],
+    [live.merge], [live.manifest], [live.wal.append],
+    [live.wal.fsync], [live.wal.rotate], and the router tier's
+    [router.connect] (before every backend (re)connect),
+    [router.leg.N] (before leg [N]'s scatter submit) and
+    [router.retry] (before each failover attempt to a replica).
+
     Probabilistic rules draw from one {!Prng} stream seeded at
     {!configure} time (or [$PROXJOIN_FAILPOINT_SEED]), so a whole
     chaos run is reproducible from its seed. All state is
